@@ -1,0 +1,126 @@
+// Command rago runs the RAGO schedule optimizer for a RAGSchema described
+// in JSON and prints the performance Pareto frontier with its schedules.
+//
+// Usage:
+//
+//	rago -schema workload.json [-hosts 16] [-chip XPU-C] [-normalize 0] [-baseline]
+//	rago -preset case2 [-context 1000000] [-model 70e9]
+//
+// With no -schema, -preset selects one of the paper's Table 3 workloads:
+// case1, case2, case3, case4, llm-only.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"rago/internal/core"
+	"rago/internal/hw"
+	"rago/internal/perf"
+	"rago/internal/ragschema"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("rago: ")
+
+	var (
+		schemaPath = flag.String("schema", "", "path to a RAGSchema JSON file")
+		preset     = flag.String("preset", "", "preset workload: case1|case2|case3|case4|llm-only")
+		model      = flag.Float64("model", 70e9, "generative model parameters for presets")
+		queries    = flag.Int("queries", 1, "query vectors per retrieval (case1)")
+		context    = flag.Int("context", 1_000_000, "context tokens (case2)")
+		retrievals = flag.Int("retrievals", 4, "retrievals per sequence (case3)")
+		hosts      = flag.Int("hosts", 16, "host servers (4 XPUs each)")
+		chip       = flag.String("chip", "XPU-C", "accelerator generation: XPU-A|XPU-B|XPU-C")
+		normalize  = flag.Int("normalize", 0, "fixed chip count for QPS/chip normalization (0 = allocated)")
+		baseline   = flag.Bool("baseline", false, "also evaluate the LLM-system-extension baseline")
+		maxPoints  = flag.Int("max-points", 20, "frontier points to print (0 = all)")
+	)
+	flag.Parse()
+
+	schema, err := loadSchema(*schemaPath, *preset, *model, *queries, *context, *retrievals)
+	if err != nil {
+		log.Fatal(err)
+	}
+	xpu, err := hw.XPUByName(*chip)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cluster := hw.Cluster{Chip: xpu, Host: hw.EPYCHost, Hosts: *hosts}
+	opts := core.DefaultOptions(cluster)
+	opts.NormalizeChips = *normalize
+
+	o, err := core.NewOptimizer(schema, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	front := o.Optimize()
+	if len(front) == 0 {
+		log.Fatal("no feasible schedule under the given resources")
+	}
+
+	fmt.Printf("workload: %s\n", schema.Name)
+	fmt.Printf("cluster:  %d hosts x %d %s = %d XPUs\n", *hosts, cluster.Host.XPUsPerHost, xpu.Name, cluster.XPUs())
+	fmt.Printf("frontier: %d Pareto-optimal schedules\n\n", len(front))
+
+	printFrontier(o, front, *maxPoints)
+
+	if best, ok := perf.MaxQPSPerChip(front); ok {
+		fmt.Printf("\nmax QPS/chip: %s\n  %s\n", best.Metrics, best.Item.Describe(o.Pipe))
+	}
+	if best, ok := perf.MinTTFT(front); ok {
+		fmt.Printf("min TTFT:     %s\n  %s\n", best.Metrics, best.Item.Describe(o.Pipe))
+	}
+
+	if *baseline {
+		base := o.BaselineFrontier()
+		if bb, ok := perf.MaxQPSPerChip(base); ok {
+			rb, _ := perf.MaxQPSPerChip(front)
+			fmt.Printf("\nbaseline max QPS/chip: %s\n  %s\n", bb.Metrics, bb.Item.Describe(o.Pipe))
+			fmt.Printf("RAGO gain: %.2fx QPS/chip\n", rb.Metrics.QPSPerChip/bb.Metrics.QPSPerChip)
+		}
+	}
+}
+
+func loadSchema(path, preset string, model float64, queries, context, retrievals int) (ragschema.Schema, error) {
+	if path != "" {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return ragschema.Schema{}, err
+		}
+		return ragschema.DecodeJSON(data)
+	}
+	switch strings.ToLower(preset) {
+	case "case1":
+		return ragschema.CaseI(model, queries), nil
+	case "case2":
+		return ragschema.CaseII(model, context), nil
+	case "case3":
+		return ragschema.CaseIII(model, retrievals), nil
+	case "case4":
+		return ragschema.CaseIV(model), nil
+	case "llm-only":
+		return ragschema.LLMOnly(model), nil
+	case "":
+		return ragschema.Schema{}, fmt.Errorf("need -schema or -preset (case1|case2|case3|case4|llm-only)")
+	default:
+		return ragschema.Schema{}, fmt.Errorf("unknown preset %q", preset)
+	}
+}
+
+func printFrontier(o *core.Optimizer, front []core.SchedulePoint, max int) {
+	fmt.Printf("%12s %12s %12s %12s  schedule\n", "TTFT(s)", "TPOT(s)", "QPS", "QPS/chip")
+	step := 1
+	if max > 0 && len(front) > max {
+		step = len(front) / max
+	}
+	for i := 0; i < len(front); i += step {
+		p := front[i]
+		fmt.Printf("%12.4f %12.4f %12.2f %12.3f  %s\n",
+			p.Metrics.TTFT, p.Metrics.TPOT, p.Metrics.QPS, p.Metrics.QPSPerChip, p.Item.Describe(o.Pipe))
+	}
+}

@@ -1,0 +1,108 @@
+// Command ragochar regenerates the paper's §5 workload characterization:
+// Figures 5 through 11. Each figure prints as an ASCII table; pass -figure
+// to produce a single one.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+
+	"rago/internal/bench"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("ragochar: ")
+	figure := flag.String("figure", "all", "figure to regenerate: 5|6|7|8|9|10|11|whatif|all")
+	full := flag.Bool("full", false, "print full Pareto curves instead of summaries")
+	flag.Parse()
+
+	want := func(f string) bool { return *figure == "all" || *figure == f }
+
+	if want("5") {
+		series, err := bench.Figure5()
+		check(err)
+		fmt.Println(render(*full, "Figure 5: RAG vs LLM-only (QPS/chip vs TTFT)", series))
+	}
+	if want("6") {
+		for _, params := range []float64{8e9, 70e9} {
+			series, err := bench.Figure6QPS(params)
+			check(err)
+			fmt.Println(render(*full, fmt.Sprintf("Figure 6: hyperscale retrieval, %s model", size(params)), series))
+			bds, err := bench.Figure6Breakdown(params)
+			check(err)
+			fmt.Println(bench.RenderBreakdowns(fmt.Sprintf("Figure 6 breakdown, %s model", size(params)), bds))
+		}
+	}
+	if want("7") {
+		cells, err := bench.Figure7a()
+		check(err)
+		fmt.Println(bench.RenderHeatmap("Figure 7a: retrieval share (%) across XPU generations", cells))
+		cells, err = bench.Figure7b()
+		check(err)
+		fmt.Println(bench.RenderHeatmap("Figure 7b: retrieval share (%) vs scanned fraction", cells))
+		cells, err = bench.Figure7c()
+		check(err)
+		fmt.Println(bench.RenderHeatmap("Figure 7c: retrieval share (%) vs sequence lengths (8B)", cells))
+	}
+	if want("8") {
+		series, err := bench.Figure8QPS(70e9)
+		check(err)
+		fmt.Println(render(*full, "Figure 8: long-context RAG (70B)", series))
+		bds, err := bench.Figure8Breakdown(70e9)
+		check(err)
+		fmt.Println(bench.RenderBreakdowns("Figure 8 breakdown (70B)", bds))
+		ttftX, qpsX, err := bench.LongContextSpeedup(1_000_000)
+		check(err)
+		fmt.Printf("§5.2 RAG vs long-context LLM at 1M tokens: TTFT %.0fx, QPS/chip %.0fx\n\n", ttftX, qpsX)
+	}
+	if want("9") {
+		series, err := bench.Figure9a(70e9)
+		check(err)
+		fmt.Println(bench.RenderSeries("Figure 9a: TPOT vs decode batch (70B)", series))
+		series, err = bench.Figure9b(70e9)
+		check(err)
+		fmt.Println(bench.RenderSeries("Figure 9b: TPOT vs iterative batch (70B, 4 retrievals)", series))
+	}
+	if want("10") {
+		cells, err := bench.Figure10()
+		check(err)
+		fmt.Println(bench.RenderHeatmap("Figure 10b: normalized decoding latency (zero-cost rounds)", cells))
+	}
+	if want("11") {
+		bds, ratio, err := bench.Figure11()
+		check(err)
+		fmt.Println(bench.RenderBreakdowns("Figure 11: rewriter + reranker breakdown", bds))
+		fmt.Printf("TTFT inflation from the query rewriter: %.2fx (paper: 2.4x)\n\n", ratio)
+	}
+	if want("whatif") {
+		rows, err := bench.WhatIfRetrievalAccelerator(10)
+		check(err)
+		fmt.Println(bench.RenderWhatIf("What-if (§8): Chameleon-style retrieval accelerator, Case I 8B", rows))
+		rows, err = bench.WhatIfKVCacheReuse()
+		check(err)
+		fmt.Println(bench.RenderWhatIf("What-if (§8): CacheBlend-style document-KV reuse, Case I 8B", rows))
+		rows, err = bench.WhatIfPrefetching()
+		check(err)
+		fmt.Println(bench.RenderWhatIf("What-if (§8): PipeRAG-style iterative prefetching, Case III 70B", rows))
+	}
+}
+
+func render(full bool, title string, series []bench.Series) string {
+	if full {
+		return bench.RenderSeries(title, series)
+	}
+	return bench.RenderFrontierSummary(title, series)
+}
+
+func size(params float64) string {
+	return strings.TrimSuffix(fmt.Sprintf("%.0fB", params/1e9), ".0")
+}
+
+func check(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

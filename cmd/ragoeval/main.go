@@ -1,0 +1,103 @@
+// Command ragoeval regenerates the paper's §7 evaluation of RAGO itself:
+// Figures 15 through 19 and Table 4. The Case IV searches sweep tens of
+// thousands of plans and take tens of seconds.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"rago/internal/bench"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("ragoeval: ")
+	figure := flag.String("figure", "all", "artifact to regenerate: 15|16|17|18|19|table4|all")
+	skipSlow := flag.Bool("skip-slow", false, "skip the Case IV plan sweeps")
+	flag.Parse()
+
+	want := func(f string) bool { return *figure == "all" || *figure == f }
+
+	if want("15") {
+		cases := []bench.EvalCase{bench.EvalCaseII}
+		if !*skipSlow {
+			cases = append(cases, bench.EvalCaseIV)
+		}
+		for _, c := range cases {
+			rago, base, gain, err := bench.Figure15(c)
+			check(err)
+			fmt.Println(bench.RenderFrontierSummary(
+				fmt.Sprintf("Figure 15, %s", c), []bench.Series{rago, base}))
+			fmt.Printf("RAGO max-QPS/chip gain over baseline: %.2fx\n\n", gain)
+		}
+	}
+	if want("16") {
+		sums, global, err := bench.Figure16(bench.EvalCaseII, 8)
+		check(err)
+		fmt.Println(bench.RenderPlanSummaries("Figure 16a: per-plan frontiers, Case II (top 8)", sums))
+		fmt.Println(bench.RenderFrontierSummary("Figure 16a: global Pareto", []bench.Series{global}))
+		if !*skipSlow {
+			sums, global, err = bench.Figure16(bench.EvalCaseIV, 8)
+			check(err)
+			fmt.Println(bench.RenderPlanSummaries("Figure 16b: per-plan frontiers, Case IV (top 8)", sums))
+			fmt.Println(bench.RenderFrontierSummary("Figure 16b: global Pareto", []bench.Series{global}))
+		}
+	}
+	if want("17") {
+		cases := []bench.EvalCase{bench.EvalCaseII}
+		if !*skipSlow {
+			cases = append(cases, bench.EvalCaseIV)
+		}
+		for _, c := range cases {
+			classes, err := bench.Figure17(c)
+			check(err)
+			var series []bench.Series
+			for _, cls := range []bench.PlacementClass{bench.PlacementCollocated, bench.PlacementDisaggregated, bench.PlacementHybrid} {
+				if s, ok := classes[cls]; ok {
+					series = append(series, s)
+				}
+			}
+			fmt.Println(bench.RenderFrontierSummary(fmt.Sprintf("Figure 17, %s: placement comparison", c), series))
+		}
+	}
+	if want("18") {
+		for _, collocated := range []bool{true, false} {
+			spread, best, worst, err := bench.Figure18(bench.EvalCaseII, collocated)
+			check(err)
+			style := "disaggregated"
+			if collocated {
+				style = "collocated/hybrid"
+			}
+			fmt.Printf("== Figure 18, Case II %s allocations ==\n", style)
+			fmt.Printf("max QPS/chip spread: %.1fx (paper: 52.5x collocated, 64.1x disaggregated)\n", spread)
+			fmt.Printf("  best:  %.4f  %s\n", best.MaxQPSChip, best.Desc)
+			fmt.Printf("  worst: %.4f  %s\n\n", worst.MaxQPSChip, worst.Desc)
+		}
+	}
+	if want("19") {
+		cells, err := bench.Figure19CaseI()
+		check(err)
+		fmt.Println(bench.RenderHeatmap("Figure 19a: TTFT reduction (%) from micro-batching, Case I (70B)", cells))
+		cells, err = bench.Figure19CaseII()
+		check(err)
+		fmt.Println(bench.RenderHeatmap("Figure 19b: TTFT reduction (%), Case II (70B)", cells))
+		if !*skipSlow {
+			cells, err = bench.Figure19CaseIV()
+			check(err)
+			fmt.Println(bench.RenderHeatmap("Figure 19c: TTFT reduction (%), Case IV", cells))
+		}
+	}
+	if want("table4") {
+		rows, err := bench.Table4()
+		check(err)
+		fmt.Println(bench.RenderTable4(rows))
+	}
+}
+
+func check(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

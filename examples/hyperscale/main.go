@@ -1,0 +1,52 @@
+// Hyperscale: the paper's Case I question — when does retrieval over a
+// 64-billion-vector corpus with a small LLM beat serving a big LLM without
+// retrieval? Reproduces the Fig. 5 comparison and the query-count
+// sensitivity of Fig. 6.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"rago"
+)
+
+func main() {
+	log.SetFlags(0)
+	cluster := rago.DefaultCluster() // 16 hosts / 64 XPUs, minimum for the 6.1 TB corpus
+	opts := rago.DefaultOptions(cluster)
+	opts.NormalizeChips = cluster.XPUs() // charge the whole pool, as §5 does
+
+	fmt.Println("RAG with small models vs LLM-only with large models")
+	fmt.Printf("%-16s %12s %12s\n", "system", "QPS/chip", "min TTFT(s)")
+	show := func(name string, schema rago.Schema) float64 {
+		front, err := rago.Optimize(schema, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		best, _ := rago.MaxQPSPerChip(front)
+		fast, _ := rago.MinTTFT(front)
+		fmt.Printf("%-16s %12.2f %12.4f\n", name, best.Metrics.QPSPerChip, fast.Metrics.TTFT)
+		return best.Metrics.QPSPerChip
+	}
+	rag1 := show("RAG 1B", rago.CaseI(1e9, 1))
+	rag8 := show("RAG 8B", rago.CaseI(8e9, 1))
+	llm8 := show("LLM-only 8B", rago.LLMOnly(8e9))
+	llm70 := show("LLM-only 70B", rago.LLMOnly(70e9))
+
+	fmt.Printf("\nRAG 8B vs LLM-only 70B: %.1fx QPS/chip (paper: 1.5x)\n", rag8/llm70)
+	fmt.Printf("RAG 1B vs RAG 8B:       %.2fx (both retrieval-bound)\n", rag1/rag8)
+	fmt.Printf("RAG 1B vs LLM-only 8B:  %.2fx (8x fewer parameters, sub-proportional gain)\n", rag1/llm8)
+
+	// Fig. 6: multi-query retrieval halves throughput per doubling.
+	fmt.Println("\nquery vectors per retrieval (RAG 8B):")
+	fmt.Printf("%-10s %12s\n", "queries", "QPS/chip")
+	for _, q := range []int{1, 2, 4, 8} {
+		front, err := rago.Optimize(rago.CaseI(8e9, q), opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		best, _ := rago.MaxQPSPerChip(front)
+		fmt.Printf("%-10d %12.2f\n", q, best.Metrics.QPSPerChip)
+	}
+}

@@ -1,0 +1,63 @@
+// Quickstart: describe a RAG serving workload with a RAGSchema, run the
+// RAGO optimizer against a cluster, and inspect the Pareto-optimal
+// schedules.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"rago"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// A long-context RAG workload (the paper's Case II): users upload
+	// ~1M-token documents in real time; a 120M encoder embeds them, a
+	// tiny per-request vector database answers retrievals, and a 70B
+	// LLM generates from a 512-token retrieval-augmented prompt.
+	schema := rago.CaseII(70e9, 1_000_000)
+	fmt.Printf("workload: %s\n", schema.Name)
+
+	// The serving environment: 32 host servers, each with 96 CPU cores
+	// and four XPU-C accelerators (TPU v5p class) — 128 chips total.
+	cluster := rago.LargeCluster()
+	fmt.Printf("cluster:  %d hosts, %d XPUs\n\n", cluster.Hosts, cluster.XPUs())
+
+	// Search task placements, resource allocations, and batching
+	// policies for the Pareto frontier over TTFT / TPOT / QPS-per-chip.
+	front, err := rago.Optimize(schema, rago.DefaultOptions(cluster))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Pareto frontier: %d schedules\n\n", len(front))
+
+	pipe, err := rago.BuildPipeline(schema)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The two operating points a deployment usually cares about.
+	if best, ok := rago.MaxQPSPerChip(front); ok {
+		fmt.Println("throughput-optimal:")
+		fmt.Printf("  %s\n  %s\n\n", best.Metrics, best.Item.Describe(pipe))
+	}
+	if best, ok := rago.MinTTFT(front); ok {
+		fmt.Println("latency-optimal:")
+		fmt.Printf("  %s\n  %s\n\n", best.Metrics, best.Item.Describe(pipe))
+	}
+
+	// Compare with a naive deployment: an LLM-only serving system with
+	// the RAG components bolted onto its prefix tier (§7.1 baseline).
+	base, err := rago.Baseline(schema, rago.DefaultOptions(cluster))
+	if err != nil {
+		log.Fatal(err)
+	}
+	rb, ok1 := rago.MaxQPSPerChip(front)
+	bb, ok2 := rago.MaxQPSPerChip(base)
+	if ok1 && ok2 {
+		fmt.Printf("RAGO vs LLM-system extension: %.2fx QPS/chip (paper: 1.7x)\n",
+			rb.Metrics.QPSPerChip/bb.Metrics.QPSPerChip)
+	}
+}

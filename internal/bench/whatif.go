@@ -1,0 +1,191 @@
+package bench
+
+import (
+	"fmt"
+
+	"rago/internal/hw"
+	"rago/internal/pipeline"
+	"rago/internal/ragschema"
+	"rago/internal/sim"
+	"rago/internal/stageperf"
+)
+
+// The paper's related-work section (§8) sketches how adjacent systems
+// would shift RAG workload balance: retrieval accelerators (Chameleon)
+// make serving more inference-bound, KV-cache reuse (CacheBlend/RAGCache)
+// removes most prefix work, and iterative-retrieval prefetching
+// (PipeRAG/RaLMSpec) hides decode stalls. These what-if experiments
+// quantify each shift with the same models RAGO uses.
+
+// WhatIfRow is one scenario outcome.
+type WhatIfRow struct {
+	Scenario   string
+	QPSPerChip float64
+	// RetrievalShare is the breakdown share (%) of retrieval, where the
+	// scenario changes it.
+	RetrievalShare float64
+	// TPOT applies to the prefetching scenario.
+	TPOT float64
+}
+
+// WhatIfRetrievalAccelerator evaluates Case I (8B) with the retrieval
+// tier sped up by the given factor (a Chameleon-style accelerator):
+// reports max QPS/chip and the retrieval breakdown share before/after.
+func WhatIfRetrievalAccelerator(speedup float64) ([]WhatIfRow, error) {
+	if speedup <= 0 {
+		return nil, fmt.Errorf("bench: speedup must be positive")
+	}
+	base := ragschema.CaseI(8e9, 1)
+	// A speedup of k is equivalent to scanning 1/k of the bytes per
+	// query in the roofline model: scale the scan fraction.
+	accel := base
+	accel.ScanFraction = base.ScanFraction / speedup
+	accel.Name = fmt.Sprintf("%s-retrieval-x%.0f", base.Name, speedup)
+
+	var rows []WhatIfRow
+	for _, c := range []struct {
+		name   string
+		schema ragschema.Schema
+	}{{"baseline retrieval", base}, {fmt.Sprintf("%.0fx retrieval accelerator", speedup), accel}} {
+		_, front, err := optimize(c.schema, pool64(), pool64().XPUs())
+		if err != nil {
+			return nil, err
+		}
+		best, err := maxQPSPerChip(front)
+		if err != nil {
+			return nil, err
+		}
+		share, err := RetrievalShare(c.schema, hw.XPUC)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, WhatIfRow{
+			Scenario:       c.name,
+			QPSPerChip:     best.Metrics.QPSPerChip,
+			RetrievalShare: share,
+		})
+	}
+	return rows, nil
+}
+
+// WhatIfKVCacheReuse evaluates Case I (8B) when the KV cache of retrieved
+// documents is served from a cache (CacheBlend/RAGCache-style): the
+// prefix only processes the question tokens, not the retrieved content.
+func WhatIfKVCacheReuse() ([]WhatIfRow, error) {
+	base := ragschema.CaseI(8e9, 1)
+	cached := base
+	cached.PrefixTokens = base.QuestionTokens // retrieved-content KV reused
+	cached.Name = base.Name + "-kv-reuse"
+
+	var rows []WhatIfRow
+	for _, c := range []struct {
+		name   string
+		schema ragschema.Schema
+	}{{"full prefix", base}, {"cached document KV", cached}} {
+		_, front, err := optimize(c.schema, pool64(), pool64().XPUs())
+		if err != nil {
+			return nil, err
+		}
+		best, err := maxQPSPerChip(front)
+		if err != nil {
+			return nil, err
+		}
+		share, err := RetrievalShare(c.schema, hw.XPUC)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, WhatIfRow{
+			Scenario:       c.name,
+			QPSPerChip:     best.Metrics.QPSPerChip,
+			RetrievalShare: share,
+		})
+	}
+	return rows, nil
+}
+
+// WhatIfPrefetching evaluates Case III (70B, 4 retrievals) with PipeRAG-
+// style approximate prefetching: iterative rounds overlap decoding
+// instead of stalling it. Compares worst-case TPOT with and without the
+// stall at decode batch 64 / iterative batch 16.
+func WhatIfPrefetching() ([]WhatIfRow, error) {
+	schema := ragschema.CaseIII(70e9, 4)
+	pipe, err := pipeline.Build(schema)
+	if err != nil {
+		return nil, err
+	}
+	cluster := pool64()
+	prof := stageperf.New(cluster.Chip, cluster.Host, schema)
+	decIdx := pipe.Index(pipeline.KindDecode)
+	dec := prof.Eval(pipe.Stages[decIdx], cluster.XPUs()/2, 64)
+	if !dec.OK {
+		return nil, fmt.Errorf("bench: decode infeasible")
+	}
+	servers := prof.MinRetrievalServers()
+	retrStage := pipe.Stages[pipe.Index(pipeline.KindRetrieval)]
+
+	run := func(prefetch bool) (float64, error) {
+		cfg := sim.IterativeConfig{
+			DecodeBatch:      64,
+			IterBatch:        16,
+			DecodeTokens:     schema.DecodeTokens,
+			RetrievalsPerSeq: schema.RetrievalFrequency - 1,
+			StepTime:         dec.StepLatency,
+			Sequences:        200,
+			Seed:             1,
+		}
+		if !prefetch {
+			cfg.RetrievalLatency = func(batch int) float64 {
+				if rt := prof.Eval(retrStage, servers, batch); rt.OK {
+					return rt.Latency
+				}
+				return 0
+			}
+			// Prefix over retrieved content still stalls; prefetching
+			// hides only the retrieval round.
+			iterPrefix := pipe.Stages[pipe.Index(pipeline.KindPrefix)]
+			iterPrefix.SeqLen = schema.RetrievedTokens()
+			cfg.PrefixLatency = func(batch int) float64 {
+				if pt := bestThroughputPoint(prof, iterPrefix, cluster.XPUs()/2, batch); pt.OK {
+					return pt.Latency
+				}
+				return 0
+			}
+		}
+		res, err := sim.RunIterative(cfg)
+		if err != nil {
+			return 0, err
+		}
+		return res.TPOT, nil
+	}
+	stall, err := run(false)
+	if err != nil {
+		return nil, err
+	}
+	prefetch, err := run(true)
+	if err != nil {
+		return nil, err
+	}
+	return []WhatIfRow{
+		{Scenario: "synchronous iterative retrieval", TPOT: stall},
+		{Scenario: "prefetched (PipeRAG-style)", TPOT: prefetch},
+	}, nil
+}
+
+// RenderWhatIf prints scenario rows.
+func RenderWhatIf(title string, rows []WhatIfRow) string {
+	out := fmt.Sprintf("== %s ==\n", title)
+	for _, r := range rows {
+		out += fmt.Sprintf("%-34s", r.Scenario)
+		if r.QPSPerChip > 0 {
+			out += fmt.Sprintf("  QPS/chip=%7.3f", r.QPSPerChip)
+		}
+		if r.RetrievalShare > 0 {
+			out += fmt.Sprintf("  retrieval=%5.1f%%", r.RetrievalShare)
+		}
+		if r.TPOT > 0 {
+			out += fmt.Sprintf("  TPOT=%7.2fms", r.TPOT*1e3)
+		}
+		out += "\n"
+	}
+	return out
+}

@@ -1,0 +1,82 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestWhatIfRetrievalAccelerator(t *testing.T) {
+	rows, err := WhatIfRetrievalAccelerator(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	base, accel := rows[0], rows[1]
+	// §8: retrieval acceleration shifts the workload toward being
+	// inference-bound — share drops and throughput rises.
+	if accel.RetrievalShare >= base.RetrievalShare {
+		t.Errorf("accelerated retrieval share %.1f%% should fall below %.1f%%",
+			accel.RetrievalShare, base.RetrievalShare)
+	}
+	if accel.QPSPerChip <= base.QPSPerChip {
+		t.Errorf("accelerated QPS/chip %.2f should exceed %.2f", accel.QPSPerChip, base.QPSPerChip)
+	}
+	// Case I 8B was retrieval-bound; a 10x accelerator lifts throughput
+	// until the inference tiers become the new bottleneck (Amdahl: the
+	// end-to-end gain is far below 10x).
+	if accel.QPSPerChip < base.QPSPerChip*1.1 {
+		t.Errorf("10x retrieval should unlock >1.1x end-to-end: %.2f vs %.2f",
+			accel.QPSPerChip, base.QPSPerChip)
+	}
+	if accel.QPSPerChip > base.QPSPerChip*5 {
+		t.Errorf("end-to-end gain %.2f should be Amdahl-limited well below 10x",
+			accel.QPSPerChip/base.QPSPerChip)
+	}
+	if _, err := WhatIfRetrievalAccelerator(0); err == nil {
+		t.Errorf("zero speedup should error")
+	}
+}
+
+func TestWhatIfKVCacheReuse(t *testing.T) {
+	rows, err := WhatIfKVCacheReuse()
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, cached := rows[0], rows[1]
+	// §8: precomputing the retrieved documents' KV cache removes most
+	// prefix work, raising the relative weight of retrieval.
+	if cached.RetrievalShare <= base.RetrievalShare {
+		t.Errorf("KV reuse should raise the retrieval share: %.1f%% vs %.1f%%",
+			cached.RetrievalShare, base.RetrievalShare)
+	}
+	if cached.QPSPerChip < base.QPSPerChip {
+		t.Errorf("KV reuse should not lose throughput: %.2f vs %.2f",
+			cached.QPSPerChip, base.QPSPerChip)
+	}
+}
+
+func TestWhatIfPrefetching(t *testing.T) {
+	rows, err := WhatIfPrefetching()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sync, prefetch := rows[0], rows[1]
+	// §8: prefetching hides retrieval stalls during decoding.
+	if prefetch.TPOT >= sync.TPOT {
+		t.Errorf("prefetching should cut TPOT: %.4f vs %.4f", prefetch.TPOT, sync.TPOT)
+	}
+}
+
+func TestRenderWhatIf(t *testing.T) {
+	out := RenderWhatIf("t", []WhatIfRow{
+		{Scenario: "a", QPSPerChip: 1.5, RetrievalShare: 42},
+		{Scenario: "b", TPOT: 0.01},
+	})
+	for _, want := range []string{"a", "1.500", "42.0%", "10.00ms"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("RenderWhatIf missing %q in %q", want, out)
+		}
+	}
+}

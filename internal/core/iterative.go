@@ -1,0 +1,117 @@
+package core
+
+import (
+	"rago/internal/pipeline"
+	"rago/internal/stageperf"
+)
+
+// iterCost aggregates what decoder-initiated iterative retrievals (§5.3)
+// cost a schedule: the decode-side stall per request and the extra
+// occupancy imposed on the retrieval tier and the prefix group.
+type iterCost struct {
+	// stallPerRequest is the total seconds a sequence spends paused for
+	// iterative retrieval+prefix (batch-formation wait included).
+	stallPerRequest float64
+	// retrievalOccupancy is retrieval-tier seconds per request consumed
+	// by the iterative retrievals.
+	retrievalOccupancy float64
+	// prefixOccupancy is prefix-group seconds per request consumed by
+	// processing newly retrieved content.
+	prefixOccupancy float64
+}
+
+// minStallDenom caps the batch-formation feedback loop: as the iterative
+// batch approaches twice the decode batch, waiting sequences starve the
+// trigger supply and the fixed point diverges; real systems limp along via
+// continuous batching, which we model as a bounded (20x) slowdown cliff.
+const minStallDenom = 0.05
+
+// iterativeCost evaluates the §5.3 stall model for schedule s.
+//
+// With f retrievals per sequence, one happens up front and n = f-1 during
+// decoding. Each iterative round costs the retrieval latency, the prefix
+// pass over the newly retrieved content, and a batch-formation wait W: at
+// trigger rate lambda = n*b_d/T (b_d active sequences, each firing n times
+// over a generation lasting T), filling a batch of b_iter takes
+// (b_iter-1)/(2*lambda) on average. Solving the fixed point
+//
+//	T = D + n*(L_ret + L_prefix) + n*W(T)
+//
+// gives T = (D + n*L) / (1 - (b_iter-1)/(2*b_d)). T is further lower-
+// bounded by the retrieval tier's and prefix group's service rates: if
+// iterative demand n*b_d exceeds what the tier sustains at batch b_iter,
+// queueing stretches the generation (this is why tiny iterative batches
+// hurt large decode batches in Fig. 9b).
+func (a *Assembler) iterativeCost(s Schedule) (iterCost, bool) {
+	schema := a.Pipe.Schema
+	if !schema.Iterative() {
+		return iterCost{}, true
+	}
+	n := float64(schema.RetrievalFrequency - 1)
+	bIter := s.IterativeBatch
+	bDec := s.DecodeBatch
+
+	retrIdx := a.Pipe.Index(pipeline.KindRetrieval)
+	prefixIdx := a.Pipe.Index(pipeline.KindPrefix)
+	if retrIdx < 0 || prefixIdx < 0 {
+		return iterCost{}, false
+	}
+	gi := a.groupOf(prefixIdx, s)
+	if gi < 0 {
+		return iterCost{}, false
+	}
+	prefixChips := s.Groups[gi].Chips
+
+	rt := a.Prof.Eval(a.Pipe.Stages[retrIdx], s.RetrievalServers, bIter)
+	if !rt.OK {
+		return iterCost{}, false
+	}
+	// The iterative prefix processes the newly retrieved passages on the
+	// prefix group's chips, at whatever replication maximizes its
+	// throughput (these passes are pure decode-path overhead; their
+	// latency shows up as stall, not TTFT).
+	iterStage := a.Pipe.Stages[prefixIdx]
+	iterStage.SeqLen = schema.RetrievedTokens()
+	if iterStage.SeqLen <= 0 {
+		return iterCost{}, false
+	}
+	var pt stageperf.Point
+	for _, cand := range a.Prof.Candidates(iterStage, prefixChips, bIter) {
+		if !pt.OK || cand.QPS > pt.QPS {
+			pt = cand
+		}
+	}
+	if !pt.OK {
+		return iterCost{}, false
+	}
+
+	// Decode time without stalls.
+	decIdx := a.Pipe.Index(pipeline.KindDecode)
+	dec := a.Prof.EvalR(a.Pipe.Stages[decIdx], s.DecodeChips, bDec, s.DecodeReplicasOrOne())
+	if !dec.OK {
+		return iterCost{}, false
+	}
+	d := dec.Latency
+
+	roundLat := rt.Latency + pt.Latency + a.Prof.RetrievalTransferLatency()
+	denom := 1 - float64(bIter-1)/(2*float64(bDec))
+	if denom < minStallDenom {
+		denom = minStallDenom
+	}
+	t := (d + n*roundLat) / denom
+
+	// Throughput lower bounds: the tier must serve n*b_d iterative ops
+	// per generation window.
+	if tMin := n * float64(bDec) / rt.QPS; t < tMin {
+		t = tMin
+	}
+	if tMin := n * float64(bDec) / pt.QPS; t < tMin {
+		t = tMin
+	}
+
+	return iterCost{
+		stallPerRequest:    t - d,
+		retrievalOccupancy: n / rt.QPS,
+		prefixOccupancy:    n / pt.QPS,
+	}, true
+}

@@ -1,0 +1,307 @@
+package core
+
+import (
+	"math"
+
+	"rago/internal/perf"
+	"rago/internal/pipeline"
+	"rago/internal/roofline"
+	"rago/internal/stageperf"
+)
+
+// partial tracks incrementally assembled metrics during the per-plan batch
+// search. Because components contribute independently (TTFT adds, TPOT is
+// set only by decode, throughput is a min), Pareto-pruning partials between
+// components is lossless: a dominated partial stays dominated after any
+// extension.
+type partial struct {
+	ttft float64
+	tpot float64
+	qps  float64
+	s    Schedule
+}
+
+// qpsUnbounded stands in for "no throughput constraint yet"; finite so the
+// shared Pareto machinery (which rejects infinities) can prune partials.
+const qpsUnbounded = 1e15
+
+// groupChoice is one evaluated batching/replication option for a whole
+// placement group: the latency added to TTFT, the per-request occupancy of
+// the group, and the per-stage replica counts that realize it.
+type groupChoice struct {
+	ttft     float64
+	occ      float64
+	batch    int
+	replicas []int
+}
+
+// planCandidates enumerates batch policies for one plan at a fixed
+// iterative batch (bIter == 0 for non-iterative workloads), pruning
+// dominated combinations after each component. Survivors are returned as
+// complete schedules; callers re-evaluate them through the Assembler.
+func (o *Optimizer) planCandidates(plan Plan, bIter int) []Schedule {
+	preBatches := roofline.Pow2Range(1, o.Opts.MaxPreBatch)
+	retrBatches := roofline.Pow2Range(1, o.Opts.MaxRetrievalBatch)
+	decBatches := roofline.Pow2Range(1, o.Opts.MaxDecodeBatch)
+	prefixIdx := o.Pipe.Index(pipeline.KindPrefix)
+	retrIdx := o.Pipe.Index(pipeline.KindRetrieval)
+	decIdx := o.Pipe.Index(pipeline.KindDecode)
+
+	// Iterative occupancy terms for this bIter (coupled to the prefix
+	// group's chips and the retrieval servers, both fixed by the plan).
+	var iterPrefOcc, iterRetrOcc float64
+	if bIter > 0 {
+		n := float64(o.Pipe.Schema.RetrievalFrequency - 1)
+		prefChips, ok := o.planPrefixChips(plan, prefixIdx)
+		if !ok || retrIdx < 0 {
+			return nil
+		}
+		rt := o.Prof.Eval(o.Pipe.Stages[retrIdx], plan.Servers, bIter)
+		if !rt.OK {
+			return nil
+		}
+		iterStage := o.Pipe.Stages[prefixIdx]
+		iterStage.SeqLen = o.Pipe.Schema.RetrievedTokens()
+		var pt stageperf.Point
+		for _, cand := range o.Prof.Candidates(iterStage, prefChips, bIter) {
+			if !pt.OK || cand.QPS > pt.QPS {
+				pt = cand
+			}
+		}
+		if !pt.OK {
+			return nil
+		}
+		iterRetrOcc = n / rt.QPS
+		iterPrefOcc = n / pt.QPS
+	}
+
+	parts := []partial{{
+		qps: qpsUnbounded,
+		s: Schedule{
+			RetrievalServers: plan.Servers,
+			DecodeChips:      plan.DecodeChips,
+			IterativeBatch:   bIter,
+		},
+	}}
+
+	// Pre-decode XPU groups.
+	pauseProbe := Schedule{RetrievalServers: plan.Servers}
+	for gi, g := range plan.Placement.Groups {
+		chips := plan.GroupChips[gi]
+		var choices []groupChoice
+		for _, b := range preBatches {
+			pause, ok := o.Asm.retrievalPause(g.Stages, pauseProbe, b)
+			if !ok {
+				continue
+			}
+			choices = append(choices, o.groupChoices(g, chips, b, prefixIdx, iterPrefOcc, pause)...)
+		}
+		choices = pruneGroupChoices(choices)
+		if len(choices) == 0 {
+			return nil
+		}
+		var next []partial
+		for _, c := range choices {
+			for _, p := range parts {
+				np := p
+				np.ttft += c.ttft
+				np.qps = math.Min(np.qps, 1/c.occ)
+				np.s.Groups = append(append([]GroupSchedule(nil), p.s.Groups...), GroupSchedule{
+					Stages:   g.Stages,
+					Chips:    chips,
+					Batch:    c.batch,
+					Replicas: c.replicas,
+				})
+				next = append(next, np)
+			}
+		}
+		parts = prunePartials(next)
+		if len(parts) == 0 {
+			return nil
+		}
+	}
+
+	// Retrieval tier.
+	if retrIdx >= 0 {
+		transfer := o.Prof.RetrievalTransferLatency()
+		var next []partial
+		for _, b := range retrBatches {
+			rt := o.Prof.Eval(o.Pipe.Stages[retrIdx], plan.Servers, b)
+			if !rt.OK {
+				continue
+			}
+			tierQPS := 1 / (1/rt.QPS + iterRetrOcc)
+			for _, p := range parts {
+				np := p
+				np.ttft += rt.Latency + transfer
+				np.qps = math.Min(np.qps, tierQPS)
+				np.s.RetrievalBatch = b
+				next = append(next, np)
+			}
+		}
+		parts = prunePartials(next)
+		if len(parts) == 0 {
+			return nil
+		}
+	}
+
+	// Decode tier (sets TPOT).
+	outTokens := float64(o.Pipe.Stages[decIdx].OutTokens)
+	var next []partial
+	for _, bd := range decBatches {
+		for _, cand := range o.Prof.Candidates(o.Pipe.Stages[decIdx], plan.DecodeChips, bd) {
+			var stall float64
+			if bIter > 0 {
+				probe := parts[0].s
+				probe.DecodeBatch = bd
+				probe.DecodeReplicas = cand.Replicas
+				ic, ok := o.Asm.iterativeCost(probe)
+				if !ok {
+					continue
+				}
+				stall = ic.stallPerRequest
+			}
+			genTime := cand.Latency + stall
+			tierQPS := float64(bd) / genTime
+			tpot := genTime / outTokens
+			for _, p := range parts {
+				np := p
+				np.tpot = tpot
+				np.qps = math.Min(np.qps, tierQPS)
+				np.s.DecodeBatch = bd
+				np.s.DecodeReplicas = cand.Replicas
+				next = append(next, np)
+			}
+		}
+	}
+	parts = prunePartials(next)
+
+	out := make([]Schedule, len(parts))
+	for i, p := range parts {
+		out[i] = p.s
+	}
+	return out
+}
+
+// groupChoices evaluates every per-stage replication combination of a
+// group at one batch size, returning (ttft, occupancy) aggregates. pause
+// is the per-request retrieval wait for groups spanning the retrieval
+// stage (zero otherwise).
+func (o *Optimizer) groupChoices(g pipeline.Group, chips, batch, prefixIdx int, iterPrefOcc, pause float64) []groupChoice {
+	perStage := make([][]stageperf.Point, len(g.Stages))
+	for i, idx := range g.Stages {
+		cands := o.Prof.Candidates(o.Pipe.Stages[idx], chips, batch)
+		// Time-multiplexed groups run one phase at a time (Fig. 14):
+		// during a phase only that batch's work exists, so data-
+		// parallel replication is bounded by the work items available
+		// — batch*Items forward passes for encoder-type stages, batch
+		// sequences for autoregressive ones. This is why collocating
+		// an autoregressive rewriter with the prefix underutilizes
+		// wide pools at small batches (§7.1). Dedicated single-stage
+		// pools serve a stream of batches and replicate freely.
+		if len(g.Stages) > 1 {
+			limit := maxPhaseReplicas(o.Pipe.Stages[idx], batch)
+			kept := cands[:0]
+			for _, c := range cands {
+				if c.Replicas <= limit {
+					kept = append(kept, c)
+				}
+			}
+			cands = kept
+		}
+		if len(cands) == 0 {
+			return nil
+		}
+		perStage[i] = cands
+	}
+	var out []groupChoice
+	var rec func(i int, ttft, occ float64, reps []int)
+	rec = func(i int, ttft, occ float64, reps []int) {
+		if i == len(perStage) {
+			out = append(out, groupChoice{
+				ttft:     ttft,
+				occ:      occ + pause,
+				batch:    batch,
+				replicas: append([]int(nil), reps...),
+			})
+			return
+		}
+		for _, pt := range perStage[i] {
+			extra := 0.0
+			if g.Stages[i] == prefixIdx {
+				extra = iterPrefOcc
+			}
+			rec(i+1, ttft+pt.Latency, occ+1/pt.QPS+extra, append(reps, pt.Replicas))
+		}
+	}
+	rec(0, 0, 0, nil)
+	return out
+}
+
+// pruneGroupChoices keeps Pareto-optimal (ttft, occupancy) choices.
+func pruneGroupChoices(cs []groupChoice) []groupChoice {
+	var out []groupChoice
+	for i, a := range cs {
+		dominated := false
+		for j, b := range cs {
+			if i == j {
+				continue
+			}
+			if b.ttft <= a.ttft && b.occ <= a.occ && (b.ttft < a.ttft || b.occ < a.occ) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// maxPhaseReplicas bounds data-parallel replication by the work items one
+// batch of the stage exposes.
+func maxPhaseReplicas(st pipeline.Stage, batch int) int {
+	if st.Kind.Autoregressive() {
+		return batch
+	}
+	items := st.Items
+	if items < 1 {
+		items = 1
+	}
+	return batch * items
+}
+
+// planPrefixChips returns the chip count of the plan group holding the
+// main prefix stage.
+func (o *Optimizer) planPrefixChips(plan Plan, prefixIdx int) (int, bool) {
+	for gi, g := range plan.Placement.Groups {
+		for _, idx := range g.Stages {
+			if idx == prefixIdx {
+				return plan.GroupChips[gi], true
+			}
+		}
+	}
+	return 0, false
+}
+
+// prunePartials keeps the Pareto-optimal partials (lower TTFT and TPOT,
+// higher throughput).
+func prunePartials(ps []partial) []partial {
+	if len(ps) <= 1 {
+		return ps
+	}
+	pts := make([]perf.Point[partial], len(ps))
+	for i, p := range ps {
+		pts[i] = perf.Point[partial]{
+			Metrics: perf.Metrics{TTFT: p.ttft, TPOT: p.tpot, QPS: p.qps, QPSPerChip: p.qps},
+			Item:    p,
+		}
+	}
+	front := perf.Frontier(pts)
+	out := make([]partial, len(front))
+	for i, f := range front {
+		out[i] = f.Item
+	}
+	return out
+}

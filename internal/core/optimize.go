@@ -1,0 +1,265 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"rago/internal/hw"
+	"rago/internal/perf"
+	"rago/internal/pipeline"
+	"rago/internal/ragschema"
+	"rago/internal/roofline"
+	"rago/internal/stageperf"
+)
+
+// Options configures the schedule search.
+type Options struct {
+	// Cluster is the resource pool (XPU budget = Cluster.XPUs(),
+	// retrieval server budget = Cluster.Hosts).
+	Cluster hw.Cluster
+	// MaxPreBatch bounds pre-decode stage batch sizes (powers of two).
+	MaxPreBatch int
+	// MaxRetrievalBatch bounds the initial-retrieval batch size.
+	MaxRetrievalBatch int
+	// MaxDecodeBatch bounds the continuous-batching decode batch and
+	// the iterative retrieval/prefix batch.
+	MaxDecodeBatch int
+	// NormalizeChips, when positive, fixes the QPS/chip denominator
+	// (used by §5's characterization, which charges the whole pool).
+	NormalizeChips int
+	// Placements overrides the Fig. 13 legal enumeration when non-nil.
+	Placements []pipeline.Placement
+}
+
+// DefaultOptions returns the search bounds used throughout the paper
+// reproduction: batches in powers of two up to 32 for pre-decode stages,
+// 256 for retrieval, and 2048 for the decode tier (the tier batch divides
+// across data-parallel replicas; Table 4 schedules run per-tier batches of
+// 1024). §6.2 grants users the power-of-two granularity knob.
+func DefaultOptions(cluster hw.Cluster) Options {
+	return Options{
+		Cluster:           cluster,
+		MaxPreBatch:       32,
+		MaxRetrievalBatch: 256,
+		MaxDecodeBatch:    2048,
+	}
+}
+
+// Optimizer runs the schedule search for one workload.
+type Optimizer struct {
+	Pipe pipeline.Pipeline
+	Prof *stageperf.Profiler
+	Asm  *Assembler
+	Opts Options
+}
+
+// NewOptimizer builds an optimizer for schema under opts.
+func NewOptimizer(schema ragschema.Schema, opts Options) (*Optimizer, error) {
+	if err := opts.Cluster.Validate(); err != nil {
+		return nil, err
+	}
+	if opts.MaxPreBatch < 1 || opts.MaxRetrievalBatch < 1 || opts.MaxDecodeBatch < 1 {
+		return nil, fmt.Errorf("core: batch bounds must be positive")
+	}
+	pipe, err := pipeline.Build(schema)
+	if err != nil {
+		return nil, err
+	}
+	prof := stageperf.New(opts.Cluster.Chip, opts.Cluster.Host, schema)
+	return &Optimizer{
+		Pipe: pipe,
+		Prof: prof,
+		Asm:  &Assembler{Pipe: pipe, Prof: prof, NormalizeChips: opts.NormalizeChips},
+		Opts: opts,
+	}, nil
+}
+
+// Plan is one (placement, allocation) pair — the unit whose batch-policy
+// frontier Fig. 16 plots individually.
+type Plan struct {
+	Placement   pipeline.Placement
+	GroupChips  []int
+	DecodeChips int
+	Servers     int
+}
+
+// Describe renders the plan compactly.
+func (p Plan) Describe(pipe pipeline.Pipeline) string {
+	return fmt.Sprintf("%s chips=%v decode=%d servers=%d",
+		p.Placement.Describe(pipe), p.GroupChips, p.DecodeChips, p.Servers)
+}
+
+// placements returns the search's placement candidates.
+func (o *Optimizer) placements() []pipeline.Placement {
+	if o.Opts.Placements != nil {
+		return o.Opts.Placements
+	}
+	return o.Pipe.Placements()
+}
+
+// serverOptions returns retrieval server counts to consider.
+func (o *Optimizer) serverOptions() []int {
+	if o.Pipe.Index(pipeline.KindRetrieval) < 0 {
+		return []int{0}
+	}
+	min := o.Prof.MinRetrievalServers()
+	if min <= 1 {
+		return []int{1}
+	}
+	opts := []int{min}
+	for _, p := range roofline.Pow2Range(min, o.Opts.Cluster.Hosts) {
+		if p != min {
+			opts = append(opts, p)
+		}
+	}
+	return opts
+}
+
+// Plans enumerates every (placement, allocation) combination within the
+// chip budget (Algorithm 1: getPlacementOptions x getAllocationOptions).
+func (o *Optimizer) Plans() []Plan {
+	budget := o.Opts.Cluster.XPUs()
+	chipOpts := roofline.Pow2Range(1, budget)
+	decodeMin := o.Prof.Sim.MinChips(o.Pipe.Stages[o.Pipe.Index(pipeline.KindDecode)].Model)
+	var plans []Plan
+	for _, pl := range o.placements() {
+		mins := o.groupMinChips(pl)
+		var rec func(gi, used int, acc []int)
+		rec = func(gi, used int, acc []int) {
+			if gi == len(pl.Groups) {
+				for _, dc := range chipOpts {
+					if dc < decodeMin || used+dc > budget {
+						continue
+					}
+					for _, srv := range o.serverOptions() {
+						plans = append(plans, Plan{
+							Placement:   pl,
+							GroupChips:  append([]int(nil), acc...),
+							DecodeChips: dc,
+							Servers:     srv,
+						})
+					}
+				}
+				return
+			}
+			for _, c := range chipOpts {
+				if c < mins[gi] || used+c > budget {
+					continue
+				}
+				rec(gi+1, used+c, append(acc, c))
+			}
+		}
+		rec(0, 0, nil)
+	}
+	return plans
+}
+
+// groupMinChips returns, per group, the minimum chips that fit the
+// collocated models' weights.
+func (o *Optimizer) groupMinChips(pl pipeline.Placement) []int {
+	usablePerChip := o.Prof.Sim.Chip.HBMBytes * (1 - o.Prof.Sim.P.HBMReserve)
+	mins := make([]int, len(pl.Groups))
+	for gi, g := range pl.Groups {
+		seen := make(map[string]bool)
+		var need float64
+		for _, idx := range g.Stages {
+			m := o.Pipe.Stages[idx].Model
+			if m.Name == "" || seen[m.Name] {
+				continue
+			}
+			seen[m.Name] = true
+			need += m.ParamBytes()
+		}
+		mins[gi] = roofline.Pow2Up(int(math.Ceil(need / usablePerChip)))
+	}
+	return mins
+}
+
+// PlanFrontier searches batching policies within one plan and returns its
+// Pareto frontier. Metrics are recomputed through Assembler.Evaluate for
+// every surviving schedule, so the output is exactly Evaluate-consistent.
+func (o *Optimizer) PlanFrontier(plan Plan) []SchedulePoint {
+	iterBatches := []int{0}
+	if o.Pipe.Schema.Iterative() {
+		iterBatches = roofline.Pow2Range(1, o.Opts.MaxDecodeBatch)
+	}
+	var candidates []Schedule
+	for _, bIter := range iterBatches {
+		candidates = append(candidates, o.planCandidates(plan, bIter)...)
+	}
+	var pts []SchedulePoint
+	for _, s := range candidates {
+		if m, ok := o.Asm.Evaluate(s); ok {
+			pts = append(pts, SchedulePoint{Metrics: m, Item: s})
+		}
+	}
+	front := perf.Frontier(pts)
+	sortSchedules(front)
+	return front
+}
+
+// Optimize runs the full search and returns the global Pareto frontier
+// with its schedules (Algorithm 1's P_RAG). Plans are evaluated
+// concurrently; the shared stage-performance cache makes repeat
+// evaluations cheap.
+func (o *Optimizer) Optimize() []SchedulePoint {
+	plans := o.Plans()
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(plans) {
+		workers = len(plans)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	results := make([][]SchedulePoint, len(plans))
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				results[i] = o.PlanFrontier(plans[i])
+			}
+		}()
+	}
+	for i := range plans {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+
+	var all []SchedulePoint
+	for _, r := range results {
+		all = append(all, r...)
+	}
+	front := perf.Frontier(all)
+	sortSchedules(front)
+	return front
+}
+
+// BaselineFrontier evaluates the §7.1 comparison system: all additional
+// RAG components collocated with the main LLM's prefix tier, prefix and
+// decode chips split 1:1 over the full budget, retrieval on the minimum
+// server count; batching policies are still tuned (the baseline is "an
+// extension of LLM-only systems", not a strawman with silly batches).
+func (o *Optimizer) BaselineFrontier() []SchedulePoint {
+	budget := o.Opts.Cluster.XPUs()
+	half := budget / 2
+	if half < 1 {
+		half = 1
+	}
+	servers := 0
+	if o.Pipe.Index(pipeline.KindRetrieval) >= 0 {
+		servers = o.Prof.MinRetrievalServers()
+	}
+	plan := Plan{
+		Placement:   o.Pipe.BaselinePlacement(),
+		GroupChips:  []int{half},
+		DecodeChips: half,
+		Servers:     servers,
+	}
+	return o.PlanFrontier(plan)
+}

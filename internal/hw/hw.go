@@ -1,0 +1,153 @@
+// Package hw catalogs the hardware the paper evaluates on: three
+// generations of XPU (a generic systolic-array ML accelerator modeled on
+// TPU v5e/v4/v5p — Table 2 of the paper) and the CPU host servers used for
+// retrieval (modeled on AMD EPYC Milan, §4).
+//
+// All quantities use SI bytes (1 GB = 1e9 bytes) for bandwidth and binary
+// bytes (1 GiB = 2^30) for capacities, matching the conventions of vendor
+// spec sheets the paper draws from.
+package hw
+
+import "fmt"
+
+// XPU describes one accelerator chip.
+type XPU struct {
+	// Name identifies the generation, e.g. "XPU-C".
+	Name string
+	// PeakFLOPS is the peak compute rate in FLOP/s (dense INT8/BF16
+	// systolic ops as reported in Table 2; e.g. 459e12 for XPU-C).
+	PeakFLOPS float64
+	// HBMBytes is the on-chip high-bandwidth-memory capacity in bytes.
+	HBMBytes float64
+	// MemBW is the HBM bandwidth in bytes/s.
+	MemBW float64
+	// InterChipBW is the aggregate inter-chip interconnect bandwidth in
+	// bytes/s (e.g. six 100 GB/s links for XPU-C).
+	InterChipBW float64
+	// SystolicDim is the side length of the systolic MAC array. It
+	// controls the fill/drain efficiency loss on small matrices. The
+	// paper's XPUs are TPU-like with 256x256 MXUs.
+	SystolicDim int
+}
+
+// Validate reports an error when a spec is not physically meaningful.
+func (x XPU) Validate() error {
+	if x.PeakFLOPS <= 0 || x.HBMBytes <= 0 || x.MemBW <= 0 || x.InterChipBW <= 0 {
+		return fmt.Errorf("hw: XPU %q has non-positive capability", x.Name)
+	}
+	if x.SystolicDim <= 0 {
+		return fmt.Errorf("hw: XPU %q has non-positive systolic dimension", x.Name)
+	}
+	return nil
+}
+
+// CPUHost describes one retrieval host server.
+type CPUHost struct {
+	Name string
+	// Cores is the number of physical cores available for query scans.
+	Cores int
+	// MemBytes is host DRAM capacity in bytes.
+	MemBytes float64
+	// MemBW is host DRAM bandwidth in bytes/s.
+	MemBW float64
+	// ScanBWPerCore is the measured per-core PQ-code scan throughput in
+	// bytes/s (the paper benchmarks ScaNN at 18 GB/s per core on EPYC).
+	ScanBWPerCore float64
+	// MemBWUtil is the achievable fraction of MemBW during batched scans
+	// (the paper measures ~80%).
+	MemBWUtil float64
+	// XPUsPerHost is how many accelerators each server hosts (§4: 4).
+	XPUsPerHost int
+}
+
+// Validate reports an error when a spec is not physically meaningful.
+func (h CPUHost) Validate() error {
+	if h.Cores <= 0 || h.MemBytes <= 0 || h.MemBW <= 0 || h.ScanBWPerCore <= 0 {
+		return fmt.Errorf("hw: host %q has non-positive capability", h.Name)
+	}
+	if h.MemBWUtil <= 0 || h.MemBWUtil > 1 {
+		return fmt.Errorf("hw: host %q has memory BW utilization %v outside (0,1]", h.Name, h.MemBWUtil)
+	}
+	if h.XPUsPerHost <= 0 {
+		return fmt.Errorf("hw: host %q hosts no XPUs", h.Name)
+	}
+	return nil
+}
+
+const (
+	gb  = 1e9
+	gib = 1 << 30
+)
+
+// Table 2 of the paper: three versions of XPUs. XPU-C is the default.
+var (
+	// XPUA resembles TPU v5e.
+	XPUA = XPU{Name: "XPU-A", PeakFLOPS: 197e12, HBMBytes: 16 * gib, MemBW: 819 * gb, InterChipBW: 200 * gb, SystolicDim: 256}
+	// XPUB resembles TPU v4.
+	XPUB = XPU{Name: "XPU-B", PeakFLOPS: 275e12, HBMBytes: 32 * gib, MemBW: 1200 * gb, InterChipBW: 300 * gb, SystolicDim: 256}
+	// XPUC resembles TPU v5p; the paper reports on XPU-C by default.
+	XPUC = XPU{Name: "XPU-C", PeakFLOPS: 459e12, HBMBytes: 96 * gib, MemBW: 2765 * gb, InterChipBW: 600 * gb, SystolicDim: 256}
+)
+
+// XPUGenerations lists the Table 2 catalog in ascending capability order.
+func XPUGenerations() []XPU { return []XPU{XPUA, XPUB, XPUC} }
+
+// XPUByName returns the Table 2 entry with the given name.
+func XPUByName(name string) (XPU, error) {
+	for _, x := range XPUGenerations() {
+		if x.Name == name {
+			return x, nil
+		}
+	}
+	return XPU{}, fmt.Errorf("hw: unknown XPU %q", name)
+}
+
+// EPYCHost is the paper's retrieval host: 96 cores, 384 GB DRAM,
+// 460 GB/s memory bandwidth, 18 GB/s per-core PQ scan throughput at 80%
+// achievable memory bandwidth, hosting 4 XPUs.
+var EPYCHost = CPUHost{
+	Name:          "EPYC-Milan",
+	Cores:         96,
+	MemBytes:      384 * gb, // SI gigabytes: 64e9 vectors x 96 B / 384 GB = exactly 16 hosts (§4)
+	MemBW:         460 * gb,
+	ScanBWPerCore: 18 * gb,
+	MemBWUtil:     0.80,
+	XPUsPerHost:   4,
+}
+
+// Cluster is a resource pool available to the optimizer: a homogeneous set
+// of XPUs spread across identical host servers.
+type Cluster struct {
+	Chip  XPU
+	Host  CPUHost
+	Hosts int
+}
+
+// Validate reports an error when the cluster is malformed.
+func (c Cluster) Validate() error {
+	if err := c.Chip.Validate(); err != nil {
+		return err
+	}
+	if err := c.Host.Validate(); err != nil {
+		return err
+	}
+	if c.Hosts <= 0 {
+		return fmt.Errorf("hw: cluster has %d hosts, need at least 1", c.Hosts)
+	}
+	return nil
+}
+
+// XPUs returns the total number of accelerator chips in the pool.
+func (c Cluster) XPUs() int { return c.Hosts * c.Host.XPUsPerHost }
+
+// HostMemBytes returns aggregate host DRAM across the pool.
+func (c Cluster) HostMemBytes() float64 { return float64(c.Hosts) * c.Host.MemBytes }
+
+// DefaultCluster is the paper's default serving environment: 16 hosts, 4
+// XPU-C per host (64 chips), the minimum that fits the 5.6 TiB quantized
+// database in host memory (§4).
+func DefaultCluster() Cluster { return Cluster{Chip: XPUC, Host: EPYCHost, Hosts: 16} }
+
+// LargeCluster is the upper end of the paper's environment: 32 hosts / 128
+// XPUs, used for the RAGO evaluation (§7, Table 4 allocates up to 128).
+func LargeCluster() Cluster { return Cluster{Chip: XPUC, Host: EPYCHost, Hosts: 32} }

@@ -1,0 +1,131 @@
+package hw
+
+import "testing"
+
+func TestTable2Catalog(t *testing.T) {
+	gens := XPUGenerations()
+	if len(gens) != 3 {
+		t.Fatalf("XPUGenerations() = %d entries, want 3", len(gens))
+	}
+	// Table 2 values, exactly as printed.
+	want := []struct {
+		name   string
+		tflops float64
+		hbmGiB float64
+		bwGBs  float64
+		ici    float64
+	}{
+		{"XPU-A", 197, 16, 819, 200},
+		{"XPU-B", 275, 32, 1200, 300},
+		{"XPU-C", 459, 96, 2765, 600},
+	}
+	for i, w := range want {
+		g := gens[i]
+		if g.Name != w.name {
+			t.Errorf("gen %d name = %q, want %q", i, g.Name, w.name)
+		}
+		if g.PeakFLOPS != w.tflops*1e12 {
+			t.Errorf("%s PeakFLOPS = %v, want %v TFLOPS", w.name, g.PeakFLOPS, w.tflops)
+		}
+		if g.HBMBytes != w.hbmGiB*(1<<30) {
+			t.Errorf("%s HBM = %v, want %v GiB", w.name, g.HBMBytes, w.hbmGiB)
+		}
+		if g.MemBW != w.bwGBs*1e9 {
+			t.Errorf("%s MemBW = %v, want %v GB/s", w.name, g.MemBW, w.bwGBs)
+		}
+		if g.InterChipBW != w.ici*1e9 {
+			t.Errorf("%s ICI = %v, want %v GB/s", w.name, g.InterChipBW, w.ici)
+		}
+		if err := g.Validate(); err != nil {
+			t.Errorf("%s Validate: %v", w.name, err)
+		}
+	}
+	// Monotonically increasing capability across generations.
+	for i := 1; i < len(gens); i++ {
+		if gens[i].PeakFLOPS <= gens[i-1].PeakFLOPS || gens[i].MemBW <= gens[i-1].MemBW {
+			t.Errorf("generation %s not strictly more capable than %s", gens[i].Name, gens[i-1].Name)
+		}
+	}
+}
+
+func TestXPUByName(t *testing.T) {
+	x, err := XPUByName("XPU-B")
+	if err != nil || x.Name != "XPU-B" {
+		t.Errorf("XPUByName(XPU-B) = %v, %v", x, err)
+	}
+	if _, err := XPUByName("XPU-Z"); err == nil {
+		t.Errorf("XPUByName(XPU-Z) should fail")
+	}
+}
+
+func TestEPYCHost(t *testing.T) {
+	h := EPYCHost
+	if err := h.Validate(); err != nil {
+		t.Fatalf("EPYCHost invalid: %v", err)
+	}
+	if h.Cores != 96 {
+		t.Errorf("cores = %d, want 96 (§4)", h.Cores)
+	}
+	if h.ScanBWPerCore != 18e9 {
+		t.Errorf("per-core scan BW = %v, want 18 GB/s (§4b)", h.ScanBWPerCore)
+	}
+	if h.MemBWUtil != 0.80 {
+		t.Errorf("mem BW util = %v, want 0.80 (§4b)", h.MemBWUtil)
+	}
+	if h.XPUsPerHost != 4 {
+		t.Errorf("XPUs per host = %d, want 4 (§4)", h.XPUsPerHost)
+	}
+}
+
+func TestXPUValidate(t *testing.T) {
+	bad := XPUC
+	bad.PeakFLOPS = 0
+	if err := bad.Validate(); err == nil {
+		t.Errorf("zero-FLOPS XPU should be invalid")
+	}
+	bad = XPUC
+	bad.SystolicDim = -1
+	if err := bad.Validate(); err == nil {
+		t.Errorf("negative systolic dim should be invalid")
+	}
+}
+
+func TestHostValidate(t *testing.T) {
+	bad := EPYCHost
+	bad.MemBWUtil = 1.5
+	if err := bad.Validate(); err == nil {
+		t.Errorf("util > 1 should be invalid")
+	}
+	bad = EPYCHost
+	bad.Cores = 0
+	if err := bad.Validate(); err == nil {
+		t.Errorf("zero cores should be invalid")
+	}
+	bad = EPYCHost
+	bad.XPUsPerHost = 0
+	if err := bad.Validate(); err == nil {
+		t.Errorf("zero XPUs per host should be invalid")
+	}
+}
+
+func TestClusters(t *testing.T) {
+	c := DefaultCluster()
+	if err := c.Validate(); err != nil {
+		t.Fatalf("default cluster invalid: %v", err)
+	}
+	if c.XPUs() != 64 {
+		t.Errorf("default cluster XPUs = %d, want 64 (16 hosts x 4)", c.XPUs())
+	}
+	// §4: minimum 16 servers for the 64e9 x 96 B = 6.144 TB database.
+	if got, need := c.HostMemBytes(), 64e9*96.0; got < need {
+		t.Errorf("default cluster host memory %v < database size %v", got, need)
+	}
+	l := LargeCluster()
+	if l.XPUs() != 128 {
+		t.Errorf("large cluster XPUs = %d, want 128", l.XPUs())
+	}
+	bad := Cluster{Chip: XPUC, Host: EPYCHost, Hosts: 0}
+	if err := bad.Validate(); err == nil {
+		t.Errorf("zero-host cluster should be invalid")
+	}
+}

@@ -1,0 +1,224 @@
+package model
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestZooValidatesAndSizes(t *testing.T) {
+	// Derived parameter counts should land on the nominal sizes the paper
+	// quotes (the "1B" class is 1.2-1.5B in practice).
+	nominal := map[string]float64{
+		"Llama-1B":     1.24e9,
+		"Llama-8B":     8.0e9,
+		"Llama-70B":    70.6e9,
+		"Llama-405B":   405e9,
+		"Encoder-120M": 120e6,
+	}
+	for _, c := range Zoo() {
+		if err := c.Validate(); err != nil {
+			t.Fatalf("%s: %v", c.Name, err)
+		}
+		want := nominal[c.Name]
+		got := c.Params()
+		if got < want*0.75 || got > want*1.35 {
+			t.Errorf("%s Params() = %.3g, want within 35%% of %.3g", c.Name, got, want)
+		}
+	}
+}
+
+func TestExactNominalSizes(t *testing.T) {
+	// 8B/70B/405B architectures should derive to their published counts
+	// within a few percent.
+	for _, c := range []struct {
+		cfg  Config
+		want float64
+	}{{Llama8B, 8.03e9}, {Llama70B, 70.6e9}, {Llama405B, 405.8e9}} {
+		got := c.cfg.Params()
+		if math.Abs(got-c.want)/c.want > 0.03 {
+			t.Errorf("%s Params() = %.4g, want %.4g ±3%%", c.cfg.Name, got, c.want)
+		}
+	}
+}
+
+func TestParamBytesInt8(t *testing.T) {
+	// §4: INT8 quantization means memory footprint == parameter count.
+	if got, want := Llama70B.ParamBytes(), Llama70B.Params(); got != want {
+		t.Errorf("70B ParamBytes = %v, want %v (1 byte/param)", got, want)
+	}
+}
+
+func TestKVBytesPerToken(t *testing.T) {
+	// 70B: 2 (K,V) * 80 layers * 8 KV heads * 128 head dim * 2 bytes.
+	want := 2.0 * 80 * 8 * 128 * 2
+	if got := Llama70B.KVBytesPerToken(); got != want {
+		t.Errorf("70B KV bytes/token = %v, want %v", got, want)
+	}
+	if got := Encoder120M.KVBytesPerToken(); got != 0 {
+		t.Errorf("encoder KV bytes/token = %v, want 0", got)
+	}
+}
+
+func TestPrefixFLOPsApproximation(t *testing.T) {
+	// §3.3: FLOPs_inference ~= 2*M*L for short sequences. Check the
+	// operator graph reproduces that within 25% for the paper's default
+	// 512-token prefix. The 1B model is embedding-heavy (embeddings do
+	// no per-token matmul work), so it gets a wider band.
+	for _, tc := range []struct {
+		cfg    Config
+		lo, hi float64
+	}{{Llama1B, 0.60, 1.25}, {Llama8B, 0.80, 1.25}, {Llama70B, 0.80, 1.25}} {
+		for _, batch := range []int{1, 4} {
+			L := 512
+			got := TotalFLOPs(tc.cfg.PrefixOps(L, batch))
+			approx := 2 * tc.cfg.Params() * float64(L) * float64(batch)
+			if got < approx*tc.lo || got > approx*tc.hi {
+				t.Errorf("%s prefix FLOPs (L=%d,B=%d) = %.3g, want within [%v,%v] of ~%.3g",
+					tc.cfg.Name, L, batch, got, tc.lo, tc.hi, approx)
+			}
+		}
+	}
+}
+
+func TestDecodeStepFLOPs(t *testing.T) {
+	// One decode step is ~2*M FLOPs per sequence.
+	cfg := Llama8B
+	got := TotalFLOPs(cfg.DecodeOps(1, 512))
+	approx := 2 * cfg.Params()
+	if got < approx*0.8 || got > approx*1.3 {
+		t.Errorf("decode FLOPs = %.3g, want ~%.3g", got, approx)
+	}
+}
+
+func TestDecodeBytesWeightDominated(t *testing.T) {
+	// Small-batch decode traffic should be dominated by weight reads.
+	cfg := Llama70B
+	ops := cfg.DecodeOps(1, 512)
+	total := TotalBytes(ops)
+	var weights float64
+	for _, o := range ops {
+		weights += o.WeightBytes * float64(o.Repeat)
+	}
+	if weights/total < 0.9 {
+		t.Errorf("weight fraction of decode traffic = %v, want > 0.9 at batch 1", weights/total)
+	}
+	// Weights read once per step should be within 6% of the full model
+	// footprint (norms/embeddings excluded from the op graph).
+	if math.Abs(weights-cfg.ParamBytes())/cfg.ParamBytes() > 0.06 {
+		t.Errorf("decode weight traffic = %.4g, want ~ParamBytes %.4g", weights, cfg.ParamBytes())
+	}
+}
+
+func TestDecodeKVTrafficScalesWithContext(t *testing.T) {
+	cfg := Llama8B
+	short := TotalBytes(cfg.DecodeOps(64, 128))
+	long := TotalBytes(cfg.DecodeOps(64, 2048))
+	if long <= short {
+		t.Fatalf("KV traffic must grow with context: %v vs %v", short, long)
+	}
+	// The delta should match the extra KV bytes read.
+	wantDelta := float64(64) * float64(2048-128) * cfg.KVBytesPerToken()
+	gotDelta := long - short
+	if math.Abs(gotDelta-wantDelta)/wantDelta > 0.01 {
+		t.Errorf("KV traffic delta = %.4g, want %.4g", gotDelta, wantDelta)
+	}
+}
+
+func TestEncoderHasNoDecode(t *testing.T) {
+	if ops := Encoder120M.DecodeOps(4, 128); ops != nil {
+		t.Errorf("encoder DecodeOps = %v, want nil", ops)
+	}
+	if ops := Encoder120M.PrefixOps(512, 2); len(ops) == 0 {
+		t.Errorf("encoder PrefixOps empty, want encoding pass")
+	} else {
+		for _, o := range ops {
+			if o.Name == "lm_head" {
+				t.Errorf("encoder should have no LM head")
+			}
+		}
+	}
+}
+
+func TestDegenerateOps(t *testing.T) {
+	if ops := Llama8B.PrefixOps(0, 4); ops != nil {
+		t.Errorf("zero-length prefix should return nil")
+	}
+	if ops := Llama8B.PrefixOps(128, 0); ops != nil {
+		t.Errorf("zero batch should return nil")
+	}
+	if ops := Llama8B.DecodeOps(0, 128); ops != nil {
+		t.Errorf("zero-batch decode should return nil")
+	}
+}
+
+func TestByName(t *testing.T) {
+	if c, ok := ByName("Llama-70B"); !ok || c.Layers != 80 {
+		t.Errorf("ByName(Llama-70B) = %+v, %v", c, ok)
+	}
+	if _, ok := ByName("GPT-5"); ok {
+		t.Errorf("unknown model should not resolve")
+	}
+}
+
+func TestGenerativeByParams(t *testing.T) {
+	cases := []struct {
+		params float64
+		want   string
+	}{
+		{1e9, "Llama-1B"},
+		{8e9, "Llama-8B"},
+		{70e9, "Llama-70B"},
+		{405e9, "Llama-405B"},
+	}
+	for _, c := range cases {
+		got, ok := GenerativeByParams(c.params)
+		if !ok || got.Name != c.want {
+			t.Errorf("GenerativeByParams(%g) = %v/%v, want %s", c.params, got.Name, ok, c.want)
+		}
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	bad := Llama8B
+	bad.KVHeads = 7 // does not divide 32 heads
+	if err := bad.Validate(); err == nil {
+		t.Errorf("indivisible KV heads should fail validation")
+	}
+	bad = Llama8B
+	bad.Layers = 0
+	if err := bad.Validate(); err == nil {
+		t.Errorf("zero layers should fail validation")
+	}
+	bad = Llama8B
+	bad.BytesPerParam = 0
+	if err := bad.Validate(); err == nil {
+		t.Errorf("zero precision should fail validation")
+	}
+}
+
+// Property: prefix FLOPs are linear in batch and superlinear in sequence
+// length (attention quadratic term), and always positive.
+func TestPrefixScalingProperties(t *testing.T) {
+	f := func(rawL, rawB uint8) bool {
+		L := int(rawL)%512 + 128 // large enough that the constant LM-head term is small
+		B := int(rawB)%8 + 1
+		cfg := Llama8B
+		f1 := TotalFLOPs(cfg.PrefixOps(L, B))
+		f2 := TotalFLOPs(cfg.PrefixOps(L, 2*B))
+		if f1 <= 0 {
+			return false
+		}
+		// Linear in batch within rounding (LM head also linear).
+		if math.Abs(f2-2*f1)/f1 > 0.01 {
+			return false
+		}
+		// Superlinear in sequence length (attention quadratic term wins
+		// over the constant LM-head term at these lengths).
+		f4 := TotalFLOPs(cfg.PrefixOps(2*L, B))
+		return f4 > 2*f1*0.995
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,85 @@
+package model
+
+// The model zoo mirrors §4: Llama-3-family generative LLMs at four scales
+// and a 120M-parameter sentence encoder (Sentence-BERT-class) used as both
+// the database encoder and the retrieval reranker. Architectural shapes
+// follow the published Llama-3 configurations; parameter counts derived
+// from them land on the nominal sizes the paper quotes.
+
+const (
+	int8Bytes = 1 // §4: models quantized to 8-bit integer
+	fp16Bytes = 2 // KV caches kept at FP16
+	llamaVoc  = 128256
+)
+
+// Llama1B is a Llama-3.2-1B-class model.
+var Llama1B = Config{
+	Name: "Llama-1B", Layers: 16, DModel: 2048, FFN: 8192,
+	Heads: 32, KVHeads: 8, HeadDim: 64, Vocab: llamaVoc,
+	GatedMLP: true, BytesPerParam: int8Bytes, KVBytesPerElem: fp16Bytes,
+}
+
+// Llama8B is a Llama-3-8B-class model.
+var Llama8B = Config{
+	Name: "Llama-8B", Layers: 32, DModel: 4096, FFN: 14336,
+	Heads: 32, KVHeads: 8, HeadDim: 128, Vocab: llamaVoc,
+	GatedMLP: true, BytesPerParam: int8Bytes, KVBytesPerElem: fp16Bytes,
+}
+
+// Llama70B is a Llama-3-70B-class model.
+var Llama70B = Config{
+	Name: "Llama-70B", Layers: 80, DModel: 8192, FFN: 28672,
+	Heads: 64, KVHeads: 8, HeadDim: 128, Vocab: llamaVoc,
+	GatedMLP: true, BytesPerParam: int8Bytes, KVBytesPerElem: fp16Bytes,
+}
+
+// Llama405B is a Llama-3.1-405B-class model.
+var Llama405B = Config{
+	Name: "Llama-405B", Layers: 126, DModel: 16384, FFN: 53248,
+	Heads: 128, KVHeads: 8, HeadDim: 128, Vocab: llamaVoc,
+	GatedMLP: true, BytesPerParam: int8Bytes, KVBytesPerElem: fp16Bytes,
+}
+
+// Encoder120M is the 120M-parameter sentence-transformer encoder producing
+// 768-dimensional embeddings (§4, [28]); it doubles as the reranker model
+// in Case IV.
+var Encoder120M = Config{
+	Name: "Encoder-120M", Layers: 12, DModel: 768, FFN: 3072,
+	Heads: 12, KVHeads: 12, HeadDim: 64, Vocab: 30522,
+	GatedMLP: false, EncoderOnly: true,
+	BytesPerParam: int8Bytes, KVBytesPerElem: fp16Bytes,
+}
+
+// Zoo lists every preset model.
+func Zoo() []Config {
+	return []Config{Llama1B, Llama8B, Llama70B, Llama405B, Encoder120M}
+}
+
+// ByName finds a preset model by its Name field.
+func ByName(name string) (Config, bool) {
+	for _, c := range Zoo() {
+		if c.Name == name {
+			return c, true
+		}
+	}
+	return Config{}, false
+}
+
+// GenerativeByParams returns the smallest preset generative LLM whose
+// derived parameter count is at least params. It lets RAGSchema users
+// specify "an 8B rewriter" by size alone.
+func GenerativeByParams(params float64) (Config, bool) {
+	var best Config
+	found := false
+	for _, c := range Zoo() {
+		if c.EncoderOnly {
+			continue
+		}
+		if c.Params() >= params*0.5 { // tolerate nominal-size rounding
+			if !found || c.Params() < best.Params() {
+				best, found = c, true
+			}
+		}
+	}
+	return best, found
+}

@@ -1,0 +1,154 @@
+// Package perf defines the performance metrics used throughout RAGO —
+// time-to-first-token (TTFT), time-per-output-token (TPOT), and
+// queries-per-second normalized by chip count (QPS/chip) — together with
+// generic Pareto-frontier machinery over those metrics.
+//
+// The paper's optimizer (Algorithm 1) reduces every scheduling decision to
+// points in this metric space and reports only the Pareto-optimal subset;
+// the helpers here are shared by the per-stage profiler, the end-to-end
+// assembler, and the benchmark harness.
+package perf
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Metrics is one evaluated operating point of a system or stage.
+//
+// TTFT and TPOT are in seconds. QPS is end-to-end requests per second and
+// QPSPerChip is QPS normalized by the number of accelerator chips the
+// schedule uses (the paper's cost-efficiency metric).
+type Metrics struct {
+	TTFT       float64
+	TPOT       float64
+	QPS        float64
+	QPSPerChip float64
+}
+
+// Valid reports whether the metrics are physically meaningful: latencies
+// non-negative and finite, throughputs non-negative and finite.
+func (m Metrics) Valid() bool {
+	for _, v := range []float64{m.TTFT, m.TPOT, m.QPS, m.QPSPerChip} {
+		if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Dominates reports whether m is at least as good as other on every
+// objective and strictly better on at least one. Lower TTFT and TPOT are
+// better; higher QPSPerChip is better. Absolute QPS is intentionally not an
+// objective: the paper normalizes throughput by chip count.
+func (m Metrics) Dominates(other Metrics) bool {
+	if m.TTFT > other.TTFT || m.TPOT > other.TPOT || m.QPSPerChip < other.QPSPerChip {
+		return false
+	}
+	return m.TTFT < other.TTFT || m.TPOT < other.TPOT || m.QPSPerChip > other.QPSPerChip
+}
+
+func (m Metrics) String() string {
+	return fmt.Sprintf("TTFT=%.4fs TPOT=%.4fs QPS=%.2f QPS/chip=%.3f", m.TTFT, m.TPOT, m.QPS, m.QPSPerChip)
+}
+
+// Point couples metrics with an arbitrary payload (typically a schedule
+// description) so frontier computation can carry provenance along.
+type Point[T any] struct {
+	Metrics Metrics
+	Item    T
+}
+
+// Frontier computes the Pareto-optimal subset of pts under
+// Metrics.Dominates and returns it sorted by ascending TTFT (ties broken by
+// descending QPS/chip). Points with exactly equal metrics are collapsed to
+// the first occurrence. The input slice is not modified.
+//
+// The implementation sorts by (TTFT asc, TPOT asc, QPS/chip desc) and
+// sweeps with a staircase over (TPOT, QPS/chip): a candidate is dominated
+// iff some already-kept point (necessarily with TTFT <= its own) has
+// TPOT <= and QPS/chip >= its values. Complexity O(n log n); the schedule
+// search merges hundreds of thousands of points through here.
+func Frontier[T any](pts []Point[T]) []Point[T] {
+	valid := make([]Point[T], 0, len(pts))
+	for _, p := range pts {
+		if p.Metrics.Valid() {
+			valid = append(valid, p)
+		}
+	}
+	sort.SliceStable(valid, func(i, j int) bool {
+		a, b := valid[i].Metrics, valid[j].Metrics
+		if a.TTFT != b.TTFT {
+			return a.TTFT < b.TTFT
+		}
+		if a.TPOT != b.TPOT {
+			return a.TPOT < b.TPOT
+		}
+		return a.QPSPerChip > b.QPSPerChip
+	})
+
+	// stairs holds kept (tpot, qps) corners with tpot strictly
+	// increasing and qps strictly increasing: bestQPSAtOrBelow(tpot) is
+	// the qps of the last corner with tpot' <= tpot.
+	type corner struct{ tpot, qps float64 }
+	var stairs []corner
+	var front []Point[T]
+	for _, p := range valid {
+		m := p.Metrics
+		// Find the rightmost corner with tpot <= m.TPOT.
+		i := sort.Search(len(stairs), func(k int) bool { return stairs[k].tpot > m.TPOT }) - 1
+		if i >= 0 && stairs[i].qps >= m.QPSPerChip {
+			continue // dominated (or an exact duplicate)
+		}
+		front = append(front, p)
+		// Insert the new corner and drop now-redundant successors.
+		ins := i + 1
+		end := ins
+		for end < len(stairs) && stairs[end].qps <= m.QPSPerChip {
+			end++
+		}
+		stairs = append(stairs[:ins], append([]corner{{m.TPOT, m.QPSPerChip}}, stairs[end:]...)...)
+	}
+	sort.SliceStable(front, func(i, j int) bool {
+		a, b := front[i].Metrics, front[j].Metrics
+		if a.TTFT != b.TTFT {
+			return a.TTFT < b.TTFT
+		}
+		return a.QPSPerChip > b.QPSPerChip
+	})
+	return front
+}
+
+// MaxQPSPerChip returns the frontier point with the highest QPS/chip.
+// The boolean is false when pts is empty.
+func MaxQPSPerChip[T any](pts []Point[T]) (Point[T], bool) {
+	var best Point[T]
+	found := false
+	for _, p := range pts {
+		if !p.Metrics.Valid() {
+			continue
+		}
+		if !found || p.Metrics.QPSPerChip > best.Metrics.QPSPerChip {
+			best, found = p, true
+		}
+	}
+	return best, found
+}
+
+// MinTTFT returns the frontier point with the lowest TTFT, breaking ties by
+// higher QPS/chip. The boolean is false when pts is empty.
+func MinTTFT[T any](pts []Point[T]) (Point[T], bool) {
+	var best Point[T]
+	found := false
+	for _, p := range pts {
+		if !p.Metrics.Valid() {
+			continue
+		}
+		if !found || p.Metrics.TTFT < best.Metrics.TTFT ||
+			(p.Metrics.TTFT == best.Metrics.TTFT && p.Metrics.QPSPerChip > best.Metrics.QPSPerChip) {
+			best, found = p, true
+		}
+	}
+	return best, found
+}

@@ -1,0 +1,215 @@
+package perf
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMetricsValid(t *testing.T) {
+	cases := []struct {
+		name string
+		m    Metrics
+		want bool
+	}{
+		{"zero", Metrics{}, true},
+		{"typical", Metrics{TTFT: 0.05, TPOT: 0.01, QPS: 100, QPSPerChip: 1.5}, true},
+		{"negative ttft", Metrics{TTFT: -1}, false},
+		{"nan tpot", Metrics{TPOT: math.NaN()}, false},
+		{"inf qps", Metrics{QPS: math.Inf(1)}, false},
+		{"neg qps per chip", Metrics{QPSPerChip: -0.1}, false},
+	}
+	for _, c := range cases {
+		if got := c.m.Valid(); got != c.want {
+			t.Errorf("%s: Valid() = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestDominates(t *testing.T) {
+	a := Metrics{TTFT: 0.1, TPOT: 0.01, QPSPerChip: 2}
+	b := Metrics{TTFT: 0.2, TPOT: 0.02, QPSPerChip: 1}
+	if !a.Dominates(b) {
+		t.Errorf("a should dominate b")
+	}
+	if b.Dominates(a) {
+		t.Errorf("b should not dominate a")
+	}
+	if a.Dominates(a) {
+		t.Errorf("a should not dominate itself (needs strict improvement)")
+	}
+	// Incomparable: a faster TTFT, c higher throughput.
+	c := Metrics{TTFT: 0.3, TPOT: 0.01, QPSPerChip: 5}
+	if a.Dominates(c) || c.Dominates(a) {
+		t.Errorf("a and c should be incomparable")
+	}
+}
+
+func TestFrontierBasic(t *testing.T) {
+	pts := []Point[string]{
+		{Metrics{TTFT: 0.1, TPOT: 0.01, QPSPerChip: 1}, "low-lat"},
+		{Metrics{TTFT: 0.5, TPOT: 0.01, QPSPerChip: 5}, "high-qps"},
+		{Metrics{TTFT: 0.6, TPOT: 0.01, QPSPerChip: 4}, "dominated"},
+		{Metrics{TTFT: 0.3, TPOT: 0.01, QPSPerChip: 3}, "mid"},
+	}
+	front := Frontier(pts)
+	if len(front) != 3 {
+		t.Fatalf("frontier size = %d, want 3: %v", len(front), front)
+	}
+	for _, p := range front {
+		if p.Item == "dominated" {
+			t.Errorf("dominated point survived")
+		}
+	}
+	// Sorted by TTFT ascending.
+	for i := 1; i < len(front); i++ {
+		if front[i].Metrics.TTFT < front[i-1].Metrics.TTFT {
+			t.Errorf("frontier not sorted by TTFT")
+		}
+	}
+}
+
+func TestFrontierDropsInvalid(t *testing.T) {
+	pts := []Point[int]{
+		{Metrics{TTFT: math.NaN()}, 1},
+		{Metrics{TTFT: 0.1, QPSPerChip: 1}, 2},
+	}
+	front := Frontier(pts)
+	if len(front) != 1 || front[0].Item != 2 {
+		t.Fatalf("frontier = %v, want single valid point", front)
+	}
+}
+
+func TestFrontierEmpty(t *testing.T) {
+	if got := Frontier[int](nil); len(got) != 0 {
+		t.Errorf("Frontier(nil) = %v, want empty", got)
+	}
+}
+
+func TestFrontierTPOTAxis(t *testing.T) {
+	// Same TTFT and QPS/chip but better TPOT must dominate.
+	pts := []Point[string]{
+		{Metrics{TTFT: 0.1, TPOT: 0.02, QPSPerChip: 1}, "slow-tpot"},
+		{Metrics{TTFT: 0.1, TPOT: 0.01, QPSPerChip: 1}, "fast-tpot"},
+	}
+	front := Frontier(pts)
+	if len(front) != 1 || front[0].Item != "fast-tpot" {
+		t.Fatalf("frontier = %+v, want only fast-tpot", front)
+	}
+}
+
+func TestMaxQPSPerChipAndMinTTFT(t *testing.T) {
+	pts := []Point[string]{
+		{Metrics{TTFT: 0.1, QPSPerChip: 1}, "a"},
+		{Metrics{TTFT: 0.5, QPSPerChip: 9}, "b"},
+		{Metrics{TTFT: 0.1, QPSPerChip: 3}, "c"},
+	}
+	if best, ok := MaxQPSPerChip(pts); !ok || best.Item != "b" {
+		t.Errorf("MaxQPSPerChip = %+v, want b", best)
+	}
+	if best, ok := MinTTFT(pts); !ok || best.Item != "c" {
+		t.Errorf("MinTTFT = %+v, want c (tie broken by QPS/chip)", best)
+	}
+	if _, ok := MaxQPSPerChip[string](nil); ok {
+		t.Errorf("MaxQPSPerChip(nil) should report not found")
+	}
+	if _, ok := MinTTFT[string](nil); ok {
+		t.Errorf("MinTTFT(nil) should report not found")
+	}
+}
+
+// randMetrics builds a bounded random metrics value for property tests.
+func randMetrics(r *rand.Rand) Metrics {
+	return Metrics{
+		TTFT:       r.Float64() * 10,
+		TPOT:       r.Float64(),
+		QPS:        r.Float64() * 1000,
+		QPSPerChip: r.Float64() * 50,
+	}
+}
+
+// Property: no frontier point dominates another frontier point, and every
+// non-frontier input is dominated by (or equal in metrics to) some frontier
+// point.
+func TestFrontierProperties(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		pts := make([]Point[int], int(n)%64)
+		for i := range pts {
+			pts[i] = Point[int]{randMetrics(r), i}
+		}
+		front := Frontier(pts)
+		inFront := make(map[int]Metrics, len(front))
+		for i, p := range front {
+			for j, q := range front {
+				if i != j && p.Metrics.Dominates(q.Metrics) {
+					return false
+				}
+			}
+			inFront[p.Item] = p.Metrics
+		}
+		for _, p := range pts {
+			if _, ok := inFront[p.Item]; ok {
+				continue
+			}
+			covered := false
+			for _, f := range front {
+				if f.Metrics.Dominates(p.Metrics) || f.Metrics == p.Metrics {
+					covered = true
+					break
+				}
+			}
+			if !covered {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: dominance is irreflexive and antisymmetric.
+func TestDominanceProperties(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := randMetrics(r), randMetrics(r)
+		if a.Dominates(a) {
+			return false
+		}
+		if a.Dominates(b) && b.Dominates(a) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Frontier is idempotent — Frontier(Frontier(x)) == Frontier(x).
+func TestFrontierIdempotent(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		pts := make([]Point[int], int(n)%48)
+		for i := range pts {
+			pts[i] = Point[int]{randMetrics(r), i}
+		}
+		once := Frontier(pts)
+		twice := Frontier(once)
+		if len(once) != len(twice) {
+			return false
+		}
+		for i := range once {
+			if once[i].Item != twice[i].Item {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,231 @@
+package pipeline
+
+import (
+	"testing"
+
+	"rago/internal/ragschema"
+)
+
+func mustBuild(t *testing.T, s ragschema.Schema) Pipeline {
+	t.Helper()
+	p, err := Build(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func kinds(p Pipeline) []Kind {
+	out := make([]Kind, len(p.Stages))
+	for i, st := range p.Stages {
+		out[i] = st.Kind
+	}
+	return out
+}
+
+func kindsEqual(a, b []Kind) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestBuildCaseI(t *testing.T) {
+	p := mustBuild(t, ragschema.CaseI(8e9, 1))
+	want := []Kind{KindRetrieval, KindPrefix, KindDecode}
+	if !kindsEqual(kinds(p), want) {
+		t.Fatalf("stages = %v, want %v", kinds(p), want)
+	}
+	pre := p.Stages[p.Index(KindPrefix)]
+	if pre.SeqLen != 512 || pre.Items != 1 {
+		t.Errorf("prefix shape = %d x %d, want 512 x 1", pre.SeqLen, pre.Items)
+	}
+	dec := p.Stages[p.Index(KindDecode)]
+	if dec.OutTokens != 256 {
+		t.Errorf("decode generates %d tokens, want 256", dec.OutTokens)
+	}
+	if dec.CtxLen != 512+128 {
+		t.Errorf("decode avg context = %d, want 640", dec.CtxLen)
+	}
+	if dec.Model.Name != "Llama-8B" {
+		t.Errorf("generative model = %s, want Llama-8B", dec.Model.Name)
+	}
+}
+
+func TestBuildCaseII(t *testing.T) {
+	p := mustBuild(t, ragschema.CaseII(70e9, 1_000_000))
+	want := []Kind{KindEncode, KindRetrieval, KindPrefix, KindDecode}
+	if !kindsEqual(kinds(p), want) {
+		t.Fatalf("stages = %v, want %v", kinds(p), want)
+	}
+	enc := p.Stages[p.Index(KindEncode)]
+	if enc.Model.Name != "Encoder-120M" {
+		t.Errorf("encoder model = %s", enc.Model.Name)
+	}
+	if enc.SeqLen != 128 {
+		t.Errorf("encode chunk = %d, want 128", enc.SeqLen)
+	}
+	if enc.Items != 7813 {
+		t.Errorf("encode chunks for 1M tokens = %d, want 7813", enc.Items)
+	}
+	if got := enc.TokensPerRequest(); got < 1_000_000 || got > 1_000_200 {
+		t.Errorf("encode tokens per request = %d, want ~1M", got)
+	}
+}
+
+func TestBuildCaseIV(t *testing.T) {
+	p := mustBuild(t, ragschema.CaseIV(70e9))
+	want := []Kind{KindRewritePrefix, KindRewriteDecode, KindRetrieval, KindRerank, KindPrefix, KindDecode}
+	if !kindsEqual(kinds(p), want) {
+		t.Fatalf("stages = %v, want %v", kinds(p), want)
+	}
+	rw := p.Stages[p.Index(KindRewriteDecode)]
+	if rw.OutTokens != 32 {
+		t.Errorf("rewriter generates %d tokens, want 32 (same-length question)", rw.OutTokens)
+	}
+	if rw.Model.Name != "Llama-8B" {
+		t.Errorf("rewriter model = %s, want Llama-8B", rw.Model.Name)
+	}
+	rr := p.Stages[p.Index(KindRerank)]
+	if rr.Items != 16 || rr.SeqLen != 100 {
+		t.Errorf("rerank shape = %d x %d, want 16 x 100", rr.Items, rr.SeqLen)
+	}
+}
+
+func TestBuildLLMOnly(t *testing.T) {
+	p := mustBuild(t, ragschema.LLMOnly(70e9))
+	want := []Kind{KindPrefix, KindDecode}
+	if !kindsEqual(kinds(p), want) {
+		t.Fatalf("stages = %v, want %v", kinds(p), want)
+	}
+	if p.Stages[0].SeqLen != 32 {
+		t.Errorf("LLM-only prompt = %d tokens, want 32", p.Stages[0].SeqLen)
+	}
+}
+
+func TestBuildRejectsInvalidSchema(t *testing.T) {
+	bad := ragschema.Default(8e9)
+	bad.GenerativeParams = 0
+	if _, err := Build(bad); err == nil {
+		t.Errorf("invalid schema should not build")
+	}
+	weird := ragschema.Default(8e9)
+	weird.RerankerParams = 30e9 // no 30B encoder architecture
+	weird.RerankCandidates = 16
+	if _, err := Build(weird); err == nil {
+		t.Errorf("30B reranker should have no encoder architecture")
+	}
+}
+
+func TestKindProperties(t *testing.T) {
+	if KindRetrieval.OnXPU() {
+		t.Errorf("retrieval must not run on XPUs")
+	}
+	for _, k := range []Kind{KindEncode, KindRewritePrefix, KindRewriteDecode, KindRerank, KindPrefix, KindDecode} {
+		if !k.OnXPU() {
+			t.Errorf("%v should run on XPUs", k)
+		}
+	}
+	if !KindDecode.Autoregressive() || !KindRewriteDecode.Autoregressive() {
+		t.Errorf("decode kinds should be autoregressive")
+	}
+	if KindPrefix.Autoregressive() {
+		t.Errorf("prefix is not autoregressive")
+	}
+	if Kind(99).String() == "" {
+		t.Errorf("unknown kind should still render")
+	}
+}
+
+func TestPlacementsCaseIV(t *testing.T) {
+	// Case IV pre-decode XPU stages: [rewrite-prefix rewrite-decode] |
+	// retrieval | [rerank prefix]. Contiguous partitions: 2 x 2 = 4.
+	p := mustBuild(t, ragschema.CaseIV(70e9))
+	pls := p.Placements()
+	if len(pls) != 4 {
+		t.Fatalf("placements = %d, want 4", len(pls))
+	}
+	for _, pl := range pls {
+		if err := pl.Validate(p); err != nil {
+			t.Errorf("illegal placement %s: %v", pl.Describe(p), err)
+		}
+		// No group may span the retrieval stage.
+		ret := p.Index(KindRetrieval)
+		for _, g := range pl.Groups {
+			lo, hi := g.Stages[0], g.Stages[len(g.Stages)-1]
+			if lo < ret && hi > ret {
+				t.Errorf("placement %s spans retrieval", pl.Describe(p))
+			}
+		}
+	}
+}
+
+func TestPlacementsCaseII(t *testing.T) {
+	// Case II: [encode] | retrieval | [prefix] -> exactly one pre, one
+	// post partition each = 1 placement (all singletons).
+	p := mustBuild(t, ragschema.CaseII(70e9, 100_000))
+	pls := p.Placements()
+	if len(pls) != 1 {
+		t.Fatalf("placements = %d, want 1", len(pls))
+	}
+	if pls[0].Collocated() {
+		t.Errorf("singleton placement should not be collocated")
+	}
+}
+
+func TestPlacementHelpers(t *testing.T) {
+	p := mustBuild(t, ragschema.CaseIV(70e9))
+	dis := p.FullyDisaggregated()
+	if err := dis.Validate(p); err != nil {
+		t.Fatal(err)
+	}
+	if dis.Collocated() {
+		t.Errorf("fully disaggregated placement reports collocation")
+	}
+	if len(dis.Groups) != 4 {
+		t.Errorf("disaggregated groups = %d, want 4", len(dis.Groups))
+	}
+	base := p.BaselinePlacement()
+	if err := base.Validate(p); err != nil {
+		t.Fatal(err)
+	}
+	if !base.Collocated() || len(base.Groups) != 1 {
+		t.Errorf("baseline should collocate everything pre-decode in one group")
+	}
+	// The baseline (cross-retrieval collocation) must NOT appear among
+	// RAGO's legal placements.
+	for _, pl := range p.Placements() {
+		if len(pl.Groups) == 1 {
+			t.Errorf("RAGO placement %s illegally spans retrieval", pl.Describe(p))
+		}
+	}
+}
+
+func TestPlacementValidateRejects(t *testing.T) {
+	p := mustBuild(t, ragschema.CaseIV(70e9))
+	if err := (Placement{}).Validate(p); err == nil {
+		t.Errorf("empty placement should fail")
+	}
+	if err := (Placement{Groups: []Group{{}}}).Validate(p); err == nil {
+		t.Errorf("empty group should fail")
+	}
+	// Wrong order.
+	bad := Placement{Groups: []Group{{Stages: []int{1, 0}}, {Stages: []int{3, 4}}}}
+	if err := bad.Validate(p); err == nil {
+		t.Errorf("out-of-order placement should fail")
+	}
+}
+
+func TestDescribe(t *testing.T) {
+	p := mustBuild(t, ragschema.CaseIV(70e9))
+	got := p.BaselinePlacement().Describe(p)
+	want := "[rewrite-prefix+rewrite-decode+rerank+prefix]"
+	if got != want {
+		t.Errorf("Describe = %q, want %q", got, want)
+	}
+}

@@ -1,0 +1,142 @@
+package pipeline
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Group is a set of stages time-multiplexed on one pool of XPUs, stored as
+// indices into Pipeline.Stages in pipeline order.
+type Group struct {
+	Stages []int
+}
+
+// Placement assigns every pre-decode XPU stage to a group. Retrieval and
+// decode are always their own (implicit) resources: retrieval runs on CPU
+// servers, decode on its own XPUs (§6.1 assumptions).
+type Placement struct {
+	Groups []Group
+}
+
+// Collocated reports whether any group multiplexes more than one stage.
+func (pl Placement) Collocated() bool {
+	for _, g := range pl.Groups {
+		if len(g.Stages) > 1 {
+			return true
+		}
+	}
+	return false
+}
+
+// Describe renders the placement against a pipeline, e.g.
+// "[encode]+[rewrite-prefix rewrite-decode] | [rerank prefix]".
+func (pl Placement) Describe(p Pipeline) string {
+	var groups []string
+	for _, g := range pl.Groups {
+		var names []string
+		for _, idx := range g.Stages {
+			names = append(names, p.Stages[idx].Kind.String())
+		}
+		groups = append(groups, "["+strings.Join(names, "+")+"]")
+	}
+	return strings.Join(groups, " ")
+}
+
+// Validate checks that a placement covers exactly the pre-decode XPU
+// stages of p, each once, in order within groups.
+func (pl Placement) Validate(p Pipeline) error {
+	want := p.PreDecodeXPUStages()
+	var got []int
+	for _, g := range pl.Groups {
+		if len(g.Stages) == 0 {
+			return fmt.Errorf("pipeline: empty placement group")
+		}
+		got = append(got, g.Stages...)
+	}
+	if len(got) != len(want) {
+		return fmt.Errorf("pipeline: placement covers %d stages, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			return fmt.Errorf("pipeline: placement stage order %v, want %v", got, want)
+		}
+	}
+	return nil
+}
+
+// Placements enumerates the legal task placements per Fig. 13: contiguous
+// partitions of the pre-retrieval XPU stages and, separately, of the
+// post-retrieval stages up to prefix. Collocation never spans the
+// retrieval stage (it lives on CPUs between the two segments).
+func (p Pipeline) Placements() []Placement {
+	pre, post := p.splitByRetrieval()
+	preParts := contiguousPartitions(pre)
+	postParts := contiguousPartitions(post)
+	var out []Placement
+	for _, a := range preParts {
+		for _, b := range postParts {
+			var groups []Group
+			groups = append(groups, a...)
+			groups = append(groups, b...)
+			out = append(out, Placement{Groups: groups})
+		}
+	}
+	return out
+}
+
+// FullyDisaggregated places every XPU stage on its own pool.
+func (p Pipeline) FullyDisaggregated() Placement {
+	var groups []Group
+	for _, idx := range p.PreDecodeXPUStages() {
+		groups = append(groups, Group{Stages: []int{idx}})
+	}
+	return Placement{Groups: groups}
+}
+
+// BaselinePlacement is the LLM-system-extension baseline of §7.1: every
+// additional RAG component collocated with the main LLM's prefix on one
+// pool (this deliberately ignores the Fig. 13 neighbor rule — it is the
+// strawman RAGO is compared against, not a RAGO candidate).
+func (p Pipeline) BaselinePlacement() Placement {
+	return Placement{Groups: []Group{{Stages: p.PreDecodeXPUStages()}}}
+}
+
+// splitByRetrieval partitions pre-decode XPU stage indices into those
+// before and after the retrieval stage.
+func (p Pipeline) splitByRetrieval() (pre, post []int) {
+	ret := p.Index(KindRetrieval)
+	for _, idx := range p.PreDecodeXPUStages() {
+		if ret >= 0 && idx < ret {
+			pre = append(pre, idx)
+		} else {
+			post = append(post, idx)
+		}
+	}
+	return pre, post
+}
+
+// contiguousPartitions returns every way to cut the ordered list into
+// contiguous groups (2^(n-1) of them). An empty list yields one empty
+// partition.
+func contiguousPartitions(stages []int) [][]Group {
+	if len(stages) == 0 {
+		return [][]Group{nil}
+	}
+	var out [][]Group
+	n := len(stages)
+	for mask := 0; mask < 1<<(n-1); mask++ {
+		var groups []Group
+		cur := Group{Stages: []int{stages[0]}}
+		for i := 1; i < n; i++ {
+			if mask&(1<<(i-1)) != 0 {
+				groups = append(groups, cur)
+				cur = Group{Stages: []int{stages[i]}}
+			} else {
+				cur.Stages = append(cur.Stages, stages[i])
+			}
+		}
+		groups = append(groups, cur)
+		out = append(out, groups)
+	}
+	return out
+}

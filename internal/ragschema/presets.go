@@ -1,0 +1,121 @@
+package ragschema
+
+import "fmt"
+
+// §4 evaluation defaults: 32-token questions, 512-token prompts (question
+// plus five 100-token neighbors), 256-token generations, 64-billion-vector
+// database scanned at 0.1%.
+const (
+	defaultQuestion  = 32
+	defaultPrefix    = 512
+	defaultDecode    = 256
+	defaultChunk     = 100
+	defaultNeighbors = 5
+	defaultScan      = 0.001
+	defaultDim       = 768
+	hyperscaleVecs   = 64e9
+)
+
+// Default returns the §4 baseline workload shape with the given generative
+// model size and no optional components — the starting point every Table 3
+// case customizes.
+func Default(generativeParams float64) Schema {
+	return Schema{
+		Name:                fmt.Sprintf("default-%s", sizeLabel(generativeParams)),
+		VectorDim:           defaultDim,
+		DBVectors:           hyperscaleVecs,
+		RetrievalFrequency:  1,
+		QueriesPerRetrieval: 1,
+		GenerativeParams:    generativeParams,
+		QuestionTokens:      defaultQuestion,
+		PrefixTokens:        defaultPrefix,
+		DecodeTokens:        defaultDecode,
+		ChunkTokens:         defaultChunk,
+		NeighborsPerQuery:   defaultNeighbors,
+		ScanFraction:        defaultScan,
+	}
+}
+
+// CaseI is Table 3's hyperscale-retrieval workload: 64B vectors, one
+// retrieval with 1-8 query vectors, generative LLM 1B-405B (§5.1).
+func CaseI(generativeParams float64, queriesPerRetrieval int) Schema {
+	s := Default(generativeParams)
+	s.Name = fmt.Sprintf("case1-hyperscale-%s-q%d", sizeLabel(generativeParams), queriesPerRetrieval)
+	s.QueriesPerRetrieval = queriesPerRetrieval
+	return s
+}
+
+// CaseII is Table 3's long-context workload: a 120M document encoder over
+// a real-time uploaded context of 100K-10M tokens, a tiny brute-force
+// database (context/128 chunks), and an 8B or 70B generative LLM (§5.2).
+func CaseII(generativeParams float64, contextTokens int) Schema {
+	s := Default(generativeParams)
+	s.Name = fmt.Sprintf("case2-longctx-%s-%s", sizeLabel(generativeParams), tokenLabel(contextTokens))
+	s.DocEncoderParams = 120e6
+	s.ContextTokens = contextTokens
+	s.DBVectors = float64((contextTokens + 127) / 128)
+	s.ChunkTokens = 128
+	s.ScanFraction = 1 // brute-force kNN (§5.2)
+	return s
+}
+
+// CaseIII is Table 3's iterative-retrieval workload: hyperscale retrieval
+// triggered 2-8 times during the 256-token decode (§5.3).
+func CaseIII(generativeParams float64, retrievals int) Schema {
+	s := Default(generativeParams)
+	s.Name = fmt.Sprintf("case3-iterative-%s-r%d", sizeLabel(generativeParams), retrievals)
+	s.RetrievalFrequency = retrievals
+	return s
+}
+
+// CaseIV is Table 3's rewriter+reranker workload: an 8B query rewriter
+// pre-processes the question and a 120M reranker scores 16 candidate
+// passages, keeping the top five (§5.4).
+func CaseIV(generativeParams float64) Schema {
+	s := Default(generativeParams)
+	s.Name = fmt.Sprintf("case4-rewrite-rerank-%s", sizeLabel(generativeParams))
+	s.QueryRewriterParams = 8e9
+	s.RerankerParams = 120e6
+	s.RerankCandidates = 16
+	return s
+}
+
+// LLMOnly returns the no-retrieval comparison system of Fig. 5: the bare
+// question as the prompt, no database-derived content. The database fields
+// stay populated (validation requires them) but retrieval frequency 0 is
+// expressed by the pipeline builder skipping retrieval when NoRetrieval.
+func LLMOnly(generativeParams float64) Schema {
+	s := Default(generativeParams)
+	s.Name = fmt.Sprintf("llm-only-%s", sizeLabel(generativeParams))
+	s.PrefixTokens = defaultQuestion // prompt is just the question
+	s.NeighborsPerQuery = 0
+	return s
+}
+
+// NoRetrieval reports whether the schema is an LLM-only comparison point
+// (no retrieved content reaches the prompt).
+func (s Schema) NoRetrieval() bool { return s.NeighborsPerQuery == 0 }
+
+func sizeLabel(params float64) string {
+	switch {
+	case params >= 1e12:
+		return fmt.Sprintf("%.0fT", params/1e12)
+	case params >= 1e9:
+		return fmt.Sprintf("%.0fB", params/1e9)
+	case params >= 1e6:
+		return fmt.Sprintf("%.0fM", params/1e6)
+	default:
+		return fmt.Sprintf("%.0f", params)
+	}
+}
+
+func tokenLabel(tokens int) string {
+	switch {
+	case tokens >= 1_000_000:
+		return fmt.Sprintf("%dM", tokens/1_000_000)
+	case tokens >= 1_000:
+		return fmt.Sprintf("%dK", tokens/1_000)
+	default:
+		return fmt.Sprintf("%d", tokens)
+	}
+}

@@ -1,0 +1,141 @@
+// Package ragschema implements RAGSchema, the paper's structured
+// abstraction of RAG serving workloads (§3.2, Table 1). A schema names the
+// optional pipeline components (database encoder, query rewriter, reranker,
+// iterative retrieval) and their performance-relevant configuration (model
+// sizes, database size and dimensionality, queries per retrieval, retrieval
+// frequency), plus the sequence-length parameters the evaluation fixes in
+// §4.
+//
+// RAGSchema is a workload abstraction, not a quality abstraction: two
+// schemas of identical shape can produce very different answer quality
+// (§3.2), which is out of scope here exactly as in the paper.
+package ragschema
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// Schema is one RAG serving workload. Zero-valued optional components are
+// absent from the pipeline.
+type Schema struct {
+	// Name labels the workload (e.g. "case-1-hyperscale-8B").
+	Name string `json:"name"`
+
+	// DocEncoderParams is the database/document encoder size in
+	// parameters; 0 means no real-time encoding stage (the corpus was
+	// embedded offline).
+	DocEncoderParams float64 `json:"doc_encoder_params,omitempty"`
+	// VectorDim is the embedding dimensionality (Table 1: e.g. 768).
+	VectorDim int `json:"vector_dim"`
+	// DBVectors is the number of database vectors.
+	DBVectors float64 `json:"db_vectors"`
+	// RetrievalFrequency is retrievals per generated sequence; 1 is a
+	// single up-front retrieval, >1 enables decoder-initiated iterative
+	// retrieval (§3.1 paradigm III).
+	RetrievalFrequency int `json:"retrieval_frequency"`
+	// QueriesPerRetrieval is query vectors per retrieval operation.
+	QueriesPerRetrieval int `json:"queries_per_retrieval"`
+	// QueryRewriterParams is the generative rewriter size; 0 = absent.
+	QueryRewriterParams float64 `json:"query_rewriter_params,omitempty"`
+	// RerankerParams is the (encoder-only) reranker size; 0 = absent.
+	RerankerParams float64 `json:"reranker_params,omitempty"`
+	// GenerativeParams is the main generative LLM size (required).
+	GenerativeParams float64 `json:"generative_params"`
+
+	// Sequence shape (§4 defaults; see Default).
+	QuestionTokens    int `json:"question_tokens"`
+	PrefixTokens      int `json:"prefix_tokens"`
+	DecodeTokens      int `json:"decode_tokens"`
+	ChunkTokens       int `json:"chunk_tokens"`
+	NeighborsPerQuery int `json:"neighbors_per_query"`
+	// RerankCandidates is how many retrieved passages the reranker
+	// scores before keeping NeighborsPerQuery (§5.4: 16 -> 5).
+	RerankCandidates int `json:"rerank_candidates,omitempty"`
+
+	// ScanFraction is the fraction of database vectors compared per
+	// query (§4 default 0.1%).
+	ScanFraction float64 `json:"scan_fraction"`
+	// ContextTokens is the real-time uploaded context length for
+	// long-context workloads (Case II); it implies DBVectors =
+	// ContextTokens/128 chunks and a per-request encoding pass. 0 for
+	// offline corpora.
+	ContextTokens int `json:"context_tokens,omitempty"`
+}
+
+// HasEncoder reports whether a real-time database-encode stage exists.
+func (s Schema) HasEncoder() bool { return s.DocEncoderParams > 0 && s.ContextTokens > 0 }
+
+// HasRewriter reports whether a query-rewrite stage exists.
+func (s Schema) HasRewriter() bool { return s.QueryRewriterParams > 0 }
+
+// HasReranker reports whether a rerank stage exists.
+func (s Schema) HasReranker() bool { return s.RerankerParams > 0 }
+
+// Iterative reports whether decoding issues additional retrievals.
+func (s Schema) Iterative() bool { return s.RetrievalFrequency > 1 }
+
+// RetrievedTokens is the retrieved content appended to the prompt per
+// retrieval: NeighborsPerQuery passages of ChunkTokens each.
+func (s Schema) RetrievedTokens() int { return s.NeighborsPerQuery * s.ChunkTokens }
+
+// Validate reports an error for inconsistent schemas.
+func (s Schema) Validate() error {
+	if s.GenerativeParams <= 0 {
+		return fmt.Errorf("ragschema: %s: generative LLM is required", s.Name)
+	}
+	if s.DBVectors <= 0 {
+		return fmt.Errorf("ragschema: %s: database must have vectors", s.Name)
+	}
+	if s.VectorDim <= 0 {
+		return fmt.Errorf("ragschema: %s: vector dimensionality must be positive", s.Name)
+	}
+	if s.RetrievalFrequency < 1 {
+		return fmt.Errorf("ragschema: %s: retrieval frequency %d < 1", s.Name, s.RetrievalFrequency)
+	}
+	if s.QueriesPerRetrieval < 1 {
+		return fmt.Errorf("ragschema: %s: queries per retrieval %d < 1", s.Name, s.QueriesPerRetrieval)
+	}
+	if s.ScanFraction <= 0 || s.ScanFraction > 1 {
+		return fmt.Errorf("ragschema: %s: scan fraction %v outside (0,1]", s.Name, s.ScanFraction)
+	}
+	if s.QuestionTokens <= 0 || s.PrefixTokens <= 0 || s.DecodeTokens <= 0 {
+		return fmt.Errorf("ragschema: %s: sequence lengths must be positive", s.Name)
+	}
+	if s.PrefixTokens < s.QuestionTokens {
+		return fmt.Errorf("ragschema: %s: prefix (%d) shorter than question (%d)", s.Name, s.PrefixTokens, s.QuestionTokens)
+	}
+	if s.NeighborsPerQuery < 0 || s.ChunkTokens < 0 {
+		return fmt.Errorf("ragschema: %s: negative retrieval content shape", s.Name)
+	}
+	if s.HasReranker() && s.RerankCandidates < s.NeighborsPerQuery {
+		return fmt.Errorf("ragschema: %s: reranker scores %d candidates but %d neighbors are kept",
+			s.Name, s.RerankCandidates, s.NeighborsPerQuery)
+	}
+	if s.ContextTokens < 0 {
+		return fmt.Errorf("ragschema: %s: negative context length", s.Name)
+	}
+	if s.ContextTokens > 0 && s.DocEncoderParams <= 0 {
+		return fmt.Errorf("ragschema: %s: real-time context requires a document encoder", s.Name)
+	}
+	return nil
+}
+
+// MarshalJSON/UnmarshalJSON round-trip via the default struct coding; the
+// methods exist so future schema versions can add migration logic in one
+// place. Encode/Decode helpers below are the public entry points.
+
+// EncodeJSON renders the schema as indented JSON.
+func EncodeJSON(s Schema) ([]byte, error) { return json.MarshalIndent(s, "", "  ") }
+
+// DecodeJSON parses and validates a schema.
+func DecodeJSON(data []byte) (Schema, error) {
+	var s Schema
+	if err := json.Unmarshal(data, &s); err != nil {
+		return Schema{}, fmt.Errorf("ragschema: %v", err)
+	}
+	if err := s.Validate(); err != nil {
+		return Schema{}, err
+	}
+	return s, nil
+}

@@ -1,0 +1,176 @@
+package ragschema
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDefaultsMatchSection4(t *testing.T) {
+	s := Default(8e9)
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if s.QuestionTokens != 32 {
+		t.Errorf("question tokens = %d, want 32", s.QuestionTokens)
+	}
+	if s.PrefixTokens != 512 {
+		t.Errorf("prefix tokens = %d, want 512", s.PrefixTokens)
+	}
+	if s.DecodeTokens != 256 {
+		t.Errorf("decode tokens = %d, want 256", s.DecodeTokens)
+	}
+	if s.RetrievedTokens() != 500 {
+		t.Errorf("retrieved tokens = %d, want 500 (5 x 100)", s.RetrievedTokens())
+	}
+	if s.DBVectors != 64e9 {
+		t.Errorf("database vectors = %g, want 64e9", s.DBVectors)
+	}
+	if s.ScanFraction != 0.001 {
+		t.Errorf("scan fraction = %v, want 0.001", s.ScanFraction)
+	}
+	if s.VectorDim != 768 {
+		t.Errorf("vector dim = %d, want 768", s.VectorDim)
+	}
+}
+
+func TestTable3Cases(t *testing.T) {
+	// Case 1: no encoder/rewriter/reranker, 1-8 queries per retrieval.
+	c1 := CaseI(70e9, 4)
+	if err := c1.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if c1.HasEncoder() || c1.HasRewriter() || c1.HasReranker() || c1.Iterative() {
+		t.Errorf("Case I should have no optional stages")
+	}
+	if c1.QueriesPerRetrieval != 4 {
+		t.Errorf("Case I queries = %d, want 4", c1.QueriesPerRetrieval)
+	}
+
+	// Case 2: 120M encoder, tiny database derived from context length.
+	c2 := CaseII(70e9, 1_000_000)
+	if err := c2.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !c2.HasEncoder() {
+		t.Errorf("Case II must have a document encoder")
+	}
+	if c2.DBVectors < 7_000 || c2.DBVectors > 8_000 {
+		t.Errorf("Case II 1M-token DB = %g vectors, want ~7813", c2.DBVectors)
+	}
+	if c2.ScanFraction != 1 {
+		t.Errorf("Case II should brute-force scan, got fraction %v", c2.ScanFraction)
+	}
+
+	// Case 3: iterative retrievals.
+	c3 := CaseIII(8e9, 4)
+	if err := c3.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !c3.Iterative() || c3.RetrievalFrequency != 4 {
+		t.Errorf("Case III should iterate 4x, got %d", c3.RetrievalFrequency)
+	}
+
+	// Case 4: 8B rewriter + 120M reranker scoring 16 candidates.
+	c4 := CaseIV(70e9)
+	if err := c4.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !c4.HasRewriter() || c4.QueryRewriterParams != 8e9 {
+		t.Errorf("Case IV rewriter = %g, want 8e9", c4.QueryRewriterParams)
+	}
+	if !c4.HasReranker() || c4.RerankerParams != 120e6 {
+		t.Errorf("Case IV reranker = %g, want 120e6", c4.RerankerParams)
+	}
+	if c4.RerankCandidates != 16 {
+		t.Errorf("Case IV rerank candidates = %d, want 16", c4.RerankCandidates)
+	}
+}
+
+func TestLLMOnly(t *testing.T) {
+	s := LLMOnly(70e9)
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !s.NoRetrieval() {
+		t.Errorf("LLM-only should report NoRetrieval")
+	}
+	if s.PrefixTokens != 32 {
+		t.Errorf("LLM-only prompt = %d tokens, want the bare 32-token question", s.PrefixTokens)
+	}
+	if Default(8e9).NoRetrieval() {
+		t.Errorf("default RAG schema should not be LLM-only")
+	}
+}
+
+func TestValidationRejections(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Schema)
+	}{
+		{"no generative model", func(s *Schema) { s.GenerativeParams = 0 }},
+		{"no database", func(s *Schema) { s.DBVectors = 0 }},
+		{"zero retrieval frequency", func(s *Schema) { s.RetrievalFrequency = 0 }},
+		{"zero queries", func(s *Schema) { s.QueriesPerRetrieval = 0 }},
+		{"scan fraction > 1", func(s *Schema) { s.ScanFraction = 1.5 }},
+		{"prefix shorter than question", func(s *Schema) { s.PrefixTokens = 8 }},
+		{"zero decode", func(s *Schema) { s.DecodeTokens = 0 }},
+		{"negative context", func(s *Schema) { s.ContextTokens = -1 }},
+		{"context without encoder", func(s *Schema) { s.ContextTokens = 1000; s.DocEncoderParams = 0 }},
+		{"rerank keeps more than scored", func(s *Schema) {
+			s.RerankerParams = 120e6
+			s.RerankCandidates = 3 // fewer than 5 neighbors kept
+		}},
+	}
+	for _, c := range cases {
+		s := Default(8e9)
+		c.mutate(&s)
+		if err := s.Validate(); err == nil {
+			t.Errorf("%s: expected validation error", c.name)
+		}
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	orig := CaseIV(70e9)
+	data, err := EncodeJSON(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeJSON(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back != orig {
+		t.Errorf("round trip mismatch:\n got %+v\nwant %+v", back, orig)
+	}
+}
+
+func TestDecodeJSONRejectsInvalid(t *testing.T) {
+	if _, err := DecodeJSON([]byte(`{"name":"x"}`)); err == nil {
+		t.Errorf("schema without generative model should fail decode")
+	}
+	if _, err := DecodeJSON([]byte(`{not json`)); err == nil {
+		t.Errorf("malformed JSON should fail decode")
+	}
+}
+
+func TestNames(t *testing.T) {
+	for _, tc := range []struct {
+		s    Schema
+		want string
+	}{
+		{CaseI(8e9, 2), "case1-hyperscale-8B-q2"},
+		{CaseII(70e9, 1_000_000), "case2-longctx-70B-1M"},
+		{CaseII(70e9, 100_000), "case2-longctx-70B-100K"},
+		{CaseIII(8e9, 8), "case3-iterative-8B-r8"},
+		{CaseIV(70e9), "case4-rewrite-rerank-70B"},
+		{Default(120e6), "default-120M"},
+	} {
+		if tc.s.Name != tc.want {
+			t.Errorf("name = %q, want %q", tc.s.Name, tc.want)
+		}
+	}
+	if !strings.HasPrefix(LLMOnly(405e9).Name, "llm-only-405B") {
+		t.Errorf("LLM-only name = %q", LLMOnly(405e9).Name)
+	}
+}

@@ -1,0 +1,241 @@
+// Package retrieval is the vector-search performance model (§4b of the
+// paper). It implements the published ScaNN cost model [83]: a query walks
+// a balanced multi-level tree, performing a vector-scan operator at each
+// level; each scan is timed by a roofline over per-core scan throughput
+// (one thread per query, batches parallelized across cores) and achievable
+// host memory bandwidth.
+//
+// Large databases are sharded across servers with independent indexes;
+// queries fan out to every shard and results are aggregated (§4b), so
+// cluster latency equals shard latency and cluster throughput is bounded by
+// the aggregate bandwidth divided by total bytes scanned per query.
+//
+// The same machinery covers Case II's brute-force kNN over small real-time
+// databases (a single full-scan level over FP16 vectors).
+package retrieval
+
+import (
+	"fmt"
+	"math"
+
+	"rago/internal/hw"
+	"rago/internal/roofline"
+)
+
+// DB describes a vector database and how aggressively it is searched.
+type DB struct {
+	// NumVectors is the database size (the paper's hyperscale corpus
+	// holds 64 billion 768-dim passages).
+	NumVectors float64
+	// Dim is the embedding dimensionality.
+	Dim int
+	// CodeBytes is the per-vector size at the leaf level: 96 bytes
+	// after product quantization (1 byte per 8 dims), or Dim*2 for the
+	// FP16 brute-force databases of Case II.
+	CodeBytes float64
+	// Levels is the tree depth (3 for the hyperscale setup: balanced
+	// fanout (64e9)^(1/3) ~= 4000; 1 means a flat full scan).
+	Levels int
+	// Fanout is children per node for multi-level trees.
+	Fanout int
+	// ScanFraction is the fraction of leaf (database) vectors each
+	// query is compared against (0.001 by default, §4: >90% recall).
+	ScanFraction float64
+}
+
+// Validate reports an error for malformed database descriptions.
+func (d DB) Validate() error {
+	if d.NumVectors <= 0 || d.Dim <= 0 || d.CodeBytes <= 0 {
+		return fmt.Errorf("retrieval: database has non-positive size fields")
+	}
+	if d.Levels < 1 {
+		return fmt.Errorf("retrieval: tree depth %d < 1", d.Levels)
+	}
+	if d.Levels > 1 && d.Fanout < 2 {
+		return fmt.Errorf("retrieval: multi-level tree needs fanout >= 2, got %d", d.Fanout)
+	}
+	if d.ScanFraction <= 0 || d.ScanFraction > 1 {
+		return fmt.Errorf("retrieval: scan fraction %v outside (0,1]", d.ScanFraction)
+	}
+	return nil
+}
+
+// Bytes returns the database footprint at the leaf level.
+func (d DB) Bytes() float64 { return d.NumVectors * d.CodeBytes }
+
+// BytesScannedPerQuery returns the total bytes one query compares against
+// across all tree levels and shards (§3.3: N_dbvec * B_vec * P_scan plus
+// the much smaller internal-level scans).
+func (d DB) BytesScannedPerQuery() float64 {
+	var total float64
+	for _, lv := range d.levelScans() {
+		total += lv
+	}
+	return total
+}
+
+// levelScans returns the bytes scanned per query at each level, root
+// first. Internal levels store quantized centroids (CodeBytes each, as
+// ScaNN does); the fraction of a level scanned interpolates geometrically
+// between 1 at the root and ScanFraction at the leaves, which matches the
+// balanced configurations produced by the tree-tuning procedure of [83].
+func (d DB) levelScans() []float64 {
+	if d.Levels == 1 {
+		return []float64{d.NumVectors * d.CodeBytes * d.ScanFraction}
+	}
+	scans := make([]float64, d.Levels)
+	for i := 0; i < d.Levels; i++ {
+		// Level i (0 = root scan over first-level centroids) holds
+		// NumVectors / Fanout^(Levels-1-i) entries.
+		entries := d.NumVectors / math.Pow(float64(d.Fanout), float64(d.Levels-1-i))
+		// Fraction scanned at this level: ScanFraction^(i/(Levels-1)).
+		frac := math.Pow(d.ScanFraction, float64(i)/float64(d.Levels-1))
+		scans[i] = entries * frac * d.CodeBytes
+	}
+	return scans
+}
+
+// HyperscaleDB is the paper's default retrieval corpus: 64 billion 768-dim
+// vectors, PQ-compressed to 96 bytes (5.6 TiB), three-level balanced tree
+// with 4K fanout, scanning 0.1% of the database per query.
+func HyperscaleDB() DB {
+	return DB{
+		NumVectors:   64e9,
+		Dim:          768,
+		CodeBytes:    96,
+		Levels:       3,
+		Fanout:       4096,
+		ScanFraction: 0.001,
+	}
+}
+
+// LongContextDB is Case II's per-request database: contextTokens of
+// user-uploaded text chunked at 128 tokens with small overlaps, embedded
+// as 768-dim FP16 vectors and searched by brute-force kNN (§5.2).
+func LongContextDB(contextTokens int) DB {
+	chunks := math.Ceil(float64(contextTokens) / 128)
+	if chunks < 1 {
+		chunks = 1
+	}
+	return DB{
+		NumVectors:   chunks,
+		Dim:          768,
+		CodeBytes:    768 * 2,
+		Levels:       1,
+		ScanFraction: 1,
+	}
+}
+
+// System is a deployed retrieval tier: a database sharded across servers.
+type System struct {
+	DB      DB
+	Host    hw.CPUHost
+	Servers int
+	// QueriesPerRetrieval is the number of query vectors issued per
+	// retrieval operation (Case I evaluates 1-8; rewriters that
+	// decompose questions also issue several).
+	QueriesPerRetrieval int
+}
+
+// Validate reports an error when the deployment cannot hold the database.
+func (s System) Validate() error {
+	if err := s.DB.Validate(); err != nil {
+		return err
+	}
+	if err := s.Host.Validate(); err != nil {
+		return err
+	}
+	if s.Servers < 1 {
+		return fmt.Errorf("retrieval: need at least one server")
+	}
+	if s.QueriesPerRetrieval < 1 {
+		return fmt.Errorf("retrieval: queries per retrieval %d < 1", s.QueriesPerRetrieval)
+	}
+	if need := s.DB.Bytes() / float64(s.Servers); need > s.Host.MemBytes {
+		return fmt.Errorf("retrieval: shard of %.3g bytes exceeds host memory %.3g (need >= %d servers)",
+			need, s.Host.MemBytes, MinServers(s.DB, s.Host))
+	}
+	return nil
+}
+
+// MinServers returns the smallest server count whose aggregate DRAM holds
+// the database (§4: 16 servers for the 5.6 TiB corpus).
+func MinServers(db DB, host hw.CPUHost) int {
+	return int(math.Ceil(db.Bytes() / host.MemBytes))
+}
+
+// Result is the evaluated performance of one retrieval batch size.
+type Result struct {
+	// Latency is seconds from issuing a batch of retrievals to having
+	// aggregated results.
+	Latency float64
+	// QPS is the steady-state retrieval operations per second the tier
+	// sustains at this batch size.
+	QPS float64
+	// Batch echoes the evaluated retrieval batch size.
+	Batch int
+}
+
+// Estimate evaluates a batch of retrieval operations. Each retrieval
+// issues QueriesPerRetrieval query vectors; all shards scan in parallel.
+//
+// Per the paper's model, each level's scan is timed as
+// max(D/(min(Q,cores)*perCoreBW), D/(memBW*util)) where D is that level's
+// total bytes for the whole batch on one shard.
+func (s System) Estimate(batch int) (Result, error) {
+	if err := s.Validate(); err != nil {
+		return Result{}, err
+	}
+	if batch < 1 {
+		return Result{}, fmt.Errorf("retrieval: batch %d < 1", batch)
+	}
+	queries := batch * s.QueriesPerRetrieval
+	compBW := float64(min(queries, s.Host.Cores)) * s.Host.ScanBWPerCore
+	memBW := s.Host.MemBW * s.Host.MemBWUtil
+
+	var latency float64
+	for _, perQuery := range s.DB.levelScans() {
+		shardBytes := perQuery / float64(s.Servers) * float64(queries)
+		latency += roofline.OpTime(0, shardBytes, 0, math.Min(compBW, memBW))
+	}
+	if latency <= 0 {
+		return Result{}, fmt.Errorf("retrieval: degenerate zero-work scan")
+	}
+	return Result{Latency: latency, QPS: float64(batch) / latency, Batch: batch}, nil
+}
+
+// MaxQPS returns the saturated throughput of the tier: the aggregate
+// effective memory bandwidth across shards divided by the bytes a single
+// retrieval must scan.
+func (s System) MaxQPS() (float64, error) {
+	if err := s.Validate(); err != nil {
+		return 0, err
+	}
+	perRetrieval := s.DB.BytesScannedPerQuery() * float64(s.QueriesPerRetrieval)
+	agg := float64(s.Servers) * s.Host.MemBW * s.Host.MemBWUtil
+	return agg / perRetrieval, nil
+}
+
+// TransferTime models the CPU-to-XPU shipment of retrieved documents over
+// PCIe (§4c): tokens * bytesPerToken / pcieBW. With five 100-token
+// documents at 2 bytes/token this is ~1 KB — negligible, but modeled so
+// the end-to-end assembly is complete.
+func TransferTime(tokens int, bytesPerToken, pcieBW float64) float64 {
+	if tokens <= 0 {
+		return 0
+	}
+	if pcieBW <= 0 {
+		pcieBW = DefaultPCIeBW
+	}
+	return float64(tokens) * bytesPerToken / pcieBW
+}
+
+// DefaultPCIeBW is a typical host-to-accelerator link (tens of GB/s, §4c).
+const DefaultPCIeBW = 32e9
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

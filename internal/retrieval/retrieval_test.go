@@ -1,0 +1,254 @@
+package retrieval
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"rago/internal/hw"
+)
+
+func hyperscaleSystem(servers, qpr int) System {
+	return System{DB: HyperscaleDB(), Host: hw.EPYCHost, Servers: servers, QueriesPerRetrieval: qpr}
+}
+
+func TestHyperscaleDBMatchesPaper(t *testing.T) {
+	db := HyperscaleDB()
+	if err := db.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// §4: 64B vectors x 96 bytes = 5.6 TiB.
+	gotTiB := db.Bytes() / (1 << 40)
+	if math.Abs(gotTiB-5.59) > 0.05 {
+		t.Errorf("database size = %.2f TiB, want ~5.6 TiB", gotTiB)
+	}
+	// §3.3: leaf bytes per query ~= N * B * P_scan = 6.14 GB; internal
+	// levels add only a little.
+	leaf := db.NumVectors * db.CodeBytes * db.ScanFraction
+	total := db.BytesScannedPerQuery()
+	if total < leaf {
+		t.Errorf("total scan %.3g < leaf scan %.3g", total, leaf)
+	}
+	if total > leaf*1.10 {
+		t.Errorf("internal levels should be <10%% of leaf scan: total=%.3g leaf=%.3g", total, leaf)
+	}
+}
+
+func TestMinServers(t *testing.T) {
+	// §4: minimum 16 servers for host memory capacity.
+	if got := MinServers(HyperscaleDB(), hw.EPYCHost); got != 16 {
+		t.Errorf("MinServers = %d, want 16", got)
+	}
+}
+
+func TestValidateShardTooBig(t *testing.T) {
+	s := hyperscaleSystem(8, 1) // 8 servers cannot hold 5.6 TiB
+	if err := s.Validate(); err == nil {
+		t.Errorf("8-server deployment should fail memory validation")
+	}
+}
+
+func TestSaturatedThroughput(t *testing.T) {
+	// 16 servers x 460 GB/s x 80% / 6.2 GB per query ~= 950 QPS.
+	s := hyperscaleSystem(16, 1)
+	qps, err := s.MaxQPS()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qps < 800 || qps < 0 || qps > 1100 {
+		t.Errorf("saturated retrieval QPS = %.0f, want ~950", qps)
+	}
+	// Doubling servers doubles throughput (each holds half the shard).
+	s32 := hyperscaleSystem(32, 1)
+	qps32, err := s32.MaxQPS()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(qps32-2*qps)/qps > 0.01 {
+		t.Errorf("32-server QPS = %.0f, want ~2x 16-server %.0f", qps32, qps)
+	}
+}
+
+func TestLatencyFlatBelowCoreSaturation(t *testing.T) {
+	// §7.2 / Fig. 19a: below ~16-21 queries, batching does not change
+	// latency (per-core bound); past saturation latency grows.
+	s := hyperscaleSystem(16, 1)
+	r1, err := s.Estimate(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r16, err := s.Estimate(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r16.Latency-r1.Latency)/r1.Latency > 0.02 {
+		t.Errorf("latency should be flat below core saturation: b=1 %.4f vs b=16 %.4f", r1.Latency, r16.Latency)
+	}
+	r256, err := s.Estimate(256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r256.Latency < 4*r16.Latency {
+		t.Errorf("large batches should be bandwidth-bound: b=256 latency %.4f vs b=16 %.4f", r256.Latency, r16.Latency)
+	}
+}
+
+func TestSingleQueryLatencyScale(t *testing.T) {
+	// One query scans 6.14GB/16 = 384 MB per shard at 18 GB/s on one
+	// core: ~21 ms, plus small internal-level scans.
+	s := hyperscaleSystem(16, 1)
+	r, err := s.Estimate(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Latency < 0.018 || r.Latency > 0.030 {
+		t.Errorf("single-query latency = %.4fs, want ~21ms", r.Latency)
+	}
+}
+
+func TestQPSSaturatesAtMaxQPS(t *testing.T) {
+	s := hyperscaleSystem(16, 1)
+	maxQPS, err := s.MaxQPS()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := s.Estimate(1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.QPS > maxQPS*1.001 {
+		t.Errorf("batch throughput %.0f exceeds saturation %.0f", r.QPS, maxQPS)
+	}
+	if r.QPS < maxQPS*0.95 {
+		t.Errorf("large batch should approach saturation: %.0f vs %.0f", r.QPS, maxQPS)
+	}
+}
+
+func TestMultiQueryRetrievalHalvesThroughput(t *testing.T) {
+	// Fig. 6: doubling queries per retrieval roughly halves retrieval
+	// throughput.
+	base, err := hyperscaleSystem(16, 1).MaxQPS()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range []int{2, 4, 8} {
+		got, err := hyperscaleSystem(16, q).MaxQPS()
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := base / float64(q)
+		if math.Abs(got-want)/want > 0.01 {
+			t.Errorf("q=%d: MaxQPS = %.0f, want %.0f", q, got, want)
+		}
+	}
+}
+
+func TestScanFractionScalesWork(t *testing.T) {
+	// Fig. 7b: scanning 1% instead of 0.1% means ~10x the work.
+	db01 := HyperscaleDB()
+	db1 := HyperscaleDB()
+	db1.ScanFraction = 0.01
+	ratio := db1.BytesScannedPerQuery() / db01.BytesScannedPerQuery()
+	if ratio < 8 || ratio > 11 {
+		t.Errorf("scan bytes ratio 1%%/0.1%% = %.2f, want ~10", ratio)
+	}
+}
+
+func TestLongContextDB(t *testing.T) {
+	// §5.2: 1M-token context -> ~7.8K chunks of 128 tokens; FP16 768-dim
+	// vectors; brute-force scan.
+	db := LongContextDB(1_000_000)
+	if err := db.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if db.NumVectors < 7000 || db.NumVectors > 8000 {
+		t.Errorf("1M-token chunks = %v, want ~7813", db.NumVectors)
+	}
+	if db.Levels != 1 || db.ScanFraction != 1 {
+		t.Errorf("long-context DB should be flat full-scan")
+	}
+	// Paper: caching 10K vectors for 1M tokens needs ~15 MB.
+	mb := LongContextDB(1_280_000).Bytes() / 1e6
+	if mb < 12 || mb > 18 {
+		t.Errorf("1.28M-token DB = %.1f MB, want ~15 MB", mb)
+	}
+	// Retrieval latency is microseconds — negligible vs. inference.
+	s := System{DB: db, Host: hw.EPYCHost, Servers: 1, QueriesPerRetrieval: 1}
+	r, err := s.Estimate(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Latency > 0.002 {
+		t.Errorf("long-context retrieval latency = %.6fs, want < 2ms (§5.2: <1%% of total)", r.Latency)
+	}
+}
+
+func TestTransferTimeNegligible(t *testing.T) {
+	// §4c: 5 documents x 100 tokens x 2 bytes = 1 KB -> tens of
+	// microseconds at PCIe rates.
+	tt := TransferTime(500, 2, DefaultPCIeBW)
+	if tt <= 0 || tt > 1e-6*100 {
+		t.Errorf("transfer time = %v, want positive and < 100us", tt)
+	}
+	if TransferTime(0, 2, DefaultPCIeBW) != 0 {
+		t.Errorf("zero tokens should transfer in zero time")
+	}
+	if TransferTime(500, 2, 0) <= 0 {
+		t.Errorf("zero bandwidth should fall back to default PCIe")
+	}
+}
+
+func TestEstimateErrors(t *testing.T) {
+	s := hyperscaleSystem(16, 1)
+	if _, err := s.Estimate(0); err == nil {
+		t.Errorf("batch 0 should error")
+	}
+	bad := s
+	bad.QueriesPerRetrieval = 0
+	if _, err := bad.Estimate(1); err == nil {
+		t.Errorf("zero queries per retrieval should error")
+	}
+	badDB := s
+	badDB.DB.ScanFraction = 1.5
+	if _, err := badDB.Estimate(1); err == nil {
+		t.Errorf("scan fraction > 1 should error")
+	}
+}
+
+// Property: QPS is non-decreasing in batch size and latency non-decreasing
+// in batch size.
+func TestBatchMonotonicity(t *testing.T) {
+	s := hyperscaleSystem(16, 1)
+	f := func(rawA, rawB uint8) bool {
+		a := int(rawA)%512 + 1
+		b := int(rawB)%512 + 1
+		if a > b {
+			a, b = b, a
+		}
+		ra, err1 := s.Estimate(a)
+		rb, err2 := s.Estimate(b)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return rb.QPS >= ra.QPS*0.999 && rb.Latency >= ra.Latency*0.999
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: bytes scanned per query scales linearly with scan fraction at
+// the leaves (dominant term) within a few percent.
+func TestScanBytesScaling(t *testing.T) {
+	f := func(raw uint8) bool {
+		frac := (float64(raw%100) + 1) / 1000 // 0.001 .. 0.1
+		db := HyperscaleDB()
+		db.ScanFraction = frac
+		got := db.BytesScannedPerQuery()
+		leaf := db.NumVectors * db.CodeBytes * frac
+		return got >= leaf && got < leaf*1.5
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

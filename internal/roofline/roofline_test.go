@@ -1,0 +1,121 @@
+package roofline
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestOpTime(t *testing.T) {
+	cases := []struct {
+		name                      string
+		flops, bytes, comp, memBW float64
+		want                      float64
+	}{
+		{"compute bound", 1e12, 1e9, 1e12, 1e10, 1.0},
+		{"memory bound", 1e9, 1e10, 1e12, 1e9, 10.0},
+		{"balanced", 2e12, 2e9, 1e12, 1e9, 2.0},
+		{"zero work", 0, 0, 1e12, 1e9, 0},
+		{"zero flops", 0, 1e9, 1e12, 1e9, 1.0},
+		{"zero bytes", 1e12, 0, 1e12, 1e9, 1.0},
+	}
+	for _, c := range cases {
+		if got := OpTime(c.flops, c.bytes, c.comp, c.memBW); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("%s: OpTime = %v, want %v", c.name, got, c.want)
+		}
+	}
+	if got := OpTime(1, 1, 0, 1); !math.IsInf(got, 1) {
+		t.Errorf("dead compute should be +Inf, got %v", got)
+	}
+	if got := OpTime(1, 1, 1, 0); !math.IsInf(got, 1) {
+		t.Errorf("dead memory should be +Inf, got %v", got)
+	}
+}
+
+func TestCommTime(t *testing.T) {
+	if got := CommTime(1e9, 1e9); got != 1.0 {
+		t.Errorf("CommTime = %v, want 1", got)
+	}
+	if got := CommTime(0, 1e9); got != 0 {
+		t.Errorf("CommTime(0) = %v, want 0", got)
+	}
+	if got := CommTime(1, 0); !math.IsInf(got, 1) {
+		t.Errorf("dead link should be +Inf, got %v", got)
+	}
+}
+
+func TestMatmulEfficiency(t *testing.T) {
+	// Large operands approach full efficiency.
+	if e := MatmulEfficiency(4096, 8192, 4096, 256); e < 0.90 {
+		t.Errorf("large matmul efficiency = %v, want > 0.90", e)
+	}
+	// A 32-row operand on a 256-wide array pays a fill penalty of
+	// ~32/(32+64) = 1/3 on top of the K/N tiling losses.
+	e32 := MatmulEfficiency(32, 4096, 4096, 256)
+	if e32 > 0.35 || e32 < 0.20 {
+		t.Errorf("short-prefix efficiency = %v, want ~0.22-0.33", e32)
+	}
+	// Efficiency is monotone in m for fixed k, n.
+	prev := 0.0
+	for _, m := range []int{1, 8, 64, 256, 1024, 4096} {
+		e := MatmulEfficiency(m, 4096, 4096, 256)
+		if e < prev {
+			t.Errorf("efficiency not monotone at m=%d: %v < %v", m, e, prev)
+		}
+		prev = e
+	}
+	if e := MatmulEfficiency(0, 10, 10, 256); e != 0 {
+		t.Errorf("degenerate matmul efficiency = %v, want 0", e)
+	}
+	if e := MatmulEfficiency(10, 10, 10, 1); e != 1 {
+		t.Errorf("scalar array should have efficiency 1, got %v", e)
+	}
+}
+
+func TestMatmulEfficiencyBounded(t *testing.T) {
+	f := func(m, k, n uint16) bool {
+		e := MatmulEfficiency(int(m)+1, int(k)+1, int(n)+1, 256)
+		return e > 0 && e <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllReduceBytes(t *testing.T) {
+	if got := AllReduceBytes(100, 1); got != 0 {
+		t.Errorf("single-chip all-reduce = %v, want 0", got)
+	}
+	if got := AllReduceBytes(100, 2); got != 100 {
+		t.Errorf("two-chip all-reduce = %v, want 100 (2*1/2*size)", got)
+	}
+	got := AllReduceBytes(100, 8)
+	want := 2.0 * 7.0 / 8.0 * 100
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("eight-chip all-reduce = %v, want %v", got, want)
+	}
+}
+
+func TestPow2Helpers(t *testing.T) {
+	for _, c := range []struct{ in, want int }{{0, 1}, {1, 1}, {2, 2}, {3, 4}, {64, 64}, {65, 128}} {
+		if got := Pow2Up(c.in); got != c.want {
+			t.Errorf("Pow2Up(%d) = %d, want %d", c.in, got, c.want)
+		}
+	}
+	got := Pow2Range(1, 16)
+	want := []int{1, 2, 4, 8, 16}
+	if len(got) != len(want) {
+		t.Fatalf("Pow2Range(1,16) = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Pow2Range(1,16) = %v, want %v", got, want)
+		}
+	}
+	if got := Pow2Range(3, 10); len(got) != 2 || got[0] != 4 || got[1] != 8 {
+		t.Errorf("Pow2Range(3,10) = %v, want [4 8]", got)
+	}
+	if got := Pow2Range(8, 4); got != nil {
+		t.Errorf("Pow2Range(8,4) = %v, want nil", got)
+	}
+}

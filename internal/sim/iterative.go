@@ -1,0 +1,188 @@
+// Package sim is the discrete-event companion to the analytical optimizer:
+// it executes scheduling decisions on concrete synthetic workloads instead
+// of composing closed-form stage costs.
+//
+// Two simulators live here. IterativeSim reproduces the decode-idleness
+// dynamics of §5.3 (Figs. 9 and 10): a continuous decode batch whose
+// sequences pause at random token positions for batched iterative
+// retrievals. ServeSim (serve.go) executes a complete RAGO schedule on a
+// request trace with batch formation, stage queueing, and continuous
+// batching, validating the analytical QPS and TTFT.
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"rago/internal/trace"
+)
+
+// IterativeConfig parameterizes the decode-idleness simulation.
+type IterativeConfig struct {
+	// DecodeBatch is the number of continuous-batching slots.
+	DecodeBatch int
+	// IterBatch is how many paused sequences a retrieval round waits to
+	// collect before dispatching (Fig. 10's y-axis).
+	IterBatch int
+	// DecodeTokens is the generation length (256 in the paper).
+	DecodeTokens int
+	// RetrievalsPerSeq is the *iterative* retrieval count per sequence
+	// (the paper's frequency minus the up-front retrieval).
+	RetrievalsPerSeq int
+	// StepTime is the decode step latency in seconds.
+	StepTime float64
+	// RetrievalLatency and PrefixLatency are the service times of an
+	// iterative round's two phases as functions of the dispatched batch
+	// size; nil means zero cost (Fig. 10 isolates pure batching
+	// idleness). Each phase is its own serialized server (throughput at
+	// batch b is b/latency(b), consistent with the analytical model) and
+	// the two pipeline: undersized iterative batches can make the
+	// retrieval tier itself the bottleneck — the Fig. 9b regime where
+	// growing the iterative batch *reduces* TPOT at large decode
+	// batches.
+	RetrievalLatency func(batch int) float64
+	PrefixLatency    func(batch int) float64
+	// Sequences is how many completed sequences to measure (after an
+	// equal warm-up); Seed fixes the trigger randomness.
+	Sequences int
+	Seed      int64
+}
+
+// IterativeResult reports the measured decode dynamics.
+type IterativeResult struct {
+	// MeanLatency is the average wall-clock time per sequence.
+	MeanLatency float64
+	// NormalizedLatency divides by the stall-free generation time
+	// (DecodeTokens * StepTime) — Fig. 10's heatmap value.
+	NormalizedLatency float64
+	// TPOT is MeanLatency / DecodeTokens.
+	TPOT float64
+	// Rounds is the number of retrieval rounds dispatched.
+	Rounds int
+}
+
+// slot is one continuous-batching sequence slot.
+type slot struct {
+	tokens   int   // tokens generated so far
+	triggers []int // remaining trigger positions (ascending)
+	waiting  bool  // paused, enqueued for the next retrieval round
+	resumeAt float64
+	started  float64
+}
+
+// RunIterative executes the token-stepped simulation. Decode advances all
+// non-paused sequences by one token every StepTime; a sequence hitting a
+// trigger position pauses until a round of IterBatch paused sequences has
+// been collected and served. Completed sequences are immediately replaced
+// (continuous batching), so the trigger supply never deadlocks; if every
+// slot is paused and fewer than IterBatch are pending, the round is
+// flushed partially — mirroring the timeout real schedulers apply.
+func RunIterative(cfg IterativeConfig) (IterativeResult, error) {
+	if cfg.DecodeBatch < 1 || cfg.IterBatch < 1 {
+		return IterativeResult{}, fmt.Errorf("sim: batches must be positive")
+	}
+	if cfg.DecodeTokens < 2 || cfg.StepTime <= 0 {
+		return IterativeResult{}, fmt.Errorf("sim: need tokens >= 2 and positive step time")
+	}
+	if cfg.RetrievalsPerSeq < 0 || cfg.Sequences < 1 {
+		return IterativeResult{}, fmt.Errorf("sim: need non-negative retrievals and positive sample")
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	zero := func(int) float64 { return 0 }
+	retrLat := cfg.RetrievalLatency
+	if retrLat == nil {
+		retrLat = zero
+	}
+	prefLat := cfg.PrefixLatency
+	if prefLat == nil {
+		prefLat = zero
+	}
+
+	slots := make([]*slot, cfg.DecodeBatch)
+	fresh := func(now float64) *slot {
+		return &slot{
+			triggers: trace.Triggers(cfg.RetrievalsPerSeq, cfg.DecodeTokens, rng),
+			started:  now,
+		}
+	}
+	for i := range slots {
+		slots[i] = fresh(0)
+	}
+
+	warm := cfg.Sequences
+	var done, measured, rounds int
+	var sumLatency float64
+	now := 0.0
+	var pending []*slot
+
+	var retrBusy, prefBusy float64
+	dispatch := func(k int) {
+		start := now
+		if retrBusy > start {
+			start = retrBusy
+		}
+		retrBusy = start + retrLat(k)
+		start = retrBusy
+		if prefBusy > start {
+			start = prefBusy
+		}
+		prefBusy = start + prefLat(k)
+		fin := prefBusy
+		for _, s := range pending[:k] {
+			s.waiting = false
+			s.resumeAt = fin
+			s.triggers = s.triggers[1:]
+		}
+		pending = pending[k:]
+		rounds++
+	}
+
+	for measured < cfg.Sequences {
+		// Dispatch full rounds; flush partially when everything is
+		// paused (deadlock breaker for IterBatch > DecodeBatch).
+		for len(pending) >= cfg.IterBatch {
+			dispatch(cfg.IterBatch)
+		}
+		allPaused := true
+		for _, s := range slots {
+			if !s.waiting && now >= s.resumeAt {
+				allPaused = false
+				break
+			}
+		}
+		if allPaused && len(pending) > 0 {
+			dispatch(len(pending))
+		}
+
+		// One decode step for every active sequence.
+		now += cfg.StepTime
+		for i, s := range slots {
+			if s.waiting || now < s.resumeAt {
+				continue
+			}
+			s.tokens++
+			if len(s.triggers) > 0 && s.tokens == s.triggers[0] {
+				s.waiting = true
+				pending = append(pending, s)
+				continue
+			}
+			if s.tokens >= cfg.DecodeTokens {
+				done++
+				if done > warm && measured < cfg.Sequences {
+					sumLatency += now - s.started
+					measured++
+				}
+				slots[i] = fresh(now)
+			}
+		}
+	}
+
+	mean := sumLatency / float64(measured)
+	ideal := float64(cfg.DecodeTokens) * cfg.StepTime
+	return IterativeResult{
+		MeanLatency:       mean,
+		NormalizedLatency: mean / ideal,
+		TPOT:              mean / float64(cfg.DecodeTokens),
+		Rounds:            rounds,
+	}, nil
+}

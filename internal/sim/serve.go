@@ -1,0 +1,342 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+
+	"rago/internal/core"
+	"rago/internal/pipeline"
+	"rago/internal/stageperf"
+	"rago/internal/trace"
+)
+
+// ServeSim executes a complete RAGO schedule on a request trace as a
+// discrete-event system: placement groups are time-multiplexed servers
+// forming batches per stage, the retrieval tier is its own server, and the
+// decode tier is a pool of continuous-batching slots. It exists to
+// validate the analytical assembly: at saturation its throughput must
+// match Assembler.Evaluate's QPS, and unloaded its TTFT must match the
+// analytical latency chain.
+type ServeSim struct {
+	pipe  pipeline.Pipeline
+	prof  *stageperf.Profiler
+	sched core.Schedule
+
+	// steps maps pipeline stage index -> execution step metadata.
+	steps []step
+}
+
+// step describes how one pipeline stage executes under the schedule.
+type step struct {
+	stage    pipeline.Stage
+	resource int // index into resources; -1 for the decode tier
+	batch    int
+	latency  float64 // service time for a full batch
+}
+
+// ServeResult is the measured behaviour of one run.
+type ServeResult struct {
+	Completed int
+	// QPS is completions divided by the completion span.
+	QPS float64
+	// MeanTTFT is the average time from arrival to prefix completion.
+	MeanTTFT float64
+	// MeanLatency is the average time from arrival to full generation.
+	MeanLatency float64
+}
+
+// NewServe builds a simulator for a validated (pipeline, schedule) pair.
+// Iterative-retrieval workloads are served by IterativeSim instead; this
+// executor covers single-retrieval pipelines.
+func NewServe(pipe pipeline.Pipeline, prof *stageperf.Profiler, sched core.Schedule) (*ServeSim, error) {
+	if pipe.Schema.Iterative() {
+		return nil, fmt.Errorf("sim: ServeSim covers single-retrieval pipelines; use RunIterative for §5.3 workloads")
+	}
+	if err := sched.Validate(pipe); err != nil {
+		return nil, err
+	}
+	s := &ServeSim{pipe: pipe, prof: prof, sched: sched, steps: make([]step, len(pipe.Stages))}
+	res := 0
+	for gi, g := range sched.Groups {
+		for i, idx := range g.Stages {
+			pt := prof.EvalR(pipe.Stages[idx], g.Chips, g.Batch, g.ReplicasFor(i))
+			if !pt.OK {
+				return nil, fmt.Errorf("sim: stage %v infeasible under schedule", pipe.Stages[idx].Kind)
+			}
+			s.steps[idx] = step{stage: pipe.Stages[idx], resource: gi, batch: g.Batch, latency: pt.Latency}
+		}
+		res = gi + 1
+	}
+	if retrIdx := pipe.Index(pipeline.KindRetrieval); retrIdx >= 0 {
+		pt := prof.Eval(pipe.Stages[retrIdx], sched.RetrievalServers, sched.RetrievalBatch)
+		if !pt.OK {
+			return nil, fmt.Errorf("sim: retrieval infeasible under schedule")
+		}
+		s.steps[retrIdx] = step{
+			stage:    pipe.Stages[retrIdx],
+			resource: res,
+			batch:    sched.RetrievalBatch,
+			latency:  pt.Latency + prof.RetrievalTransferLatency(),
+		}
+	}
+	decIdx := pipe.Index(pipeline.KindDecode)
+	dec := prof.EvalR(pipe.Stages[decIdx], sched.DecodeChips, sched.DecodeBatch, sched.DecodeReplicasOrOne())
+	if !dec.OK {
+		return nil, fmt.Errorf("sim: decode infeasible under schedule")
+	}
+	s.steps[decIdx] = step{stage: pipe.Stages[decIdx], resource: -1, batch: sched.DecodeBatch, latency: dec.Latency}
+	return s, nil
+}
+
+// event kinds.
+const (
+	evArrival = iota
+	evResourceDone
+	evFlush
+	evDecodeDone
+)
+
+type event struct {
+	at   float64
+	kind int
+	a, b int // payload: request index / resource index
+	seq  int // tie-break for determinism
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	x := old[len(old)-1]
+	*h = old[:len(old)-1]
+	return x
+}
+
+type reqState struct {
+	arrival  float64
+	stagePos int // index into pipe.Stages of the NEXT stage to run
+	ttft     float64
+	done     float64
+	enqueued float64
+}
+
+// Run executes the trace. flushTimeout is how long a partially filled
+// batch may wait before being dispatched anyway (0 dispatches immediately,
+// which is what unloaded-latency measurements want).
+func (s *ServeSim) Run(reqs []trace.Request, flushTimeout float64) (ServeResult, error) {
+	if len(reqs) == 0 {
+		return ServeResult{}, fmt.Errorf("sim: empty trace")
+	}
+	nRes := 0
+	for _, st := range s.steps {
+		if st.resource >= nRes {
+			nRes = st.resource + 1
+		}
+	}
+	type resState struct {
+		busy bool
+	}
+	resources := make([]resState, nRes)
+	queues := make([][]int, len(s.pipe.Stages)) // per-stage request queues
+	states := make([]reqState, len(reqs))
+
+	var h eventHeap
+	seq := 0
+	push := func(at float64, kind, a, b int) {
+		heap.Push(&h, event{at: at, kind: kind, a: a, b: b, seq: seq})
+		seq++
+	}
+	for i, r := range reqs {
+		states[i] = reqState{arrival: r.Arrival, stagePos: 0}
+		push(r.Arrival, evArrival, i, 0)
+	}
+
+	decIdx := s.pipe.Index(pipeline.KindDecode)
+	decFree := s.sched.DecodeBatch
+	var decQueue []int
+
+	// enqueue places request r at its current stage's queue.
+	enqueue := func(r int, now float64) {
+		pos := states[r].stagePos
+		if pos == decIdx {
+			// Continuous batching: each of the DecodeBatch slots holds
+			// one sequence for the full-batch generation wall time
+			// (the profiled latency already assumes all slots decode
+			// concurrently).
+			if decFree > 0 {
+				decFree--
+				push(now+s.steps[decIdx].latency, evDecodeDone, r, 0)
+			} else {
+				decQueue = append(decQueue, r)
+			}
+			return
+		}
+		queues[pos] = append(queues[pos], r)
+		states[r].enqueued = now
+		if flushTimeout > 0 {
+			push(now+flushTimeout, evFlush, pos, 0)
+		} else {
+			push(now, evFlush, pos, 0)
+		}
+	}
+
+	// trySchedule dispatches work on resource res if it is idle.
+	var trySchedule func(res int, now float64)
+	trySchedule = func(res int, now float64) {
+		if resources[res].busy {
+			return
+		}
+		// Round-robin over stages of this resource: pick the stage
+		// with the oldest waiting head among dispatchable queues.
+		best := -1
+		bestAge := math.Inf(-1)
+		for idx, st := range s.steps {
+			if st.resource != res || len(queues[idx]) == 0 {
+				continue
+			}
+			head := queues[idx][0]
+			ready := len(queues[idx]) >= st.batch || now-states[head].enqueued >= flushTimeout
+			if !ready {
+				continue
+			}
+			age := now - states[head].enqueued
+			if age > bestAge {
+				bestAge, best = age, idx
+			}
+		}
+		if best < 0 {
+			return
+		}
+		st := s.steps[best]
+		n := st.batch
+		if n > len(queues[best]) {
+			n = len(queues[best])
+		}
+		batch := queues[best][:n]
+		queues[best] = append([]int(nil), queues[best][n:]...)
+		resources[res].busy = true
+		// Service time: the profiled latency at the formed batch size.
+		pt := s.stageLatency(best, n)
+		for _, r := range batch {
+			push(now+pt, evResourceDone, r, res)
+		}
+		// A zero-payload marker to free the resource.
+		push(now+pt, evResourceDone, -1, res)
+	}
+
+	var firstDone, lastDone float64
+	var sumTTFT, sumLat float64
+	completed := 0
+	prefixIdx := s.pipe.Index(pipeline.KindPrefix)
+
+	for h.Len() > 0 {
+		e := heap.Pop(&h).(event)
+		now := e.at
+		switch e.kind {
+		case evArrival:
+			enqueue(e.a, now)
+			if res := s.steps[states[e.a].stagePos].resource; res >= 0 {
+				trySchedule(res, now)
+			}
+		case evFlush:
+			if res := s.steps[e.a].resource; res >= 0 {
+				trySchedule(res, now)
+			}
+		case evResourceDone:
+			if e.a < 0 {
+				resources[e.b].busy = false
+				trySchedule(e.b, now)
+				break
+			}
+			r := e.a
+			if states[r].stagePos == prefixIdx {
+				states[r].ttft = now - states[r].arrival
+			}
+			states[r].stagePos++
+			enqueue(r, now)
+			if next := states[r].stagePos; next < len(s.steps) {
+				if res := s.steps[next].resource; res >= 0 {
+					trySchedule(res, now)
+				}
+			}
+		case evDecodeDone:
+			r := e.a
+			states[r].done = now
+			completed++
+			if completed == 1 {
+				firstDone = now
+			}
+			lastDone = now
+			sumTTFT += states[r].ttft
+			sumLat += now - states[r].arrival
+			decFree++
+			if len(decQueue) > 0 {
+				nxt := decQueue[0]
+				decQueue = decQueue[1:]
+				decFree--
+				push(now+s.steps[decIdx].latency, evDecodeDone, nxt, 0)
+			}
+		}
+	}
+	if completed == 0 {
+		return ServeResult{}, fmt.Errorf("sim: no request completed")
+	}
+	span := lastDone - firstDone
+	qps := math.Inf(1)
+	if span > 0 {
+		qps = float64(completed-1) / span
+	}
+	return ServeResult{
+		Completed:   completed,
+		QPS:         qps,
+		MeanTTFT:    sumTTFT / float64(completed),
+		MeanLatency: sumLat / float64(completed),
+	}, nil
+}
+
+// stageLatency returns the service time of stage idx at actual batch n.
+func (s *ServeSim) stageLatency(idx, n int) float64 {
+	st := s.steps[idx]
+	if n == st.batch {
+		return st.latency
+	}
+	// Partially filled batch: profile at the formed size.
+	if st.stage.Kind == pipeline.KindRetrieval {
+		pt := s.prof.Eval(st.stage, s.sched.RetrievalServers, n)
+		if pt.OK {
+			return pt.Latency + s.prof.RetrievalTransferLatency()
+		}
+		return st.latency
+	}
+	for gi, g := range s.sched.Groups {
+		if gi != st.resource {
+			continue
+		}
+		for i, sidx := range g.Stages {
+			if sidx == idx {
+				pt := s.prof.EvalR(st.stage, g.Chips, n, minInt(g.ReplicasFor(i), n))
+				if pt.OK {
+					return pt.Latency
+				}
+			}
+		}
+	}
+	return st.latency
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

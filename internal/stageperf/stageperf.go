@@ -1,0 +1,308 @@
+// Package stageperf implements step 1 of the paper's Algorithm 1: the
+// performance of each RAG pipeline stage evaluated individually under
+// varying resource allocations and batch sizes, using the calibrated
+// analytical models (xpusim for inference stages, retrieval for the vector
+// search tier).
+//
+// A Profiler memoizes evaluations, since the schedule search (steps 2-3)
+// revisits the same (stage, resources, batch) points across thousands of
+// candidate schedules.
+package stageperf
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"rago/internal/hw"
+	"rago/internal/pipeline"
+	"rago/internal/ragschema"
+	"rago/internal/retrieval"
+	"rago/internal/xpusim"
+)
+
+// Point is the evaluated performance of one stage at one operating point.
+type Point struct {
+	// Latency is the time the stage takes to serve one batch end to end
+	// (for autoregressive stages: the full generation of the batch).
+	Latency float64
+	// QPS is the stage's steady-state request throughput on these
+	// resources at this batch size.
+	QPS float64
+	// StepLatency is the per-token step time for autoregressive stages
+	// (worst-case TPOT contribution); zero otherwise.
+	StepLatency float64
+	// Replicas is the data-parallel replica count this point assumes:
+	// the stage's chips are split into Replicas groups each serving its
+	// share of the batch. 1 means all chips cooperate on every batch.
+	Replicas int
+	// OK is false when the operating point is infeasible (model or KV
+	// cache does not fit, shard exceeds host memory, ...).
+	OK bool
+}
+
+// encodeChunkBatch is the internal chunk-level batch the database encoder
+// runs at; context chunks are abundant (thousands per request) so the
+// encoder always has full batches available.
+const encodeChunkBatch = 64
+
+// Profiler evaluates pipeline stages against a hardware catalog. It is
+// safe for concurrent use: the schedule search fans plans out across
+// goroutines that share one profiler.
+type Profiler struct {
+	Sim    xpusim.Simulator
+	Host   hw.CPUHost
+	Schema ragschema.Schema
+
+	retrDB retrieval.DB
+	mu     sync.Mutex
+	cache  map[cacheKey]Point
+}
+
+// cacheKey memoizes on the full stage shape (pipeline.Stage is comparable):
+// the optimizer evaluates synthesized stages — e.g. iterative-retrieval
+// prefix passes — that share a Kind with a main stage but differ in shape.
+type cacheKey struct {
+	stage pipeline.Stage
+	chips int
+	batch int
+}
+
+// New builds a profiler for one workload on one hardware generation.
+func New(chip hw.XPU, host hw.CPUHost, schema ragschema.Schema) *Profiler {
+	return &Profiler{
+		Sim:    xpusim.New(chip),
+		Host:   host,
+		Schema: schema,
+		retrDB: DBFor(schema),
+		cache:  make(map[cacheKey]Point),
+	}
+}
+
+// DBFor derives the retrieval database description from a schema: PQ-coded
+// multi-level trees for large offline corpora (§4), flat FP16 brute-force
+// scans for real-time long-context databases (§5.2).
+func DBFor(s ragschema.Schema) retrieval.DB {
+	if s.ContextTokens > 0 || s.ScanFraction >= 1 {
+		chunk := s.ChunkTokens
+		if chunk <= 0 {
+			chunk = 128
+		}
+		return retrieval.DB{
+			NumVectors:   math.Max(s.DBVectors, 1),
+			Dim:          s.VectorDim,
+			CodeBytes:    float64(s.VectorDim) * 2,
+			Levels:       1,
+			ScanFraction: 1,
+		}
+	}
+	db := retrieval.DB{
+		NumVectors:   s.DBVectors,
+		Dim:          s.VectorDim,
+		CodeBytes:    math.Max(float64(s.VectorDim)/8, 1), // PQ: 1 byte per 8 dims
+		ScanFraction: s.ScanFraction,
+	}
+	switch {
+	case s.DBVectors >= 1e9:
+		db.Levels = 3
+		db.Fanout = 4096
+	case s.DBVectors >= 1e6:
+		db.Levels = 2
+		db.Fanout = int(math.Ceil(math.Sqrt(s.DBVectors)))
+	default:
+		db.Levels = 1
+		db.ScanFraction = 1
+	}
+	return db
+}
+
+// DB returns the derived retrieval database description.
+func (p *Profiler) DB() retrieval.DB { return p.retrDB }
+
+// MinRetrievalServers returns the smallest server count that holds the
+// database in host memory.
+func (p *Profiler) MinRetrievalServers() int {
+	n := retrieval.MinServers(p.retrDB, p.Host)
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// Eval returns the performance of stage st given chips accelerators (or,
+// for retrieval, `chips` CPU servers) and the given request batch size,
+// with all chips cooperating on every batch (one replica).
+func (p *Profiler) Eval(st pipeline.Stage, chips, batch int) Point {
+	return p.EvalR(st, chips, batch, 1)
+}
+
+// EvalR evaluates st with its chips split into `replicas` data-parallel
+// groups of chips/replicas each; an incoming batch is split evenly across
+// replicas (latency follows the per-replica sub-batch, throughput sums
+// across replicas). Retrieval does not replicate — its servers already
+// shard the database — so replicas must be 1 there.
+func (p *Profiler) EvalR(st pipeline.Stage, chips, batch, replicas int) Point {
+	if chips < 1 || batch < 1 || replicas < 1 || chips%replicas != 0 {
+		return Point{}
+	}
+	if st.Kind == pipeline.KindRetrieval {
+		if replicas != 1 {
+			return Point{}
+		}
+		return p.evalCached(st, chips, batch)
+	}
+	group := chips / replicas
+	sub := (batch + replicas - 1) / replicas
+	base := p.evalCached(st, group, sub)
+	if !base.OK {
+		return Point{}
+	}
+	return Point{
+		Latency:     base.Latency,
+		QPS:         float64(replicas) * base.QPS,
+		StepLatency: base.StepLatency,
+		Replicas:    replicas,
+		OK:          true,
+	}
+}
+
+// Candidates returns the Pareto-optimal replication choices for st at
+// (chips, batch): low-replica points minimize latency, high-replica points
+// maximize throughput. At most a handful of points survive.
+func (p *Profiler) Candidates(st pipeline.Stage, chips, batch int) []Point {
+	var pts []Point
+	for r := 1; r <= chips; r <<= 1 {
+		pt := p.EvalR(st, chips, batch, r)
+		if pt.OK {
+			pts = append(pts, pt)
+		}
+		if st.Kind == pipeline.KindRetrieval {
+			break
+		}
+	}
+	// Pareto prune on (latency down, QPS up), preserving replica order.
+	var out []Point
+	for i, a := range pts {
+		dominated := false
+		for j, b := range pts {
+			if i == j {
+				continue
+			}
+			if b.Latency <= a.Latency && b.QPS >= a.QPS && (b.Latency < a.Latency || b.QPS > a.QPS) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+func (p *Profiler) evalCached(st pipeline.Stage, chips, batch int) Point {
+	key := cacheKey{st, chips, batch}
+	p.mu.Lock()
+	pt, ok := p.cache[key]
+	p.mu.Unlock()
+	if ok {
+		return pt
+	}
+	pt = p.eval(st, chips, batch)
+	pt.Replicas = 1
+	p.mu.Lock()
+	p.cache[key] = pt
+	p.mu.Unlock()
+	return pt
+}
+
+func (p *Profiler) eval(st pipeline.Stage, chips, batch int) Point {
+	switch st.Kind {
+	case pipeline.KindRetrieval:
+		return p.evalRetrieval(chips, batch)
+	case pipeline.KindEncode:
+		return p.evalEncode(st, chips, batch)
+	case pipeline.KindRewritePrefix, pipeline.KindPrefix:
+		r, err := p.Sim.Prefix(st.Model, st.SeqLen, batch, chips)
+		if err != nil {
+			return Point{}
+		}
+		return Point{Latency: r.Latency, QPS: r.Throughput, OK: true}
+	case pipeline.KindRerank:
+		r, err := p.Sim.Prefix(st.Model, st.SeqLen, batch*st.Items, chips)
+		if err != nil {
+			return Point{}
+		}
+		return Point{Latency: r.Latency, QPS: r.Throughput / float64(st.Items), OK: true}
+	case pipeline.KindRewriteDecode, pipeline.KindDecode:
+		r, err := p.Sim.DecodeStep(st.Model, batch, st.CtxLen, chips)
+		if err != nil {
+			return Point{}
+		}
+		lat := float64(st.OutTokens) * r.Latency
+		return Point{
+			Latency:     lat,
+			QPS:         float64(batch) / lat,
+			StepLatency: r.Latency,
+			OK:          true,
+		}
+	default:
+		return Point{}
+	}
+}
+
+// evalRetrieval treats chips as server count.
+func (p *Profiler) evalRetrieval(servers, batch int) Point {
+	sys := retrieval.System{
+		DB:                  p.retrDB,
+		Host:                p.Host,
+		Servers:             servers,
+		QueriesPerRetrieval: p.Schema.QueriesPerRetrieval,
+	}
+	r, err := sys.Estimate(batch)
+	if err != nil {
+		return Point{}
+	}
+	return Point{Latency: r.Latency, QPS: r.QPS, OK: true}
+}
+
+// evalEncode processes batch requests of st.Items chunks each at a fixed
+// internal chunk batch; chunk supply is abundant so throughput is the
+// chunk-processing rate divided by chunks per request. Unlike the
+// latency-critical prefix stages, encoding is a pure throughput stage, so
+// the throughput-optimal sharding is chosen (pipeline parallelism keeps
+// small encoders efficient across many chips where tensor parallelism
+// would shred their matmul shapes).
+func (p *Profiler) evalEncode(st pipeline.Stage, chips, batch int) Point {
+	cands := p.Sim.PrefixCandidates(st.Model, st.SeqLen, encodeChunkBatch, chips)
+	if len(cands) == 0 {
+		return Point{}
+	}
+	r := cands[0]
+	for _, c := range cands[1:] {
+		if c.Throughput > r.Throughput {
+			r = c
+		}
+	}
+	chunksPerSec := r.Throughput // chunk throughput at steady state
+	if chunksPerSec <= 0 {
+		return Point{}
+	}
+	totalChunks := float64(batch) * float64(st.Items)
+	lat := totalChunks / chunksPerSec
+	if lat < r.Latency {
+		lat = r.Latency
+	}
+	return Point{Latency: lat, QPS: float64(batch) / lat, OK: true}
+}
+
+// RetrievalTransferLatency is the CPU-to-XPU result shipment per request
+// (§4c) — modeled for completeness, negligible in practice.
+func (p *Profiler) RetrievalTransferLatency() float64 {
+	return retrieval.TransferTime(p.Schema.RetrievedTokens(), 2, retrieval.DefaultPCIeBW)
+}
+
+// String summarizes the profiler configuration.
+func (p *Profiler) String() string {
+	return fmt.Sprintf("stageperf{chip=%s schema=%s}", p.Sim.Chip.Name, p.Schema.Name)
+}

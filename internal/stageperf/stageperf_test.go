@@ -1,0 +1,199 @@
+package stageperf
+
+import (
+	"math"
+	"testing"
+
+	"rago/internal/hw"
+	"rago/internal/pipeline"
+	"rago/internal/ragschema"
+)
+
+func profilerFor(t *testing.T, s ragschema.Schema) (*Profiler, pipeline.Pipeline) {
+	t.Helper()
+	p, err := pipeline.Build(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return New(hw.XPUC, hw.EPYCHost, s), p
+}
+
+func stage(t *testing.T, p pipeline.Pipeline, k pipeline.Kind) pipeline.Stage {
+	t.Helper()
+	i := p.Index(k)
+	if i < 0 {
+		t.Fatalf("pipeline has no %v stage", k)
+	}
+	return p.Stages[i]
+}
+
+func TestDBForHyperscale(t *testing.T) {
+	db := DBFor(ragschema.CaseI(8e9, 1))
+	if db.Levels != 3 || db.Fanout != 4096 {
+		t.Errorf("hyperscale tree = %d levels fanout %d, want 3/4096", db.Levels, db.Fanout)
+	}
+	if db.CodeBytes != 96 {
+		t.Errorf("PQ code = %v bytes, want 96 (768/8)", db.CodeBytes)
+	}
+	if db.ScanFraction != 0.001 {
+		t.Errorf("scan fraction = %v, want 0.001", db.ScanFraction)
+	}
+}
+
+func TestDBForLongContext(t *testing.T) {
+	db := DBFor(ragschema.CaseII(70e9, 1_000_000))
+	if db.Levels != 1 || db.ScanFraction != 1 {
+		t.Errorf("long-context DB should be flat brute force")
+	}
+	if db.CodeBytes != 768*2 {
+		t.Errorf("long-context codes = %v bytes, want FP16 768-dim", db.CodeBytes)
+	}
+}
+
+func TestMinRetrievalServers(t *testing.T) {
+	p, _ := profilerFor(t, ragschema.CaseI(8e9, 1))
+	if got := p.MinRetrievalServers(); got != 16 {
+		t.Errorf("hyperscale min servers = %d, want 16", got)
+	}
+	p2, _ := profilerFor(t, ragschema.CaseII(70e9, 100_000))
+	if got := p2.MinRetrievalServers(); got != 1 {
+		t.Errorf("long-context min servers = %d, want 1", got)
+	}
+}
+
+func TestEvalPrefixAndDecode(t *testing.T) {
+	prof, pl := profilerFor(t, ragschema.CaseI(8e9, 1))
+	pre := prof.Eval(stage(t, pl, pipeline.KindPrefix), 1, 1)
+	if !pre.OK || pre.Latency <= 0 || pre.QPS <= 0 {
+		t.Fatalf("prefix point = %+v", pre)
+	}
+	if pre.StepLatency != 0 {
+		t.Errorf("prefix has no step latency, got %v", pre.StepLatency)
+	}
+	dec := prof.Eval(stage(t, pl, pipeline.KindDecode), 1, 64)
+	if !dec.OK || dec.StepLatency <= 0 {
+		t.Fatalf("decode point = %+v", dec)
+	}
+	// Full generation = 256 steps.
+	if math.Abs(dec.Latency-256*dec.StepLatency) > 1e-9 {
+		t.Errorf("decode latency %v != 256 x step %v", dec.Latency, dec.StepLatency)
+	}
+	// The paper's tuned baseline observes prefix:decode time ratios of
+	// roughly 1.2-1.4:1 at serving batch sizes (§7.1); check that our
+	// calibration lands in a compatible band at decode batch 128.
+	dec128 := prof.Eval(stage(t, pl, pipeline.KindDecode), 1, 128)
+	if !dec128.OK {
+		t.Fatalf("decode batch 128 infeasible")
+	}
+	ratio := (1 / pre.QPS) / (1 / dec128.QPS)
+	if ratio < 0.8 || ratio > 2.0 {
+		t.Errorf("prefix:decode per-request cost ratio = %.2f, want in [0.8, 2.0]", ratio)
+	}
+}
+
+func TestEvalRetrievalMatchesSystem(t *testing.T) {
+	prof, pl := profilerFor(t, ragschema.CaseI(8e9, 1))
+	r := prof.Eval(stage(t, pl, pipeline.KindRetrieval), 16, 32)
+	if !r.OK {
+		t.Fatalf("retrieval point not OK")
+	}
+	if r.Latency < 0.015 || r.Latency > 0.050 {
+		t.Errorf("retrieval batch latency = %v, want tens of ms", r.Latency)
+	}
+	// 8 servers cannot hold the corpus.
+	if bad := prof.Eval(stage(t, pl, pipeline.KindRetrieval), 8, 32); bad.OK {
+		t.Errorf("8-server retrieval should be infeasible")
+	}
+}
+
+func TestEvalEncode(t *testing.T) {
+	prof, pl := profilerFor(t, ragschema.CaseII(70e9, 1_000_000))
+	enc := prof.Eval(stage(t, pl, pipeline.KindEncode), 1, 1)
+	if !enc.OK {
+		t.Fatalf("encode point not OK")
+	}
+	// ~1M tokens on one chip at ~1M tokens/s -> around a second.
+	if enc.Latency < 0.3 || enc.Latency > 3.0 {
+		t.Errorf("1M-token encode latency = %v s, want ~1s", enc.Latency)
+	}
+	// Encoder throughput is batch-independent (chunk supply abundant).
+	enc4 := prof.Eval(stage(t, pl, pipeline.KindEncode), 1, 4)
+	if math.Abs(enc4.QPS-enc.QPS)/enc.QPS > 0.05 {
+		t.Errorf("encode QPS changed with request batch: %v vs %v", enc4.QPS, enc.QPS)
+	}
+	// More chips, more throughput.
+	enc8 := prof.Eval(stage(t, pl, pipeline.KindEncode), 8, 1)
+	if enc8.QPS < enc.QPS*4 {
+		t.Errorf("8-chip encode QPS %v not ~8x 1-chip %v", enc8.QPS, enc.QPS)
+	}
+}
+
+func TestEvalRerank(t *testing.T) {
+	prof, pl := profilerFor(t, ragschema.CaseIV(70e9))
+	rr := prof.Eval(stage(t, pl, pipeline.KindRerank), 1, 4)
+	if !rr.OK {
+		t.Fatalf("rerank point not OK")
+	}
+	// Reranking 16 x 100-token passages with a 120M encoder is fast
+	// (§5.4: negligible).
+	if rr.Latency > 0.050 {
+		t.Errorf("rerank latency = %v, want < 50ms", rr.Latency)
+	}
+}
+
+func TestEvalRewriteDecodeSlowerThanRewritePrefix(t *testing.T) {
+	// §5.4: the rewriter's autoregressive decode dominates its cost.
+	prof, pl := profilerFor(t, ragschema.CaseIV(70e9))
+	rp := prof.Eval(stage(t, pl, pipeline.KindRewritePrefix), 1, 4)
+	rd := prof.Eval(stage(t, pl, pipeline.KindRewriteDecode), 1, 4)
+	if !rp.OK || !rd.OK {
+		t.Fatalf("rewrite points not OK: %+v %+v", rp, rd)
+	}
+	if rd.Latency < 5*rp.Latency {
+		t.Errorf("rewrite decode (%v) should dwarf rewrite prefix (%v)", rd.Latency, rp.Latency)
+	}
+}
+
+func TestEvalInfeasibleAndDegenerate(t *testing.T) {
+	prof, pl := profilerFor(t, ragschema.CaseI(405e9, 1))
+	// 405B prefix cannot fit on one chip.
+	if pt := prof.Eval(stage(t, pl, pipeline.KindPrefix), 1, 1); pt.OK {
+		t.Errorf("405B on one chip should be infeasible")
+	}
+	if pt := prof.Eval(stage(t, pl, pipeline.KindPrefix), 0, 1); pt.OK {
+		t.Errorf("zero chips should be infeasible")
+	}
+	if pt := prof.Eval(stage(t, pl, pipeline.KindPrefix), 8, 0); pt.OK {
+		t.Errorf("zero batch should be infeasible")
+	}
+}
+
+func TestEvalMemoization(t *testing.T) {
+	prof, pl := profilerFor(t, ragschema.CaseI(8e9, 1))
+	st := stage(t, pl, pipeline.KindPrefix)
+	a := prof.Eval(st, 2, 8)
+	b := prof.Eval(st, 2, 8)
+	if a != b {
+		t.Errorf("memoized evaluation differs: %+v vs %+v", a, b)
+	}
+}
+
+func TestTransferLatencyNegligible(t *testing.T) {
+	prof, _ := profilerFor(t, ragschema.CaseI(8e9, 1))
+	tt := prof.RetrievalTransferLatency()
+	if tt <= 0 || tt > 1e-4 {
+		t.Errorf("transfer latency = %v, want positive and < 0.1ms", tt)
+	}
+}
+
+func TestRetrievalQPSIndependentOfGenModel(t *testing.T) {
+	// Retrieval cost depends only on the database and query count, not
+	// on which LLM consumes the results.
+	p8, pl8 := profilerFor(t, ragschema.CaseI(8e9, 1))
+	p70, pl70 := profilerFor(t, ragschema.CaseI(70e9, 1))
+	a := p8.Eval(stage(t, pl8, pipeline.KindRetrieval), 16, 64)
+	b := p70.Eval(stage(t, pl70, pipeline.KindRetrieval), 16, 64)
+	if a != b {
+		t.Errorf("retrieval point differs across LLM sizes: %+v vs %+v", a, b)
+	}
+}

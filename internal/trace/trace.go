@@ -1,0 +1,83 @@
+// Package trace generates deterministic synthetic request workloads: the
+// arrival processes and per-sequence iterative-retrieval trigger positions
+// the paper's studies assume (§4, §5.3). All generators are pure functions
+// of their seed.
+package trace
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// Request is one serving request.
+type Request struct {
+	// ID is a dense index.
+	ID int
+	// Arrival is the arrival time in seconds from epoch.
+	Arrival float64
+	// Triggers are decode token positions (1-based, strictly inside the
+	// generation) at which the request issues an iterative retrieval.
+	Triggers []int
+}
+
+// Poisson returns n requests with exponential inter-arrival times at the
+// given rate (requests/second).
+func Poisson(n int, rate float64, seed int64) ([]Request, error) {
+	if n < 0 || rate <= 0 {
+		return nil, fmt.Errorf("trace: need n >= 0 and positive rate")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]Request, n)
+	t := 0.0
+	for i := range out {
+		t += rng.ExpFloat64() / rate
+		out[i] = Request{ID: i, Arrival: t}
+	}
+	return out, nil
+}
+
+// Burst returns n requests all arriving at time zero — the §7.2
+// micro-batching scenario.
+func Burst(n int) []Request {
+	out := make([]Request, n)
+	for i := range out {
+		out[i] = Request{ID: i}
+	}
+	return out
+}
+
+// Triggers draws `count` distinct iterative-retrieval positions uniformly
+// from (0, decodeTokens), sorted ascending — §5.3: "each retrieval is
+// triggered at random intervals during the 256-token decoding process,
+// with retrievals uniformly distributed across token positions".
+func Triggers(count, decodeTokens int, rng *rand.Rand) []int {
+	if count <= 0 || decodeTokens <= 1 {
+		return nil
+	}
+	if count > decodeTokens-1 {
+		count = decodeTokens - 1
+	}
+	seen := make(map[int]bool, count)
+	out := make([]int, 0, count)
+	for len(out) < count {
+		p := 1 + rng.Intn(decodeTokens-1)
+		if !seen[p] {
+			seen[p] = true
+			out = append(out, p)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// WithTriggers decorates requests with iterative-retrieval positions.
+func WithTriggers(reqs []Request, perRequest, decodeTokens int, seed int64) []Request {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]Request, len(reqs))
+	for i, r := range reqs {
+		r.Triggers = Triggers(perRequest, decodeTokens, rng)
+		out[i] = r
+	}
+	return out
+}

@@ -1,0 +1,123 @@
+package trace
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPoisson(t *testing.T) {
+	reqs, err := Poisson(1000, 50, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reqs) != 1000 {
+		t.Fatalf("got %d requests", len(reqs))
+	}
+	// Arrivals strictly increasing, IDs dense.
+	for i := 1; i < len(reqs); i++ {
+		if reqs[i].Arrival <= reqs[i-1].Arrival {
+			t.Fatalf("arrivals not increasing at %d", i)
+		}
+		if reqs[i].ID != i {
+			t.Fatalf("ID %d at position %d", reqs[i].ID, i)
+		}
+	}
+	// Mean inter-arrival ~ 1/rate within 15%.
+	mean := reqs[len(reqs)-1].Arrival / float64(len(reqs))
+	if mean < 0.017 || mean > 0.023 {
+		t.Errorf("mean inter-arrival = %v, want ~0.02", mean)
+	}
+	if _, err := Poisson(10, 0, 1); err == nil {
+		t.Errorf("zero rate should error")
+	}
+	if _, err := Poisson(-1, 1, 1); err == nil {
+		t.Errorf("negative n should error")
+	}
+}
+
+func TestPoissonDeterministic(t *testing.T) {
+	a, _ := Poisson(50, 10, 7)
+	b, _ := Poisson(50, 10, 7)
+	for i := range a {
+		if a[i].Arrival != b[i].Arrival {
+			t.Fatalf("non-deterministic at %d", i)
+		}
+	}
+}
+
+func TestBurst(t *testing.T) {
+	reqs := Burst(16)
+	if len(reqs) != 16 {
+		t.Fatalf("got %d", len(reqs))
+	}
+	for _, r := range reqs {
+		if r.Arrival != 0 {
+			t.Errorf("burst arrival = %v, want 0", r.Arrival)
+		}
+	}
+}
+
+func TestTriggers(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	tr := Triggers(4, 256, rng)
+	if len(tr) != 4 {
+		t.Fatalf("got %d triggers", len(tr))
+	}
+	for i, p := range tr {
+		if p < 1 || p > 255 {
+			t.Errorf("trigger %d out of (0,256)", p)
+		}
+		if i > 0 && p <= tr[i-1] {
+			t.Errorf("triggers not strictly ascending")
+		}
+	}
+	if Triggers(0, 256, rng) != nil {
+		t.Errorf("zero triggers should be nil")
+	}
+	if Triggers(3, 1, rng) != nil {
+		t.Errorf("too-short decode should be nil")
+	}
+	// Requesting more triggers than positions clamps.
+	if got := Triggers(100, 5, rng); len(got) != 4 {
+		t.Errorf("clamped triggers = %d, want 4", len(got))
+	}
+}
+
+func TestWithTriggers(t *testing.T) {
+	reqs := WithTriggers(Burst(8), 4, 256, 9)
+	for _, r := range reqs {
+		if len(r.Triggers) != 4 {
+			t.Fatalf("request %d has %d triggers", r.ID, len(r.Triggers))
+		}
+	}
+	again := WithTriggers(Burst(8), 4, 256, 9)
+	for i := range reqs {
+		for j := range reqs[i].Triggers {
+			if reqs[i].Triggers[j] != again[i].Triggers[j] {
+				t.Fatalf("non-deterministic triggers")
+			}
+		}
+	}
+}
+
+// Property: trigger positions are always strictly ascending and in range.
+func TestTriggersProperty(t *testing.T) {
+	f := func(seed int64, rawN, rawLen uint8) bool {
+		n := int(rawN)%8 + 1
+		length := int(rawLen)%500 + 2
+		rng := rand.New(rand.NewSource(seed))
+		tr := Triggers(n, length, rng)
+		prev := 0
+		for _, p := range tr {
+			if p <= prev || p >= length {
+				return false
+			}
+			prev = p
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,43 @@
+package vectordb
+
+import "math/rand"
+
+// GenUniform returns n dim-dimensional vectors with coordinates uniform in
+// [0, 1), deterministic for a given seed.
+func GenUniform(n, dim int, seed int64) [][]float32 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([][]float32, n)
+	for i := range out {
+		v := make([]float32, dim)
+		for d := range v {
+			v[d] = rng.Float32()
+		}
+		out[i] = v
+	}
+	return out
+}
+
+// GenClustered returns n vectors drawn around `clusters` random centers
+// with Gaussian spread — the clustered geometry under which IVF indexes
+// (and the recall-vs-scan trade-off of §5.1) are meaningful.
+func GenClustered(n, dim, clusters int, spread float64, seed int64) [][]float32 {
+	rng := rand.New(rand.NewSource(seed))
+	centers := make([][]float64, clusters)
+	for i := range centers {
+		c := make([]float64, dim)
+		for d := range c {
+			c[d] = rng.Float64() * 10
+		}
+		centers[i] = c
+	}
+	out := make([][]float32, n)
+	for i := range out {
+		c := centers[rng.Intn(clusters)]
+		v := make([]float32, dim)
+		for d := range v {
+			v[d] = float32(c[d] + rng.NormFloat64()*spread)
+		}
+		out[i] = v
+	}
+	return out
+}

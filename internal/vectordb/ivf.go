@@ -1,0 +1,137 @@
+package vectordb
+
+import (
+	"fmt"
+	"sort"
+)
+
+// IVFPQ is an inverted-file index with product-quantized residual-free
+// codes: vectors are partitioned into nlist cells by a coarse k-means
+// quantizer; a query scans only the nprobe nearest cells, computing
+// approximate distances via PQ lookup tables. This is the IVF-PQ family
+// the paper identifies as the standard for hyperscale RAG retrieval (§2).
+type IVFPQ struct {
+	dim       int
+	centroids [][]float32
+	listIDs   [][]int
+	listCodes [][][]byte
+	pq        *PQ
+	count     int
+}
+
+// BuildIVFPQ trains a coarse quantizer with nlist cells and an m-byte
+// product quantizer, then assigns and encodes every vector.
+func BuildIVFPQ(data [][]float32, nlist, m int, seed int64) (*IVFPQ, error) {
+	if len(data) == 0 {
+		return nil, fmt.Errorf("vectordb: BuildIVFPQ on empty dataset")
+	}
+	dim := len(data[0])
+	if err := checkDataset(data, dim); err != nil {
+		return nil, err
+	}
+	if nlist < 1 {
+		return nil, fmt.Errorf("vectordb: nlist = %d < 1", nlist)
+	}
+	cents, err := KMeans(data, nlist, 12, seed)
+	if err != nil {
+		return nil, err
+	}
+	pq, err := TrainPQ(data, m, seed+1)
+	if err != nil {
+		return nil, err
+	}
+	ix := &IVFPQ{
+		dim:       dim,
+		centroids: cents,
+		listIDs:   make([][]int, nlist),
+		listCodes: make([][][]byte, nlist),
+		pq:        pq,
+	}
+	for id, v := range data {
+		cell := nearestCentroid(v, cents)
+		code, err := pq.Encode(v)
+		if err != nil {
+			return nil, err
+		}
+		ix.listIDs[cell] = append(ix.listIDs[cell], id)
+		ix.listCodes[cell] = append(ix.listCodes[cell], code)
+		ix.count++
+	}
+	return ix, nil
+}
+
+// Len returns the number of indexed vectors.
+func (ix *IVFPQ) Len() int { return ix.count }
+
+// NList returns the number of coarse cells.
+func (ix *IVFPQ) NList() int { return len(ix.centroids) }
+
+// Search returns the approximate k nearest neighbors of q, probing the
+// nprobe closest inverted lists.
+func (ix *IVFPQ) Search(q []float32, k, nprobe int) ([]Result, error) {
+	if len(q) != ix.dim {
+		return nil, fmt.Errorf("vectordb: query dim %d != %d", len(q), ix.dim)
+	}
+	if k < 1 {
+		return nil, fmt.Errorf("vectordb: k = %d < 1", k)
+	}
+	if nprobe < 1 {
+		return nil, fmt.Errorf("vectordb: nprobe = %d < 1", nprobe)
+	}
+	if nprobe > len(ix.centroids) {
+		nprobe = len(ix.centroids)
+	}
+	cells := ix.nearestCells(q, nprobe)
+	table, err := ix.pq.DistTable(q)
+	if err != nil {
+		return nil, err
+	}
+	t := newTopK(k)
+	for _, c := range cells {
+		ids := ix.listIDs[c]
+		codes := ix.listCodes[c]
+		for i, id := range ids {
+			t.offer(id, ix.pq.ADC(table, codes[i]))
+		}
+	}
+	return t.results(), nil
+}
+
+// nearestCells ranks cells by centroid distance and returns the closest n.
+func (ix *IVFPQ) nearestCells(q []float32, n int) []int {
+	type cd struct {
+		cell int
+		dist float32
+	}
+	ds := make([]cd, len(ix.centroids))
+	for i, c := range ix.centroids {
+		ds[i] = cd{i, SquaredL2(q, c)}
+	}
+	sort.Slice(ds, func(i, j int) bool { return ds[i].dist < ds[j].dist })
+	out := make([]int, n)
+	for i := 0; i < n; i++ {
+		out[i] = ds[i].cell
+	}
+	return out
+}
+
+// VectorsScanned returns how many database vectors a query with the given
+// nprobe touches on average (expected over cells, using actual list
+// occupancy). Dividing by Len gives the empirical P_scan of §3.3.
+func (ix *IVFPQ) VectorsScanned(nprobe int) float64 {
+	if nprobe > len(ix.listIDs) {
+		nprobe = len(ix.listIDs)
+	}
+	if nprobe < 1 || ix.count == 0 {
+		return 0
+	}
+	// Average list length times probes approximates expected scan work
+	// for a balanced index.
+	return float64(ix.count) / float64(len(ix.listIDs)) * float64(nprobe)
+}
+
+// BytesScanned returns the PQ-code bytes the scan touches; this is the
+// quantity the analytical retrieval model prices (§3.3: N*B*P_scan).
+func (ix *IVFPQ) BytesScanned(nprobe int) float64 {
+	return ix.VectorsScanned(nprobe) * float64(ix.pq.CodeBytes())
+}

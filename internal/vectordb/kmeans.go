@@ -1,0 +1,119 @@
+package vectordb
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// KMeans clusters data into k centroids with Lloyd's algorithm seeded by
+// k-means++ initialization. It is deterministic for a given seed. iters
+// bounds the refinement passes; the loop exits early on convergence.
+func KMeans(data [][]float32, k, iters int, seed int64) ([][]float32, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("vectordb: kmeans k = %d < 1", k)
+	}
+	if len(data) == 0 {
+		return nil, fmt.Errorf("vectordb: kmeans on empty dataset")
+	}
+	dim := len(data[0])
+	if err := checkDataset(data, dim); err != nil {
+		return nil, err
+	}
+	if k >= len(data) {
+		// Degenerate but legal: every point its own centroid, padded by
+		// repeats.
+		cents := make([][]float32, k)
+		for i := range cents {
+			cents[i] = append([]float32(nil), data[i%len(data)]...)
+		}
+		return cents, nil
+	}
+
+	rng := rand.New(rand.NewSource(seed))
+	cents := kmeansPlusPlus(data, k, rng)
+
+	assign := make([]int, len(data))
+	for it := 0; it < iters; it++ {
+		changed := 0
+		for i, v := range data {
+			c := nearestCentroid(v, cents)
+			if assign[i] != c {
+				assign[i] = c
+				changed++
+			}
+		}
+		if it > 0 && changed == 0 {
+			break
+		}
+		// Recompute means.
+		sums := make([][]float64, k)
+		counts := make([]int, k)
+		for i := range sums {
+			sums[i] = make([]float64, dim)
+		}
+		for i, v := range data {
+			c := assign[i]
+			counts[c]++
+			for d, x := range v {
+				sums[c][d] += float64(x)
+			}
+		}
+		for c := range cents {
+			if counts[c] == 0 {
+				// Re-seed an empty cluster with a random point.
+				cents[c] = append([]float32(nil), data[rng.Intn(len(data))]...)
+				continue
+			}
+			for d := range cents[c] {
+				cents[c][d] = float32(sums[c][d] / float64(counts[c]))
+			}
+		}
+	}
+	return cents, nil
+}
+
+// kmeansPlusPlus picks k initial centroids with D^2 weighting.
+func kmeansPlusPlus(data [][]float32, k int, rng *rand.Rand) [][]float32 {
+	cents := make([][]float32, 0, k)
+	cents = append(cents, append([]float32(nil), data[rng.Intn(len(data))]...))
+	d2 := make([]float64, len(data))
+	for len(cents) < k {
+		var total float64
+		last := cents[len(cents)-1]
+		for i, v := range data {
+			d := float64(SquaredL2(v, last))
+			if len(cents) == 1 || d < d2[i] {
+				d2[i] = d
+			}
+			total += d2[i]
+		}
+		if total == 0 {
+			// All remaining points coincide with centroids.
+			cents = append(cents, append([]float32(nil), data[rng.Intn(len(data))]...))
+			continue
+		}
+		r := rng.Float64() * total
+		idx := 0
+		for i, w := range d2 {
+			r -= w
+			if r <= 0 {
+				idx = i
+				break
+			}
+		}
+		cents = append(cents, append([]float32(nil), data[idx]...))
+	}
+	return cents
+}
+
+// nearestCentroid returns the index of the centroid closest to v.
+func nearestCentroid(v []float32, cents [][]float32) int {
+	best, bestD := 0, float32(0)
+	for i, c := range cents {
+		d := SquaredL2(v, c)
+		if i == 0 || d < bestD {
+			best, bestD = i, d
+		}
+	}
+	return best
+}

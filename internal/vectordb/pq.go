@@ -1,0 +1,152 @@
+package vectordb
+
+import (
+	"fmt"
+	"math"
+)
+
+// PQ is a product quantizer: the vector space is split into M subspaces and
+// each subspace is vector-quantized against its own 256-entry codebook, so
+// a vector compresses to M bytes. With dim=768 and M=96 this is the paper's
+// 1-byte-per-8-dimensions compression (§2, §4).
+type PQ struct {
+	dim       int
+	m         int // number of subspaces == code bytes
+	subDim    int
+	codebooks [][][]float32 // [m][256][subDim]
+}
+
+// pqCentroids is the codebook size per subspace; one byte addresses it.
+const pqCentroids = 256
+
+// TrainPQ learns a product quantizer from data. m must divide the vector
+// dimensionality. Training runs k-means independently per subspace.
+func TrainPQ(data [][]float32, m int, seed int64) (*PQ, error) {
+	if len(data) == 0 {
+		return nil, fmt.Errorf("vectordb: TrainPQ on empty dataset")
+	}
+	dim := len(data[0])
+	if err := checkDataset(data, dim); err != nil {
+		return nil, err
+	}
+	if m < 1 || dim%m != 0 {
+		return nil, fmt.Errorf("vectordb: PQ subspaces %d must divide dim %d", m, dim)
+	}
+	sub := dim / m
+	pq := &PQ{dim: dim, m: m, subDim: sub, codebooks: make([][][]float32, m)}
+	slice := make([][]float32, len(data))
+	for s := 0; s < m; s++ {
+		for i, v := range data {
+			slice[i] = v[s*sub : (s+1)*sub]
+		}
+		k := pqCentroids
+		if len(data) < k {
+			k = len(data)
+		}
+		cents, err := KMeans(slice, k, 10, seed+int64(s))
+		if err != nil {
+			return nil, err
+		}
+		// Pad codebooks to 256 entries so codes are always one byte.
+		for len(cents) < pqCentroids {
+			cents = append(cents, append([]float32(nil), cents[len(cents)%k]...))
+		}
+		pq.codebooks[s] = cents
+	}
+	return pq, nil
+}
+
+// Dim returns the full vector dimensionality.
+func (p *PQ) Dim() int { return p.dim }
+
+// CodeBytes returns the compressed size of one vector (== M).
+func (p *PQ) CodeBytes() int { return p.m }
+
+// Encode compresses v to an M-byte code.
+func (p *PQ) Encode(v []float32) ([]byte, error) {
+	if len(v) != p.dim {
+		return nil, fmt.Errorf("vectordb: encode dim %d != %d", len(v), p.dim)
+	}
+	code := make([]byte, p.m)
+	for s := 0; s < p.m; s++ {
+		sub := v[s*p.subDim : (s+1)*p.subDim]
+		code[s] = byte(nearestCentroid(sub, p.codebooks[s]))
+	}
+	return code, nil
+}
+
+// Decode reconstructs the approximate vector for a code.
+func (p *PQ) Decode(code []byte) ([]float32, error) {
+	if len(code) != p.m {
+		return nil, fmt.Errorf("vectordb: code length %d != %d", len(code), p.m)
+	}
+	out := make([]float32, p.dim)
+	for s, c := range code {
+		copy(out[s*p.subDim:(s+1)*p.subDim], p.codebooks[s][c])
+	}
+	return out, nil
+}
+
+// DistTable precomputes, for a query, the squared distance from each query
+// subvector to every codebook entry — the asymmetric distance computation
+// (ADC) lookup tables that make PQ scanning a pure table-walk (this is the
+// byte-scan workload the analytical retrieval model times).
+func (p *PQ) DistTable(q []float32) ([][]float32, error) {
+	if len(q) != p.dim {
+		return nil, fmt.Errorf("vectordb: query dim %d != %d", len(q), p.dim)
+	}
+	table := make([][]float32, p.m)
+	for s := 0; s < p.m; s++ {
+		sub := q[s*p.subDim : (s+1)*p.subDim]
+		row := make([]float32, pqCentroids)
+		for c, cent := range p.codebooks[s] {
+			row[c] = SquaredL2(sub, cent)
+		}
+		table[s] = row
+	}
+	return table, nil
+}
+
+// ADC returns the approximate squared distance of the encoded vector from
+// the query whose DistTable is given.
+func (p *PQ) ADC(table [][]float32, code []byte) float32 {
+	var d float32
+	for s, c := range code {
+		d += table[s][c]
+	}
+	return d
+}
+
+// QuantizationError returns the mean squared reconstruction error of the
+// quantizer over a sample, normalized by the mean squared vector norm —
+// a unitless distortion in [0, ~1] that shrinks as M grows.
+func (p *PQ) QuantizationError(sample [][]float32) (float64, error) {
+	if len(sample) == 0 {
+		return 0, fmt.Errorf("vectordb: empty sample")
+	}
+	var errSum, normSum float64
+	for _, v := range sample {
+		code, err := p.Encode(v)
+		if err != nil {
+			return 0, err
+		}
+		rec, err := p.Decode(code)
+		if err != nil {
+			return 0, err
+		}
+		errSum += float64(SquaredL2(v, rec))
+		var n float64
+		for _, x := range v {
+			n += float64(x) * float64(x)
+		}
+		normSum += n
+	}
+	if normSum == 0 {
+		return 0, nil
+	}
+	e := errSum / normSum
+	if math.IsNaN(e) {
+		return 0, fmt.Errorf("vectordb: NaN distortion")
+	}
+	return e, nil
+}

@@ -1,0 +1,180 @@
+// Package vectordb is a working vector-search substrate: exact kNN, k-means
+// clustering, product quantization (PQ), and IVF-PQ indexes of the kind the
+// paper's retrieval tier models analytically (§2, §4b).
+//
+// The hyperscale experiments use the analytical model in
+// rago/internal/retrieval (64 billion vectors do not fit a test machine),
+// but this package grounds that model: it exhibits the same
+// recall-vs-bytes-scanned trade-off on real data, implements the 1-byte-per-
+// 8-dims PQ compression the paper assumes, and serves as the retrieval
+// engine for runnable examples.
+package vectordb
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Result is one nearest-neighbor candidate.
+type Result struct {
+	ID   int
+	Dist float32
+}
+
+// SquaredL2 returns the squared Euclidean distance between two vectors of
+// equal dimensionality. It is the metric used throughout the package (the
+// paper's retrieval compares L2 or cosine; squared L2 orders identically
+// to L2).
+func SquaredL2(a, b []float32) float32 {
+	var s float32
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}
+
+// resultHeap is a max-heap on distance so the worst candidate sits on top
+// and can be evicted in O(log k).
+type resultHeap []Result
+
+func (h resultHeap) Len() int            { return len(h) }
+func (h resultHeap) Less(i, j int) bool  { return h[i].Dist > h[j].Dist }
+func (h resultHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *resultHeap) Push(x interface{}) { *h = append(*h, x.(Result)) }
+func (h *resultHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// topK accumulates the k smallest-distance results seen so far.
+type topK struct {
+	k int
+	h resultHeap
+}
+
+func newTopK(k int) *topK { return &topK{k: k, h: make(resultHeap, 0, k)} }
+
+func (t *topK) offer(id int, dist float32) {
+	if len(t.h) < t.k {
+		heap.Push(&t.h, Result{ID: id, Dist: dist})
+		return
+	}
+	if dist < t.h[0].Dist {
+		t.h[0] = Result{ID: id, Dist: dist}
+		heap.Fix(&t.h, 0)
+	}
+}
+
+// results returns candidates ordered by ascending distance (ties by ID).
+func (t *topK) results() []Result {
+	out := make([]Result, len(t.h))
+	copy(out, t.h)
+	// Heap order is not sorted; selection sort is fine for small k but
+	// use a simple insertion sort for clarity.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && less(out[j], out[j-1]); j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+func less(a, b Result) bool {
+	if a.Dist != b.Dist {
+		return a.Dist < b.Dist
+	}
+	return a.ID < b.ID
+}
+
+// FlatIndex is an exact brute-force kNN index — the search mode Case II
+// uses for small real-time databases (§5.2).
+type FlatIndex struct {
+	dim  int
+	vecs [][]float32
+}
+
+// NewFlat returns an empty exact index over dim-dimensional vectors.
+func NewFlat(dim int) *FlatIndex { return &FlatIndex{dim: dim} }
+
+// Dim returns the index dimensionality.
+func (f *FlatIndex) Dim() int { return f.dim }
+
+// Len returns the number of stored vectors.
+func (f *FlatIndex) Len() int { return len(f.vecs) }
+
+// Add appends vectors; IDs are assigned densely in insertion order.
+func (f *FlatIndex) Add(vecs ...[]float32) error {
+	for _, v := range vecs {
+		if len(v) != f.dim {
+			return fmt.Errorf("vectordb: vector dim %d != index dim %d", len(v), f.dim)
+		}
+		f.vecs = append(f.vecs, v)
+	}
+	return nil
+}
+
+// Search returns the k exact nearest neighbors of q.
+func (f *FlatIndex) Search(q []float32, k int) ([]Result, error) {
+	if len(q) != f.dim {
+		return nil, fmt.Errorf("vectordb: query dim %d != index dim %d", len(q), f.dim)
+	}
+	if k < 1 {
+		return nil, fmt.Errorf("vectordb: k = %d < 1", k)
+	}
+	t := newTopK(k)
+	for id, v := range f.vecs {
+		t.offer(id, SquaredL2(q, v))
+	}
+	return t.results(), nil
+}
+
+// BytesScanned reports the bytes a full scan touches (float32 storage);
+// used to cross-check the analytical retrieval model's accounting.
+func (f *FlatIndex) BytesScanned() float64 {
+	return float64(f.Len()) * float64(f.dim) * 4
+}
+
+// Recall computes recall@k: the fraction of true neighbors found.
+// truth and got are result lists; only IDs matter.
+func Recall(truth, got []Result, k int) float64 {
+	if k <= 0 {
+		return 0
+	}
+	if k > len(truth) {
+		k = len(truth)
+	}
+	if k == 0 {
+		return 0
+	}
+	want := make(map[int]bool, k)
+	for _, r := range truth[:k] {
+		want[r.ID] = true
+	}
+	hit := 0
+	for i, r := range got {
+		if i >= k {
+			break
+		}
+		if want[r.ID] {
+			hit++
+		}
+	}
+	return float64(hit) / float64(k)
+}
+
+// checkDataset validates a training/build dataset.
+func checkDataset(data [][]float32, dim int) error {
+	if len(data) == 0 {
+		return fmt.Errorf("vectordb: empty dataset")
+	}
+	for i, v := range data {
+		if len(v) != dim {
+			return fmt.Errorf("vectordb: vector %d has dim %d, want %d", i, len(v), dim)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,66 @@
+package xpusim
+
+import (
+	"testing"
+
+	"rago/internal/hw"
+	"rago/internal/model"
+)
+
+func TestCollectiveLatencyPenalizesWideTP(t *testing.T) {
+	// Decoding a small model across a wide tensor-parallel group must
+	// pay per-layer collective latency: with the constant zeroed the
+	// wide sharding looks much faster than physics allows.
+	withLat := New(hw.XPUC)
+	noLat := New(hw.XPUC)
+	noLat.P.CollectiveLatency = 0
+
+	var wide, wideNoLat float64
+	for _, c := range withLat.DecodeStepCandidates(model.Llama8B, 8, 128, 32) {
+		if c.TP == 32 {
+			wide = c.Latency
+		}
+	}
+	for _, c := range noLat.DecodeStepCandidates(model.Llama8B, 8, 128, 32) {
+		if c.TP == 32 {
+			wideNoLat = c.Latency
+		}
+	}
+	if wide == 0 || wideNoLat == 0 {
+		t.Fatal("missing tp=32 candidates")
+	}
+	// 32 layers x 2 all-reduces x 5us x log2(32) = 1.6ms of pure latency.
+	if wide-wideNoLat < 1e-3 {
+		t.Errorf("collective latency adds %.2gs at tp=32, want >= 1ms", wide-wideNoLat)
+	}
+	// Single-chip decode is unaffected.
+	a, err := withLat.DecodeStep(model.Llama8B, 8, 128, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := noLat.DecodeStep(model.Llama8B, 8, 128, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Latency != b.Latency {
+		t.Errorf("tp=1 should not pay collective latency: %v vs %v", a.Latency, b.Latency)
+	}
+}
+
+func TestWideTPDiminishingReturns(t *testing.T) {
+	// Latency gains from tensor parallelism must flatten for small
+	// models: going 1 -> 4 chips helps much more than 16 -> 64.
+	s := New(hw.XPUC)
+	lat := func(chips int) float64 {
+		r, err := s.DecodeStep(model.Llama1B, 4, 128, chips)
+		if err != nil {
+			t.Fatalf("chips=%d: %v", chips, err)
+		}
+		return r.Latency
+	}
+	gainSmall := lat(1) / lat(4)
+	gainLarge := lat(16) / lat(64)
+	if gainSmall <= gainLarge {
+		t.Errorf("parallelism returns should diminish: 1->4 gain %.2f vs 16->64 gain %.2f", gainSmall, gainLarge)
+	}
+}

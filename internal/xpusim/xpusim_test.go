@@ -1,0 +1,220 @@
+package xpusim
+
+import (
+	"testing"
+
+	"rago/internal/hw"
+	"rago/internal/model"
+)
+
+func sim() Simulator { return New(hw.XPUC) }
+
+func TestMinChips(t *testing.T) {
+	s := sim()
+	cases := []struct {
+		cfg  model.Config
+		want int
+	}{
+		{model.Llama1B, 1},
+		{model.Llama8B, 1},
+		{model.Llama70B, 1},  // 70.6 GB fits in 96 GB * 0.9
+		{model.Llama405B, 8}, // 405 GB needs 8 x 86.4 GB
+		{model.Encoder120M, 1},
+	}
+	for _, c := range cases {
+		if got := s.MinChips(c.cfg); got != c.want {
+			t.Errorf("MinChips(%s) = %d, want %d", c.cfg.Name, got, c.want)
+		}
+	}
+}
+
+func TestDecodeWeightBandwidthFloor(t *testing.T) {
+	// Batch-1 decode of a 70B model is weight-read bound: latency should
+	// be close to ParamBytes / effective HBM bandwidth.
+	s := sim()
+	r, err := s.DecodeStep(model.Llama70B, 1, 512, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	floor := model.Llama70B.ParamBytes() / (s.Chip.MemBW * s.P.MemUtil)
+	if r.Latency < floor {
+		t.Errorf("decode latency %.4f below physical floor %.4f", r.Latency, floor)
+	}
+	if r.Latency > 2.0*floor {
+		t.Errorf("decode latency %.4f more than 2x the weight-read floor %.4f", r.Latency, floor)
+	}
+}
+
+func TestPrefixLatencyRange(t *testing.T) {
+	// 8B, 512-token prefix, batch 1, one chip: the paper's setup implies
+	// tens of milliseconds.
+	s := sim()
+	r, err := s.Prefix(model.Llama8B, 512, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Latency < 0.010 || r.Latency > 0.080 {
+		t.Errorf("8B/512 prefix latency = %.4fs, want 10-80ms", r.Latency)
+	}
+}
+
+func TestPrefixScalesWithChips(t *testing.T) {
+	s := sim()
+	prev, err := s.Prefix(model.Llama70B, 512, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, chips := range []int{2, 4, 8} {
+		r, err := s.Prefix(model.Llama70B, 512, 4, chips)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Latency >= prev.Latency {
+			t.Errorf("prefix latency did not improve at %d chips: %v >= %v", chips, r.Latency, prev.Latency)
+		}
+		prev = r
+	}
+}
+
+func TestDecodeThroughputGrowsWithBatch(t *testing.T) {
+	s := sim()
+	var prevThr float64
+	for _, b := range []int{1, 4, 16, 64, 256} {
+		r, err := s.DecodeStep(model.Llama8B, b, 640, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Throughput <= prevThr {
+			t.Errorf("decode tokens/s did not grow at batch %d: %v <= %v", b, r.Throughput, prevThr)
+		}
+		prevThr = r.Throughput
+	}
+}
+
+func TestDecodeLatencyGrowsWithContext(t *testing.T) {
+	s := sim()
+	short, err := s.DecodeStep(model.Llama8B, 128, 256, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	long, err := s.DecodeStep(model.Llama8B, 128, 4096, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if long.Latency <= short.Latency {
+		t.Errorf("KV growth should slow decode: %v <= %v", long.Latency, short.Latency)
+	}
+}
+
+func TestInfeasibleConfigurations(t *testing.T) {
+	s := sim()
+	// 405B cannot fit on one chip.
+	if _, err := s.Prefix(model.Llama405B, 512, 1, 1); err == nil {
+		t.Errorf("405B on 1 chip should be infeasible")
+	}
+	if cands := s.DecodeStepCandidates(model.Llama405B, 1, 512, 4); cands != nil {
+		t.Errorf("405B decode on 4 chips should yield no candidates")
+	}
+	// Encoders have no decode phase.
+	if _, err := s.DecodeStep(model.Encoder120M, 1, 128, 1); err == nil {
+		t.Errorf("encoder decode should be infeasible")
+	}
+	// Degenerate inputs.
+	if cands := s.PrefixCandidates(model.Llama8B, 0, 1, 1); cands != nil {
+		t.Errorf("zero-length prefix should yield no candidates")
+	}
+}
+
+func TestShardingEnumeration(t *testing.T) {
+	s := sim()
+	cands := s.PrefixCandidates(model.Llama70B, 512, 8, 8)
+	if len(cands) < 3 {
+		t.Fatalf("want >= 3 shardings of 8 chips (tp/pp splits), got %d", len(cands))
+	}
+	seen := map[[2]int]bool{}
+	for _, c := range cands {
+		if c.TP*c.PP != 8 {
+			t.Errorf("sharding %dx%d does not use 8 chips", c.TP, c.PP)
+		}
+		key := [2]int{c.TP, c.PP}
+		if seen[key] {
+			t.Errorf("duplicate sharding %v", key)
+		}
+		seen[key] = true
+	}
+}
+
+func TestPipelineThroughputExceedsSerial(t *testing.T) {
+	// With pipeline parallelism, steady-state prompt throughput should
+	// exceed batch/latency (stages overlap across consecutive batches).
+	s := sim()
+	cands := s.PrefixCandidates(model.Llama70B, 512, 16, 8)
+	foundPP := false
+	for _, c := range cands {
+		if c.PP > 1 {
+			foundPP = true
+			serial := float64(16) / c.Latency
+			if c.Throughput <= serial {
+				t.Errorf("pp=%d throughput %.2f <= serial %.2f", c.PP, c.Throughput, serial)
+			}
+		}
+	}
+	if !foundPP {
+		t.Fatalf("no pipeline-parallel candidate found")
+	}
+}
+
+func TestMaxDecodeBatch(t *testing.T) {
+	s := sim()
+	b1 := s.MaxDecodeBatch(model.Llama70B, 512, 1)
+	if b1 < 1 {
+		t.Fatalf("70B should support decode on one chip, got max batch %d", b1)
+	}
+	b8 := s.MaxDecodeBatch(model.Llama70B, 512, 8)
+	if b8 <= b1 {
+		t.Errorf("more chips should allow larger batches: %d <= %d", b8, b1)
+	}
+	bLong := s.MaxDecodeBatch(model.Llama70B, 8192, 1)
+	if bLong > b1 {
+		t.Errorf("longer context should shrink max batch: %d > %d", bLong, b1)
+	}
+	if got := s.MaxDecodeBatch(model.Llama405B, 512, 1); got != 0 {
+		t.Errorf("405B decode on one chip should be impossible, got %d", got)
+	}
+}
+
+func TestXPUGenerationsOrdering(t *testing.T) {
+	// The same workload must run faster on newer XPUs (Table 2).
+	var prev float64 = 1e9
+	for _, chip := range hw.XPUGenerations() {
+		s := New(chip)
+		r, err := s.Prefix(model.Llama8B, 512, 4, 4)
+		if err != nil {
+			t.Fatalf("%s: %v", chip.Name, err)
+		}
+		if r.Latency >= prev {
+			t.Errorf("%s prefix latency %.4f not faster than previous gen %.4f", chip.Name, r.Latency, prev)
+		}
+		prev = r.Latency
+	}
+}
+
+func TestTensorParallelHelpsLargeModelLatency(t *testing.T) {
+	s := sim()
+	cands := s.DecodeStepCandidates(model.Llama70B, 8, 512, 8)
+	var tp1, tp8 float64
+	for _, c := range cands {
+		if c.TP == 1 && c.PP == 8 {
+			tp1 = c.Latency
+		}
+		if c.TP == 8 && c.PP == 1 {
+			tp8 = c.Latency
+		}
+	}
+	if tp1 == 0 || tp8 == 0 {
+		t.Fatalf("missing tp=1/pp=8 or tp=8/pp=1 candidates")
+	}
+	if tp8 >= tp1 {
+		t.Errorf("tensor parallelism should beat pure pipeline for decode latency: tp8=%v tp1=%v", tp8, tp1)
+	}
+}

@@ -1,0 +1,208 @@
+// Package rago is a systematic performance optimizer for retrieval-
+// augmented generation (RAG) serving, reproducing "RAGO: Systematic
+// Performance Optimization for Retrieval-Augmented Generation Serving"
+// (ISCA 2025).
+//
+// A RAG serving workload is described by a Schema (the paper's RAGSchema
+// abstraction): which optional pipeline components exist — database
+// encoder, query rewriter, reranker, iterative retrieval — and their
+// configurations (model sizes, database size, queries per retrieval,
+// retrieval frequency, sequence lengths). Given a Schema and a hardware
+// Cluster, Optimize searches task placements, resource allocations, and
+// batching policies, returning the Pareto frontier over time-to-first-
+// token (TTFT), time-per-output-token (TPOT), and queries-per-second per
+// chip, together with the schedule realizing each point.
+//
+// Quick start:
+//
+//	schema := rago.CaseII(70e9, 1_000_000) // long-context RAG, 70B LLM
+//	front, err := rago.Optimize(schema, rago.DefaultOptions(rago.LargeCluster()))
+//	if err != nil { ... }
+//	best, _ := rago.MaxQPSPerChip(front)
+//	fmt.Println(best.Metrics, best.Item)
+//
+// The performance models underneath (an operator-level XPU roofline
+// simulator and a ScaNN-style vector-search cost model), the discrete-
+// event validators, and a working IVF-PQ vector-search substrate live in
+// the internal packages; this package is the stable surface.
+package rago
+
+import (
+	"rago/internal/core"
+	"rago/internal/hw"
+	"rago/internal/perf"
+	"rago/internal/pipeline"
+	"rago/internal/ragschema"
+	"rago/internal/sim"
+	"rago/internal/trace"
+	"rago/internal/vectordb"
+)
+
+// Workload abstraction (the paper's RAGSchema, §3.2).
+type (
+	// Schema describes one RAG serving workload.
+	Schema = ragschema.Schema
+)
+
+// Preset workloads from Table 3 of the paper.
+var (
+	// Default is the §4 baseline workload shape for a generative model
+	// size, with no optional components.
+	Default = ragschema.Default
+	// CaseI is hyperscale retrieval: 64B vectors, 1-8 query vectors.
+	CaseI = ragschema.CaseI
+	// CaseII is long-context processing: a 120M document encoder over a
+	// real-time context, tiny brute-force database.
+	CaseII = ragschema.CaseII
+	// CaseIII is iterative retrieval: 2-8 retrievals per sequence.
+	CaseIII = ragschema.CaseIII
+	// CaseIV adds an 8B query rewriter and a 120M reranker.
+	CaseIV = ragschema.CaseIV
+	// LLMOnly is the no-retrieval comparison system of Fig. 5.
+	LLMOnly = ragschema.LLMOnly
+	// DecodeSchemaJSON parses and validates a Schema from JSON.
+	DecodeSchemaJSON = ragschema.DecodeJSON
+	// EncodeSchemaJSON renders a Schema as JSON.
+	EncodeSchemaJSON = ragschema.EncodeJSON
+)
+
+// Hardware catalog (Table 2 of the paper).
+type (
+	// XPU is a systolic-array accelerator description.
+	XPU = hw.XPU
+	// CPUHost is a retrieval host server description.
+	CPUHost = hw.CPUHost
+	// Cluster is a resource pool of hosts and accelerators.
+	Cluster = hw.Cluster
+)
+
+// Catalog entries and cluster presets.
+var (
+	// XPUA, XPUB, XPUC are the paper's three accelerator generations
+	// (TPU v5e / v4 / v5p class).
+	XPUA = hw.XPUA
+	XPUB = hw.XPUB
+	XPUC = hw.XPUC
+	// EPYCHost is the paper's 96-core retrieval host.
+	EPYCHost = hw.EPYCHost
+	// DefaultCluster is 16 hosts x 4 XPU-C (the §5 environment).
+	DefaultCluster = hw.DefaultCluster
+	// LargeCluster is 32 hosts x 4 XPU-C (the §7 environment).
+	LargeCluster = hw.LargeCluster
+)
+
+// Optimizer surface (the paper's RAGO, §6).
+type (
+	// Options bounds the schedule search.
+	Options = core.Options
+	// Optimizer runs the search for one workload.
+	Optimizer = core.Optimizer
+	// Schedule is one complete scheduling decision.
+	Schedule = core.Schedule
+	// SchedulePoint couples a schedule with its metrics.
+	SchedulePoint = core.SchedulePoint
+	// Plan is one (placement, allocation) pair.
+	Plan = core.Plan
+	// Metrics carries TTFT, TPOT, QPS and QPS/chip.
+	Metrics = perf.Metrics
+	// Pipeline is the stage sequence derived from a Schema.
+	Pipeline = pipeline.Pipeline
+)
+
+// DefaultOptions returns the search bounds used for all paper
+// reproductions on the given cluster.
+func DefaultOptions(cluster Cluster) Options { return core.DefaultOptions(cluster) }
+
+// NewOptimizer builds an optimizer; use it when plan-level introspection
+// (PlanFrontier, BurstTTFT, BaselineFrontier) is needed.
+func NewOptimizer(schema Schema, opts Options) (*Optimizer, error) {
+	return core.NewOptimizer(schema, opts)
+}
+
+// Optimize searches scheduling policies for schema and returns the Pareto
+// frontier with its schedules, sorted by ascending TTFT.
+func Optimize(schema Schema, opts Options) ([]SchedulePoint, error) {
+	o, err := core.NewOptimizer(schema, opts)
+	if err != nil {
+		return nil, err
+	}
+	return o.Optimize(), nil
+}
+
+// Baseline evaluates the paper's comparison system (§7.1): an LLM-only
+// serving stack extended with the RAG components collocated into its
+// prefix tier, chips split 1:1 between prefix and decode.
+func Baseline(schema Schema, opts Options) ([]SchedulePoint, error) {
+	o, err := core.NewOptimizer(schema, opts)
+	if err != nil {
+		return nil, err
+	}
+	return o.BaselineFrontier(), nil
+}
+
+// MaxQPSPerChip returns the frontier point with the highest QPS/chip.
+func MaxQPSPerChip(front []SchedulePoint) (SchedulePoint, bool) {
+	return perf.MaxQPSPerChip(front)
+}
+
+// MinTTFT returns the frontier point with the lowest TTFT.
+func MinTTFT(front []SchedulePoint) (SchedulePoint, bool) {
+	return perf.MinTTFT(front)
+}
+
+// BuildPipeline derives the concrete stage sequence (Fig. 3) for a schema;
+// Schedule.Describe renders against it.
+func BuildPipeline(schema Schema) (Pipeline, error) { return pipeline.Build(schema) }
+
+// Discrete-event simulation (§5.3 dynamics and schedule validation).
+type (
+	// IterativeConfig parameterizes the decode-idleness simulation.
+	IterativeConfig = sim.IterativeConfig
+	// IterativeResult reports measured decode dynamics.
+	IterativeResult = sim.IterativeResult
+	// ServeSim executes a schedule on a request trace.
+	ServeSim = sim.ServeSim
+	// ServeResult reports measured serving behaviour.
+	ServeResult = sim.ServeResult
+	// Request is one trace entry.
+	Request = trace.Request
+)
+
+// Simulation entry points.
+var (
+	// RunIterative executes the §5.3 token-level decode simulation.
+	RunIterative = sim.RunIterative
+	// PoissonTrace generates open-loop arrivals.
+	PoissonTrace = trace.Poisson
+	// BurstTrace generates a simultaneous burst (§7.2).
+	BurstTrace = trace.Burst
+)
+
+// Vector search substrate (a working IVF-PQ implementation of the
+// retrieval tier the paper models analytically).
+type (
+	// VectorResult is one nearest-neighbor candidate.
+	VectorResult = vectordb.Result
+	// FlatIndex is exact brute-force kNN.
+	FlatIndex = vectordb.FlatIndex
+	// IVFPQ is an inverted-file index with product-quantized codes.
+	IVFPQ = vectordb.IVFPQ
+	// PQ is a product quantizer.
+	PQ = vectordb.PQ
+)
+
+// Vector search constructors and helpers.
+var (
+	// NewFlatIndex returns an exact index.
+	NewFlatIndex = vectordb.NewFlat
+	// BuildIVFPQ trains and populates an IVF-PQ index.
+	BuildIVFPQ = vectordb.BuildIVFPQ
+	// TrainPQ learns a product quantizer.
+	TrainPQ = vectordb.TrainPQ
+	// Recall computes recall@k of approximate against exact results.
+	Recall = vectordb.Recall
+	// GenClustered synthesizes clustered vectors for experiments.
+	GenClustered = vectordb.GenClustered
+	// GenUniform synthesizes uniform vectors.
+	GenUniform = vectordb.GenUniform
+)

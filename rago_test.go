@@ -1,0 +1,160 @@
+package rago
+
+// End-to-end tests of the public API surface: the facade must expose a
+// complete, coherent workflow — schema in, Pareto frontier and schedules
+// out — plus the simulators and the vector-search substrate.
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPublicAPIOptimizeWorkflow(t *testing.T) {
+	schema := CaseI(8e9, 1)
+	opts := DefaultOptions(DefaultCluster())
+	opts.NormalizeChips = DefaultCluster().XPUs()
+
+	front, err := Optimize(schema, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(front) < 3 {
+		t.Fatalf("frontier too small: %d", len(front))
+	}
+	best, ok := MaxQPSPerChip(front)
+	if !ok {
+		t.Fatal("no max-QPS point")
+	}
+	fast, ok := MinTTFT(front)
+	if !ok {
+		t.Fatal("no min-TTFT point")
+	}
+	if fast.Metrics.TTFT > best.Metrics.TTFT {
+		t.Errorf("min-TTFT point (%v) slower than max-QPS point (%v)", fast.Metrics.TTFT, best.Metrics.TTFT)
+	}
+	pipe, err := BuildPipeline(schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if desc := best.Item.Describe(pipe); desc == "" {
+		t.Errorf("empty schedule description")
+	}
+}
+
+func TestPublicAPIBaselineComparison(t *testing.T) {
+	schema := CaseII(70e9, 1_000_000)
+	opts := DefaultOptions(LargeCluster())
+	front, err := Optimize(schema, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := Baseline(schema, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, _ := MaxQPSPerChip(front)
+	bb, _ := MaxQPSPerChip(base)
+	gain := rb.Metrics.QPSPerChip / bb.Metrics.QPSPerChip
+	if gain < 1.3 || gain > 2.3 {
+		t.Errorf("headline Case II gain = %.2fx, want ~1.7x", gain)
+	}
+}
+
+func TestPublicAPISchemaJSON(t *testing.T) {
+	orig := CaseIV(70e9)
+	data, err := EncodeSchemaJSON(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeSchemaJSON(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back != orig {
+		t.Errorf("JSON round trip mismatch")
+	}
+}
+
+func TestPublicAPIIterativeSim(t *testing.T) {
+	res, err := RunIterative(IterativeConfig{
+		DecodeBatch:      64,
+		IterBatch:        64,
+		DecodeTokens:     256,
+		RetrievalsPerSeq: 3,
+		StepTime:         0.01,
+		Sequences:        200,
+		Seed:             1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NormalizedLatency < 1.8 || res.NormalizedLatency > 3.8 {
+		t.Errorf("64/64 idleness = %.2f, want ~2.8 (paper 2.77)", res.NormalizedLatency)
+	}
+}
+
+func TestPublicAPIVectorSearch(t *testing.T) {
+	data := GenClustered(2000, 16, 8, 0.5, 1)
+	flat := NewFlatIndex(16)
+	if err := flat.Add(data...); err != nil {
+		t.Fatal(err)
+	}
+	ix, err := BuildIVFPQ(data, 32, 8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := GenClustered(1, 16, 8, 0.5, 2)[0]
+	truth, err := flat.Search(q, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ix.Search(q, 5, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := Recall(truth, got, 5); r < 0.4 {
+		t.Errorf("full-probe recall = %v, want reasonable approximation", r)
+	}
+}
+
+func TestPublicAPITraces(t *testing.T) {
+	reqs, err := PoissonTrace(100, 20, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reqs) != 100 {
+		t.Fatalf("got %d requests", len(reqs))
+	}
+	burst := BurstTrace(8)
+	for _, r := range burst {
+		if r.Arrival != 0 {
+			t.Errorf("burst request arrives at %v", r.Arrival)
+		}
+	}
+}
+
+func TestPublicAPIHardwareCatalog(t *testing.T) {
+	for _, x := range []XPU{XPUA, XPUB, XPUC} {
+		if err := x.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if DefaultCluster().XPUs() != 64 || LargeCluster().XPUs() != 128 {
+		t.Errorf("cluster presets changed: %d / %d", DefaultCluster().XPUs(), LargeCluster().XPUs())
+	}
+	if EPYCHost.Cores != 96 {
+		t.Errorf("EPYC host cores = %d", EPYCHost.Cores)
+	}
+}
+
+func TestPublicAPIMetricsSanity(t *testing.T) {
+	// Metrics from the facade behave like perf metrics.
+	m := Metrics{TTFT: 0.1, TPOT: 0.01, QPS: 10, QPSPerChip: 1}
+	if !m.Valid() {
+		t.Errorf("valid metrics rejected")
+	}
+	bad := Metrics{TTFT: math.Inf(1)}
+	if bad.Valid() {
+		t.Errorf("infinite TTFT accepted")
+	}
+}
