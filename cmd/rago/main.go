@@ -1,13 +1,18 @@
-// Command rago runs the RAGO schedule optimizer for a RAGSchema described
-// in JSON and prints the performance Pareto frontier with its schedules.
+// Command rago runs the RAGO schedule optimizer for a RAGSchema and, with
+// the serve subcommand, executes an optimized schedule in the live
+// concurrent serving runtime against a synthetic request trace.
 //
 // Usage:
 //
-//	rago -schema workload.json [-hosts 16] [-chip XPU-C] [-normalize 0] [-baseline]
-//	rago -preset case2 [-context 1000000] [-model 70e9]
+//	rago [optimize] -schema workload.json [-hosts 16] [-chip XPU-C] [-normalize 0] [-baseline]
+//	rago [optimize] -preset case2 [-context 1000000] [-model 70e9]
+//	rago serve -preset case4 [-n 10000] [-rate 0] [-point maxqps] [-db 0]
 //
 // With no -schema, -preset selects one of the paper's Table 3 workloads:
-// case1, case2, case3, case4, llm-only.
+// case1, case2, case3, case4, llm-only. The optimize subcommand (the
+// default) prints the performance Pareto frontier with its schedules; the
+// serve subcommand replays an open-loop trace through a chosen frontier
+// point and prints the measured latency report.
 package main
 
 import (
@@ -27,30 +32,71 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("rago: ")
 
-	var (
-		schemaPath = flag.String("schema", "", "path to a RAGSchema JSON file")
-		preset     = flag.String("preset", "", "preset workload: case1|case2|case3|case4|llm-only")
-		model      = flag.Float64("model", 70e9, "generative model parameters for presets")
-		queries    = flag.Int("queries", 1, "query vectors per retrieval (case1)")
-		context    = flag.Int("context", 1_000_000, "context tokens (case2)")
-		retrievals = flag.Int("retrievals", 4, "retrievals per sequence (case3)")
-		hosts      = flag.Int("hosts", 16, "host servers (4 XPUs each)")
-		chip       = flag.String("chip", "XPU-C", "accelerator generation: XPU-A|XPU-B|XPU-C")
-		normalize  = flag.Int("normalize", 0, "fixed chip count for QPS/chip normalization (0 = allocated)")
-		baseline   = flag.Bool("baseline", false, "also evaluate the LLM-system-extension baseline")
-		maxPoints  = flag.Int("max-points", 20, "frontier points to print (0 = all)")
-	)
-	flag.Parse()
+	args := os.Args[1:]
+	if len(args) > 0 {
+		switch args[0] {
+		case "serve":
+			runServe(args[1:])
+			return
+		case "optimize":
+			args = args[1:]
+		}
+	}
+	runOptimize(args)
+}
 
-	schema, err := loadSchema(*schemaPath, *preset, *model, *queries, *context, *retrievals)
+// workloadFlags registers the schema/cluster selection flags shared by the
+// optimize and serve subcommands.
+type workloadFlags struct {
+	schemaPath *string
+	preset     *string
+	model      *float64
+	queries    *int
+	context    *int
+	retrievals *int
+	hosts      *int
+	chip       *string
+}
+
+func addWorkloadFlags(fs *flag.FlagSet) workloadFlags {
+	return workloadFlags{
+		schemaPath: fs.String("schema", "", "path to a RAGSchema JSON file"),
+		preset:     fs.String("preset", "", "preset workload: case1|case2|case3|case4|llm-only"),
+		model:      fs.Float64("model", 70e9, "generative model parameters for presets"),
+		queries:    fs.Int("queries", 1, "query vectors per retrieval (case1)"),
+		context:    fs.Int("context", 1_000_000, "context tokens (case2)"),
+		retrievals: fs.Int("retrievals", 4, "retrievals per sequence (case3)"),
+		hosts:      fs.Int("hosts", 16, "host servers (4 XPUs each)"),
+		chip:       fs.String("chip", "XPU-C", "accelerator generation: XPU-A|XPU-B|XPU-C"),
+	}
+}
+
+func (w workloadFlags) load() (ragschema.Schema, hw.Cluster, error) {
+	schema, err := loadSchema(*w.schemaPath, *w.preset, *w.model, *w.queries, *w.context, *w.retrievals)
+	if err != nil {
+		return ragschema.Schema{}, hw.Cluster{}, err
+	}
+	xpu, err := hw.XPUByName(*w.chip)
+	if err != nil {
+		return ragschema.Schema{}, hw.Cluster{}, err
+	}
+	return schema, hw.Cluster{Chip: xpu, Host: hw.EPYCHost, Hosts: *w.hosts}, nil
+}
+
+func runOptimize(args []string) {
+	fs := flag.NewFlagSet("optimize", flag.ExitOnError)
+	wf := addWorkloadFlags(fs)
+	var (
+		normalize = fs.Int("normalize", 0, "fixed chip count for QPS/chip normalization (0 = allocated)")
+		baseline  = fs.Bool("baseline", false, "also evaluate the LLM-system-extension baseline")
+		maxPoints = fs.Int("max-points", 20, "frontier points to print (0 = all)")
+	)
+	fs.Parse(args)
+
+	schema, cluster, err := wf.load()
 	if err != nil {
 		log.Fatal(err)
 	}
-	xpu, err := hw.XPUByName(*chip)
-	if err != nil {
-		log.Fatal(err)
-	}
-	cluster := hw.Cluster{Chip: xpu, Host: hw.EPYCHost, Hosts: *hosts}
 	opts := core.DefaultOptions(cluster)
 	opts.NormalizeChips = *normalize
 
@@ -64,7 +110,7 @@ func main() {
 	}
 
 	fmt.Printf("workload: %s\n", schema.Name)
-	fmt.Printf("cluster:  %d hosts x %d %s = %d XPUs\n", *hosts, cluster.Host.XPUsPerHost, xpu.Name, cluster.XPUs())
+	fmt.Printf("cluster:  %d hosts x %d %s = %d XPUs\n", cluster.Hosts, cluster.Host.XPUsPerHost, cluster.Chip.Name, cluster.XPUs())
 	fmt.Printf("frontier: %d Pareto-optimal schedules\n\n", len(front))
 
 	printFrontier(o, front, *maxPoints)

@@ -1,0 +1,158 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strconv"
+
+	"rago/internal/core"
+	"rago/internal/perf"
+	"rago/internal/pipeline"
+	"rago/internal/serve"
+	"rago/internal/stageperf"
+	"rago/internal/trace"
+	"rago/internal/vectordb"
+)
+
+// runServe implements `rago serve`: optimize the workload, pick a frontier
+// point, replay an open-loop trace through the live serving runtime, and
+// print the measured latency report next to the analytical prediction.
+func runServe(args []string) {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	wf := addWorkloadFlags(fs)
+	var (
+		point       = fs.String("point", "maxqps", "frontier point to serve: maxqps|minttft|<index>")
+		n           = fs.Int("n", 10000, "trace length (requests)")
+		rate        = fs.Float64("rate", 0, "Poisson arrival rate in requests/s (0 = 1.5x the point's analytical QPS)")
+		burst       = fs.Bool("burst", false, "replay a simultaneous burst instead of Poisson arrivals")
+		seed        = fs.Int64("seed", 42, "trace seed")
+		speedup     = fs.Float64("speedup", 0, "virtual seconds served per wall second (0 = auto, targeting ~10s wall)")
+		flush       = fs.Float64("flush", 0.05, "partial-batch flush timeout in virtual seconds (0 = dispatch partial batches immediately)")
+		maxInflight = fs.Int("max-inflight", 0, "admission bound; arrivals beyond it are shed (0 = admit all)")
+		dbVectors   = fs.Int("db", 0, "build a real IVF-PQ index of this many vectors on the retrieval path (0 = model-paced only)")
+		dbDim       = fs.Int("db-dim", 64, "real index dimensionality")
+		k           = fs.Int("k", 10, "neighbors per real query")
+		nprobe      = fs.Int("nprobe", 8, "probed cells per real query")
+	)
+	fs.Parse(args)
+
+	schema, cluster, err := wf.load()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if schema.Iterative() {
+		log.Fatal("serve: iterative-retrieval workloads (case3) are not executable yet; use the optimize subcommand's models")
+	}
+
+	o, err := core.NewOptimizer(schema, core.DefaultOptions(cluster))
+	if err != nil {
+		log.Fatal(err)
+	}
+	front := o.Optimize()
+	if len(front) == 0 {
+		log.Fatal("no feasible schedule under the given resources")
+	}
+	chosen, err := pickPoint(front, *point)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	arrivalRate := *rate
+	if arrivalRate <= 0 {
+		arrivalRate = 1.5 * chosen.Metrics.QPS
+	}
+	var reqs []trace.Request
+	if *burst {
+		reqs = trace.Burst(*n)
+	} else {
+		if reqs, err = trace.Poisson(*n, arrivalRate, *seed); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	sp := *speedup
+	if sp <= 0 {
+		// Auto: compress the expected makespan into ~10s wall. The run
+		// lasts as long as the slower of serving capacity and arrivals.
+		makespan := float64(*n) / chosen.Metrics.QPS
+		if !*burst && float64(*n)/arrivalRate > makespan {
+			makespan = float64(*n) / arrivalRate
+		}
+		sp = makespan / 10.0
+		if sp < 1 {
+			sp = 1
+		}
+	}
+
+	opts := serve.Options{Speedup: sp, FlushTimeout: *flush, MaxInFlight: *maxInflight}
+	if *flush == 0 {
+		opts.FlushTimeout = -1 // Options semantics: negative = immediate
+	}
+	if *dbVectors > 0 {
+		fmt.Printf("building IVF-PQ index: %d vectors, dim %d ...\n", *dbVectors, *dbDim)
+		data := vectordb.GenClustered(*dbVectors, *dbDim, 64, 0.4, *seed)
+		ix, err := vectordb.BuildIVFPQ(data, 128, *dbDim/2, *seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		kk, np := *k, *nprobe
+		opts.Searcher = func(queries [][]float32) ([][]vectordb.Result, error) {
+			return ix.SearchBatch(queries, kk, np)
+		}
+		opts.QueryDim = *dbDim
+		opts.QuerySeed = *seed
+	}
+
+	pipe, err := pipeline.Build(schema)
+	if err != nil {
+		log.Fatal(err)
+	}
+	prof := stageperf.New(cluster.Chip, cluster.Host, schema)
+	rt, err := serve.New(pipe, prof, chosen.Item, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("workload: %s\n", schema.Name)
+	fmt.Printf("cluster:  %d hosts x %d %s = %d XPUs\n", cluster.Hosts, cluster.Host.XPUsPerHost, cluster.Chip.Name, cluster.XPUs())
+	fmt.Printf("schedule: %s\n", chosen.Item.Describe(o.Pipe))
+	fmt.Printf("analytic: %s\n", chosen.Metrics)
+	if *burst {
+		fmt.Printf("trace:    burst of %d requests\n", *n)
+	} else {
+		fmt.Printf("trace:    %d Poisson arrivals at %.1f req/s (%.2fx analytical capacity)\n",
+			*n, arrivalRate, arrivalRate/chosen.Metrics.QPS)
+	}
+	fmt.Printf("pacing:   speedup %.0fx\n\n", sp)
+
+	rep, err := rt.Serve(reqs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(rep)
+}
+
+// pickPoint resolves the -point flag against the frontier.
+func pickPoint(front []core.SchedulePoint, sel string) (core.SchedulePoint, error) {
+	switch sel {
+	case "maxqps":
+		p, ok := perf.MaxQPSPerChip(front)
+		if !ok {
+			return core.SchedulePoint{}, fmt.Errorf("serve: empty frontier")
+		}
+		return p, nil
+	case "minttft":
+		p, ok := perf.MinTTFT(front)
+		if !ok {
+			return core.SchedulePoint{}, fmt.Errorf("serve: empty frontier")
+		}
+		return p, nil
+	default:
+		i, err := strconv.Atoi(sel)
+		if err != nil || i < 0 || i >= len(front) {
+			return core.SchedulePoint{}, fmt.Errorf("serve: -point must be maxqps, minttft, or an index in [0, %d)", len(front))
+		}
+		return front[i], nil
+	}
+}

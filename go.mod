@@ -1,0 +1,3 @@
+module rago
+
+go 1.24

@@ -1,0 +1,178 @@
+package serve
+
+import (
+	"math"
+	"time"
+
+	"rago/internal/pipeline"
+)
+
+// resource is one serial execution unit of the schedule — an XPU placement
+// group or the CPU retrieval tier. It owns a bounded inbox channel, forms
+// continuous batches per member stage, and paces their service on the
+// drift-free virtual ledger. Exactly one goroutine (run) touches its
+// queues and ledger, so the only shared state is the inbox channel and the
+// metrics collector.
+type resource struct {
+	rt     *Runtime
+	name   string
+	stages []int // pipeline stage indices served, in pipeline order
+	inbox  chan *request
+
+	queues    [][]*request // parallel to stages
+	busyUntil float64      // virtual time the resource frees up
+}
+
+func newResource(rt *Runtime, name string, stages []int) *resource {
+	return &resource{rt: rt, name: name, stages: stages, queues: make([][]*request, len(stages))}
+}
+
+// run is the worker loop: drain arrivals, pick the most overdue
+// dispatchable batch, execute it, repeat; park when nothing is ready.
+func (r *resource) run() {
+	for {
+		r.drain()
+		si, n, formV := r.pick()
+		if si < 0 {
+			if !r.park() {
+				return
+			}
+			continue
+		}
+		r.exec(si, n, formV)
+	}
+}
+
+// drain moves every waiting inbox entry into its stage queue.
+func (r *resource) drain() {
+	for {
+		select {
+		case q := <-r.inbox:
+			r.enqueue(q)
+		default:
+			return
+		}
+	}
+}
+
+func (r *resource) enqueue(q *request) {
+	for i, idx := range r.stages {
+		if idx == q.pos {
+			r.queues[i] = append(r.queues[i], q)
+			r.rt.coll.observeQueue(idx, len(r.queues[i]))
+			return
+		}
+	}
+}
+
+// pick chooses the next batch to serve: among member stages whose queue
+// either fills a batch or whose head has waited past the flush timeout,
+// take the one with the oldest waiting head (the same fairness rule as the
+// discrete-event validator). It returns the stage slot, the batch size,
+// and the exact virtual time the batch became dispatchable.
+func (r *resource) pick() (si, n int, formV float64) {
+	now := r.rt.clock.now()
+	flush := r.rt.opts.FlushTimeout
+	best := -1
+	bestAge := math.Inf(-1)
+	for i := range r.stages {
+		qu := r.queues[i]
+		if len(qu) == 0 {
+			continue
+		}
+		b := r.rt.steps[r.stages[i]].batch
+		if len(qu) < b && now-qu[0].enqV < flush {
+			continue
+		}
+		if age := now - qu[0].enqV; age > bestAge {
+			bestAge, best = age, i
+		}
+	}
+	if best < 0 {
+		return -1, 0, 0
+	}
+	b := r.rt.steps[r.stages[best]].batch
+	n = b
+	if n > len(r.queues[best]) {
+		n = len(r.queues[best])
+	}
+	// Formable time: when the last selected member entered the queue —
+	// or, for a flush-dispatched partial batch, the head's flush
+	// deadline. Both are exact virtual quantities computed upstream, so
+	// the ledger never absorbs wall-clock wakeup jitter.
+	for _, q := range r.queues[best][:n] {
+		formV = maxf(formV, q.enqV)
+	}
+	if n < b {
+		formV = maxf(formV, r.queues[best][0].enqV+flush)
+	}
+	return best, n, formV
+}
+
+// park blocks until new work arrives, a flush deadline passes, or the
+// runtime shuts down. Returns false on shutdown.
+func (r *resource) park() bool {
+	var timerC <-chan time.Time
+	var timer *time.Timer
+	deadline, has := math.Inf(1), false
+	for i := range r.stages {
+		if len(r.queues[i]) == 0 {
+			continue
+		}
+		if d := r.queues[i][0].enqV + r.rt.opts.FlushTimeout; d < deadline {
+			deadline, has = d, true
+		}
+	}
+	if has {
+		d := time.Until(r.rt.clock.wallAt(deadline))
+		if d < 0 {
+			d = 0
+		}
+		timer = time.NewTimer(d)
+		timerC = timer.C
+	}
+	defer func() {
+		if timer != nil {
+			timer.Stop()
+		}
+	}()
+	select {
+	case q := <-r.inbox:
+		r.enqueue(q)
+		return true
+	case <-timerC:
+		return true
+	case <-r.rt.quit:
+		return false
+	}
+}
+
+// exec serves one batch: advance the ledger, sleep out the scaled service
+// time (running real retrieval concurrently when configured), then hand
+// every member to its next stage.
+func (r *resource) exec(si, n int, formV float64) {
+	idx := r.stages[si]
+	batch := r.queues[si][:n:n]
+	r.queues[si] = append([]*request(nil), r.queues[si][n:]...)
+
+	lat := r.rt.stageLatency(idx, n)
+	start := maxf(r.busyUntil, formV)
+	done := start + lat
+	r.busyUntil = done
+
+	var search chan error
+	if r.rt.steps[idx].stage.Kind == pipeline.KindRetrieval && r.rt.opts.Searcher != nil {
+		search = make(chan error, 1)
+		go r.rt.runSearch(batch, search)
+	}
+	r.rt.clock.sleepUntil(done)
+	if search != nil {
+		if err := <-search; err != nil {
+			r.rt.setSearchErr(err)
+		}
+	}
+	r.rt.coll.batchServed(idx, n, r.rt.steps[idx].batch)
+	for _, q := range batch {
+		r.rt.advance(q, done)
+	}
+}

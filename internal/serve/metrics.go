@@ -1,0 +1,249 @@
+package serve
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"rago/internal/perf"
+	"rago/internal/pipeline"
+)
+
+// collector accumulates online serving measurements. All mutation happens
+// under one mutex; calls are short (append / counter bump), so contention
+// stays negligible next to stage service times.
+type collector struct {
+	mu sync.Mutex
+
+	admitted, rejected, completed int
+	ttft, tpot, latency           []float64
+	firstDone, lastDone           float64
+
+	stageNames []string
+	queuePeak  []int
+	batches    []int
+	fillNum    []int
+	fillDen    []int
+
+	searches      int
+	searchWall    []float64 // wall seconds per real retrieval batch
+	searchQueries int
+}
+
+func (c *collector) init(pipe pipeline.Pipeline) {
+	n := len(pipe.Stages)
+	c.stageNames = make([]string, n)
+	for i, st := range pipe.Stages {
+		c.stageNames[i] = st.Kind.String()
+	}
+	c.queuePeak = make([]int, n)
+	c.batches = make([]int, n)
+	c.fillNum = make([]int, n)
+	c.fillDen = make([]int, n)
+}
+
+func (c *collector) admit() {
+	c.mu.Lock()
+	c.admitted++
+	c.mu.Unlock()
+}
+
+func (c *collector) reject() {
+	c.mu.Lock()
+	c.rejected++
+	c.mu.Unlock()
+}
+
+func (c *collector) observeQueue(stage, depth int) {
+	c.mu.Lock()
+	if depth > c.queuePeak[stage] {
+		c.queuePeak[stage] = depth
+	}
+	c.mu.Unlock()
+}
+
+func (c *collector) batchServed(stage, formed, full int) {
+	c.mu.Lock()
+	c.batches[stage]++
+	c.fillNum[stage] += formed
+	c.fillDen[stage] += full
+	c.mu.Unlock()
+}
+
+func (c *collector) searchServed(queries int, wall float64) {
+	c.mu.Lock()
+	c.searches++
+	c.searchQueries += queries
+	c.searchWall = append(c.searchWall, wall)
+	c.mu.Unlock()
+}
+
+func (c *collector) complete(ttft, tpot, latency, done float64) {
+	c.mu.Lock()
+	c.completed++
+	c.ttft = append(c.ttft, ttft)
+	c.tpot = append(c.tpot, tpot)
+	c.latency = append(c.latency, latency)
+	if c.completed == 1 || done < c.firstDone {
+		c.firstDone = done
+	}
+	if done > c.lastDone {
+		c.lastDone = done
+	}
+	c.mu.Unlock()
+}
+
+// Quantiles summarizes one latency distribution (seconds).
+type Quantiles struct {
+	Mean, P50, P95, P99, Max float64
+}
+
+func quantilesOf(xs []float64) Quantiles {
+	if len(xs) == 0 {
+		return Quantiles{}
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	var sum float64
+	for _, x := range s {
+		sum += x
+	}
+	rank := func(q float64) float64 {
+		i := int(math.Ceil(q*float64(len(s)))) - 1
+		if i < 0 {
+			i = 0
+		}
+		if i >= len(s) {
+			i = len(s) - 1
+		}
+		return s[i]
+	}
+	return Quantiles{
+		Mean: sum / float64(len(s)),
+		P50:  rank(0.50),
+		P95:  rank(0.95),
+		P99:  rank(0.99),
+		Max:  s[len(s)-1],
+	}
+}
+
+func (q Quantiles) String() string {
+	return fmt.Sprintf("p50 %.4fs  p95 %.4fs  p99 %.4fs  mean %.4fs  max %.4fs",
+		q.P50, q.P95, q.P99, q.Mean, q.Max)
+}
+
+// QueueStat reports one stage's batching behaviour over the run.
+type QueueStat struct {
+	// Stage is the pipeline stage name.
+	Stage string
+	// PeakDepth is the deepest its queue got.
+	PeakDepth int
+	// Batches is how many batches were dispatched.
+	Batches int
+	// MeanFill is the mean formed-batch size over the configured size.
+	MeanFill float64
+}
+
+// Report is the measured behaviour of one trace replay. All latencies are
+// virtual (schedule) seconds.
+type Report struct {
+	Admitted, Rejected, Completed int
+
+	// TTFT is arrival to prefix completion; TPOT the per-output-token
+	// decode time; Latency arrival to full generation.
+	TTFT, TPOT, Latency Quantiles
+
+	// SustainedQPS is completions over the completion span — the
+	// saturation throughput when the trace overdrives the schedule.
+	SustainedQPS float64
+	// Span is the virtual completion span the rate is measured over.
+	Span float64
+
+	// Analytic carries the assembler's prediction for the same schedule;
+	// QPSVsAnalytic is SustainedQPS over Analytic.QPS (0 if unavailable).
+	Analytic      perf.Metrics
+	HasAnalytic   bool
+	QPSVsAnalytic float64
+
+	// Queues reports per-stage batching and backlog, decode included.
+	Queues []QueueStat
+
+	// Real-retrieval substrate stats (zero unless a Searcher was set).
+	Searches      int
+	SearchQueries int
+	SearchWall    Quantiles
+
+	// Speedup and WallSeconds record the time compression of the run.
+	Speedup     float64
+	WallSeconds float64
+}
+
+// report snapshots the collector into a Report. It runs after Serve's
+// WaitGroup barrier, so no concurrent mutation remains.
+func (c *collector) report(rt *Runtime) *Report {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	rep := &Report{
+		Admitted:      c.admitted,
+		Rejected:      c.rejected,
+		Completed:     c.completed,
+		TTFT:          quantilesOf(c.ttft),
+		TPOT:          quantilesOf(c.tpot),
+		Latency:       quantilesOf(c.latency),
+		Analytic:      rt.analytic,
+		HasAnalytic:   rt.hasAnaly,
+		Searches:      c.searches,
+		SearchQueries: c.searchQueries,
+		SearchWall:    quantilesOf(c.searchWall),
+		Speedup:       rt.opts.Speedup,
+		WallSeconds:   time.Since(rt.clock.start).Seconds(),
+	}
+	if span := c.lastDone - c.firstDone; span > 0 && c.completed > 1 {
+		rep.Span = span
+		rep.SustainedQPS = float64(c.completed-1) / span
+	}
+	if rep.HasAnalytic && rt.analytic.QPS > 0 {
+		rep.QPSVsAnalytic = rep.SustainedQPS / rt.analytic.QPS
+	}
+	for i, name := range c.stageNames {
+		if c.batches[i] == 0 && c.queuePeak[i] == 0 {
+			continue
+		}
+		qs := QueueStat{Stage: name, PeakDepth: c.queuePeak[i], Batches: c.batches[i]}
+		if c.fillDen[i] > 0 {
+			qs.MeanFill = float64(c.fillNum[i]) / float64(c.fillDen[i])
+		}
+		rep.Queues = append(rep.Queues, qs)
+	}
+	return rep
+}
+
+// String renders the latency report the `rago serve` subcommand prints.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "completed %d/%d requests (%d rejected) in %.1fs virtual / %.1fs wall (speedup %.0fx)\n",
+		r.Completed, r.Admitted+r.Rejected, r.Rejected, r.Span, r.WallSeconds, r.Speedup)
+	fmt.Fprintf(&b, "sustained QPS %.2f", r.SustainedQPS)
+	if r.HasAnalytic {
+		fmt.Fprintf(&b, "  (analytical %.2f, ratio %.2f)", r.Analytic.QPS, r.QPSVsAnalytic)
+	}
+	b.WriteString("\n")
+	fmt.Fprintf(&b, "TTFT     %s\n", r.TTFT)
+	fmt.Fprintf(&b, "TPOT     %s\n", r.TPOT)
+	fmt.Fprintf(&b, "latency  %s\n", r.Latency)
+	for _, q := range r.Queues {
+		if q.Batches > 0 {
+			fmt.Fprintf(&b, "queue %-15s peak %5d  batches %6d  fill %.2f\n", q.Stage, q.PeakDepth, q.Batches, q.MeanFill)
+		} else {
+			fmt.Fprintf(&b, "queue %-15s peak %5d\n", q.Stage, q.PeakDepth)
+		}
+	}
+	if r.Searches > 0 {
+		fmt.Fprintf(&b, "retrieval substrate: %d real batches (%d queries), wall %s\n",
+			r.Searches, r.SearchQueries, r.SearchWall)
+	}
+	return b.String()
+}

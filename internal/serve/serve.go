@@ -1,0 +1,366 @@
+// Package serve executes RAGO schedules for real: it turns a core.Schedule
+// straight out of the optimizer into a concurrent, goroutine-based serving
+// runtime and replays open-loop request traces through it under wall-clock
+// pacing.
+//
+// The engine mirrors the structure the schedule describes. Every XPU
+// placement group becomes one serial batching worker that time-multiplexes
+// its collocated stages (oldest-waiting-head first, like the discrete-event
+// validator); the retrieval tier becomes its own batching worker that can
+// additionally run real batched IVF-PQ queries against the
+// internal/vectordb substrate on the serving path; the decode tier is a
+// pool of continuous-batching slots implemented as a bounded channel of
+// slot leases. Tiers are connected by bounded channels sized by the
+// admission bound, so the whole data plane is allocation-bounded:
+// admission control sheds arrivals once MaxInFlight requests are in the
+// system, which in turn guarantees no internal channel send can block and
+// no cross-tier cycle (a group hosting stages on both sides of retrieval)
+// can deadlock.
+//
+// Pacing uses a virtual clock: one virtual second is Speedup wall seconds
+// compressed. Stage service times come from stageperf.Profiler and are
+// slept for in wall time, but timestamps advance on a drift-free ledger —
+// each resource's next batch starts at max(busyUntil, batch-formable time),
+// both exact virtual quantities — so measured saturation throughput
+// reflects the schedule, not OS timer jitter, while the concurrency
+// (channels, goroutines, shared indexes) is entirely real and race-tested.
+package serve
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"rago/internal/core"
+	"rago/internal/perf"
+	"rago/internal/pipeline"
+	"rago/internal/stageperf"
+	"rago/internal/trace"
+	"rago/internal/vectordb"
+)
+
+// SearchFunc executes one batch of real vector-search queries on the
+// retrieval serving path (e.g. a closure over vectordb.IVFPQ.SearchBatch).
+// It runs concurrently with the modeled retrieval latency; its wall time is
+// reported so the substrate can be compared against the analytical model.
+type SearchFunc func(queries [][]float32) ([][]vectordb.Result, error)
+
+// Options configures a Runtime.
+type Options struct {
+	// Speedup compresses time: one virtual second of schedule latency is
+	// served in 1/Speedup wall seconds. 0 means 1 (real time).
+	Speedup float64
+	// FlushTimeout is how long (virtual seconds) a partially filled batch
+	// may wait before dispatching anyway. 0 means the 0.05 s default; any
+	// negative value dispatches partial batches immediately (what
+	// unloaded-latency measurements want).
+	FlushTimeout float64
+	// MaxInFlight is the admission bound: arrivals finding this many
+	// requests already in the system are rejected (open-loop shedding).
+	// 0 admits the whole trace.
+	MaxInFlight int
+	// Searcher, when set, runs real vector search per retrieval batch.
+	Searcher SearchFunc
+	// QueryDim is the dimensionality of synthesized queries for Searcher.
+	QueryDim int
+	// QuerySeed makes synthesized query batches deterministic.
+	QuerySeed int64
+}
+
+func (o Options) withDefaults() Options {
+	if o.Speedup <= 0 {
+		o.Speedup = 1
+	}
+	switch {
+	case o.FlushTimeout == 0:
+		o.FlushTimeout = 0.05
+	case o.FlushTimeout < 0:
+		o.FlushTimeout = 0
+	}
+	return o
+}
+
+// step describes how one pipeline stage executes under the schedule.
+type step struct {
+	stage    pipeline.Stage
+	resource int // index into Runtime.resources; -1 for the decode tier
+	batch    int
+	latency  float64 // service time for a full batch (virtual seconds)
+}
+
+// request is one in-flight trace entry.
+type request struct {
+	id       int
+	arrival  float64 // virtual
+	enqV     float64 // virtual time it entered its current stage queue
+	pos      int     // index of the NEXT pipeline stage to run
+	ttft     float64
+	decStart float64
+}
+
+// Runtime is a live serving engine for one (pipeline, schedule) pair. It is
+// single-use: build, Serve one trace, read the Report.
+type Runtime struct {
+	pipe     pipeline.Pipeline
+	prof     *stageperf.Profiler
+	sched    core.Schedule
+	opts     Options
+	analytic perf.Metrics
+	hasAnaly bool
+
+	steps     []step
+	decIdx    int
+	prefixIdx int
+
+	resources []*resource
+	decode    *decodeTier
+	clock     clock
+	coll      collector
+	quit      chan struct{}
+	wg        sync.WaitGroup
+
+	inflight    atomic.Int64
+	maxInflight int64
+	served      atomic.Bool
+
+	searchMu  sync.Mutex
+	searchErr error
+}
+
+// New builds a runtime for a validated (pipeline, schedule) pair.
+// Iterative-retrieval workloads are not executable by this engine yet (the
+// §5.3 decode-loop dynamics live in sim.RunIterative) and are rejected.
+func New(pipe pipeline.Pipeline, prof *stageperf.Profiler, sched core.Schedule, opts Options) (*Runtime, error) {
+	if pipe.Schema.Iterative() {
+		return nil, fmt.Errorf("serve: iterative-retrieval workloads are not executable; use sim.RunIterative")
+	}
+	if err := sched.Validate(pipe); err != nil {
+		return nil, err
+	}
+	opts = opts.withDefaults()
+	if opts.Searcher != nil && opts.QueryDim < 1 {
+		return nil, fmt.Errorf("serve: Searcher requires a positive QueryDim")
+	}
+	rt := &Runtime{
+		pipe:  pipe,
+		prof:  prof,
+		sched: sched,
+		opts:  opts,
+		steps: make([]step, len(pipe.Stages)),
+	}
+	for gi, g := range sched.Groups {
+		for i, idx := range g.Stages {
+			pt := prof.EvalR(pipe.Stages[idx], g.Chips, g.Batch, g.ReplicasFor(i))
+			if !pt.OK {
+				return nil, fmt.Errorf("serve: stage %v infeasible under schedule", pipe.Stages[idx].Kind)
+			}
+			rt.steps[idx] = step{stage: pipe.Stages[idx], resource: gi, batch: g.Batch, latency: pt.Latency}
+		}
+		rt.resources = append(rt.resources, newResource(rt, fmt.Sprintf("group%d", gi), g.Stages))
+	}
+	if retrIdx := pipe.Index(pipeline.KindRetrieval); retrIdx >= 0 {
+		pt := prof.Eval(pipe.Stages[retrIdx], sched.RetrievalServers, sched.RetrievalBatch)
+		if !pt.OK {
+			return nil, fmt.Errorf("serve: retrieval infeasible under schedule")
+		}
+		rt.steps[retrIdx] = step{
+			stage:    pipe.Stages[retrIdx],
+			resource: len(rt.resources),
+			batch:    sched.RetrievalBatch,
+			latency:  pt.Latency + prof.RetrievalTransferLatency(),
+		}
+		rt.resources = append(rt.resources, newResource(rt, "retrieval", []int{retrIdx}))
+	}
+	rt.decIdx = pipe.Index(pipeline.KindDecode)
+	rt.prefixIdx = pipe.Index(pipeline.KindPrefix)
+	dec := prof.EvalR(pipe.Stages[rt.decIdx], sched.DecodeChips, sched.DecodeBatch, sched.DecodeReplicasOrOne())
+	if !dec.OK {
+		return nil, fmt.Errorf("serve: decode infeasible under schedule")
+	}
+	rt.steps[rt.decIdx] = step{stage: pipe.Stages[rt.decIdx], resource: -1, batch: sched.DecodeBatch, latency: dec.Latency}
+	rt.decode = &decodeTier{rt: rt, latency: dec.Latency}
+	if m, ok := (&core.Assembler{Pipe: pipe, Prof: prof}).Evaluate(sched); ok {
+		rt.analytic, rt.hasAnaly = m, true
+	}
+	return rt, nil
+}
+
+// Analytic returns the assembled analytical metrics of the schedule (the
+// reference the measured report is compared against); false when the
+// assembler deems the schedule infeasible.
+func (rt *Runtime) Analytic() (perf.Metrics, bool) { return rt.analytic, rt.hasAnaly }
+
+// Serve replays the trace through the live engine and blocks until every
+// request has completed or been rejected. Arrival times are virtual
+// seconds; they are paced in wall time at the configured Speedup.
+func (rt *Runtime) Serve(reqs []trace.Request) (*Report, error) {
+	if len(reqs) == 0 {
+		return nil, fmt.Errorf("serve: empty trace")
+	}
+	if !rt.served.CompareAndSwap(false, true) {
+		return nil, fmt.Errorf("serve: Runtime is single-use; build a new one per trace")
+	}
+	bound := rt.opts.MaxInFlight
+	if bound <= 0 {
+		bound = len(reqs)
+	}
+	rt.maxInflight = int64(bound)
+	// Channel capacity equals the in-flight bound, so no send in the data
+	// plane can ever block: a request occupies at most one channel slot.
+	for _, r := range rt.resources {
+		r.inbox = make(chan *request, bound)
+	}
+	rt.decode.start(bound)
+	rt.quit = make(chan struct{})
+	rt.coll.init(rt.pipe)
+	rt.clock = newClock(rt.opts.Speedup)
+	for _, r := range rt.resources {
+		go r.run()
+	}
+	go rt.decode.run()
+	rt.wg.Add(len(reqs))
+	go rt.replay(reqs)
+	rt.wg.Wait()
+	close(rt.quit)
+	rep := rt.coll.report(rt)
+	rt.searchMu.Lock()
+	err := rt.searchErr
+	rt.searchMu.Unlock()
+	return rep, err
+}
+
+// replay paces open-loop arrivals and applies admission control.
+func (rt *Runtime) replay(reqs []trace.Request) {
+	for i := range reqs {
+		r := reqs[i]
+		rt.clock.sleepUntil(r.Arrival)
+		if rt.inflight.Load() >= rt.maxInflight {
+			rt.coll.reject()
+			rt.wg.Done()
+			continue
+		}
+		rt.inflight.Add(1)
+		rt.coll.admit()
+		rt.submit(&request{id: r.ID, arrival: r.Arrival, enqV: r.Arrival})
+	}
+}
+
+// submit routes a request to the resource owning its current stage.
+func (rt *Runtime) submit(q *request) {
+	if st := rt.steps[q.pos]; st.resource >= 0 {
+		rt.resources[st.resource].inbox <- q
+		return
+	}
+	rt.decode.inbox <- q
+}
+
+// advance moves a request past the stage that completed at virtual time t.
+func (rt *Runtime) advance(q *request, t float64) {
+	if q.pos == rt.prefixIdx {
+		q.ttft = t - q.arrival
+	}
+	q.pos++
+	q.enqV = t
+	rt.submit(q)
+}
+
+// complete retires a fully generated request.
+func (rt *Runtime) complete(q *request, done float64) {
+	tpot := 0.0
+	if out := rt.steps[rt.decIdx].stage.OutTokens; out > 0 {
+		tpot = (done - q.decStart) / float64(out)
+	}
+	rt.coll.complete(q.ttft, tpot, done-q.arrival, done)
+	rt.inflight.Add(-1)
+	rt.wg.Done()
+}
+
+// runSearch synthesizes the batch's query vectors and executes them against
+// the real retrieval substrate, concurrently with the modeled pacing.
+func (rt *Runtime) runSearch(batch []*request, done chan<- error) {
+	qpr := rt.pipe.Schema.QueriesPerRetrieval
+	if qpr < 1 {
+		qpr = 1
+	}
+	rng := rand.New(rand.NewSource(rt.opts.QuerySeed + int64(batch[0].id)))
+	queries := make([][]float32, 0, len(batch)*qpr)
+	for range batch {
+		for j := 0; j < qpr; j++ {
+			v := make([]float32, rt.opts.QueryDim)
+			for d := range v {
+				v[d] = rng.Float32() * 10
+			}
+			queries = append(queries, v)
+		}
+	}
+	start := time.Now()
+	_, err := rt.opts.Searcher(queries)
+	rt.coll.searchServed(len(queries), time.Since(start).Seconds())
+	done <- err
+}
+
+func (rt *Runtime) setSearchErr(err error) {
+	rt.searchMu.Lock()
+	if rt.searchErr == nil {
+		rt.searchErr = err
+	}
+	rt.searchMu.Unlock()
+}
+
+// stageLatency returns the service time of stage idx at the actually formed
+// batch size n (partial batches are re-profiled at their real size).
+func (rt *Runtime) stageLatency(idx, n int) float64 {
+	st := rt.steps[idx]
+	if n == st.batch {
+		return st.latency
+	}
+	if st.stage.Kind == pipeline.KindRetrieval {
+		if pt := rt.prof.Eval(st.stage, rt.sched.RetrievalServers, n); pt.OK {
+			return pt.Latency + rt.prof.RetrievalTransferLatency()
+		}
+		return st.latency
+	}
+	g := rt.sched.Groups[st.resource]
+	for i, sidx := range g.Stages {
+		if sidx != idx {
+			continue
+		}
+		r := g.ReplicasFor(i)
+		if r > n {
+			r = n
+		}
+		if pt := rt.prof.EvalR(st.stage, g.Chips, n, r); pt.OK {
+			return pt.Latency
+		}
+	}
+	return st.latency
+}
+
+// clock maps virtual schedule time onto compressed wall time.
+type clock struct {
+	start   time.Time
+	speedup float64
+}
+
+func newClock(speedup float64) clock { return clock{start: time.Now(), speedup: speedup} }
+
+// now returns the current virtual time.
+func (c clock) now() float64 { return time.Since(c.start).Seconds() * c.speedup }
+
+// wallAt returns the wall-clock instant of virtual time v.
+func (c clock) wallAt(v float64) time.Time {
+	return c.start.Add(time.Duration(v / c.speedup * float64(time.Second)))
+}
+
+// sleepUntil blocks until virtual time v has passed.
+func (c clock) sleepUntil(v float64) {
+	if d := time.Until(c.wallAt(v)); d > 0 {
+		time.Sleep(d)
+	}
+}
+
+// maxf is a float64 max without the math import ceremony at call sites.
+func maxf(a, b float64) float64 { return math.Max(a, b) }

@@ -1,0 +1,53 @@
+package serve
+
+// decodeTier is the continuous-batching decode pool. The schedule's
+// DecodeBatch slots are a bounded channel of slot leases, each lease
+// carrying the virtual time its slot frees up: acquiring a lease and
+// max-ing it with the request's queue-exit time gives the drift-free start
+// of that sequence's generation. Each admitted sequence occupies its slot
+// for the full profiled generation latency (the profile already assumes
+// all slots decode concurrently), sleeping it out in scaled wall time on
+// its own goroutine — so up to DecodeBatch generations genuinely overlap.
+type decodeTier struct {
+	rt      *Runtime
+	inbox   chan *request
+	slots   chan float64 // free-at virtual times; cap == DecodeBatch
+	latency float64      // full-batch generation wall time (virtual)
+}
+
+func (d *decodeTier) start(bound int) {
+	d.inbox = make(chan *request, bound)
+	d.slots = make(chan float64, d.rt.sched.DecodeBatch)
+	for i := 0; i < d.rt.sched.DecodeBatch; i++ {
+		d.slots <- 0
+	}
+}
+
+// run admits queued sequences into free slots in arrival order.
+func (d *decodeTier) run() {
+	for {
+		var q *request
+		select {
+		case q = <-d.inbox:
+		case <-d.rt.quit:
+			return
+		}
+		d.rt.coll.observeQueue(d.rt.decIdx, len(d.inbox)+1)
+		var free float64
+		select {
+		case free = <-d.slots:
+		case <-d.rt.quit:
+			return
+		}
+		q.decStart = maxf(free, q.enqV)
+		go d.finish(q, q.decStart+d.latency)
+	}
+}
+
+// finish sleeps out one sequence's generation, returns the slot lease, and
+// retires the request.
+func (d *decodeTier) finish(q *request, done float64) {
+	d.rt.clock.sleepUntil(done)
+	d.slots <- done
+	d.rt.complete(q, done)
+}

@@ -1,0 +1,59 @@
+package vectordb
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// SearchBatch answers a batch of queries concurrently, fanning them out
+// across up to GOMAXPROCS workers. Indexes are immutable after Build, so
+// queries share the index without synchronization; each query is answered
+// exactly as a sequential Search call would (results are positionally
+// parallel to queries and bit-identical to the serial path, so recall is
+// unchanged). This is the parallel scan path the serving runtime's
+// retrieval tier executes per formed batch.
+func (ix *IVFPQ) SearchBatch(queries [][]float32, k, nprobe int) ([][]Result, error) {
+	return searchBatch(len(queries), func(i int) ([]Result, error) {
+		return ix.Search(queries[i], k, nprobe)
+	})
+}
+
+// SearchBatch is the exact-kNN batched counterpart of FlatIndex.Search,
+// with the same fan-out and result-parity guarantees as IVFPQ.SearchBatch.
+func (f *FlatIndex) SearchBatch(queries [][]float32, k int) ([][]Result, error) {
+	return searchBatch(len(queries), func(i int) ([]Result, error) {
+		return f.Search(queries[i], k)
+	})
+}
+
+// searchBatch runs one(i) for every i in [0, n) on a striped worker pool and
+// gathers results in order. The first per-query error (lowest index) wins.
+func searchBatch(n int, one func(i int) ([]Result, error)) ([][]Result, error) {
+	if n == 0 {
+		return nil, fmt.Errorf("vectordb: empty query batch")
+	}
+	out := make([][]Result, n)
+	errs := make([]error, n)
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < n; i += workers {
+				out[i], errs[i] = one(i)
+			}
+		}(w)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("vectordb: batch query %d: %w", i, err)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,155 @@
+package vectordb
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+)
+
+// batchFixture builds a clustered dataset, an IVF-PQ index over it, and a
+// query set drawn from the same distribution.
+func batchFixture(t *testing.T) (data, queries [][]float32, ix *IVFPQ) {
+	t.Helper()
+	const (
+		n   = 3000
+		dim = 32
+		nq  = 64
+	)
+	all := GenClustered(n+nq, dim, 24, 0.4, 7)
+	data, queries = all[:n], all[n:]
+	ix, err := BuildIVFPQ(data, 32, dim/2, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data, queries, ix
+}
+
+func TestSearchBatchMatchesSequential(t *testing.T) {
+	_, queries, ix := batchFixture(t)
+	const k, nprobe = 10, 8
+	got, err := ix.SearchBatch(queries, k, nprobe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(queries) {
+		t.Fatalf("got %d result lists for %d queries", len(got), len(queries))
+	}
+	for i, q := range queries {
+		want, err := ix.Search(q, k, nprobe)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got[i], want) {
+			t.Fatalf("query %d: batch results diverge from sequential Search", i)
+		}
+	}
+}
+
+func TestSearchBatchRecallParity(t *testing.T) {
+	data, queries, ix := batchFixture(t)
+	const k, nprobe = 10, 20
+	flat := NewFlat(len(data[0]))
+	if err := flat.Add(data...); err != nil {
+		t.Fatal(err)
+	}
+	batch, err := ix.SearchBatch(queries, k, nprobe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var batchRecall, seqRecall float64
+	for i, q := range queries {
+		truth, err := flat.Search(q, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seq, err := ix.Search(q, k, nprobe)
+		if err != nil {
+			t.Fatal(err)
+		}
+		batchRecall += Recall(truth, batch[i], k)
+		seqRecall += Recall(truth, seq, k)
+	}
+	batchRecall /= float64(len(queries))
+	seqRecall /= float64(len(queries))
+	if batchRecall != seqRecall {
+		t.Errorf("recall@%d parity broken: batch %.4f vs sequential %.4f", k, batchRecall, seqRecall)
+	}
+	if batchRecall < 0.5 {
+		t.Errorf("recall@%d = %.4f, implausibly low for nprobe=%d", k, batchRecall, nprobe)
+	}
+}
+
+func TestFlatSearchBatchMatchesSequential(t *testing.T) {
+	data, queries, _ := batchFixture(t)
+	flat := NewFlat(len(data[0]))
+	if err := flat.Add(data...); err != nil {
+		t.Fatal(err)
+	}
+	const k = 5
+	got, err := flat.SearchBatch(queries, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, q := range queries {
+		want, err := flat.Search(q, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got[i], want) {
+			t.Fatalf("query %d: flat batch results diverge from sequential Search", i)
+		}
+	}
+}
+
+// TestSearchBatchConcurrent hammers one shared index from many goroutines —
+// the shape the serving runtime's retrieval tier produces. Run under -race.
+func TestSearchBatchConcurrent(t *testing.T) {
+	_, queries, ix := batchFixture(t)
+	var wg sync.WaitGroup
+	errs := make([]error, 8)
+	for g := 0; g < len(errs); g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for rep := 0; rep < 5; rep++ {
+				if _, err := ix.SearchBatch(queries, 10, 4); err != nil {
+					errs[g] = err
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	for g, err := range errs {
+		if err != nil {
+			t.Errorf("goroutine %d: %v", g, err)
+		}
+	}
+}
+
+func TestSearchBatchErrors(t *testing.T) {
+	_, queries, ix := batchFixture(t)
+	if _, err := ix.SearchBatch(nil, 10, 4); err == nil {
+		t.Error("empty batch should error")
+	}
+	if _, err := ix.SearchBatch(queries, 0, 4); err == nil {
+		t.Error("k = 0 should error")
+	}
+	if _, err := ix.SearchBatch(queries, 10, 0); err == nil {
+		t.Error("nprobe = 0 should error")
+	}
+	bad := [][]float32{queries[0], make([]float32, 3)}
+	if _, err := ix.SearchBatch(bad, 10, 4); err == nil {
+		t.Error("dimension mismatch should error")
+	}
+	flat := NewFlat(len(queries[0]))
+	if err := flat.Add(queries...); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := flat.SearchBatch(nil, 5); err == nil {
+		t.Error("empty flat batch should error")
+	}
+	if _, err := flat.SearchBatch(bad, 5); err == nil {
+		t.Error("flat dimension mismatch should error")
+	}
+}

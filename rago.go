@@ -33,7 +33,9 @@ import (
 	"rago/internal/perf"
 	"rago/internal/pipeline"
 	"rago/internal/ragschema"
+	"rago/internal/serve"
 	"rago/internal/sim"
+	"rago/internal/stageperf"
 	"rago/internal/trace"
 	"rago/internal/vectordb"
 )
@@ -177,6 +179,36 @@ var (
 	// BurstTrace generates a simultaneous burst (§7.2).
 	BurstTrace = trace.Burst
 )
+
+// Serving runtime (a concurrent, goroutine-based engine that executes a
+// Schedule from the optimizer for real under open-loop load: one batching
+// worker per placement group, continuous-batching decode slots, wall-clock
+// pacing of profiled stage latencies, admission control, and an online
+// p50/p95/p99 metrics collector).
+type (
+	// Runtime is a live serving engine for one schedule. Single-use:
+	// build, Serve one trace, read the Report.
+	Runtime = serve.Runtime
+	// ServeOptions configures pacing (time compression), batching flush,
+	// admission control, and the optional real retrieval substrate.
+	ServeOptions = serve.Options
+	// ServeReport is the measured latency/throughput report of a replay.
+	ServeReport = serve.Report
+	// SearchFunc plugs a real vector index (e.g. IVFPQ.SearchBatch) into
+	// the runtime's retrieval tier.
+	SearchFunc = serve.SearchFunc
+)
+
+// NewRuntime builds a serving engine executing sched — typically the Item
+// of a frontier point returned by Optimize — for schema on the given
+// cluster's hardware generation.
+func NewRuntime(schema Schema, sched Schedule, cluster Cluster, opts ServeOptions) (*Runtime, error) {
+	pipe, err := pipeline.Build(schema)
+	if err != nil {
+		return nil, err
+	}
+	return serve.New(pipe, stageperf.New(cluster.Chip, cluster.Host, schema), sched, opts)
+}
 
 // Vector search substrate (a working IVF-PQ implementation of the
 // retrieval tier the paper models analytically).

@@ -60,6 +60,43 @@ func TestPublicAPIBaselineComparison(t *testing.T) {
 	}
 }
 
+func TestPublicAPIServeWorkflow(t *testing.T) {
+	// The full loop the serving runtime exists for: optimize, pick a
+	// frontier point, replay an overdriving trace through the live
+	// engine, and check the measured throughput tracks the point.
+	schema := CaseI(8e9, 1)
+	cluster := DefaultCluster()
+	front, err := Optimize(schema, DefaultOptions(cluster))
+	if err != nil {
+		t.Fatal(err)
+	}
+	best, ok := MaxQPSPerChip(front)
+	if !ok {
+		t.Fatal("no max-QPS point")
+	}
+	rt, err := NewRuntime(schema, best.Item, cluster, ServeOptions{Speedup: 1500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs, err := PoissonTrace(1500, 1.5*best.Metrics.QPS, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := rt.Serve(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Completed != 1500 {
+		t.Fatalf("completed %d of 1500", rep.Completed)
+	}
+	if ratio := rep.SustainedQPS / best.Metrics.QPS; ratio < 0.8 || ratio > 1.2 {
+		t.Errorf("served QPS %.2f vs frontier point %.2f (ratio %.2f)", rep.SustainedQPS, best.Metrics.QPS, ratio)
+	}
+	if rep.TTFT.P99 < rep.TTFT.P50 || rep.TTFT.P50 <= 0 {
+		t.Errorf("TTFT quantiles implausible: %+v", rep.TTFT)
+	}
+}
+
 func TestPublicAPISchemaJSON(t *testing.T) {
 	orig := CaseIV(70e9)
 	data, err := EncodeSchemaJSON(orig)
