@@ -9,7 +9,7 @@
 //	rago serve -preset case4 [-n 10000] [-rate 0] [-point maxqps] [-db 0]
 //
 // With no -schema, -preset selects one of the paper's Table 3 workloads:
-// case1, case2, case3, case4, llm-only. The optimize subcommand (the
+// case1, case2, case3, case4, case5, llm-only. The optimize subcommand (the
 // default) prints the performance Pareto frontier with its schedules; the
 // serve subcommand replays an open-loop trace through a chosen frontier
 // point and prints the measured latency report.
@@ -54,6 +54,7 @@ type workloadFlags struct {
 	queries    *int
 	context    *int
 	retrievals *int
+	sources    *int
 	hosts      *int
 	chip       *string
 }
@@ -61,18 +62,19 @@ type workloadFlags struct {
 func addWorkloadFlags(fs *flag.FlagSet) workloadFlags {
 	return workloadFlags{
 		schemaPath: fs.String("schema", "", "path to a RAGSchema JSON file"),
-		preset:     fs.String("preset", "", "preset workload: case1|case2|case3|case4|llm-only"),
+		preset:     fs.String("preset", "", "preset workload: case1|case2|case3|case4|case5|llm-only"),
 		model:      fs.Float64("model", 70e9, "generative model parameters for presets"),
 		queries:    fs.Int("queries", 1, "query vectors per retrieval (case1)"),
 		context:    fs.Int("context", 1_000_000, "context tokens (case2)"),
 		retrievals: fs.Int("retrievals", 4, "retrievals per sequence (case3)"),
+		sources:    fs.Int("sources", 2, "parallel retrieval sources (case5)"),
 		hosts:      fs.Int("hosts", 16, "host servers (4 XPUs each)"),
 		chip:       fs.String("chip", "XPU-C", "accelerator generation: XPU-A|XPU-B|XPU-C"),
 	}
 }
 
 func (w workloadFlags) load() (ragschema.Schema, hw.Cluster, error) {
-	schema, err := loadSchema(*w.schemaPath, *w.preset, *w.model, *w.queries, *w.context, *w.retrievals)
+	schema, err := loadSchema(*w.schemaPath, *w.preset, *w.model, *w.queries, *w.context, *w.retrievals, *w.sources)
 	if err != nil {
 		return ragschema.Schema{}, hw.Cluster{}, err
 	}
@@ -132,7 +134,7 @@ func runOptimize(args []string) {
 	}
 }
 
-func loadSchema(path, preset string, model float64, queries, context, retrievals int) (ragschema.Schema, error) {
+func loadSchema(path, preset string, model float64, queries, context, retrievals, sources int) (ragschema.Schema, error) {
 	if path != "" {
 		data, err := os.ReadFile(path)
 		if err != nil {
@@ -149,10 +151,12 @@ func loadSchema(path, preset string, model float64, queries, context, retrievals
 		return ragschema.CaseIII(model, retrievals), nil
 	case "case4":
 		return ragschema.CaseIV(model), nil
+	case "case5":
+		return ragschema.CaseV(model, sources), nil
 	case "llm-only":
 		return ragschema.LLMOnly(model), nil
 	case "":
-		return ragschema.Schema{}, fmt.Errorf("need -schema or -preset (case1|case2|case3|case4|llm-only)")
+		return ragschema.Schema{}, fmt.Errorf("need -schema or -preset (case1|case2|case3|case4|case5|llm-only)")
 	default:
 		return ragschema.Schema{}, fmt.Errorf("unknown preset %q", preset)
 	}

@@ -1,8 +1,7 @@
 package core
 
 import (
-	"math"
-
+	"rago/internal/engine"
 	"rago/internal/perf"
 	"rago/internal/pipeline"
 	"rago/internal/stageperf"
@@ -11,8 +10,11 @@ import (
 // SchedulePoint couples a complete schedule with its assembled metrics.
 type SchedulePoint = perf.Point[Schedule]
 
-// Assembler evaluates complete schedules by composing per-stage costs
-// (Algorithm 1 step 3: assemblePerf).
+// Assembler evaluates complete schedules by compiling them through
+// internal/engine and reading the assembled metrics (Algorithm 1 step 3:
+// assemblePerf). The same compiled plan drives the discrete-event
+// validator and the live serving runtime, so the three layers cannot
+// drift apart.
 type Assembler struct {
 	Pipe pipeline.Pipeline
 	Prof *stageperf.Profiler
@@ -26,158 +28,19 @@ type Assembler struct {
 // Evaluate assembles end-to-end metrics for one schedule. The boolean is
 // false when any component of the schedule is infeasible.
 func (a *Assembler) Evaluate(s Schedule) (perf.Metrics, bool) {
-	if err := s.Validate(a.Pipe); err != nil {
+	plan, err := engine.Compile(a.Pipe, s, a.Prof)
+	if err != nil {
 		return perf.Metrics{}, false
 	}
-
-	// Iterative-retrieval costs (zero-valued for single-retrieval
-	// workloads) are needed both for the decode stall and for the extra
-	// load on the retrieval tier and prefix group.
-	iter, ok := a.iterativeCost(s)
-	if !ok {
-		return perf.Metrics{}, false
-	}
-
-	var ttft float64
-	qps := math.Inf(1)
-	prefixIdx := a.Pipe.Index(pipeline.KindPrefix)
-
-	// Pre-decode XPU groups: time-multiplexed members contribute their
-	// batch latency to TTFT and their summed per-request occupancy to
-	// the group's throughput (§6.1). The group hosting the main prefix
-	// additionally absorbs the iterative prefix passes.
-	for _, g := range s.Groups {
-		if !a.groupMemOK(g) {
-			return perf.Metrics{}, false
-		}
-		var occupancy float64 // seconds of group time per request
-		for i, idx := range g.Stages {
-			// Time-multiplexed groups bound per-phase replication by
-			// the work one batch exposes (Fig. 14); see groupChoices.
-			if len(g.Stages) > 1 && g.ReplicasFor(i) > maxPhaseReplicas(a.Pipe.Stages[idx], g.Batch) {
-				return perf.Metrics{}, false
-			}
-			pt := a.Prof.EvalR(a.Pipe.Stages[idx], g.Chips, g.Batch, g.ReplicasFor(i))
-			if !pt.OK {
-				return perf.Metrics{}, false
-			}
-			ttft += pt.Latency
-			occupancy += 1 / pt.QPS
-			if idx == prefixIdx {
-				occupancy += iter.prefixOccupancy
-			}
-		}
-		// Fig. 14: when a retrieval separates collocated stages, the
-		// group pauses for the retrieval round before resuming the
-		// next inference phase (§7.1's second baseline inefficiency).
-		if wait, ok := a.retrievalPause(g.Stages, s, g.Batch); ok {
-			occupancy += wait
-		} else {
-			return perf.Metrics{}, false
-		}
-		qps = math.Min(qps, 1/occupancy)
-	}
-
-	// Retrieval tier: the initial retrieval latency sits on the TTFT
-	// path; iterative retrievals consume tier throughput (TPOT path).
-	if retrIdx := a.Pipe.Index(pipeline.KindRetrieval); retrIdx >= 0 {
-		rt := a.Prof.Eval(a.Pipe.Stages[retrIdx], s.RetrievalServers, s.RetrievalBatch)
-		if !rt.OK {
-			return perf.Metrics{}, false
-		}
-		ttft += rt.Latency + a.Prof.RetrievalTransferLatency()
-		qps = math.Min(qps, 1/(1/rt.QPS+iter.retrievalOccupancy))
-	}
-
-	// Decode tier: continuous batching; worst-case TPOT is the step
-	// latency plus iterative stalls amortized per token (§5.3).
-	decIdx := a.Pipe.Index(pipeline.KindDecode)
-	dec := a.Prof.EvalR(a.Pipe.Stages[decIdx], s.DecodeChips, s.DecodeBatch, s.DecodeReplicasOrOne())
-	if !dec.OK {
-		return perf.Metrics{}, false
-	}
-	outTokens := float64(a.Pipe.Stages[decIdx].OutTokens)
-	genTime := dec.Latency + iter.stallPerRequest
-	tpot := genTime / outTokens
-	qps = math.Min(qps, float64(s.DecodeBatch)/genTime)
-
-	norm := s.ChipsUsed()
+	m := plan.Metrics
 	if a.NormalizeChips > 0 {
-		norm = a.NormalizeChips
-	}
-	m := perf.Metrics{
-		TTFT:       ttft,
-		TPOT:       tpot,
-		QPS:        qps,
-		QPSPerChip: qps / float64(norm),
-	}
-	if !m.Valid() {
-		return perf.Metrics{}, false
+		m.QPSPerChip = m.QPS / float64(a.NormalizeChips)
 	}
 	return m, true
 }
 
-// retrievalPause returns the per-request group idle time when the group's
-// stages span the retrieval stage (it must wait for retrieval results
-// between its phases, batch latency amortized over the batch). The
-// boolean is false when the retrieval tier is infeasible.
-func (a *Assembler) retrievalPause(stages []int, s Schedule, batch int) (float64, bool) {
-	retrIdx := a.Pipe.Index(pipeline.KindRetrieval)
-	if retrIdx < 0 {
-		return 0, true
-	}
-	before, after := false, false
-	for _, idx := range stages {
-		if idx < retrIdx {
-			before = true
-		}
-		if idx > retrIdx {
-			after = true
-		}
-	}
-	if !before || !after {
-		return 0, true
-	}
-	rt := a.Prof.Eval(a.Pipe.Stages[retrIdx], s.RetrievalServers, batch)
-	if !rt.OK {
-		return 0, false
-	}
-	return rt.Latency / float64(batch), true
-}
-
-// groupOf finds which schedule group serves pipeline stage idx, or -1.
-func (a *Assembler) groupOf(idx int, s Schedule) int {
-	for gi, g := range s.Groups {
-		for _, st := range g.Stages {
-			if st == idx {
-				return gi
-			}
-		}
-	}
-	return -1
-}
-
-// groupMemOK checks that the models collocated on a group fit together in
-// the group's aggregate HBM: each distinct model is resident once per
-// replica of the widest replication any of its stages uses (per-stage
-// checks inside xpusim only see one model at a time).
-func (a *Assembler) groupMemOK(g GroupSchedule) bool {
-	reps := make(map[string]int, len(g.Stages))
-	bytes := make(map[string]float64, len(g.Stages))
-	for i, idx := range g.Stages {
-		m := a.Pipe.Stages[idx].Model
-		if m.Name == "" {
-			continue // retrieval has no model
-		}
-		if r := g.ReplicasFor(i); r > reps[m.Name] {
-			reps[m.Name] = r
-		}
-		bytes[m.Name] = m.ParamBytes()
-	}
-	var need float64
-	for name, r := range reps {
-		need += bytes[name] * float64(r)
-	}
-	usable := a.Prof.Sim.Chip.HBMBytes * (1 - a.Prof.Sim.P.HBMReserve) * float64(g.Chips)
-	return need <= usable
+// Compile exposes the compiled execution plan for one schedule — what the
+// executors run — with the engine's descriptive error on infeasibility.
+func (a *Assembler) Compile(s Schedule) (*engine.Plan, error) {
+	return engine.Compile(a.Pipe, s, a.Prof)
 }

@@ -1,0 +1,33 @@
+package core
+
+import (
+	"testing"
+
+	"rago/internal/hw"
+	"rago/internal/ragschema"
+)
+
+// BenchmarkOptimizeCaseIV measures the full schedule search on the richest
+// non-iterative workload (rewriter + retrieval + reranker) with and
+// without the stageperf memoization layers — the engine's hot path. The
+// memoized variant is the production configuration; the no-memo variant
+// re-runs the underlying roofline/vector-search models for every one of
+// the (stage, chips, batch, replicas) tuples the search revisits, which is
+// what every Optimize call paid before the caches existed.
+func BenchmarkOptimizeCaseIV(b *testing.B) {
+	run := func(b *testing.B, noMemo bool) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			o, err := NewOptimizer(ragschema.CaseIV(8e9), DefaultOptions(hw.DefaultCluster()))
+			if err != nil {
+				b.Fatal(err)
+			}
+			o.Prof.NoMemo = noMemo
+			if front := o.Optimize(); len(front) == 0 {
+				b.Fatal("empty frontier")
+			}
+		}
+	}
+	b.Run("memoized", func(b *testing.B) { run(b, false) })
+	b.Run("no-memo", func(b *testing.B) { run(b, true) })
+}

@@ -5,6 +5,7 @@ import (
 	"strings"
 	"testing"
 
+	"rago/internal/engine"
 	"rago/internal/hw"
 	"rago/internal/perf"
 	"rago/internal/ragschema"
@@ -113,11 +114,11 @@ func TestGroupMemoryCheck(t *testing.T) {
 	o := newOpt(t, ragschema.CaseIV(405e9), hw.LargeCluster(), 0)
 	pre := o.Pipe.PreDecodeXPUStages()
 	g := GroupSchedule{Stages: pre, Chips: 4, Batch: 1}
-	if o.Asm.groupMemOK(g) {
+	if engine.GroupMemFits(o.Pipe, o.Prof, g) {
 		t.Errorf("405B + 8B rewriter on 4 chips should not fit")
 	}
 	g.Chips = 8
-	if !o.Asm.groupMemOK(g) {
+	if !engine.GroupMemFits(o.Pipe, o.Prof, g) {
 		t.Errorf("405B + 8B rewriter on 8 chips should fit")
 	}
 }
@@ -257,14 +258,14 @@ func TestIterativeStallModel(t *testing.T) {
 	o := newOpt(t, ragschema.CaseIII(70e9, 4), hw.DefaultCluster(), 64)
 	base := caseISchedule()
 	base.IterativeBatch = 4
-	ic, ok := o.Asm.iterativeCost(base)
+	ic, ok := engine.IterativeCost(o.Pipe, o.Prof, base)
 	if !ok {
 		t.Fatal("iterative cost infeasible")
 	}
-	if ic.stallPerRequest <= 0 {
-		t.Errorf("iterative stall = %v, want positive", ic.stallPerRequest)
+	if ic.StallPerRequest <= 0 {
+		t.Errorf("iterative stall = %v, want positive", ic.StallPerRequest)
 	}
-	if ic.retrievalOccupancy <= 0 || ic.prefixOccupancy <= 0 {
+	if ic.RetrievalOccupancy <= 0 || ic.PrefixOccupancy <= 0 {
 		t.Errorf("iterative occupancies must be positive: %+v", ic)
 	}
 	// Fig. 9b, small decode batch: growing the iterative batch toward
@@ -272,23 +273,23 @@ func TestIterativeStallModel(t *testing.T) {
 	small := base
 	small.DecodeBatch = 16
 	small.IterativeBatch = 1
-	icSmall, ok := o.Asm.iterativeCost(small)
+	icSmall, ok := engine.IterativeCost(o.Pipe, o.Prof, small)
 	if !ok {
 		t.Fatal("small iterative cost infeasible")
 	}
 	small.IterativeBatch = 16
-	icBig, ok := o.Asm.iterativeCost(small)
+	icBig, ok := engine.IterativeCost(o.Pipe, o.Prof, small)
 	if !ok {
 		t.Fatal("big iterative cost infeasible")
 	}
-	if icBig.stallPerRequest <= icSmall.stallPerRequest {
+	if icBig.StallPerRequest <= icSmall.StallPerRequest {
 		t.Errorf("stall should grow with iterative batch at small decode batch: %v vs %v",
-			icBig.stallPerRequest, icSmall.stallPerRequest)
+			icBig.StallPerRequest, icSmall.StallPerRequest)
 	}
 	// Non-iterative workloads cost nothing.
 	o1 := newOpt(t, ragschema.CaseI(8e9, 1), hw.DefaultCluster(), 64)
-	ic0, ok := o1.Asm.iterativeCost(caseISchedule())
-	if !ok || ic0 != (iterCost{}) {
+	ic0, ok := engine.IterativeCost(o1.Pipe, o1.Prof, caseISchedule())
+	if !ok || ic0 != (engine.IterCost{}) {
 		t.Errorf("non-iterative cost = %+v, want zero", ic0)
 	}
 }

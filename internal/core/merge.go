@@ -3,6 +3,7 @@ package core
 import (
 	"math"
 
+	"rago/internal/engine"
 	"rago/internal/perf"
 	"rago/internal/pipeline"
 	"rago/internal/roofline"
@@ -85,12 +86,11 @@ func (o *Optimizer) planCandidates(plan Plan, bIter int) []Schedule {
 	}}
 
 	// Pre-decode XPU groups.
-	pauseProbe := Schedule{RetrievalServers: plan.Servers}
 	for gi, g := range plan.Placement.Groups {
 		chips := plan.GroupChips[gi]
 		var choices []groupChoice
 		for _, b := range preBatches {
-			pause, ok := o.Asm.retrievalPause(g.Stages, pauseProbe, b)
+			pause, ok := engine.RetrievalPause(o.Pipe, o.Prof, g.Stages, plan.Servers, b)
 			if !ok {
 				continue
 			}
@@ -155,11 +155,11 @@ func (o *Optimizer) planCandidates(plan Plan, bIter int) []Schedule {
 				probe := parts[0].s
 				probe.DecodeBatch = bd
 				probe.DecodeReplicas = cand.Replicas
-				ic, ok := o.Asm.iterativeCost(probe)
+				ic, ok := engine.IterativeCost(o.Pipe, o.Prof, probe)
 				if !ok {
 					continue
 				}
-				stall = ic.stallPerRequest
+				stall = ic.StallPerRequest
 			}
 			genTime := cand.Latency + stall
 			tierQPS := float64(bd) / genTime
@@ -200,7 +200,7 @@ func (o *Optimizer) groupChoices(g pipeline.Group, chips, batch, prefixIdx int, 
 		// wide pools at small batches (§7.1). Dedicated single-stage
 		// pools serve a stream of batches and replicate freely.
 		if len(g.Stages) > 1 {
-			limit := maxPhaseReplicas(o.Pipe.Stages[idx], batch)
+			limit := engine.MaxPhaseReplicas(o.Pipe.Stages[idx], batch)
 			kept := cands[:0]
 			for _, c := range cands {
 				if c.Replicas <= limit {
@@ -257,19 +257,6 @@ func pruneGroupChoices(cs []groupChoice) []groupChoice {
 		}
 	}
 	return out
-}
-
-// maxPhaseReplicas bounds data-parallel replication by the work items one
-// batch of the stage exposes.
-func maxPhaseReplicas(st pipeline.Stage, batch int) int {
-	if st.Kind.Autoregressive() {
-		return batch
-	}
-	items := st.Items
-	if items < 1 {
-		items = 1
-	}
-	return batch * items
 }
 
 // planPrefixChips returns the chip count of the plan group holding the

@@ -99,17 +99,25 @@ func (o *Optimizer) placements() []pipeline.Placement {
 	return o.Pipe.Placements()
 }
 
-// serverOptions returns retrieval server counts to consider.
+// serverOptions returns per-tier retrieval server counts to consider. A
+// multi-source pipeline provisions one tier per source, so the host
+// budget divides across the sources; a corpus whose minimum server count
+// does not fit its share yields no options (and hence no plans).
 func (o *Optimizer) serverOptions() []int {
-	if o.Pipe.Index(pipeline.KindRetrieval) < 0 {
+	sources := len(o.Pipe.Indices(pipeline.KindRetrieval))
+	if sources == 0 {
 		return []int{0}
 	}
+	budget := o.Opts.Cluster.Hosts / sources
 	min := o.Prof.MinRetrievalServers()
-	if min <= 1 {
+	if min > budget {
+		return nil
+	}
+	if min <= 1 && budget >= 1 {
 		return []int{1}
 	}
 	opts := []int{min}
-	for _, p := range roofline.Pow2Range(min, o.Opts.Cluster.Hosts) {
+	for _, p := range roofline.Pow2Range(min, budget) {
 		if p != min {
 			opts = append(opts, p)
 		}

@@ -3,150 +3,26 @@
 // policy — that produces the TTFT/TPOT/QPS-per-chip Pareto frontier for a
 // RAGSchema under a resource constraint (Algorithm 1).
 //
-// The package also provides the paper's comparison baseline (an LLM-only
-// serving system extended with RAG components collocated into its prefix
-// tier, §7.1), the iterative-retrieval TPOT model of §5.3, and the
-// micro-batched burst TTFT model of §7.2.
+// The schedule representation and its compilation into an executable plan
+// live in internal/engine; core re-exports the schedule types and owns the
+// search. The package also provides the paper's comparison baseline (an
+// LLM-only serving system extended with RAG components collocated into its
+// prefix tier, §7.1) and the micro-batched burst TTFT model of §7.2.
 package core
 
 import (
-	"fmt"
 	"sort"
-	"strings"
 
-	"rago/internal/pipeline"
+	"rago/internal/engine"
 )
 
 // GroupSchedule is the resolved policy for one XPU placement group.
-type GroupSchedule struct {
-	// Stages are pipeline stage indices served by this group.
-	Stages []int
-	// Chips allocated to the group (power of two).
-	Chips int
-	// Batch is the request batch size every stage in the group runs at.
-	Batch int
-	// Replicas holds the per-stage data-parallel replica count,
-	// parallel to Stages. Empty means one replica for every stage (all
-	// chips cooperate on each batch).
-	Replicas []int
-}
-
-// ReplicasFor returns the replica count for the i-th stage of the group.
-func (g GroupSchedule) ReplicasFor(i int) int {
-	if i < len(g.Replicas) && g.Replicas[i] >= 1 {
-		return g.Replicas[i]
-	}
-	return 1
-}
+type GroupSchedule = engine.GroupSchedule
 
 // Schedule is one complete scheduling decision: where every stage runs,
-// with how many resources, at which batch sizes.
-type Schedule struct {
-	// Groups covers all pre-decode XPU stages, in pipeline order.
-	Groups []GroupSchedule
-	// RetrievalServers is the CPU server count for the retrieval tier
-	// (0 when the workload performs no retrieval).
-	RetrievalServers int
-	// RetrievalBatch is the batch size of the initial retrieval.
-	RetrievalBatch int
-	// DecodeChips and DecodeBatch configure the main LLM decode tier.
-	DecodeChips int
-	DecodeBatch int
-	// DecodeReplicas splits the decode chips into data-parallel groups
-	// each running its share of the continuous batch (0 means 1).
-	DecodeReplicas int
-	// IterativeBatch is the batch size for decoder-initiated
-	// retrieval/prefix iterations (§6.1 [III]); 0 when not iterative.
-	IterativeBatch int
-}
-
-// DecodeReplicasOrOne normalizes the zero value.
-func (s Schedule) DecodeReplicasOrOne() int {
-	if s.DecodeReplicas >= 1 {
-		return s.DecodeReplicas
-	}
-	return 1
-}
-
-// ChipsUsed is the total XPU count the schedule occupies.
-func (s Schedule) ChipsUsed() int {
-	total := s.DecodeChips
-	for _, g := range s.Groups {
-		total += g.Chips
-	}
-	return total
-}
-
-// Describe renders the schedule against its pipeline, in the spirit of the
-// paper's Table 4 rows.
-func (s Schedule) Describe(p pipeline.Pipeline) string {
-	var b strings.Builder
-	for _, g := range s.Groups {
-		names := make([]string, len(g.Stages))
-		for i, idx := range g.Stages {
-			names[i] = p.Stages[idx].Kind.String()
-			if r := g.ReplicasFor(i); r > 1 {
-				names[i] += fmt.Sprintf("(x%d)", r)
-			}
-		}
-		fmt.Fprintf(&b, "[%s chips=%d batch=%d] ", strings.Join(names, "+"), g.Chips, g.Batch)
-	}
-	if s.RetrievalServers > 0 {
-		fmt.Fprintf(&b, "[retrieval servers=%d batch=%d] ", s.RetrievalServers, s.RetrievalBatch)
-	}
-	fmt.Fprintf(&b, "[decode chips=%d batch=%d", s.DecodeChips, s.DecodeBatch)
-	if r := s.DecodeReplicasOrOne(); r > 1 {
-		fmt.Fprintf(&b, " x%d", r)
-	}
-	if s.IterativeBatch > 0 {
-		fmt.Fprintf(&b, " iter-batch=%d", s.IterativeBatch)
-	}
-	b.WriteString("]")
-	return b.String()
-}
-
-// Validate checks structural consistency against a pipeline.
-func (s Schedule) Validate(p pipeline.Pipeline) error {
-	pl := pipeline.Placement{Groups: make([]pipeline.Group, len(s.Groups))}
-	for i, g := range s.Groups {
-		pl.Groups[i] = pipeline.Group{Stages: g.Stages}
-		if g.Chips < 1 {
-			return fmt.Errorf("core: group %d has %d chips", i, g.Chips)
-		}
-		if g.Batch < 1 {
-			return fmt.Errorf("core: group %d has batch %d", i, g.Batch)
-		}
-		if len(g.Replicas) != 0 && len(g.Replicas) != len(g.Stages) {
-			return fmt.Errorf("core: group %d replicas/stages length mismatch", i)
-		}
-		for j := range g.Stages {
-			r := g.ReplicasFor(j)
-			if r < 1 || g.Chips%r != 0 {
-				return fmt.Errorf("core: group %d stage %d replicas %d do not divide %d chips", i, j, r, g.Chips)
-			}
-		}
-	}
-	if err := pl.Validate(p); err != nil {
-		return err
-	}
-	if s.DecodeChips < 1 || s.DecodeBatch < 1 {
-		return fmt.Errorf("core: decode tier unconfigured")
-	}
-	if r := s.DecodeReplicasOrOne(); s.DecodeChips%r != 0 {
-		return fmt.Errorf("core: decode replicas %d do not divide %d chips", r, s.DecodeChips)
-	}
-	hasRetrieval := p.Index(pipeline.KindRetrieval) >= 0
-	if hasRetrieval && (s.RetrievalServers < 1 || s.RetrievalBatch < 1) {
-		return fmt.Errorf("core: retrieval tier unconfigured")
-	}
-	if !hasRetrieval && s.RetrievalServers != 0 {
-		return fmt.Errorf("core: retrieval servers set for retrieval-free pipeline")
-	}
-	if p.Schema.Iterative() && s.IterativeBatch < 1 {
-		return fmt.Errorf("core: iterative workload without iterative batch")
-	}
-	return nil
-}
+// with how many resources, at which batch sizes. It is engine.Schedule;
+// core aliases it so the optimizer's public surface stays in one package.
+type Schedule = engine.Schedule
 
 // sortSchedules orders schedules deterministically for stable output.
 func sortSchedules(points []SchedulePoint) {

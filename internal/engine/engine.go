@@ -1,0 +1,394 @@
+// Package engine compiles a (pipeline, schedule) pair into the single
+// execution plan every evaluation layer shares. RAGO's premise is that one
+// schedule abstraction — task placement, resource allocation, batching
+// policy — should drive every way of looking at a RAG workload; Compile is
+// where that abstraction is resolved, exactly once, into concrete per-stage
+// steps (resource, batch, replicas, profiled latency), per-resource
+// occupancies, the iterative-retrieval loop structure, and the assembled
+// analytical metrics.
+//
+// Three executors consume the same *Plan:
+//
+//   - core.Assembler reads Plan.Metrics (Algorithm 1 step 3);
+//   - sim.ServeSim replays traces through Plan.Steps as a discrete-event
+//     system;
+//   - serve.Runtime executes Plan.Steps for real with goroutines and
+//     wall-clock pacing.
+//
+// A compiled Plan is immutable and safe for concurrent use; partial-batch
+// re-profiling (StepLatency) goes through the memoizing stageperf.Profiler.
+package engine
+
+import (
+	"fmt"
+	"math"
+
+	"rago/internal/perf"
+	"rago/internal/pipeline"
+	"rago/internal/stageperf"
+)
+
+// DecodeResource is the Step.Resource value of the decode tier, which is
+// not a serial batching resource but a pool of continuous-batching slots.
+const DecodeResource = -1
+
+// Step describes how one pipeline stage executes under a schedule.
+type Step struct {
+	// Stage is the pipeline stage this step runs (copied for locality).
+	Stage pipeline.Stage
+	// Resource indexes Plan.Resources, or DecodeResource for decode.
+	Resource int
+	// Chips is the XPU count serving the step (CPU servers for
+	// retrieval).
+	Chips int
+	// Batch is the full batch size the step dispatches at.
+	Batch int
+	// Replicas is the data-parallel replica count.
+	Replicas int
+	// Latency is the full-batch service time in seconds (retrieval
+	// includes the CPU-to-XPU result transfer).
+	Latency float64
+	// QPS is the step's steady-state request throughput at Batch.
+	QPS float64
+}
+
+// Resource is one serial execution unit of the schedule: an XPU placement
+// group time-multiplexing its member stages, or one CPU retrieval tier
+// (multi-source pipelines get one tier per source).
+type Resource struct {
+	// Name labels the resource ("group0", "retrieval", "retrieval1").
+	Name string
+	// Retrieval marks CPU retrieval tiers.
+	Retrieval bool
+	// Stages are the pipeline stage indices the resource serves.
+	Stages []int
+	// Occupancy is seconds of resource time per request, including
+	// iterative-retrieval load and cross-retrieval pauses; 1/Occupancy
+	// is the resource's saturation throughput.
+	Occupancy float64
+}
+
+// Plan is the compiled execution plan for one (pipeline, schedule) pair.
+type Plan struct {
+	Pipe  pipeline.Pipeline
+	Sched Schedule
+
+	// Steps is parallel to Pipe.Stages.
+	Steps []Step
+	// Resources lists XPU groups in schedule order, then retrieval
+	// tiers in stage order.
+	Resources []Resource
+
+	// Succs, Preds, and Entries are the pipeline's stage graph
+	// materialized once at compile time, so executors traverse
+	// adjacency slices instead of re-deriving them per event.
+	Succs   [][]int
+	Preds   [][]int
+	Entries []int
+
+	// PrefixIdx and DecodeIdx locate the main LLM stages; RetrievalIdxs
+	// lists every retrieval stage (empty for retrieval-free pipelines).
+	PrefixIdx     int
+	DecodeIdx     int
+	RetrievalIdxs []int
+
+	// Iter is the §5.3 iterative-retrieval cost structure (zero-valued
+	// for single-retrieval workloads).
+	Iter IterCost
+
+	// GenTime is the decode tier's full-batch generation time including
+	// iterative stalls; Metrics the assembled analytical prediction
+	// (QPSPerChip normalized by the chips the schedule allocates).
+	GenTime float64
+	Metrics perf.Metrics
+
+	prof *stageperf.Profiler
+}
+
+// Compile resolves a schedule against a pipeline into the shared
+// execution plan. It is the only place schedule semantics (placement
+// groups, retrieval tiers, decode pool, iterative loop) are interpreted;
+// every error a schedule can produce surfaces here, descriptively,
+// instead of inside one of the three executors.
+func Compile(pipe pipeline.Pipeline, sched Schedule, prof *stageperf.Profiler) (*Plan, error) {
+	if err := pipe.ValidateGraph(); err != nil {
+		return nil, err
+	}
+	if err := sched.Validate(pipe); err != nil {
+		return nil, err
+	}
+
+	iter, ok := IterativeCost(pipe, prof, sched)
+	if !ok {
+		return nil, fmt.Errorf("engine: iterative retrieval structure infeasible under schedule")
+	}
+
+	p := &Plan{
+		Pipe:          pipe,
+		Sched:         sched,
+		Steps:         make([]Step, len(pipe.Stages)),
+		PrefixIdx:     pipe.Index(pipeline.KindPrefix),
+		DecodeIdx:     pipe.Index(pipeline.KindDecode),
+		RetrievalIdxs: pipe.Indices(pipeline.KindRetrieval),
+		Iter:          iter,
+		prof:          prof,
+	}
+	n := len(pipe.Stages)
+	p.Succs = make([][]int, n)
+	p.Preds = make([][]int, n)
+	for i := 0; i < n; i++ {
+		p.Succs[i] = pipe.Succs(i)
+	}
+	for i, ss := range p.Succs {
+		for _, s := range ss {
+			p.Preds[s] = append(p.Preds[s], i)
+		}
+	}
+	for i := 0; i < n; i++ {
+		if len(p.Preds[i]) == 0 {
+			p.Entries = append(p.Entries, i)
+		}
+	}
+	qps := math.Inf(1)
+
+	// Pre-decode XPU groups: time-multiplexed members contribute their
+	// batch latency to TTFT and their summed per-request occupancy to
+	// the group's throughput (§6.1). The group hosting the main prefix
+	// additionally absorbs the iterative prefix passes.
+	for gi, g := range sched.Groups {
+		if !GroupMemFits(pipe, prof, g) {
+			return nil, fmt.Errorf("engine: group %d models exceed %d-chip HBM", gi, g.Chips)
+		}
+		var occ float64
+		for i, idx := range g.Stages {
+			// Time-multiplexed groups bound per-phase replication by
+			// the work one batch exposes (Fig. 14).
+			if len(g.Stages) > 1 && g.ReplicasFor(i) > MaxPhaseReplicas(pipe.Stages[idx], g.Batch) {
+				return nil, fmt.Errorf("engine: group %d stage %v over-replicated for its phase work", gi, pipe.Stages[idx].Kind)
+			}
+			pt := prof.EvalR(pipe.Stages[idx], g.Chips, g.Batch, g.ReplicasFor(i))
+			if !pt.OK {
+				return nil, fmt.Errorf("engine: stage %v infeasible on %d chips at batch %d", pipe.Stages[idx].Kind, g.Chips, g.Batch)
+			}
+			p.Steps[idx] = Step{
+				Stage:    pipe.Stages[idx],
+				Resource: gi,
+				Chips:    g.Chips,
+				Batch:    g.Batch,
+				Replicas: g.ReplicasFor(i),
+				Latency:  pt.Latency,
+				QPS:      pt.QPS,
+			}
+			occ += 1 / pt.QPS
+			if idx == p.PrefixIdx {
+				occ += iter.PrefixOccupancy
+			}
+		}
+		// Fig. 14: when a retrieval separates collocated stages, the
+		// group pauses for the retrieval round before resuming the
+		// next inference phase (§7.1's second baseline inefficiency).
+		pause, ok := RetrievalPause(pipe, prof, g.Stages, sched.RetrievalServers, g.Batch)
+		if !ok {
+			return nil, fmt.Errorf("engine: retrieval pause infeasible for group %d", gi)
+		}
+		occ += pause
+		p.Resources = append(p.Resources, Resource{
+			Name:      fmt.Sprintf("group%d", gi),
+			Stages:    append([]int(nil), g.Stages...),
+			Occupancy: occ,
+		})
+		qps = math.Min(qps, 1/occ)
+	}
+
+	// Retrieval tiers: one serial CPU resource per retrieval stage (a
+	// multi-source fan-out queries independent corpora on independent
+	// pools). The initial retrieval latency sits on the TTFT path;
+	// iterative retrievals consume tier throughput (TPOT path).
+	for i, ridx := range p.RetrievalIdxs {
+		rt := prof.Eval(pipe.Stages[ridx], sched.RetrievalServers, sched.RetrievalBatch)
+		if !rt.OK {
+			return nil, fmt.Errorf("engine: retrieval infeasible on %d servers at batch %d", sched.RetrievalServers, sched.RetrievalBatch)
+		}
+		name := "retrieval"
+		if len(p.RetrievalIdxs) > 1 {
+			name = fmt.Sprintf("retrieval%d", i)
+		}
+		p.Steps[ridx] = Step{
+			Stage:    pipe.Stages[ridx],
+			Resource: len(p.Resources),
+			Chips:    sched.RetrievalServers,
+			Batch:    sched.RetrievalBatch,
+			Replicas: 1,
+			Latency:  rt.Latency + prof.RetrievalTransferLatency(),
+			QPS:      rt.QPS,
+		}
+		occ := 1/rt.QPS + iter.RetrievalOccupancy
+		p.Resources = append(p.Resources, Resource{
+			Name:      name,
+			Retrieval: true,
+			Stages:    []int{ridx},
+			Occupancy: occ,
+		})
+		qps = math.Min(qps, 1/occ)
+	}
+
+	// Decode tier: continuous batching; worst-case TPOT is the step
+	// latency plus iterative stalls amortized per token (§5.3).
+	dec := prof.EvalR(pipe.Stages[p.DecodeIdx], sched.DecodeChips, sched.DecodeBatch, sched.DecodeReplicasOrOne())
+	if !dec.OK {
+		return nil, fmt.Errorf("engine: decode infeasible on %d chips at batch %d", sched.DecodeChips, sched.DecodeBatch)
+	}
+	p.Steps[p.DecodeIdx] = Step{
+		Stage:    pipe.Stages[p.DecodeIdx],
+		Resource: DecodeResource,
+		Chips:    sched.DecodeChips,
+		Batch:    sched.DecodeBatch,
+		Replicas: sched.DecodeReplicasOrOne(),
+		Latency:  dec.Latency,
+		QPS:      dec.QPS,
+	}
+	p.GenTime = dec.Latency + iter.StallPerRequest
+	outTokens := float64(pipe.Stages[p.DecodeIdx].OutTokens)
+	qps = math.Min(qps, float64(sched.DecodeBatch)/p.GenTime)
+
+	p.Metrics = perf.Metrics{
+		TTFT:       p.criticalPathTTFT(),
+		TPOT:       p.GenTime / outTokens,
+		QPS:        qps,
+		QPSPerChip: qps / float64(sched.ChipsUsed()),
+	}
+	if !p.Metrics.Valid() {
+		return nil, fmt.Errorf("engine: schedule assembles to unphysical metrics %v", p.Metrics)
+	}
+	return p, nil
+}
+
+// criticalPathTTFT is the completion time of the prefix stage on the
+// unloaded latency chain: the longest path over full-batch step latencies
+// from the pipeline entries through the prefix. On a linear pipeline this
+// is the plain sum of every pre-decode stage latency; on a fan-out graph
+// parallel branches overlap and only the slowest counts.
+func (p *Plan) criticalPathTTFT() float64 {
+	finish := make([]float64, len(p.Steps))
+	for i := range p.Steps {
+		if i == p.DecodeIdx {
+			continue
+		}
+		start := 0.0
+		for _, j := range p.Preds[i] {
+			start = math.Max(start, finish[j])
+		}
+		finish[i] = start + p.Steps[i].Latency
+	}
+	return finish[p.PrefixIdx]
+}
+
+// StepLatency returns the service time of stage idx at the actually
+// formed batch size n: the precompiled latency at the full batch, a
+// re-profiled one for partial batches. Infeasible partial points fall
+// back to the full-batch latency.
+func (p *Plan) StepLatency(idx, n int) float64 {
+	st := p.Steps[idx]
+	if n >= st.Batch {
+		return st.Latency
+	}
+	if st.Stage.Kind == pipeline.KindRetrieval {
+		if pt := p.prof.Eval(st.Stage, st.Chips, n); pt.OK {
+			return pt.Latency + p.prof.RetrievalTransferLatency()
+		}
+		return st.Latency
+	}
+	r := st.Replicas
+	if r > n {
+		r = n
+	}
+	if pt := p.prof.EvalR(st.Stage, st.Chips, n, r); pt.OK {
+		return pt.Latency
+	}
+	return st.Latency
+}
+
+// RetrievalPause returns the per-request idle time of an XPU group whose
+// member stages span a retrieval: it must wait for the retrieval round
+// between its phases, batch latency amortized over the batch. Spanned
+// retrievals that run in parallel (fan-out sources on independent tiers)
+// overlap, so the pause is the longest chain over the spanned-retrieval
+// DAG, not the sum. The boolean is false when the retrieval tier is
+// infeasible at this batch. Exposed for the optimizer's incremental
+// per-plan search, which prices group choices before full schedules
+// exist.
+func RetrievalPause(pipe pipeline.Pipeline, prof *stageperf.Profiler, stages []int, servers, batch int) (float64, bool) {
+	var spanned []int
+	for _, ridx := range pipe.Indices(pipeline.KindRetrieval) {
+		before, after := false, false
+		for _, idx := range stages {
+			if pipe.Reaches(idx, ridx) {
+				before = true
+			}
+			if pipe.Reaches(ridx, idx) {
+				after = true
+			}
+		}
+		if before && after {
+			spanned = append(spanned, ridx)
+		}
+	}
+	var pause float64
+	chain := make(map[int]float64, len(spanned))
+	for i, ridx := range spanned { // ascending index == topological order
+		rt := prof.Eval(pipe.Stages[ridx], servers, batch)
+		if !rt.OK {
+			return 0, false
+		}
+		wait := rt.Latency / float64(batch)
+		longest := wait
+		for _, q := range spanned[:i] {
+			if pipe.Reaches(q, ridx) && chain[q]+wait > longest {
+				longest = chain[q] + wait
+			}
+		}
+		chain[ridx] = longest
+		pause = math.Max(pause, longest)
+	}
+	return pause, true
+}
+
+// GroupMemFits checks that the models collocated on a group fit together
+// in the group's aggregate HBM: each distinct model is resident once per
+// replica of the widest replication any of its stages uses (per-stage
+// checks inside xpusim only see one model at a time).
+func GroupMemFits(pipe pipeline.Pipeline, prof *stageperf.Profiler, g GroupSchedule) bool {
+	reps := make(map[string]int, len(g.Stages))
+	bytes := make(map[string]float64, len(g.Stages))
+	for i, idx := range g.Stages {
+		m := pipe.Stages[idx].Model
+		if m.Name == "" {
+			continue // retrieval has no model
+		}
+		if r := g.ReplicasFor(i); r > reps[m.Name] {
+			reps[m.Name] = r
+		}
+		bytes[m.Name] = m.ParamBytes()
+	}
+	var need float64
+	for name, r := range reps {
+		need += bytes[name] * float64(r)
+	}
+	usable := prof.Sim.Chip.HBMBytes * (1 - prof.Sim.P.HBMReserve) * float64(g.Chips)
+	return need <= usable
+}
+
+// MaxPhaseReplicas bounds data-parallel replication by the work items one
+// batch of the stage exposes (Fig. 14: a time-multiplexed group runs one
+// phase at a time, so only that batch's work is available to replicate
+// over).
+func MaxPhaseReplicas(st pipeline.Stage, batch int) int {
+	if st.Kind.Autoregressive() {
+		return batch
+	}
+	items := st.Items
+	if items < 1 {
+		items = 1
+	}
+	return batch * items
+}

@@ -1,23 +1,24 @@
-package core
+package engine
 
 import (
 	"rago/internal/pipeline"
 	"rago/internal/stageperf"
 )
 
-// iterCost aggregates what decoder-initiated iterative retrievals (§5.3)
+// IterCost aggregates what decoder-initiated iterative retrievals (§5.3)
 // cost a schedule: the decode-side stall per request and the extra
-// occupancy imposed on the retrieval tier and the prefix group.
-type iterCost struct {
-	// stallPerRequest is the total seconds a sequence spends paused for
+// occupancy imposed on the retrieval tier and the prefix group. It is
+// zero-valued for single-retrieval workloads.
+type IterCost struct {
+	// StallPerRequest is the total seconds a sequence spends paused for
 	// iterative retrieval+prefix (batch-formation wait included).
-	stallPerRequest float64
-	// retrievalOccupancy is retrieval-tier seconds per request consumed
+	StallPerRequest float64
+	// RetrievalOccupancy is retrieval-tier seconds per request consumed
 	// by the iterative retrievals.
-	retrievalOccupancy float64
-	// prefixOccupancy is prefix-group seconds per request consumed by
+	RetrievalOccupancy float64
+	// PrefixOccupancy is prefix-group seconds per request consumed by
 	// processing newly retrieved content.
-	prefixOccupancy float64
+	PrefixOccupancy float64
 }
 
 // minStallDenom caps the batch-formation feedback loop: as the iterative
@@ -26,7 +27,7 @@ type iterCost struct {
 // continuous batching, which we model as a bounded (20x) slowdown cliff.
 const minStallDenom = 0.05
 
-// iterativeCost evaluates the §5.3 stall model for schedule s.
+// IterativeCost evaluates the §5.3 stall model for schedule s.
 //
 // With f retrievals per sequence, one happens up front and n = f-1 during
 // decoding. Each iterative round costs the retrieval latency, the prefix
@@ -42,58 +43,58 @@ const minStallDenom = 0.05
 // iterative demand n*b_d exceeds what the tier sustains at batch b_iter,
 // queueing stretches the generation (this is why tiny iterative batches
 // hurt large decode batches in Fig. 9b).
-func (a *Assembler) iterativeCost(s Schedule) (iterCost, bool) {
-	schema := a.Pipe.Schema
+func IterativeCost(pipe pipeline.Pipeline, prof *stageperf.Profiler, s Schedule) (IterCost, bool) {
+	schema := pipe.Schema
 	if !schema.Iterative() {
-		return iterCost{}, true
+		return IterCost{}, true
 	}
 	n := float64(schema.RetrievalFrequency - 1)
 	bIter := s.IterativeBatch
 	bDec := s.DecodeBatch
 
-	retrIdx := a.Pipe.Index(pipeline.KindRetrieval)
-	prefixIdx := a.Pipe.Index(pipeline.KindPrefix)
+	retrIdx := pipe.Index(pipeline.KindRetrieval)
+	prefixIdx := pipe.Index(pipeline.KindPrefix)
 	if retrIdx < 0 || prefixIdx < 0 {
-		return iterCost{}, false
+		return IterCost{}, false
 	}
-	gi := a.groupOf(prefixIdx, s)
+	gi := groupOf(prefixIdx, s)
 	if gi < 0 {
-		return iterCost{}, false
+		return IterCost{}, false
 	}
 	prefixChips := s.Groups[gi].Chips
 
-	rt := a.Prof.Eval(a.Pipe.Stages[retrIdx], s.RetrievalServers, bIter)
+	rt := prof.Eval(pipe.Stages[retrIdx], s.RetrievalServers, bIter)
 	if !rt.OK {
-		return iterCost{}, false
+		return IterCost{}, false
 	}
 	// The iterative prefix processes the newly retrieved passages on the
 	// prefix group's chips, at whatever replication maximizes its
 	// throughput (these passes are pure decode-path overhead; their
 	// latency shows up as stall, not TTFT).
-	iterStage := a.Pipe.Stages[prefixIdx]
+	iterStage := pipe.Stages[prefixIdx]
 	iterStage.SeqLen = schema.RetrievedTokens()
 	if iterStage.SeqLen <= 0 {
-		return iterCost{}, false
+		return IterCost{}, false
 	}
 	var pt stageperf.Point
-	for _, cand := range a.Prof.Candidates(iterStage, prefixChips, bIter) {
+	for _, cand := range prof.Candidates(iterStage, prefixChips, bIter) {
 		if !pt.OK || cand.QPS > pt.QPS {
 			pt = cand
 		}
 	}
 	if !pt.OK {
-		return iterCost{}, false
+		return IterCost{}, false
 	}
 
 	// Decode time without stalls.
-	decIdx := a.Pipe.Index(pipeline.KindDecode)
-	dec := a.Prof.EvalR(a.Pipe.Stages[decIdx], s.DecodeChips, bDec, s.DecodeReplicasOrOne())
+	decIdx := pipe.Index(pipeline.KindDecode)
+	dec := prof.EvalR(pipe.Stages[decIdx], s.DecodeChips, bDec, s.DecodeReplicasOrOne())
 	if !dec.OK {
-		return iterCost{}, false
+		return IterCost{}, false
 	}
 	d := dec.Latency
 
-	roundLat := rt.Latency + pt.Latency + a.Prof.RetrievalTransferLatency()
+	roundLat := rt.Latency + pt.Latency + prof.RetrievalTransferLatency()
 	denom := 1 - float64(bIter-1)/(2*float64(bDec))
 	if denom < minStallDenom {
 		denom = minStallDenom
@@ -109,9 +110,21 @@ func (a *Assembler) iterativeCost(s Schedule) (iterCost, bool) {
 		t = tMin
 	}
 
-	return iterCost{
-		stallPerRequest:    t - d,
-		retrievalOccupancy: n / rt.QPS,
-		prefixOccupancy:    n / pt.QPS,
+	return IterCost{
+		StallPerRequest:    t - d,
+		RetrievalOccupancy: n / rt.QPS,
+		PrefixOccupancy:    n / pt.QPS,
 	}, true
+}
+
+// groupOf finds which schedule group serves pipeline stage idx, or -1.
+func groupOf(idx int, s Schedule) int {
+	for gi, g := range s.Groups {
+		for _, st := range g.Stages {
+			if st == idx {
+				return gi
+			}
+		}
+	}
+	return -1
 }

@@ -77,10 +77,16 @@ func (st Stage) TokensPerRequest() int {
 	return st.SeqLen * st.Items
 }
 
-// Pipeline is the ordered stage list for one schema.
+// Pipeline is the stage graph for one schema: Stages are the nodes in
+// topological order, Succ the forward edges. A nil Succ is the common
+// linear chain (stage i feeds stage i+1); multi-source schemas carry
+// explicit fan-out/join edges. See graph.go for the graph accessors.
 type Pipeline struct {
 	Schema ragschema.Schema
 	Stages []Stage
+	// Succ[i] lists the successor stage indices of stage i; nil means
+	// the linear chain.
+	Succ [][]int
 }
 
 // modelFor maps a parameter count to the nearest zoo architecture.
@@ -142,8 +148,13 @@ func Build(s ragschema.Schema) (Pipeline, error) {
 			},
 		)
 	}
+	retrFirst, retrCount := -1, 0
 	if !s.NoRetrieval() {
-		stages = append(stages, Stage{Kind: KindRetrieval})
+		retrFirst = len(stages)
+		retrCount = s.Sources()
+		for i := 0; i < retrCount; i++ {
+			stages = append(stages, Stage{Kind: KindRetrieval})
+		}
 	}
 	if s.HasReranker() {
 		rr, err := modelFor(s.RerankerParams, true)
@@ -166,7 +177,33 @@ func Build(s ragschema.Schema) (Pipeline, error) {
 			CtxLen:    s.PrefixTokens + s.DecodeTokens/2,
 		},
 	)
-	return Pipeline{Schema: s, Stages: stages}, nil
+	p := Pipeline{Schema: s, Stages: stages}
+	if retrCount > 1 {
+		p.Succ = fanOutEdges(len(stages), retrFirst, retrCount)
+	}
+	return p, nil
+}
+
+// fanOutEdges builds the multi-source stage graph: the chain before the
+// retrieval block fans out to `count` parallel retrieval stages starting
+// at `first`, which all join on the next stage (the reranker when
+// present, the prefix otherwise); everything else chains linearly.
+func fanOutEdges(n, first, count int) [][]int {
+	succ := make([][]int, n)
+	join := first + count
+	for i := 0; i < n-1; i++ {
+		switch {
+		case i == first-1: // fan out
+			for j := 0; j < count; j++ {
+				succ[i] = append(succ[i], first+j)
+			}
+		case i >= first && i < join: // join
+			succ[i] = []int{join}
+		default:
+			succ[i] = []int{i + 1}
+		}
+	}
+	return succ
 }
 
 // Index returns the position of the first stage of the given kind, or -1.

@@ -229,3 +229,115 @@ func TestDescribe(t *testing.T) {
 		t.Errorf("Describe = %q, want %q", got, want)
 	}
 }
+
+// --- Stage-graph tests (multi-source fan-out) ---
+
+func TestBuildCaseVFanOut(t *testing.T) {
+	p := mustBuild(t, ragschema.CaseV(8e9, 2))
+	want := []Kind{KindRetrieval, KindRetrieval, KindRerank, KindPrefix, KindDecode}
+	if !kindsEqual(kinds(p), want) {
+		t.Fatalf("stages = %v, want %v", kinds(p), want)
+	}
+	if p.Linear() {
+		t.Fatal("fan-out pipeline must carry explicit edges")
+	}
+	if err := p.ValidateGraph(); err != nil {
+		t.Fatal(err)
+	}
+	// Both retrievals are entries and join on the reranker.
+	entries := p.Entries()
+	if len(entries) != 2 || entries[0] != 0 || entries[1] != 1 {
+		t.Errorf("entries = %v, want the two retrieval sources", entries)
+	}
+	for _, r := range []int{0, 1} {
+		succs := p.Succs(r)
+		if len(succs) != 1 || succs[0] != 2 {
+			t.Errorf("retrieval %d successors = %v, want the rerank join", r, succs)
+		}
+	}
+	preds := p.Preds()
+	if len(preds[2]) != 2 {
+		t.Errorf("rerank predecessors = %v, want both sources", preds[2])
+	}
+	if got := p.Indices(KindRetrieval); len(got) != 2 {
+		t.Errorf("Indices(retrieval) = %v, want 2", got)
+	}
+	if p.Reaches(0, 4) != true || p.Reaches(0, 1) != false {
+		t.Errorf("reachability wrong: source->decode must hold, source->source must not")
+	}
+	// Rerank candidates fan in from both sources.
+	if rr := p.Stages[2]; rr.Items != 32 {
+		t.Errorf("rerank scores %d candidates, want 16 per source", rr.Items)
+	}
+}
+
+func TestBuildCaseVWithRewriter(t *testing.T) {
+	s := ragschema.CaseV(8e9, 3)
+	s.QueryRewriterParams = 8e9
+	p := mustBuild(t, s)
+	want := []Kind{KindRewritePrefix, KindRewriteDecode, KindRetrieval, KindRetrieval, KindRetrieval, KindRerank, KindPrefix, KindDecode}
+	if !kindsEqual(kinds(p), want) {
+		t.Fatalf("stages = %v, want %v", kinds(p), want)
+	}
+	// The rewrite decode fans out to all three sources.
+	if succs := p.Succs(1); len(succs) != 3 {
+		t.Errorf("rewrite-decode successors = %v, want 3-way fan-out", succs)
+	}
+	if entries := p.Entries(); len(entries) != 1 || entries[0] != 0 {
+		t.Errorf("entries = %v, want just the rewriter", entries)
+	}
+	if err := p.ValidateGraph(); err != nil {
+		t.Fatal(err)
+	}
+	// Placement split: rewriter stages sit upstream of retrieval, the
+	// rerank+prefix downstream -> 2 x 2 contiguous partitions.
+	if pls := p.Placements(); len(pls) != 4 {
+		t.Errorf("placements = %d, want 4", len(pls))
+	}
+}
+
+func TestLinearGraphAccessors(t *testing.T) {
+	p := mustBuild(t, ragschema.CaseIV(70e9))
+	if !p.Linear() {
+		t.Fatal("classic schema should build a linear chain")
+	}
+	if err := p.ValidateGraph(); err != nil {
+		t.Fatal(err)
+	}
+	if entries := p.Entries(); len(entries) != 1 || entries[0] != 0 {
+		t.Errorf("linear entries = %v, want [0]", entries)
+	}
+	if succs := p.Succs(len(p.Stages) - 1); succs != nil {
+		t.Errorf("decode successors = %v, want none", succs)
+	}
+	preds := p.Preds()
+	for i := 1; i < len(p.Stages); i++ {
+		if len(preds[i]) != 1 || preds[i][0] != i-1 {
+			t.Errorf("linear preds[%d] = %v", i, preds[i])
+		}
+	}
+	if !p.Reaches(0, 3) || p.Reaches(3, 0) {
+		t.Errorf("linear reachability must follow stage order")
+	}
+}
+
+func TestValidateGraphRejects(t *testing.T) {
+	p := mustBuild(t, ragschema.CaseI(8e9, 1))
+	noDecode := p
+	noDecode.Stages = p.Stages[:len(p.Stages)-1]
+	if err := noDecode.ValidateGraph(); err == nil {
+		t.Error("pipeline without decode must fail graph validation")
+	}
+	backEdge := mustBuild(t, ragschema.CaseV(8e9, 2))
+	backEdge.Succ = append([][]int(nil), backEdge.Succ...)
+	backEdge.Succ[3] = []int{2} // prefix -> rerank, backwards
+	if err := backEdge.ValidateGraph(); err == nil {
+		t.Error("backward edge must fail graph validation")
+	}
+	deadEnd := mustBuild(t, ragschema.CaseV(8e9, 2))
+	deadEnd.Succ = append([][]int(nil), deadEnd.Succ...)
+	deadEnd.Succ[1] = nil // second source feeds nothing
+	if err := deadEnd.ValidateGraph(); err == nil {
+		t.Error("non-decode dead end must fail graph validation")
+	}
+}

@@ -102,11 +102,20 @@ func (p Pipeline) BaselinePlacement() Placement {
 }
 
 // splitByRetrieval partitions pre-decode XPU stage indices into those
-// before and after the retrieval stage.
+// upstream of the retrieval tier (some retrieval stage is reachable from
+// them) and those downstream. On a linear pipeline this is the classic
+// before/after-the-retrieval-index split.
 func (p Pipeline) splitByRetrieval() (pre, post []int) {
-	ret := p.Index(KindRetrieval)
+	retr := p.Indices(KindRetrieval)
 	for _, idx := range p.PreDecodeXPUStages() {
-		if ret >= 0 && idx < ret {
+		upstream := false
+		for _, r := range retr {
+			if p.Reaches(idx, r) {
+				upstream = true
+				break
+			}
+		}
+		if upstream {
 			pre = append(pre, idx)
 		} else {
 			post = append(post, idx)

@@ -80,6 +80,22 @@ func CaseIV(generativeParams float64) Schema {
 	return s
 }
 
+// CaseV is a multi-source retrieval fan-out workload beyond the paper's
+// Table 3: the hyperscale corpus is sharded into `sources` independent
+// indexes queried in parallel (each shard on its own server pool, so
+// DBVectors here is per source) and a 120M reranker merges the union of
+// candidates down to the usual five neighbors before the prefix. The
+// pipeline it builds is a stage graph, not a linear chain.
+func CaseV(generativeParams float64, sources int) Schema {
+	s := Default(generativeParams)
+	s.Name = fmt.Sprintf("case5-multisource-%s-s%d", sizeLabel(generativeParams), sources)
+	s.ParallelSources = sources
+	s.DBVectors = hyperscaleVecs / float64(s.Sources())
+	s.RerankerParams = 120e6
+	s.RerankCandidates = 16 * s.Sources()
+	return s
+}
+
 // LLMOnly returns the no-retrieval comparison system of Fig. 5: the bare
 // question as the prompt, no database-derived content. The database fields
 // stay populated (validation requires them) but retrieval frequency 0 is

@@ -28,7 +28,8 @@ type Schema struct {
 	DocEncoderParams float64 `json:"doc_encoder_params,omitempty"`
 	// VectorDim is the embedding dimensionality (Table 1: e.g. 768).
 	VectorDim int `json:"vector_dim"`
-	// DBVectors is the number of database vectors.
+	// DBVectors is the number of database vectors (per source when
+	// retrieval fans out over ParallelSources).
 	DBVectors float64 `json:"db_vectors"`
 	// RetrievalFrequency is retrievals per generated sequence; 1 is a
 	// single up-front retrieval, >1 enables decoder-initiated iterative
@@ -36,6 +37,13 @@ type Schema struct {
 	RetrievalFrequency int `json:"retrieval_frequency"`
 	// QueriesPerRetrieval is query vectors per retrieval operation.
 	QueriesPerRetrieval int `json:"queries_per_retrieval"`
+	// ParallelSources is the number of independent retrieval sources
+	// (corpora) queried in parallel per retrieval operation — the
+	// multi-source fan-out pipeline shape. Each source is its own corpus
+	// of DBVectors vectors on its own server pool; the results are merged
+	// (reranked when a reranker is present) before the prefix. 0 or 1 is
+	// the single-source linear pipeline.
+	ParallelSources int `json:"parallel_sources,omitempty"`
 	// QueryRewriterParams is the generative rewriter size; 0 = absent.
 	QueryRewriterParams float64 `json:"query_rewriter_params,omitempty"`
 	// RerankerParams is the (encoder-only) reranker size; 0 = absent.
@@ -74,6 +82,17 @@ func (s Schema) HasReranker() bool { return s.RerankerParams > 0 }
 
 // Iterative reports whether decoding issues additional retrievals.
 func (s Schema) Iterative() bool { return s.RetrievalFrequency > 1 }
+
+// MultiSource reports whether retrieval fans out over parallel sources.
+func (s Schema) MultiSource() bool { return s.ParallelSources > 1 }
+
+// Sources is the retrieval source count, normalizing the zero value.
+func (s Schema) Sources() int {
+	if s.ParallelSources > 1 {
+		return s.ParallelSources
+	}
+	return 1
+}
 
 // RetrievedTokens is the retrieved content appended to the prompt per
 // retrieval: NeighborsPerQuery passages of ChunkTokens each.
@@ -117,6 +136,15 @@ func (s Schema) Validate() error {
 	}
 	if s.ContextTokens > 0 && s.DocEncoderParams <= 0 {
 		return fmt.Errorf("ragschema: %s: real-time context requires a document encoder", s.Name)
+	}
+	if s.ParallelSources < 0 {
+		return fmt.Errorf("ragschema: %s: negative parallel source count", s.Name)
+	}
+	if s.MultiSource() && s.NoRetrieval() {
+		return fmt.Errorf("ragschema: %s: parallel sources require retrieval", s.Name)
+	}
+	if s.MultiSource() && s.Iterative() {
+		return fmt.Errorf("ragschema: %s: multi-source fan-out with iterative retrieval is not supported", s.Name)
 	}
 	return nil
 }

@@ -174,3 +174,57 @@ func TestNames(t *testing.T) {
 		t.Errorf("LLM-only name = %q", LLMOnly(405e9).Name)
 	}
 }
+
+func TestCaseVMultiSource(t *testing.T) {
+	s := CaseV(8e9, 2)
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !s.MultiSource() || s.Sources() != 2 {
+		t.Errorf("CaseV(2) should report 2 parallel sources")
+	}
+	if s.RerankerParams <= 0 {
+		t.Errorf("CaseV needs a reranker to merge sources")
+	}
+	if s.RerankCandidates != 32 {
+		t.Errorf("rerank candidates = %d, want 16 per source", s.RerankCandidates)
+	}
+	single := Default(8e9)
+	if single.MultiSource() || single.Sources() != 1 {
+		t.Errorf("default schema should be single-source")
+	}
+
+	bad := CaseV(8e9, 2)
+	bad.ParallelSources = -1
+	if err := bad.Validate(); err == nil {
+		t.Error("negative source count should fail")
+	}
+	bad = CaseV(8e9, 2)
+	bad.NeighborsPerQuery = 0
+	bad.RerankCandidates = 0
+	bad.RerankerParams = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("fan-out without retrieval should fail")
+	}
+	bad = CaseV(8e9, 2)
+	bad.RetrievalFrequency = 4
+	if err := bad.Validate(); err == nil {
+		t.Error("fan-out with iterative retrieval should fail")
+	}
+	roundTrip, err := DecodeJSON(mustEncode(t, CaseV(70e9, 4)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if roundTrip.ParallelSources != 4 {
+		t.Errorf("parallel sources lost in JSON round-trip: %d", roundTrip.ParallelSources)
+	}
+}
+
+func mustEncode(t *testing.T, s Schema) []byte {
+	t.Helper()
+	data, err := EncodeJSON(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}

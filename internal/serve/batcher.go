@@ -7,17 +7,17 @@ import (
 	"rago/internal/pipeline"
 )
 
-// resource is one serial execution unit of the schedule — an XPU placement
-// group or the CPU retrieval tier. It owns a bounded inbox channel, forms
-// continuous batches per member stage, and paces their service on the
-// drift-free virtual ledger. Exactly one goroutine (run) touches its
-// queues and ledger, so the only shared state is the inbox channel and the
-// metrics collector.
+// resource is one serial execution unit of the compiled plan — an XPU
+// placement group or a CPU retrieval tier. It owns a bounded inbox
+// channel, forms continuous batches per member stage, and paces their
+// service on the drift-free virtual ledger. Exactly one goroutine (run)
+// touches its queues and ledger, so the only shared state is the inbox
+// channel and the metrics collector.
 type resource struct {
 	rt     *Runtime
 	name   string
 	stages []int // pipeline stage indices served, in pipeline order
-	inbox  chan *request
+	inbox  chan item
 
 	queues    [][]*request // parallel to stages
 	busyUntil float64      // virtual time the resource frees up
@@ -47,18 +47,18 @@ func (r *resource) run() {
 func (r *resource) drain() {
 	for {
 		select {
-		case q := <-r.inbox:
-			r.enqueue(q)
+		case it := <-r.inbox:
+			r.enqueue(it)
 		default:
 			return
 		}
 	}
 }
 
-func (r *resource) enqueue(q *request) {
+func (r *resource) enqueue(it item) {
 	for i, idx := range r.stages {
-		if idx == q.pos {
-			r.queues[i] = append(r.queues[i], q)
+		if idx == it.idx {
+			r.queues[i] = append(r.queues[i], it.q)
 			r.rt.coll.observeQueue(idx, len(r.queues[i]))
 			return
 		}
@@ -75,23 +75,25 @@ func (r *resource) pick() (si, n int, formV float64) {
 	flush := r.rt.opts.FlushTimeout
 	best := -1
 	bestAge := math.Inf(-1)
-	for i := range r.stages {
+	for i, idx := range r.stages {
 		qu := r.queues[i]
 		if len(qu) == 0 {
 			continue
 		}
-		b := r.rt.steps[r.stages[i]].batch
-		if len(qu) < b && now-qu[0].enqV < flush {
+		b := r.rt.plan.Steps[idx].Batch
+		headAge := now - qu[0].enqV[idx]
+		if len(qu) < b && headAge < flush {
 			continue
 		}
-		if age := now - qu[0].enqV; age > bestAge {
-			bestAge, best = age, i
+		if headAge > bestAge {
+			bestAge, best = headAge, i
 		}
 	}
 	if best < 0 {
 		return -1, 0, 0
 	}
-	b := r.rt.steps[r.stages[best]].batch
+	idx := r.stages[best]
+	b := r.rt.plan.Steps[idx].Batch
 	n = b
 	if n > len(r.queues[best]) {
 		n = len(r.queues[best])
@@ -101,10 +103,10 @@ func (r *resource) pick() (si, n int, formV float64) {
 	// deadline. Both are exact virtual quantities computed upstream, so
 	// the ledger never absorbs wall-clock wakeup jitter.
 	for _, q := range r.queues[best][:n] {
-		formV = maxf(formV, q.enqV)
+		formV = maxf(formV, q.enqV[idx])
 	}
 	if n < b {
-		formV = maxf(formV, r.queues[best][0].enqV+flush)
+		formV = maxf(formV, r.queues[best][0].enqV[idx]+flush)
 	}
 	return best, n, formV
 }
@@ -115,11 +117,11 @@ func (r *resource) park() bool {
 	var timerC <-chan time.Time
 	var timer *time.Timer
 	deadline, has := math.Inf(1), false
-	for i := range r.stages {
+	for i, idx := range r.stages {
 		if len(r.queues[i]) == 0 {
 			continue
 		}
-		if d := r.queues[i][0].enqV + r.rt.opts.FlushTimeout; d < deadline {
+		if d := r.queues[i][0].enqV[idx] + r.rt.opts.FlushTimeout; d < deadline {
 			deadline, has = d, true
 		}
 	}
@@ -137,8 +139,8 @@ func (r *resource) park() bool {
 		}
 	}()
 	select {
-	case q := <-r.inbox:
-		r.enqueue(q)
+	case it := <-r.inbox:
+		r.enqueue(it)
 		return true
 	case <-timerC:
 		return true
@@ -155,13 +157,13 @@ func (r *resource) exec(si, n int, formV float64) {
 	batch := r.queues[si][:n:n]
 	r.queues[si] = append([]*request(nil), r.queues[si][n:]...)
 
-	lat := r.rt.stageLatency(idx, n)
+	lat := r.rt.plan.StepLatency(idx, n)
 	start := maxf(r.busyUntil, formV)
 	done := start + lat
 	r.busyUntil = done
 
 	var search chan error
-	if r.rt.steps[idx].stage.Kind == pipeline.KindRetrieval && r.rt.opts.Searcher != nil {
+	if r.rt.plan.Steps[idx].Stage.Kind == pipeline.KindRetrieval && r.rt.opts.Searcher != nil {
 		search = make(chan error, 1)
 		go r.rt.runSearch(batch, search)
 	}
@@ -171,8 +173,8 @@ func (r *resource) exec(si, n int, formV float64) {
 			r.rt.setSearchErr(err)
 		}
 	}
-	r.rt.coll.batchServed(idx, n, r.rt.steps[idx].batch)
+	r.rt.coll.batchServed(idx, n, r.rt.plan.Steps[idx].Batch)
 	for _, q := range batch {
-		r.rt.advance(q, done)
+		r.rt.advance(q, idx, done)
 	}
 }

@@ -193,8 +193,8 @@ func (c *collector) report(rt *Runtime) *Report {
 		TTFT:          quantilesOf(c.ttft),
 		TPOT:          quantilesOf(c.tpot),
 		Latency:       quantilesOf(c.latency),
-		Analytic:      rt.analytic,
-		HasAnalytic:   rt.hasAnaly,
+		Analytic:      rt.plan.Metrics,
+		HasAnalytic:   true,
 		Searches:      c.searches,
 		SearchQueries: c.searchQueries,
 		SearchWall:    quantilesOf(c.searchWall),
@@ -205,8 +205,8 @@ func (c *collector) report(rt *Runtime) *Report {
 		rep.Span = span
 		rep.SustainedQPS = float64(c.completed-1) / span
 	}
-	if rep.HasAnalytic && rt.analytic.QPS > 0 {
-		rep.QPSVsAnalytic = rep.SustainedQPS / rt.analytic.QPS
+	if rep.HasAnalytic && rt.plan.Metrics.QPS > 0 {
+		rep.QPSVsAnalytic = rep.SustainedQPS / rt.plan.Metrics.QPS
 	}
 	for i, name := range c.stageNames {
 		if c.batches[i] == 0 && c.queuePeak[i] == 0 {

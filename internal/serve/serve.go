@@ -1,24 +1,28 @@
-// Package serve executes RAGO schedules for real: it turns a core.Schedule
-// straight out of the optimizer into a concurrent, goroutine-based serving
-// runtime and replays open-loop request traces through it under wall-clock
-// pacing.
+// Package serve executes RAGO schedules for real: it turns a compiled
+// execution plan (internal/engine) straight out of the optimizer into a
+// concurrent, goroutine-based serving runtime and replays open-loop
+// request traces through it under wall-clock pacing.
 //
-// The engine mirrors the structure the schedule describes. Every XPU
+// The engine mirrors the structure the plan describes. Every XPU
 // placement group becomes one serial batching worker that time-multiplexes
 // its collocated stages (oldest-waiting-head first, like the discrete-event
-// validator); the retrieval tier becomes its own batching worker that can
+// validator); each retrieval tier becomes its own batching worker that can
 // additionally run real batched IVF-PQ queries against the
 // internal/vectordb substrate on the serving path; the decode tier is a
 // pool of continuous-batching slots implemented as a bounded channel of
-// slot leases. Tiers are connected by bounded channels sized by the
-// admission bound, so the whole data plane is allocation-bounded:
-// admission control sheds arrivals once MaxInFlight requests are in the
-// system, which in turn guarantees no internal channel send can block and
-// no cross-tier cycle (a group hosting stages on both sides of retrieval)
-// can deadlock.
+// slot leases. Requests traverse the pipeline's stage graph: fan-out
+// branches run concurrently across workers and a join stage admits a
+// request only once its last predecessor finishes (an atomic countdown per
+// stage), so multi-source pipelines serve through the same data plane as
+// linear chains. Tiers are connected by bounded channels sized by the
+// admission bound times the stages a worker serves, so the whole data
+// plane is allocation-bounded: admission control sheds arrivals once
+// MaxInFlight requests are in the system, which in turn guarantees no
+// internal channel send can block and no cross-tier cycle can deadlock.
 //
 // Pacing uses a virtual clock: one virtual second is Speedup wall seconds
-// compressed. Stage service times come from stageperf.Profiler and are
+// compressed. Stage service times come from the compiled plan (partial
+// batches re-profiled through the memoizing stageperf.Profiler) and are
 // slept for in wall time, but timestamps advance on a drift-free ledger —
 // each resource's next batch starts at max(busyUntil, batch-formable time),
 // both exact virtual quantities — so measured saturation throughput
@@ -34,7 +38,7 @@ import (
 	"sync/atomic"
 	"time"
 
-	"rago/internal/core"
+	"rago/internal/engine"
 	"rago/internal/perf"
 	"rago/internal/pipeline"
 	"rago/internal/stageperf"
@@ -83,37 +87,32 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
-// step describes how one pipeline stage executes under the schedule.
-type step struct {
-	stage    pipeline.Stage
-	resource int // index into Runtime.resources; -1 for the decode tier
-	batch    int
-	latency  float64 // service time for a full batch (virtual seconds)
-}
-
-// request is one in-flight trace entry.
+// request is one in-flight trace entry traversing the stage graph.
 type request struct {
-	id       int
-	arrival  float64 // virtual
-	enqV     float64 // virtual time it entered its current stage queue
-	pos      int     // index of the NEXT pipeline stage to run
+	id      int
+	arrival float64 // virtual
+	// pending counts unfinished predecessors per stage; the goroutine
+	// that decrements a stage's count to zero owns the hand-off.
+	pending []atomic.Int32
+	// enqV records the virtual time the request entered each stage's
+	// queue. Each slot is written exactly once, before the channel send
+	// that publishes it to the reading worker.
+	enqV     []float64
 	ttft     float64
 	decStart float64
 }
 
-// Runtime is a live serving engine for one (pipeline, schedule) pair. It is
+// item is one unit of inbox work: a request ready at one stage.
+type item struct {
+	q   *request
+	idx int // pipeline stage index
+}
+
+// Runtime is a live serving engine for one compiled plan. It is
 // single-use: build, Serve one trace, read the Report.
 type Runtime struct {
-	pipe     pipeline.Pipeline
-	prof     *stageperf.Profiler
-	sched    core.Schedule
-	opts     Options
-	analytic perf.Metrics
-	hasAnaly bool
-
-	steps     []step
-	decIdx    int
-	prefixIdx int
+	plan *engine.Plan
+	opts Options
 
 	resources []*resource
 	decode    *decodeTier
@@ -130,68 +129,36 @@ type Runtime struct {
 	searchErr error
 }
 
-// New builds a runtime for a validated (pipeline, schedule) pair.
-// Iterative-retrieval workloads are not executable by this engine yet (the
-// §5.3 decode-loop dynamics live in sim.RunIterative) and are rejected.
-func New(pipe pipeline.Pipeline, prof *stageperf.Profiler, sched core.Schedule, opts Options) (*Runtime, error) {
+// New compiles (pipeline, schedule) through the shared engine and builds
+// a runtime executing the resulting plan. Iterative-retrieval workloads
+// are not executable by this engine yet (the §5.3 decode-loop dynamics
+// live in sim.RunIterative) and are rejected.
+func New(pipe pipeline.Pipeline, prof *stageperf.Profiler, sched engine.Schedule, opts Options) (*Runtime, error) {
 	if pipe.Schema.Iterative() {
 		return nil, fmt.Errorf("serve: iterative-retrieval workloads are not executable; use sim.RunIterative")
-	}
-	if err := sched.Validate(pipe); err != nil {
-		return nil, err
 	}
 	opts = opts.withDefaults()
 	if opts.Searcher != nil && opts.QueryDim < 1 {
 		return nil, fmt.Errorf("serve: Searcher requires a positive QueryDim")
 	}
-	rt := &Runtime{
-		pipe:  pipe,
-		prof:  prof,
-		sched: sched,
-		opts:  opts,
-		steps: make([]step, len(pipe.Stages)),
+	plan, err := engine.Compile(pipe, sched, prof)
+	if err != nil {
+		return nil, err
 	}
-	for gi, g := range sched.Groups {
-		for i, idx := range g.Stages {
-			pt := prof.EvalR(pipe.Stages[idx], g.Chips, g.Batch, g.ReplicasFor(i))
-			if !pt.OK {
-				return nil, fmt.Errorf("serve: stage %v infeasible under schedule", pipe.Stages[idx].Kind)
-			}
-			rt.steps[idx] = step{stage: pipe.Stages[idx], resource: gi, batch: g.Batch, latency: pt.Latency}
-		}
-		rt.resources = append(rt.resources, newResource(rt, fmt.Sprintf("group%d", gi), g.Stages))
+	rt := &Runtime{plan: plan, opts: opts}
+	for _, res := range plan.Resources {
+		rt.resources = append(rt.resources, newResource(rt, res.Name, res.Stages))
 	}
-	if retrIdx := pipe.Index(pipeline.KindRetrieval); retrIdx >= 0 {
-		pt := prof.Eval(pipe.Stages[retrIdx], sched.RetrievalServers, sched.RetrievalBatch)
-		if !pt.OK {
-			return nil, fmt.Errorf("serve: retrieval infeasible under schedule")
-		}
-		rt.steps[retrIdx] = step{
-			stage:    pipe.Stages[retrIdx],
-			resource: len(rt.resources),
-			batch:    sched.RetrievalBatch,
-			latency:  pt.Latency + prof.RetrievalTransferLatency(),
-		}
-		rt.resources = append(rt.resources, newResource(rt, "retrieval", []int{retrIdx}))
-	}
-	rt.decIdx = pipe.Index(pipeline.KindDecode)
-	rt.prefixIdx = pipe.Index(pipeline.KindPrefix)
-	dec := prof.EvalR(pipe.Stages[rt.decIdx], sched.DecodeChips, sched.DecodeBatch, sched.DecodeReplicasOrOne())
-	if !dec.OK {
-		return nil, fmt.Errorf("serve: decode infeasible under schedule")
-	}
-	rt.steps[rt.decIdx] = step{stage: pipe.Stages[rt.decIdx], resource: -1, batch: sched.DecodeBatch, latency: dec.Latency}
-	rt.decode = &decodeTier{rt: rt, latency: dec.Latency}
-	if m, ok := (&core.Assembler{Pipe: pipe, Prof: prof}).Evaluate(sched); ok {
-		rt.analytic, rt.hasAnaly = m, true
-	}
+	rt.decode = &decodeTier{rt: rt, latency: plan.Steps[plan.DecodeIdx].Latency}
 	return rt, nil
 }
 
-// Analytic returns the assembled analytical metrics of the schedule (the
-// reference the measured report is compared against); false when the
-// assembler deems the schedule infeasible.
-func (rt *Runtime) Analytic() (perf.Metrics, bool) { return rt.analytic, rt.hasAnaly }
+// Plan returns the compiled execution plan the runtime executes.
+func (rt *Runtime) Plan() *engine.Plan { return rt.plan }
+
+// Analytic returns the assembled analytical metrics of the plan (the
+// reference the measured report is compared against).
+func (rt *Runtime) Analytic() (perf.Metrics, bool) { return rt.plan.Metrics, true }
 
 // Serve replays the trace through the live engine and blocks until every
 // request has completed or been rejected. Arrival times are virtual
@@ -208,14 +175,16 @@ func (rt *Runtime) Serve(reqs []trace.Request) (*Report, error) {
 		bound = len(reqs)
 	}
 	rt.maxInflight = int64(bound)
-	// Channel capacity equals the in-flight bound, so no send in the data
-	// plane can ever block: a request occupies at most one channel slot.
+	// Channel capacity is the in-flight bound times the stages a worker
+	// serves, so no send in the data plane can ever block: a request
+	// occupies at most one slot per member stage (fan-out branches can
+	// queue a request at several stages of one worker concurrently).
 	for _, r := range rt.resources {
-		r.inbox = make(chan *request, bound)
+		r.inbox = make(chan item, bound*len(r.stages))
 	}
 	rt.decode.start(bound)
 	rt.quit = make(chan struct{})
-	rt.coll.init(rt.pipe)
+	rt.coll.init(rt.plan.Pipe)
 	rt.clock = newClock(rt.opts.Speedup)
 	for _, r := range rt.resources {
 		go r.run()
@@ -234,6 +203,7 @@ func (rt *Runtime) Serve(reqs []trace.Request) (*Report, error) {
 
 // replay paces open-loop arrivals and applies admission control.
 func (rt *Runtime) replay(reqs []trace.Request) {
+	nStages := len(rt.plan.Steps)
 	for i := range reqs {
 		r := reqs[i]
 		rt.clock.sleepUntil(r.Arrival)
@@ -244,33 +214,49 @@ func (rt *Runtime) replay(reqs []trace.Request) {
 		}
 		rt.inflight.Add(1)
 		rt.coll.admit()
-		rt.submit(&request{id: r.ID, arrival: r.Arrival, enqV: r.Arrival})
+		q := &request{
+			id:      r.ID,
+			arrival: r.Arrival,
+			pending: make([]atomic.Int32, nStages),
+			enqV:    make([]float64, nStages),
+		}
+		for st, ps := range rt.plan.Preds {
+			q.pending[st].Store(int32(len(ps)))
+		}
+		for _, e := range rt.plan.Entries {
+			q.enqV[e] = r.Arrival
+			rt.submit(q, e)
+		}
 	}
 }
 
-// submit routes a request to the resource owning its current stage.
-func (rt *Runtime) submit(q *request) {
-	if st := rt.steps[q.pos]; st.resource >= 0 {
-		rt.resources[st.resource].inbox <- q
+// submit routes a request, ready at stage idx, to the owning worker.
+func (rt *Runtime) submit(q *request, idx int) {
+	if st := rt.plan.Steps[idx]; st.Resource >= 0 {
+		rt.resources[st.Resource].inbox <- item{q, idx}
 		return
 	}
 	rt.decode.inbox <- q
 }
 
-// advance moves a request past the stage that completed at virtual time t.
-func (rt *Runtime) advance(q *request, t float64) {
-	if q.pos == rt.prefixIdx {
+// advance moves a request past stage idx, which completed at virtual
+// time t: successors whose last predecessor this was become ready.
+func (rt *Runtime) advance(q *request, idx int, t float64) {
+	if idx == rt.plan.PrefixIdx {
 		q.ttft = t - q.arrival
 	}
-	q.pos++
-	q.enqV = t
-	rt.submit(q)
+	for _, succ := range rt.plan.Succs[idx] {
+		if q.pending[succ].Add(-1) == 0 {
+			q.enqV[succ] = t
+			rt.submit(q, succ)
+		}
+	}
 }
 
 // complete retires a fully generated request.
 func (rt *Runtime) complete(q *request, done float64) {
 	tpot := 0.0
-	if out := rt.steps[rt.decIdx].stage.OutTokens; out > 0 {
+	if out := rt.plan.Steps[rt.plan.DecodeIdx].Stage.OutTokens; out > 0 {
 		tpot = (done - q.decStart) / float64(out)
 	}
 	rt.coll.complete(q.ttft, tpot, done-q.arrival, done)
@@ -281,7 +267,7 @@ func (rt *Runtime) complete(q *request, done float64) {
 // runSearch synthesizes the batch's query vectors and executes them against
 // the real retrieval substrate, concurrently with the modeled pacing.
 func (rt *Runtime) runSearch(batch []*request, done chan<- error) {
-	qpr := rt.pipe.Schema.QueriesPerRetrieval
+	qpr := rt.plan.Pipe.Schema.QueriesPerRetrieval
 	if qpr < 1 {
 		qpr = 1
 	}
@@ -308,35 +294,6 @@ func (rt *Runtime) setSearchErr(err error) {
 		rt.searchErr = err
 	}
 	rt.searchMu.Unlock()
-}
-
-// stageLatency returns the service time of stage idx at the actually formed
-// batch size n (partial batches are re-profiled at their real size).
-func (rt *Runtime) stageLatency(idx, n int) float64 {
-	st := rt.steps[idx]
-	if n == st.batch {
-		return st.latency
-	}
-	if st.stage.Kind == pipeline.KindRetrieval {
-		if pt := rt.prof.Eval(st.stage, rt.sched.RetrievalServers, n); pt.OK {
-			return pt.Latency + rt.prof.RetrievalTransferLatency()
-		}
-		return st.latency
-	}
-	g := rt.sched.Groups[st.resource]
-	for i, sidx := range g.Stages {
-		if sidx != idx {
-			continue
-		}
-		r := g.ReplicasFor(i)
-		if r > n {
-			r = n
-		}
-		if pt := rt.prof.EvalR(st.stage, g.Chips, n, r); pt.OK {
-			return pt.Latency
-		}
-	}
-	return st.latency
 }
 
 // clock maps virtual schedule time onto compressed wall time.

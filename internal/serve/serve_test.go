@@ -279,3 +279,116 @@ func TestRuntimeRejects(t *testing.T) {
 		t.Error("second Serve on a single-use runtime should error")
 	}
 }
+
+// caseVSetup builds the multi-source fan-out stage graph (two parallel
+// retrieval sources joining on a reranker) with a fixed schedule.
+func caseVSetup(t *testing.T) (pipeline.Pipeline, *stageperf.Profiler, core.Schedule) {
+	t.Helper()
+	schema := ragschema.CaseV(8e9, 2)
+	pipe, err := pipeline.Build(schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof := stageperf.New(hw.XPUC, hw.EPYCHost, schema)
+	sched := core.Schedule{
+		Groups:           []core.GroupSchedule{{Stages: []int{2, 3}, Chips: 16, Batch: 4}}, // rerank + prefix
+		RetrievalServers: 8,
+		RetrievalBatch:   4,
+		DecodeChips:      16,
+		DecodeBatch:      64,
+		DecodeReplicas:   4,
+	}
+	return pipe, prof, sched
+}
+
+// TestRuntimeCaseVFanOutEndToEnd serves the non-linear stage-graph preset
+// through the live concurrent engine: fan-out branches run on parallel
+// retrieval workers, the rerank join admits a request only after both
+// sources answered, and saturation throughput must match both the
+// compiled plan's analytical QPS and the discrete-event validator within
+// 15%.
+func TestRuntimeCaseVFanOutEndToEnd(t *testing.T) {
+	pipe, prof, sched := caseVSetup(t)
+	want, ok := (&core.Assembler{Pipe: pipe, Prof: prof}).Evaluate(sched)
+	if !ok {
+		t.Fatal("schedule infeasible analytically")
+	}
+	const n = 6000
+	reqs, err := trace.Poisson(n, 1.5*want.QPS, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	speedup := (float64(n) / want.QPS) / 4.0
+	rt, err := New(pipe, prof, sched, Options{Speedup: speedup})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := rt.Serve(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Completed != n {
+		t.Fatalf("completed %d of %d", rep.Completed, n)
+	}
+	ratio := rep.SustainedQPS / want.QPS
+	if ratio < 0.85 || ratio > 1.15 {
+		t.Errorf("fan-out runtime QPS %.2f vs analytical %.2f (ratio %.2f), want within 15%%",
+			rep.SustainedQPS, want.QPS, ratio)
+	}
+	// Both source tiers must actually have served batches.
+	retrQueues := 0
+	for _, q := range rep.Queues {
+		if q.Stage == "retrieval" && q.Batches > 0 {
+			retrQueues++
+		}
+	}
+	if retrQueues != 2 {
+		t.Errorf("%d retrieval tiers served batches, want both sources", retrQueues)
+	}
+
+	// Cross-check against the discrete-event simulator on the same trace.
+	des, err := sim.NewServe(pipe, prof, sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := des.Run(reqs, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	desRatio := rep.SustainedQPS / res.QPS
+	if desRatio < 0.85 || desRatio > 1.15 {
+		t.Errorf("fan-out runtime QPS %.2f vs event-sim QPS %.2f (ratio %.2f), want within 15%%",
+			rep.SustainedQPS, res.QPS, desRatio)
+	}
+}
+
+// TestRuntimeCaseVUnloadedTTFT: the live engine must overlap the parallel
+// retrieval branches — unloaded TTFT equals the critical path (one
+// retrieval + rerank + prefix), not the serialized sum.
+func TestRuntimeCaseVUnloadedTTFT(t *testing.T) {
+	pipe, prof, sched := caseVSetup(t)
+	sched.Groups[0].Batch = 1
+	sched.RetrievalBatch = 1
+	want, ok := (&core.Assembler{Pipe: pipe, Prof: prof}).Evaluate(sched)
+	if !ok {
+		t.Fatal("schedule infeasible analytically")
+	}
+	reqs, err := trace.Poisson(50, 1, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := New(pipe, prof, sched, Options{Speedup: 200, FlushTimeout: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := rt.Serve(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Completed != 50 {
+		t.Fatalf("completed %d of 50", rep.Completed)
+	}
+	if math.Abs(rep.TTFT.Mean-want.TTFT)/want.TTFT > 0.05 {
+		t.Errorf("unloaded fan-out TTFT %.4f vs analytical %.4f (branches must overlap)", rep.TTFT.Mean, want.TTFT)
+	}
+}

@@ -1,6 +1,6 @@
 package serve
 
-// decodeTier is the continuous-batching decode pool. The schedule's
+// decodeTier is the continuous-batching decode pool. The plan's
 // DecodeBatch slots are a bounded channel of slot leases, each lease
 // carrying the virtual time its slot frees up: acquiring a lease and
 // max-ing it with the request's queue-exit time gives the drift-free start
@@ -17,14 +17,16 @@ type decodeTier struct {
 
 func (d *decodeTier) start(bound int) {
 	d.inbox = make(chan *request, bound)
-	d.slots = make(chan float64, d.rt.sched.DecodeBatch)
-	for i := 0; i < d.rt.sched.DecodeBatch; i++ {
+	batch := d.rt.plan.Sched.DecodeBatch
+	d.slots = make(chan float64, batch)
+	for i := 0; i < batch; i++ {
 		d.slots <- 0
 	}
 }
 
 // run admits queued sequences into free slots in arrival order.
 func (d *decodeTier) run() {
+	decIdx := d.rt.plan.DecodeIdx
 	for {
 		var q *request
 		select {
@@ -32,14 +34,14 @@ func (d *decodeTier) run() {
 		case <-d.rt.quit:
 			return
 		}
-		d.rt.coll.observeQueue(d.rt.decIdx, len(d.inbox)+1)
+		d.rt.coll.observeQueue(decIdx, len(d.inbox)+1)
 		var free float64
 		select {
 		case free = <-d.slots:
 		case <-d.rt.quit:
 			return
 		}
-		q.decStart = maxf(free, q.enqV)
+		q.decStart = maxf(free, q.enqV[decIdx])
 		go d.finish(q, q.decStart+d.latency)
 	}
 }

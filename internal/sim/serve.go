@@ -5,34 +5,23 @@ import (
 	"fmt"
 	"math"
 
-	"rago/internal/core"
+	"rago/internal/engine"
 	"rago/internal/pipeline"
 	"rago/internal/stageperf"
 	"rago/internal/trace"
 )
 
-// ServeSim executes a complete RAGO schedule on a request trace as a
-// discrete-event system: placement groups are time-multiplexed servers
-// forming batches per stage, the retrieval tier is its own server, and the
-// decode tier is a pool of continuous-batching slots. It exists to
-// validate the analytical assembly: at saturation its throughput must
-// match Assembler.Evaluate's QPS, and unloaded its TTFT must match the
-// analytical latency chain.
+// ServeSim executes a compiled execution plan on a request trace as a
+// discrete-event system: the plan's resources are time-multiplexed servers
+// forming batches per stage, and the decode tier is a pool of
+// continuous-batching slots. Requests traverse the pipeline's stage graph —
+// fan-out stages run concurrently on their resources and joins wait for
+// every predecessor — so linear chains and multi-source fan-outs run
+// through the same loop. It exists to validate the analytical assembly: at
+// saturation its throughput must match the compiled Plan.Metrics QPS, and
+// unloaded its TTFT must match the analytical latency chain.
 type ServeSim struct {
-	pipe  pipeline.Pipeline
-	prof  *stageperf.Profiler
-	sched core.Schedule
-
-	// steps maps pipeline stage index -> execution step metadata.
-	steps []step
-}
-
-// step describes how one pipeline stage executes under the schedule.
-type step struct {
-	stage    pipeline.Stage
-	resource int // index into resources; -1 for the decode tier
-	batch    int
-	latency  float64 // service time for a full batch
+	plan *engine.Plan
 }
 
 // ServeResult is the measured behaviour of one run.
@@ -46,53 +35,26 @@ type ServeResult struct {
 	MeanLatency float64
 }
 
-// NewServe builds a simulator for a validated (pipeline, schedule) pair.
-// Iterative-retrieval workloads are served by IterativeSim instead; this
-// executor covers single-retrieval pipelines.
-func NewServe(pipe pipeline.Pipeline, prof *stageperf.Profiler, sched core.Schedule) (*ServeSim, error) {
+// NewServe compiles (pipeline, schedule) through the shared engine and
+// builds a simulator for the resulting plan. Iterative-retrieval
+// workloads are served by IterativeSim instead; this executor covers
+// single-retrieval pipelines (linear or fan-out).
+func NewServe(pipe pipeline.Pipeline, prof *stageperf.Profiler, sched engine.Schedule) (*ServeSim, error) {
 	if pipe.Schema.Iterative() {
 		return nil, fmt.Errorf("sim: ServeSim covers single-retrieval pipelines; use RunIterative for §5.3 workloads")
 	}
-	if err := sched.Validate(pipe); err != nil {
+	plan, err := engine.Compile(pipe, sched, prof)
+	if err != nil {
 		return nil, err
 	}
-	s := &ServeSim{pipe: pipe, prof: prof, sched: sched, steps: make([]step, len(pipe.Stages))}
-	res := 0
-	for gi, g := range sched.Groups {
-		for i, idx := range g.Stages {
-			pt := prof.EvalR(pipe.Stages[idx], g.Chips, g.Batch, g.ReplicasFor(i))
-			if !pt.OK {
-				return nil, fmt.Errorf("sim: stage %v infeasible under schedule", pipe.Stages[idx].Kind)
-			}
-			s.steps[idx] = step{stage: pipe.Stages[idx], resource: gi, batch: g.Batch, latency: pt.Latency}
-		}
-		res = gi + 1
-	}
-	if retrIdx := pipe.Index(pipeline.KindRetrieval); retrIdx >= 0 {
-		pt := prof.Eval(pipe.Stages[retrIdx], sched.RetrievalServers, sched.RetrievalBatch)
-		if !pt.OK {
-			return nil, fmt.Errorf("sim: retrieval infeasible under schedule")
-		}
-		s.steps[retrIdx] = step{
-			stage:    pipe.Stages[retrIdx],
-			resource: res,
-			batch:    sched.RetrievalBatch,
-			latency:  pt.Latency + prof.RetrievalTransferLatency(),
-		}
-	}
-	decIdx := pipe.Index(pipeline.KindDecode)
-	dec := prof.EvalR(pipe.Stages[decIdx], sched.DecodeChips, sched.DecodeBatch, sched.DecodeReplicasOrOne())
-	if !dec.OK {
-		return nil, fmt.Errorf("sim: decode infeasible under schedule")
-	}
-	s.steps[decIdx] = step{stage: pipe.Stages[decIdx], resource: -1, batch: sched.DecodeBatch, latency: dec.Latency}
-	return s, nil
+	return &ServeSim{plan: plan}, nil
 }
 
 // event kinds.
 const (
 	evArrival = iota
-	evResourceDone
+	evStageDone
+	evResourceFree
 	evFlush
 	evDecodeDone
 )
@@ -100,7 +62,7 @@ const (
 type event struct {
 	at   float64
 	kind int
-	a, b int // payload: request index / resource index
+	a, b int // payload: request index / stage or resource index
 	seq  int // tie-break for determinism
 }
 
@@ -123,11 +85,14 @@ func (h *eventHeap) Pop() interface{} {
 }
 
 type reqState struct {
-	arrival  float64
-	stagePos int // index into pipe.Stages of the NEXT stage to run
-	ttft     float64
-	done     float64
-	enqueued float64
+	arrival float64
+	ttft    float64
+	done    float64
+	// pending counts unfinished predecessors per stage; a stage becomes
+	// ready when its count reaches zero. enqAt records when the request
+	// entered each stage's queue (for batch-formation aging).
+	pending []int
+	enqAt   []float64
 }
 
 // Run executes the trace. flushTimeout is how long a partially filled
@@ -137,17 +102,10 @@ func (s *ServeSim) Run(reqs []trace.Request, flushTimeout float64) (ServeResult,
 	if len(reqs) == 0 {
 		return ServeResult{}, fmt.Errorf("sim: empty trace")
 	}
-	nRes := 0
-	for _, st := range s.steps {
-		if st.resource >= nRes {
-			nRes = st.resource + 1
-		}
-	}
-	type resState struct {
-		busy bool
-	}
-	resources := make([]resState, nRes)
-	queues := make([][]int, len(s.pipe.Stages)) // per-stage request queues
+	plan := s.plan
+	nStages := len(plan.Steps)
+	busy := make([]bool, len(plan.Resources))
+	queues := make([][]int, nStages) // per-stage request queues
 	states := make([]reqState, len(reqs))
 
 	var h eventHeap
@@ -157,116 +115,119 @@ func (s *ServeSim) Run(reqs []trace.Request, flushTimeout float64) (ServeResult,
 		seq++
 	}
 	for i, r := range reqs {
-		states[i] = reqState{arrival: r.Arrival, stagePos: 0}
+		pending := make([]int, nStages)
+		for st, ps := range plan.Preds {
+			pending[st] = len(ps)
+		}
+		states[i] = reqState{arrival: r.Arrival, pending: pending, enqAt: make([]float64, nStages)}
 		push(r.Arrival, evArrival, i, 0)
 	}
 
-	decIdx := s.pipe.Index(pipeline.KindDecode)
-	decFree := s.sched.DecodeBatch
+	decIdx := plan.DecodeIdx
+	prefixIdx := plan.PrefixIdx
+	decFree := plan.Sched.DecodeBatch
 	var decQueue []int
 
-	// enqueue places request r at its current stage's queue.
-	enqueue := func(r int, now float64) {
-		pos := states[r].stagePos
-		if pos == decIdx {
+	// enqueue places request r at stage idx's queue (or a decode slot).
+	enqueue := func(r, idx int, now float64) {
+		if idx == decIdx {
 			// Continuous batching: each of the DecodeBatch slots holds
 			// one sequence for the full-batch generation wall time
 			// (the profiled latency already assumes all slots decode
 			// concurrently).
 			if decFree > 0 {
 				decFree--
-				push(now+s.steps[decIdx].latency, evDecodeDone, r, 0)
+				push(now+plan.Steps[decIdx].Latency, evDecodeDone, r, 0)
 			} else {
 				decQueue = append(decQueue, r)
 			}
 			return
 		}
-		queues[pos] = append(queues[pos], r)
-		states[r].enqueued = now
+		queues[idx] = append(queues[idx], r)
+		states[r].enqAt[idx] = now
 		if flushTimeout > 0 {
-			push(now+flushTimeout, evFlush, pos, 0)
+			push(now+flushTimeout, evFlush, idx, 0)
 		} else {
-			push(now, evFlush, pos, 0)
+			push(now, evFlush, idx, 0)
 		}
 	}
 
 	// trySchedule dispatches work on resource res if it is idle.
-	var trySchedule func(res int, now float64)
-	trySchedule = func(res int, now float64) {
-		if resources[res].busy {
+	trySchedule := func(res int, now float64) {
+		if busy[res] {
 			return
 		}
 		// Round-robin over stages of this resource: pick the stage
 		// with the oldest waiting head among dispatchable queues.
 		best := -1
 		bestAge := math.Inf(-1)
-		for idx, st := range s.steps {
-			if st.resource != res || len(queues[idx]) == 0 {
+		for _, idx := range plan.Resources[res].Stages {
+			if len(queues[idx]) == 0 {
 				continue
 			}
 			head := queues[idx][0]
-			ready := len(queues[idx]) >= st.batch || now-states[head].enqueued >= flushTimeout
-			if !ready {
+			headAge := now - states[head].enqAt[idx]
+			if len(queues[idx]) < plan.Steps[idx].Batch && headAge < flushTimeout {
 				continue
 			}
-			age := now - states[head].enqueued
-			if age > bestAge {
-				bestAge, best = age, idx
+			if headAge > bestAge {
+				bestAge, best = headAge, idx
 			}
 		}
 		if best < 0 {
 			return
 		}
-		st := s.steps[best]
-		n := st.batch
+		n := plan.Steps[best].Batch
 		if n > len(queues[best]) {
 			n = len(queues[best])
 		}
 		batch := queues[best][:n]
 		queues[best] = append([]int(nil), queues[best][n:]...)
-		resources[res].busy = true
+		busy[res] = true
 		// Service time: the profiled latency at the formed batch size.
-		pt := s.stageLatency(best, n)
+		lat := plan.StepLatency(best, n)
 		for _, r := range batch {
-			push(now+pt, evResourceDone, r, res)
+			push(now+lat, evStageDone, r, best)
 		}
-		// A zero-payload marker to free the resource.
-		push(now+pt, evResourceDone, -1, res)
+		push(now+lat, evResourceFree, res, 0)
+	}
+
+	// ready moves request r into stage idx once its predecessors finish.
+	ready := func(r, idx int, now float64) {
+		enqueue(r, idx, now)
+		if res := plan.Steps[idx].Resource; res >= 0 {
+			trySchedule(res, now)
+		}
 	}
 
 	var firstDone, lastDone float64
 	var sumTTFT, sumLat float64
 	completed := 0
-	prefixIdx := s.pipe.Index(pipeline.KindPrefix)
 
 	for h.Len() > 0 {
 		e := heap.Pop(&h).(event)
 		now := e.at
 		switch e.kind {
 		case evArrival:
-			enqueue(e.a, now)
-			if res := s.steps[states[e.a].stagePos].resource; res >= 0 {
-				trySchedule(res, now)
+			for _, idx := range plan.Entries {
+				ready(e.a, idx, now)
 			}
 		case evFlush:
-			if res := s.steps[e.a].resource; res >= 0 {
+			if res := plan.Steps[e.a].Resource; res >= 0 {
 				trySchedule(res, now)
 			}
-		case evResourceDone:
-			if e.a < 0 {
-				resources[e.b].busy = false
-				trySchedule(e.b, now)
-				break
-			}
-			r := e.a
-			if states[r].stagePos == prefixIdx {
+		case evResourceFree:
+			busy[e.a] = false
+			trySchedule(e.a, now)
+		case evStageDone:
+			r, idx := e.a, e.b
+			if idx == prefixIdx {
 				states[r].ttft = now - states[r].arrival
 			}
-			states[r].stagePos++
-			enqueue(r, now)
-			if next := states[r].stagePos; next < len(s.steps) {
-				if res := s.steps[next].resource; res >= 0 {
-					trySchedule(res, now)
+			for _, succ := range plan.Succs[idx] {
+				states[r].pending[succ]--
+				if states[r].pending[succ] == 0 {
+					ready(r, succ, now)
 				}
 			}
 		case evDecodeDone:
@@ -284,7 +245,7 @@ func (s *ServeSim) Run(reqs []trace.Request, flushTimeout float64) (ServeResult,
 				nxt := decQueue[0]
 				decQueue = decQueue[1:]
 				decFree--
-				push(now+s.steps[decIdx].latency, evDecodeDone, nxt, 0)
+				push(now+plan.Steps[decIdx].Latency, evDecodeDone, nxt, 0)
 			}
 		}
 	}
@@ -302,41 +263,4 @@ func (s *ServeSim) Run(reqs []trace.Request, flushTimeout float64) (ServeResult,
 		MeanTTFT:    sumTTFT / float64(completed),
 		MeanLatency: sumLat / float64(completed),
 	}, nil
-}
-
-// stageLatency returns the service time of stage idx at actual batch n.
-func (s *ServeSim) stageLatency(idx, n int) float64 {
-	st := s.steps[idx]
-	if n == st.batch {
-		return st.latency
-	}
-	// Partially filled batch: profile at the formed size.
-	if st.stage.Kind == pipeline.KindRetrieval {
-		pt := s.prof.Eval(st.stage, s.sched.RetrievalServers, n)
-		if pt.OK {
-			return pt.Latency + s.prof.RetrievalTransferLatency()
-		}
-		return st.latency
-	}
-	for gi, g := range s.sched.Groups {
-		if gi != st.resource {
-			continue
-		}
-		for i, sidx := range g.Stages {
-			if sidx == idx {
-				pt := s.prof.EvalR(st.stage, g.Chips, n, minInt(g.ReplicasFor(i), n))
-				if pt.OK {
-					return pt.Latency
-				}
-			}
-		}
-	}
-	return st.latency
-}
-
-func minInt(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
 }

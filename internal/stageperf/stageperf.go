@@ -54,9 +54,17 @@ type Profiler struct {
 	Host   hw.CPUHost
 	Schema ragschema.Schema
 
+	// NoMemo disables every memoization layer so each evaluation runs
+	// the underlying analytical models from scratch. It exists for the
+	// Optimize benchmark that quantifies what the caches buy; leave it
+	// false everywhere else.
+	NoMemo bool
+
 	retrDB retrieval.DB
 	mu     sync.Mutex
 	cache  map[cacheKey]Point
+	rcache map[rcacheKey]Point
+	ccache map[cacheKey][]Point
 }
 
 // cacheKey memoizes on the full stage shape (pipeline.Stage is comparable):
@@ -68,6 +76,17 @@ type cacheKey struct {
 	batch int
 }
 
+// rcacheKey memoizes resolved replication points: the frontier search and
+// the engine's plan compiler revisit identical (stage, chips, batch,
+// replicas) tuples across thousands of candidate schedules, and the
+// replica arithmetic plus the base-cache round-trip are worth skipping.
+type rcacheKey struct {
+	stage    pipeline.Stage
+	chips    int
+	batch    int
+	replicas int
+}
+
 // New builds a profiler for one workload on one hardware generation.
 func New(chip hw.XPU, host hw.CPUHost, schema ragschema.Schema) *Profiler {
 	return &Profiler{
@@ -76,6 +95,8 @@ func New(chip hw.XPU, host hw.CPUHost, schema ragschema.Schema) *Profiler {
 		Schema: schema,
 		retrDB: DBFor(schema),
 		cache:  make(map[cacheKey]Point),
+		rcache: make(map[rcacheKey]Point),
+		ccache: make(map[cacheKey][]Point),
 	}
 }
 
@@ -145,6 +166,25 @@ func (p *Profiler) EvalR(st pipeline.Stage, chips, batch, replicas int) Point {
 	if chips < 1 || batch < 1 || replicas < 1 || chips%replicas != 0 {
 		return Point{}
 	}
+	key := rcacheKey{st, chips, batch, replicas}
+	if !p.NoMemo {
+		p.mu.Lock()
+		pt, ok := p.rcache[key]
+		p.mu.Unlock()
+		if ok {
+			return pt
+		}
+	}
+	pt := p.evalReplicated(st, chips, batch, replicas)
+	if !p.NoMemo {
+		p.mu.Lock()
+		p.rcache[key] = pt
+		p.mu.Unlock()
+	}
+	return pt
+}
+
+func (p *Profiler) evalReplicated(st pipeline.Stage, chips, batch, replicas int) Point {
 	if st.Kind == pipeline.KindRetrieval {
 		if replicas != 1 {
 			return Point{}
@@ -168,8 +208,30 @@ func (p *Profiler) EvalR(st pipeline.Stage, chips, batch, replicas int) Point {
 
 // Candidates returns the Pareto-optimal replication choices for st at
 // (chips, batch): low-replica points minimize latency, high-replica points
-// maximize throughput. At most a handful of points survive.
+// maximize throughput. At most a handful of points survive. Results are
+// memoized per (stage, chips, batch); callers receive a private copy they
+// may filter in place.
 func (p *Profiler) Candidates(st pipeline.Stage, chips, batch int) []Point {
+	key := cacheKey{st, chips, batch}
+	if !p.NoMemo {
+		p.mu.Lock()
+		cached, ok := p.ccache[key]
+		p.mu.Unlock()
+		if ok {
+			return append([]Point(nil), cached...)
+		}
+	}
+	out := p.candidates(st, chips, batch)
+	if !p.NoMemo {
+		p.mu.Lock()
+		p.ccache[key] = out
+		p.mu.Unlock()
+		out = append([]Point(nil), out...)
+	}
+	return out
+}
+
+func (p *Profiler) candidates(st pipeline.Stage, chips, batch int) []Point {
 	var pts []Point
 	for r := 1; r <= chips; r <<= 1 {
 		pt := p.EvalR(st, chips, batch, r)
@@ -201,6 +263,11 @@ func (p *Profiler) Candidates(st pipeline.Stage, chips, batch int) []Point {
 }
 
 func (p *Profiler) evalCached(st pipeline.Stage, chips, batch int) Point {
+	if p.NoMemo {
+		pt := p.eval(st, chips, batch)
+		pt.Replicas = 1
+		return pt
+	}
 	key := cacheKey{st, chips, batch}
 	p.mu.Lock()
 	pt, ok := p.cache[key]

@@ -197,3 +197,55 @@ func TestRetrievalQPSIndependentOfGenModel(t *testing.T) {
 		t.Errorf("retrieval point differs across LLM sizes: %+v vs %+v", a, b)
 	}
 }
+
+// TestMemoConsistency: the replica-level and candidate caches must be
+// pure memoization — identical results with and without them, across
+// repeat queries and the in-place filtering merge.go performs on
+// Candidates results.
+func TestMemoConsistency(t *testing.T) {
+	schema := ragschema.CaseIV(8e9)
+	pipe, err := pipeline.Build(schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cached := New(hw.XPUC, hw.EPYCHost, schema)
+	cold := New(hw.XPUC, hw.EPYCHost, schema)
+	cold.NoMemo = true
+	for _, st := range pipe.Stages {
+		for _, chips := range []int{4, 16} {
+			for _, batch := range []int{1, 8} {
+				for _, reps := range []int{1, 2, 4} {
+					a := cached.EvalR(st, chips, batch, reps)
+					b := cached.EvalR(st, chips, batch, reps) // memo hit
+					c := cold.EvalR(st, chips, batch, reps)
+					if a != b || a != c {
+						t.Fatalf("EvalR(%v,%d,%d,%d) inconsistent: %+v / %+v / %+v",
+							st.Kind, chips, batch, reps, a, b, c)
+					}
+				}
+				a := cached.Candidates(st, chips, batch)
+				// Mutate the returned slice in place the way the
+				// optimizer's phase-replica filter does; the cache must
+				// hand out private copies.
+				if len(a) > 0 {
+					kept := a[:0]
+					for range a {
+						kept = append(kept, Point{})
+					}
+				}
+				b := cached.Candidates(st, chips, batch)
+				c := cold.Candidates(st, chips, batch)
+				if len(b) != len(c) {
+					t.Fatalf("Candidates(%v,%d,%d) length drifted after caller mutation: %d vs %d",
+						st.Kind, chips, batch, len(b), len(c))
+				}
+				for i := range b {
+					if b[i] != c[i] {
+						t.Fatalf("Candidates(%v,%d,%d)[%d] inconsistent: %+v vs %+v",
+							st.Kind, chips, batch, i, b[i], c[i])
+					}
+				}
+			}
+		}
+	}
+}

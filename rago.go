@@ -29,6 +29,7 @@ package rago
 
 import (
 	"rago/internal/core"
+	"rago/internal/engine"
 	"rago/internal/hw"
 	"rago/internal/perf"
 	"rago/internal/pipeline"
@@ -60,6 +61,10 @@ var (
 	CaseIII = ragschema.CaseIII
 	// CaseIV adds an 8B query rewriter and a 120M reranker.
 	CaseIV = ragschema.CaseIV
+	// CaseV is a multi-source fan-out beyond the paper: the corpus
+	// sharded into N indexes queried in parallel, reranked together.
+	// Its pipeline is a stage graph, not a linear chain.
+	CaseV = ragschema.CaseV
 	// LLMOnly is the no-retrieval comparison system of Fig. 5.
 	LLMOnly = ragschema.LLMOnly
 	// DecodeSchemaJSON parses and validates a Schema from JSON.
@@ -152,9 +157,28 @@ func MinTTFT(front []SchedulePoint) (SchedulePoint, bool) {
 	return perf.MinTTFT(front)
 }
 
-// BuildPipeline derives the concrete stage sequence (Fig. 3) for a schema;
+// BuildPipeline derives the concrete stage graph (Fig. 3; linear for the
+// paper's schemas, fan-out for multi-source ones) for a schema;
 // Schedule.Describe renders against it.
 func BuildPipeline(schema Schema) (Pipeline, error) { return pipeline.Build(schema) }
+
+// ExecutionPlan is a schedule compiled against its pipeline: per-stage
+// steps (resource, batch, replicas, profiled latency), per-resource
+// occupancies, the iterative loop structure, and the assembled analytical
+// metrics. One compiled plan drives the analytical assembler, the
+// discrete-event validator, and the live serving runtime alike.
+type ExecutionPlan = engine.Plan
+
+// CompilePlan resolves a schedule into the shared execution plan on the
+// given cluster's hardware — the exact object the serving runtime
+// executes, with a descriptive error when any component is infeasible.
+func CompilePlan(schema Schema, sched Schedule, cluster Cluster) (*ExecutionPlan, error) {
+	pipe, err := pipeline.Build(schema)
+	if err != nil {
+		return nil, err
+	}
+	return engine.Compile(pipe, sched, stageperf.New(cluster.Chip, cluster.Host, schema))
+}
 
 // Discrete-event simulation (§5.3 dynamics and schedule validation).
 type (
