@@ -1,18 +1,26 @@
 // Command rago runs the RAGO schedule optimizer for a RAGSchema and, with
 // the serve subcommand, executes an optimized schedule in the live
-// concurrent serving runtime against a synthetic request trace.
+// concurrent serving runtime against a synthetic or recorded request
+// trace — optionally under the SLO-aware online controller.
 //
 // Usage:
 //
 //	rago [optimize] -schema workload.json [-hosts 16] [-chip XPU-C] [-normalize 0] [-baseline]
 //	rago [optimize] -preset case2 [-context 1000000] [-model 70e9]
-//	rago serve -preset case4 [-n 10000] [-rate 0] [-point maxqps] [-db 0]
+//	rago serve -preset case4 [-n 10000] [-rate 0] [-point maxqps] [-db 0] [-json]
+//	rago serve -preset case4 -arrivals diurnal [-amplitude 0.8] [-period 300] [-save-trace day.json]
+//	rago serve -preset case4 -controller -slo-ttft 1.0 [-trace day.json]
 //
 // With no -schema, -preset selects one of the paper's Table 3 workloads:
 // case1, case2, case3, case4, case5, llm-only. The optimize subcommand (the
 // default) prints the performance Pareto frontier with its schedules; the
 // serve subcommand replays an open-loop trace through a chosen frontier
-// point and prints the measured latency report.
+// point and prints the measured latency report. With -controller, serve
+// instead compiles the SLO-feasible frontier into a plan library and lets
+// the online controller hot-swap the live runtime between plans as the
+// (typically time-varying: -arrivals diurnal|mmpp|gamma, or a -trace
+// file) load shifts, reporting plan switches, chip-seconds against static
+// peak provisioning, and a discrete-event replay of the same decisions.
 package main
 
 import (

@@ -1,11 +1,15 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
+	"os"
 	"strconv"
+	"strings"
 
+	"rago/internal/control"
 	"rago/internal/core"
 	"rago/internal/perf"
 	"rago/internal/pipeline"
@@ -15,25 +19,138 @@ import (
 	"rago/internal/vectordb"
 )
 
-// runServe implements `rago serve`: optimize the workload, pick a frontier
-// point, replay an open-loop trace through the live serving runtime, and
-// print the measured latency report next to the analytical prediction.
+// traceFlags selects the request trace: a file, or one of the synthetic
+// arrival processes (stationary and time-varying).
+type traceFlags struct {
+	tracePath *string
+	saveTrace *string
+	arrivals  *string
+	n         *int
+	rate      *float64
+	seed      *int64
+	amplitude *float64
+	period    *float64
+	shape     *float64
+	mmppRates *string
+	sojourn   *float64
+}
+
+func addTraceFlags(fs *flag.FlagSet) traceFlags {
+	return traceFlags{
+		tracePath: fs.String("trace", "", "replay a recorded trace file (.json or .csv) instead of generating one"),
+		saveTrace: fs.String("save-trace", "", "write the generated trace to this file (.json or .csv)"),
+		arrivals:  fs.String("arrivals", "poisson", "arrival process: poisson|burst|diurnal|mmpp|gamma"),
+		n:         fs.Int("n", 10000, "trace length (requests)"),
+		rate:      fs.Float64("rate", 0, "mean arrival rate in requests/s (0 = auto from the chosen schedule)"),
+		seed:      fs.Int64("seed", 42, "trace seed"),
+		amplitude: fs.Float64("amplitude", 0.8, "diurnal: sinusoid amplitude in [0,1]"),
+		period:    fs.Float64("period", 300, "diurnal: cycle length in virtual seconds"),
+		shape:     fs.Float64("shape", 0.5, "gamma: inter-arrival shape (<1 = heavy-tailed bursts)"),
+		mmppRates: fs.String("mmpp-rates", "", "mmpp: comma-separated state rates in requests/s (default 0.2x,2x the mean rate)"),
+		sojourn:   fs.Float64("mmpp-sojourn", 60, "mmpp: mean state sojourn in virtual seconds"),
+	}
+}
+
+// build materializes the trace. rate0 is the auto mean rate when -rate is
+// unset. The description is human-readable for the preamble.
+func (tf traceFlags) build(rate0 float64) ([]trace.Request, string, error) {
+	if *tf.tracePath != "" {
+		reqs, err := trace.Load(*tf.tracePath)
+		if err != nil {
+			return nil, "", err
+		}
+		if len(reqs) == 0 {
+			return nil, "", fmt.Errorf("serve: trace file %s is empty", *tf.tracePath)
+		}
+		// -save-trace alongside -trace re-persists the loaded trace
+		// (format conversion, normalization).
+		if *tf.saveTrace != "" {
+			if err := trace.Save(*tf.saveTrace, reqs); err != nil {
+				return nil, "", err
+			}
+		}
+		return reqs, fmt.Sprintf("%d requests from %s", len(reqs), *tf.tracePath), nil
+	}
+	rate := *tf.rate
+	if rate <= 0 {
+		rate = rate0
+	}
+	var (
+		reqs []trace.Request
+		desc string
+		err  error
+	)
+	switch strings.ToLower(*tf.arrivals) {
+	case "poisson":
+		reqs, err = trace.Poisson(*tf.n, rate, *tf.seed)
+		desc = fmt.Sprintf("%d Poisson arrivals at %.1f req/s", *tf.n, rate)
+	case "burst":
+		reqs = trace.Burst(*tf.n)
+		desc = fmt.Sprintf("burst of %d requests", *tf.n)
+	case "diurnal":
+		reqs, err = trace.Diurnal(*tf.n, rate, *tf.amplitude, *tf.period, *tf.seed)
+		desc = fmt.Sprintf("%d diurnal arrivals, base %.1f req/s, amplitude %.2f, period %.0fs",
+			*tf.n, rate, *tf.amplitude, *tf.period)
+	case "mmpp":
+		rates := []float64{0.2 * rate, 2 * rate}
+		if *tf.mmppRates != "" {
+			rates = rates[:0]
+			for _, f := range strings.Split(*tf.mmppRates, ",") {
+				r, perr := strconv.ParseFloat(strings.TrimSpace(f), 64)
+				if perr != nil {
+					return nil, "", fmt.Errorf("serve: bad -mmpp-rates entry %q", f)
+				}
+				rates = append(rates, r)
+			}
+		}
+		reqs, err = trace.MMPP(*tf.n, rates, *tf.sojourn, *tf.seed)
+		desc = fmt.Sprintf("%d MMPP arrivals, states %v req/s, sojourn %.0fs", *tf.n, rates, *tf.sojourn)
+	case "gamma":
+		reqs, err = trace.Gamma(*tf.n, rate, *tf.shape, *tf.seed)
+		desc = fmt.Sprintf("%d Gamma arrivals at %.1f req/s, shape %.2f", *tf.n, rate, *tf.shape)
+	default:
+		return nil, "", fmt.Errorf("serve: unknown -arrivals %q (poisson|burst|diurnal|mmpp|gamma)", *tf.arrivals)
+	}
+	if err != nil {
+		return nil, "", err
+	}
+	if len(reqs) == 0 {
+		return nil, "", fmt.Errorf("serve: empty trace (need -n > 0 or a non-empty -trace file)")
+	}
+	if *tf.saveTrace != "" {
+		if err := trace.Save(*tf.saveTrace, reqs); err != nil {
+			return nil, "", err
+		}
+	}
+	return reqs, desc, nil
+}
+
+// runServe implements `rago serve`: optimize the workload, then either
+// replay an open-loop trace through one frontier point's live runtime, or
+// (with -controller) put the SLO-aware online controller in charge of a
+// plan library built from the whole frontier.
 func runServe(args []string) {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
 	wf := addWorkloadFlags(fs)
+	tf := addTraceFlags(fs)
 	var (
 		point       = fs.String("point", "maxqps", "frontier point to serve: maxqps|minttft|<index>")
-		n           = fs.Int("n", 10000, "trace length (requests)")
-		rate        = fs.Float64("rate", 0, "Poisson arrival rate in requests/s (0 = 1.5x the point's analytical QPS)")
-		burst       = fs.Bool("burst", false, "replay a simultaneous burst instead of Poisson arrivals")
-		seed        = fs.Int64("seed", 42, "trace seed")
 		speedup     = fs.Float64("speedup", 0, "virtual seconds served per wall second (0 = auto, targeting ~10s wall)")
 		flush       = fs.Float64("flush", 0.05, "partial-batch flush timeout in virtual seconds (0 = dispatch partial batches immediately)")
 		maxInflight = fs.Int("max-inflight", 0, "admission bound; arrivals beyond it are shed (0 = admit all)")
+		jsonOut     = fs.Bool("json", false, "print the full report as JSON on stdout (preamble goes to stderr)")
 		dbVectors   = fs.Int("db", 0, "build a real IVF-PQ index of this many vectors on the retrieval path (0 = model-paced only)")
 		dbDim       = fs.Int("db-dim", 64, "real index dimensionality")
 		k           = fs.Int("k", 10, "neighbors per real query")
 		nprobe      = fs.Int("nprobe", 8, "probed cells per real query")
+
+		controller = fs.Bool("controller", false, "run the SLO-aware online controller over a plan library instead of one static schedule")
+		sloTTFT    = fs.Float64("slo-ttft", 1.0, "controller: p99 TTFT objective in virtual seconds")
+		sloTPOT    = fs.Float64("slo-tpot", 0, "controller: p99 TPOT objective in virtual seconds (0 = unbounded)")
+		ctrlWindow = fs.Float64("ctrl-window", 30, "controller: telemetry window in virtual seconds")
+		ctrlTick   = fs.Float64("ctrl-interval", 10, "controller: decision interval in virtual seconds")
+		headroom   = fs.Float64("headroom", 1.25, "controller: capacity margin over the observed arrival rate")
+		holddown   = fs.Float64("holddown", 0, "controller: minimum virtual seconds between scale-downs (0 = 3 intervals)")
 	)
 	fs.Parse(args)
 
@@ -45,6 +162,12 @@ func runServe(args []string) {
 		log.Fatal("serve: iterative-retrieval workloads (case3) are not executable yet; use the optimize subcommand's models")
 	}
 
+	// Preamble goes to stderr under -json so stdout stays machine-readable.
+	info := os.Stdout
+	if *jsonOut {
+		info = os.Stderr
+	}
+
 	o, err := core.NewOptimizer(schema, core.DefaultOptions(cluster))
 	if err != nil {
 		log.Fatal(err)
@@ -53,46 +176,18 @@ func runServe(args []string) {
 	if len(front) == 0 {
 		log.Fatal("no feasible schedule under the given resources")
 	}
-	chosen, err := pickPoint(front, *point)
-	if err != nil {
-		log.Fatal(err)
-	}
 
-	arrivalRate := *rate
-	if arrivalRate <= 0 {
-		arrivalRate = 1.5 * chosen.Metrics.QPS
-	}
-	var reqs []trace.Request
-	if *burst {
-		reqs = trace.Burst(*n)
-	} else {
-		if reqs, err = trace.Poisson(*n, arrivalRate, *seed); err != nil {
-			log.Fatal(err)
-		}
-	}
+	fmt.Fprintf(info, "workload: %s\n", schema.Name)
+	fmt.Fprintf(info, "cluster:  %d hosts x %d %s = %d XPUs\n", cluster.Hosts, cluster.Host.XPUsPerHost, cluster.Chip.Name, cluster.XPUs())
 
-	sp := *speedup
-	if sp <= 0 {
-		// Auto: compress the expected makespan into ~10s wall. The run
-		// lasts as long as the slower of serving capacity and arrivals.
-		makespan := float64(*n) / chosen.Metrics.QPS
-		if !*burst && float64(*n)/arrivalRate > makespan {
-			makespan = float64(*n) / arrivalRate
-		}
-		sp = makespan / 10.0
-		if sp < 1 {
-			sp = 1
-		}
-	}
-
-	opts := serve.Options{Speedup: sp, FlushTimeout: *flush, MaxInFlight: *maxInflight}
+	opts := serve.Options{Speedup: *speedup, FlushTimeout: *flush, MaxInFlight: *maxInflight}
 	if *flush == 0 {
 		opts.FlushTimeout = -1 // Options semantics: negative = immediate
 	}
 	if *dbVectors > 0 {
-		fmt.Printf("building IVF-PQ index: %d vectors, dim %d ...\n", *dbVectors, *dbDim)
-		data := vectordb.GenClustered(*dbVectors, *dbDim, 64, 0.4, *seed)
-		ix, err := vectordb.BuildIVFPQ(data, 128, *dbDim/2, *seed)
+		fmt.Fprintf(info, "building IVF-PQ index: %d vectors, dim %d ...\n", *dbVectors, *dbDim)
+		data := vectordb.GenClustered(*dbVectors, *dbDim, 64, 0.4, *tf.seed)
+		ix, err := vectordb.BuildIVFPQ(data, 128, *dbDim/2, *tf.seed)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -101,7 +196,26 @@ func runServe(args []string) {
 			return ix.SearchBatch(queries, kk, np)
 		}
 		opts.QueryDim = *dbDim
-		opts.QuerySeed = *seed
+		opts.QuerySeed = *tf.seed
+	}
+
+	if *controller {
+		runControlled(o, front, tf, opts, info, *jsonOut, control.SLO{TTFT: *sloTTFT, TPOT: *sloTPOT},
+			control.Config{Window: *ctrlWindow, Interval: *ctrlTick, Headroom: *headroom, HoldDown: *holddown})
+		return
+	}
+
+	chosen, err := pickPoint(front, *point)
+	if err != nil {
+		log.Fatal(err)
+	}
+	reqs, desc, err := tf.build(1.5 * chosen.Metrics.QPS)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if opts.Speedup <= 0 {
+		opts.Speedup = autoSpeedup(reqs, chosen.Metrics.QPS)
 	}
 
 	pipe, err := pipeline.Build(schema)
@@ -114,23 +228,102 @@ func runServe(args []string) {
 		log.Fatal(err)
 	}
 
-	fmt.Printf("workload: %s\n", schema.Name)
-	fmt.Printf("cluster:  %d hosts x %d %s = %d XPUs\n", cluster.Hosts, cluster.Host.XPUsPerHost, cluster.Chip.Name, cluster.XPUs())
-	fmt.Printf("schedule: %s\n", chosen.Item.Describe(o.Pipe))
-	fmt.Printf("analytic: %s\n", chosen.Metrics)
-	if *burst {
-		fmt.Printf("trace:    burst of %d requests\n", *n)
-	} else {
-		fmt.Printf("trace:    %d Poisson arrivals at %.1f req/s (%.2fx analytical capacity)\n",
-			*n, arrivalRate, arrivalRate/chosen.Metrics.QPS)
-	}
-	fmt.Printf("pacing:   speedup %.0fx\n\n", sp)
+	fmt.Fprintf(info, "schedule: %s\n", chosen.Item.Describe(o.Pipe))
+	fmt.Fprintf(info, "analytic: %s\n", chosen.Metrics)
+	fmt.Fprintf(info, "trace:    %s\n", desc)
+	fmt.Fprintf(info, "pacing:   speedup %.0fx\n\n", opts.Speedup)
 
 	rep, err := rt.Serve(reqs)
 	if err != nil {
 		log.Fatal(err)
 	}
+	if *jsonOut {
+		printJSON(rep)
+		return
+	}
 	fmt.Print(rep)
+}
+
+// runControlled builds the SLO-filtered plan library from the frontier and
+// lets the online controller drive the replay, then cross-checks the
+// switching decisions in the discrete-event simulator.
+func runControlled(o *core.Optimizer, front []core.SchedulePoint, tf traceFlags,
+	opts serve.Options, info *os.File, jsonOut bool, slo control.SLO, cfg control.Config) {
+	lib, err := control.NewLibrary(o, front, slo)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg.SLO = slo
+	ctl, err := control.NewController(lib, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	top := lib.Entries[len(lib.Entries)-1]
+	reqs, desc, err := tf.build(0.5 * top.QPS)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if opts.Speedup <= 0 {
+		opts.Speedup = autoSpeedup(reqs, top.QPS)
+	}
+
+	fmt.Fprintf(info, "library:  %d SLO-feasible plans (TTFT<=%.2fs):\n", len(lib.Entries), slo.TTFT)
+	for i, e := range lib.Entries {
+		fmt.Fprintf(info, "  [%d] %6.1f QPS  %3d chips  %s\n", i, e.QPS, e.Chips, e.Schedule)
+	}
+	fmt.Fprintf(info, "trace:    %s\n", desc)
+	fmt.Fprintf(info, "pacing:   speedup %.0fx\n\n", opts.Speedup)
+
+	res, err := ctl.Run(opts, reqs)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The discrete-event replay of the same decisions validates the live
+	// run; admission shedding is not modeled there, so skip under it.
+	var simRes *control.SimResult
+	if res.Report.Rejected == 0 {
+		sr, err := control.SimReplay(lib, res, reqs, opts.FlushTimeout)
+		if err != nil {
+			log.Fatal(err)
+		}
+		simRes = &sr
+	}
+
+	if jsonOut {
+		printJSON(struct {
+			*control.Result
+			SimReplay *control.SimResult `json:"sim_replay,omitempty"`
+		}{res, simRes})
+		return
+	}
+	fmt.Print(res)
+	if simRes != nil {
+		fmt.Printf("sim replay: %d completed, QPS %.2f (runtime/sim ratio %.2f)\n",
+			simRes.Completed, simRes.QPS, res.Report.SustainedQPS/simRes.QPS)
+	}
+}
+
+// autoSpeedup compresses the expected makespan into ~10s wall. The run
+// lasts as long as the slower of serving capacity and arrivals.
+func autoSpeedup(reqs []trace.Request, qps float64) float64 {
+	makespan := float64(len(reqs)) / qps
+	if span := reqs[len(reqs)-1].Arrival; span > makespan {
+		makespan = span
+	}
+	sp := makespan / 10.0
+	if sp < 1 {
+		sp = 1
+	}
+	return sp
+}
+
+func printJSON(v interface{}) {
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		log.Fatal(err)
+	}
 }
 
 // pickPoint resolves the -point flag against the frontier.

@@ -1,0 +1,51 @@
+package control
+
+import (
+	"testing"
+
+	"rago/internal/serve"
+	"rago/internal/trace"
+)
+
+// BenchmarkControllerDiurnal is the control-plane perf trajectory point CI
+// uploads (BENCH_serve.json): the SLO-aware controller tracking the
+// deterministic diurnal Case IV trace, reporting the chip-seconds saved
+// against static peak provisioning and the p99 TTFT it held.
+func BenchmarkControllerDiurnal(b *testing.B) {
+	lib := caseIVLadder(b)
+	const (
+		base      = 45.0
+		amplitude = 0.8
+		period    = 150.0
+		cycles    = 2.5
+	)
+	n := int(base * period * cycles)
+	reqs, err := trace.Diurnal(n, base, amplitude, period, 17)
+	if err != nil {
+		b.Fatal(err)
+	}
+	span := reqs[len(reqs)-1].Arrival
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ctl, err := NewController(lib, Config{
+			SLO:      SLO{TTFT: 1.0},
+			Window:   12,
+			Interval: 4,
+			Headroom: 1.3,
+			HoldDown: 12,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := ctl.Run(serve.Options{Speedup: span / 5.0}, reqs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Report.Completed != n {
+			b.Fatalf("completed %d of %d", res.Report.Completed, n)
+		}
+		b.ReportMetric(100*res.Saved, "chipSecSaved_pct")
+		b.ReportMetric(res.Report.TTFT.P99, "p99TTFT_s")
+		b.ReportMetric(float64(len(res.Events)), "switches")
+	}
+}

@@ -1,0 +1,253 @@
+package control
+
+import (
+	"errors"
+	"fmt"
+
+	"rago/internal/serve"
+	"rago/internal/trace"
+)
+
+// Config tunes the control loop. All times are virtual (schedule)
+// seconds.
+type Config struct {
+	// SLO is the objective the controller enforces.
+	SLO SLO `json:"slo"`
+	// Window is the telemetry sliding window the decisions read.
+	// Default 30.
+	Window float64 `json:"window"`
+	// Interval is the control period: one decision per tick. Default 10.
+	Interval float64 `json:"interval"`
+	// Headroom is the capacity margin: the controller targets a plan
+	// sustaining ArrivalRate*Headroom. Default 1.25.
+	Headroom float64 `json:"headroom"`
+	// HoldDown is the minimum time after any switch before the
+	// controller may scale *down* (up-switches are never held down,
+	// an SLO is at stake). Default 3*Interval.
+	HoldDown float64 `json:"hold_down"`
+	// MinSamples is the fewest windowed completions a latency quantile
+	// needs before it may trigger an SLO reaction. Default 20.
+	MinSamples int `json:"min_samples"`
+}
+
+func (c Config) withDefaults() Config {
+	if c.Window == 0 {
+		c.Window = 30
+	}
+	if c.Interval == 0 {
+		c.Interval = 10
+	}
+	if c.Headroom == 0 {
+		c.Headroom = 1.25
+	}
+	if c.HoldDown == 0 {
+		c.HoldDown = 3 * c.Interval
+	}
+	if c.MinSamples == 0 {
+		c.MinSamples = 20
+	}
+	return c
+}
+
+func (c Config) validate() error {
+	if c.Window < 0 || c.Interval < 0 || c.Headroom < 0 || c.HoldDown < 0 || c.MinSamples < 0 {
+		return fmt.Errorf("control: negative Config fields")
+	}
+	if c.Headroom != 0 && c.Headroom < 1 {
+		return fmt.Errorf("control: Headroom must be >= 1 (capacity margin over observed load), got %g", c.Headroom)
+	}
+	return nil
+}
+
+// Event is one plan switch the controller made.
+type Event struct {
+	// AtV is the virtual decision time; From/To index Library.Entries.
+	AtV  float64 `json:"at_v"`
+	From int     `json:"from"`
+	To   int     `json:"to"`
+	// Reason is "load" (rate-driven resize) or "slo" (reactive upshift
+	// on a windowed p99 violation).
+	Reason string `json:"reason"`
+	// Rate and P99TTFT are the telemetry the decision saw.
+	Rate    float64 `json:"rate"`
+	P99TTFT float64 `json:"p99_ttft"`
+}
+
+// Result is the outcome of one controlled replay.
+type Result struct {
+	// Report is the live runtime's measured report, switching history
+	// included.
+	Report *serve.ServerReport `json:"report"`
+	// Events are the switches, in order; Ticks the control decisions
+	// taken; Start the initial library entry.
+	Events []Event `json:"events,omitempty"`
+	Ticks  int     `json:"ticks"`
+	Start  int     `json:"start"`
+	// MaxEntry is the most capable entry ever active — what static peak
+	// provisioning would have had to run for the whole trace.
+	MaxEntry int `json:"max_entry"`
+	// ChipSeconds is the controller's integrated cost;
+	// StaticChipSeconds the peak plan held for the full duration; Saved
+	// the relative reduction.
+	ChipSeconds       float64 `json:"chip_seconds"`
+	StaticChipSeconds float64 `json:"static_chip_seconds"`
+	Saved             float64 `json:"saved"`
+	// SLO echoes the enforced objective.
+	SLO SLO `json:"slo"`
+}
+
+// Controller drives a serve.Server through a plan library to track a
+// time-varying load.
+type Controller struct {
+	Lib *Library
+	Cfg Config
+}
+
+// NewController validates the pieces and applies Config defaults.
+func NewController(lib *Library, cfg Config) (*Controller, error) {
+	if lib == nil || len(lib.Entries) == 0 {
+		return nil, fmt.Errorf("control: empty plan library")
+	}
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	return &Controller{Lib: lib, Cfg: cfg.withDefaults()}, nil
+}
+
+// decide picks the target library entry given the current one and a
+// telemetry window.
+func (c *Controller) decide(cur int, w serve.Window) (want int, reason string) {
+	want, reason = c.Lib.IndexFor(w.ArrivalRate*c.Cfg.Headroom), "load"
+	quantileTrusted := w.Completions >= c.Cfg.MinSamples
+	// Reactive upshift: a windowed p99 TTFT violation means the rate
+	// estimate is lying (queues are building faster than completions
+	// report), so take at least one step up regardless.
+	if quantileTrusted && c.Cfg.SLO.TTFT > 0 && w.TTFT.P99 > c.Cfg.SLO.TTFT && want <= cur {
+		if cur+1 < len(c.Lib.Entries) {
+			want, reason = cur+1, "slo"
+		}
+	}
+	if quantileTrusted && c.Cfg.SLO.TPOT > 0 && w.TPOT.P99 > c.Cfg.SLO.TPOT && want <= cur {
+		if cur+1 < len(c.Lib.Entries) {
+			want, reason = cur+1, "slo"
+		}
+	}
+	// Never scale down while either latency is anywhere near its
+	// objective — the hysteresis that keeps a just-upshifted run from
+	// flapping straight back down.
+	if want < cur && quantileTrusted {
+		if c.Cfg.SLO.TTFT > 0 && w.TTFT.P99 > 0.7*c.Cfg.SLO.TTFT {
+			want = cur
+		}
+		if c.Cfg.SLO.TPOT > 0 && w.TPOT.P99 > 0.7*c.Cfg.SLO.TPOT {
+			want = cur
+		}
+	}
+	return want, reason
+}
+
+// Run replays the trace through a fresh multi-plan Server, starting on
+// the cheapest plan able to carry the trace's opening window (so a trace
+// that begins at crest load is not admitted onto the trough plan),
+// polling telemetry every Interval and switching plans to hold the SLO
+// at minimum chip cost. It blocks until the replay drains.
+func (c *Controller) Run(opts serve.Options, reqs []trace.Request) (*Result, error) {
+	start := c.startEntry(reqs)
+	srv, err := serve.NewServer(c.Lib.Entries[start].Plan, opts)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Start: start, MaxEntry: start, SLO: c.Cfg.SLO}
+
+	var rep *serve.ServerReport
+	var serveErr error
+	done := make(chan struct{})
+	go func() {
+		rep, serveErr = srv.Serve(reqs)
+		close(done)
+	}()
+	select {
+	case <-srv.Started():
+	case <-done:
+		return nil, serveErr
+	}
+
+	cur := start
+	lastSwitch := 0.0
+	for k := 1; ; k++ {
+		select {
+		case <-done:
+			if serveErr != nil {
+				return nil, serveErr
+			}
+			res.Report = rep
+			c.account(res, rep)
+			return res, nil
+		case <-srv.AfterVirtual(float64(k) * c.Cfg.Interval):
+			res.Ticks++
+			w := srv.Telemetry(c.Cfg.Window)
+			want, reason := c.decide(cur, w)
+			if want == cur {
+				continue
+			}
+			if want < cur && w.Now-lastSwitch < c.Cfg.HoldDown {
+				continue
+			}
+			if err := srv.Switch(c.Lib.Entries[want].Plan); err != nil {
+				// A tick can race the replay draining; the next select
+				// iteration observes done and finishes up.
+				if errors.Is(err, serve.ErrServeEnded) {
+					continue
+				}
+				return nil, fmt.Errorf("control: switch at tick %d: %w", k, err)
+			}
+			res.Events = append(res.Events, Event{
+				AtV: w.Now, From: cur, To: want, Reason: reason,
+				Rate: w.ArrivalRate, P99TTFT: w.TTFT.P99,
+			})
+			cur = want
+			lastSwitch = w.Now
+			if want > res.MaxEntry {
+				res.MaxEntry = want
+			}
+		}
+	}
+}
+
+// startEntry sizes the initial plan from the trace's opening window: the
+// arrival rate over the first Window virtual seconds, with the same
+// headroom the steady-state decisions use.
+func (c *Controller) startEntry(reqs []trace.Request) int {
+	if len(reqs) == 0 || c.Cfg.Window <= 0 {
+		return 0
+	}
+	early := 0
+	for _, r := range reqs {
+		if r.Arrival > c.Cfg.Window {
+			break
+		}
+		early++
+	}
+	return c.Lib.IndexFor(float64(early) / c.Cfg.Window * c.Cfg.Headroom)
+}
+
+// account fills in the cost comparison once the run has drained.
+func (c *Controller) account(res *Result, rep *serve.ServerReport) {
+	res.ChipSeconds = rep.ChipSeconds
+	res.StaticChipSeconds = float64(c.Lib.Entries[res.MaxEntry].Chips) * rep.DurationV
+	if res.StaticChipSeconds > 0 {
+		res.Saved = 1 - res.ChipSeconds/res.StaticChipSeconds
+	}
+}
+
+// String renders the controlled run for the CLI.
+func (r *Result) String() string {
+	out := r.Report.String()
+	out += fmt.Sprintf("controller: %d ticks, %d switches, chip-seconds %.0f vs %.0f static peak (%.1f%% saved)\n",
+		r.Ticks, len(r.Events), r.ChipSeconds, r.StaticChipSeconds, 100*r.Saved)
+	for _, e := range r.Events {
+		out += fmt.Sprintf("  t=%8.1fs  %d -> %d  (%s: rate %.1f/s, p99 TTFT %.3fs)\n",
+			e.AtV, e.From, e.To, e.Reason, e.Rate, e.P99TTFT)
+	}
+	return out
+}

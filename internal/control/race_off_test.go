@@ -1,0 +1,5 @@
+//go:build !race
+
+package control
+
+const raceEnabled = false

@@ -1,0 +1,9 @@
+//go:build race
+
+package control
+
+// raceEnabled flags -race runs: the detector's instrumentation slows the
+// process severalfold, so wall-clock-paced tests get a proportionally
+// larger wall budget (less time compression) to keep scheduling jitter
+// small relative to virtual time.
+const raceEnabled = true

@@ -1,0 +1,91 @@
+package control
+
+import (
+	"fmt"
+	"math"
+
+	"rago/internal/sim"
+	"rago/internal/trace"
+)
+
+// SimResult is the discrete-event replay of a recorded switching history.
+type SimResult struct {
+	// Completed counts simulated completions; QPS is completions over
+	// the union completion span.
+	Completed int     `json:"completed"`
+	QPS       float64 `json:"qps"`
+	// Segments is how many plan tenures actually served requests.
+	Segments int `json:"segments"`
+}
+
+// SimReplay replays a controller Result's switching decisions through the
+// discrete-event validator: each request is simulated on the plan that
+// was current at its arrival, on that plan's own resources — exactly the
+// drain-and-migrate semantics of the live Server, where epochs never
+// share workers — and the per-tenure results are combined over the union
+// completion span. The returned QPS is the reference the live runtime is
+// cross-checked against (the two must agree within the established 15%
+// band when admission control is off).
+func SimReplay(lib *Library, res *Result, reqs []trace.Request, flushTimeout float64) (SimResult, error) {
+	if lib == nil || len(lib.Entries) == 0 {
+		return SimResult{}, fmt.Errorf("control: empty plan library")
+	}
+	if res == nil {
+		return SimResult{}, fmt.Errorf("control: nil controller result")
+	}
+	if len(reqs) == 0 {
+		return SimResult{}, fmt.Errorf("control: empty trace")
+	}
+	// Reconstruct the plan timeline: entry indices over [bound, next).
+	type tenure struct {
+		entry int
+		from  float64
+	}
+	timeline := []tenure{{entry: res.Start}}
+	for _, e := range res.Events {
+		if e.To < 0 || e.To >= len(lib.Entries) {
+			return SimResult{}, fmt.Errorf("control: event targets entry %d outside the library", e.To)
+		}
+		timeline = append(timeline, tenure{entry: e.To, from: e.AtV})
+	}
+
+	out := SimResult{}
+	first, last := math.Inf(1), math.Inf(-1)
+	lo := 0
+	for i, tn := range timeline {
+		hi := len(reqs)
+		if i+1 < len(timeline) {
+			next := timeline[i+1].from
+			for hi = lo; hi < len(reqs) && reqs[hi].Arrival < next; hi++ {
+			}
+		}
+		seg := reqs[lo:hi]
+		lo = hi
+		if len(seg) == 0 {
+			continue
+		}
+		s, err := sim.NewServeFromPlan(lib.Entries[tn.entry].Plan)
+		if err != nil {
+			return SimResult{}, err
+		}
+		r, err := s.Run(seg, flushTimeout)
+		if err != nil {
+			return SimResult{}, err
+		}
+		out.Completed += r.Completed
+		out.Segments++
+		if r.FirstDone < first {
+			first = r.FirstDone
+		}
+		if r.LastDone > last {
+			last = r.LastDone
+		}
+	}
+	if out.Completed == 0 {
+		return SimResult{}, fmt.Errorf("control: sim replay completed nothing")
+	}
+	if span := last - first; span > 0 && out.Completed > 1 {
+		out.QPS = float64(out.Completed-1) / span
+	}
+	return out, nil
+}

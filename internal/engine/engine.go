@@ -283,6 +283,31 @@ func (p *Plan) criticalPathTTFT() float64 {
 	return finish[p.PrefixIdx]
 }
 
+// CompatibleWith reports whether q executes the same stage graph as p —
+// the precondition for hot-swapping a live runtime from one plan to the
+// other: request state (per-stage predecessor counts, queue-entry times)
+// is shaped by the graph, so only schedules of the same pipeline are
+// interchangeable.
+func (p *Plan) CompatibleWith(q *Plan) bool {
+	if q == nil || len(p.Steps) != len(q.Steps) {
+		return false
+	}
+	for i := range p.Steps {
+		if p.Steps[i].Stage.Kind != q.Steps[i].Stage.Kind {
+			return false
+		}
+		if len(p.Succs[i]) != len(q.Succs[i]) {
+			return false
+		}
+		for j := range p.Succs[i] {
+			if p.Succs[i][j] != q.Succs[i][j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
 // StepLatency returns the service time of stage idx at the actually
 // formed batch size n: the precompiled latency at the full batch, a
 // re-profiled one for partial batches. Infeasible partial points fall

@@ -14,7 +14,7 @@ import (
 // touches its queues and ledger, so the only shared state is the inbox
 // channel and the metrics collector.
 type resource struct {
-	rt     *Runtime
+	dp     *dataplane
 	name   string
 	stages []int // pipeline stage indices served, in pipeline order
 	inbox  chan item
@@ -23,8 +23,8 @@ type resource struct {
 	busyUntil float64      // virtual time the resource frees up
 }
 
-func newResource(rt *Runtime, name string, stages []int) *resource {
-	return &resource{rt: rt, name: name, stages: stages, queues: make([][]*request, len(stages))}
+func newResource(dp *dataplane, name string, stages []int) *resource {
+	return &resource{dp: dp, name: name, stages: stages, queues: make([][]*request, len(stages))}
 }
 
 // run is the worker loop: drain arrivals, pick the most overdue
@@ -59,7 +59,7 @@ func (r *resource) enqueue(it item) {
 	for i, idx := range r.stages {
 		if idx == it.idx {
 			r.queues[i] = append(r.queues[i], it.q)
-			r.rt.coll.observeQueue(idx, len(r.queues[i]))
+			r.dp.coll.enqueued(idx, len(r.queues[i]))
 			return
 		}
 	}
@@ -71,8 +71,8 @@ func (r *resource) enqueue(it item) {
 // discrete-event validator). It returns the stage slot, the batch size,
 // and the exact virtual time the batch became dispatchable.
 func (r *resource) pick() (si, n int, formV float64) {
-	now := r.rt.clock.now()
-	flush := r.rt.opts.FlushTimeout
+	now := r.dp.clock.now()
+	flush := r.dp.opts.FlushTimeout
 	best := -1
 	bestAge := math.Inf(-1)
 	for i, idx := range r.stages {
@@ -80,7 +80,7 @@ func (r *resource) pick() (si, n int, formV float64) {
 		if len(qu) == 0 {
 			continue
 		}
-		b := r.rt.plan.Steps[idx].Batch
+		b := r.dp.plan.Steps[idx].Batch
 		headAge := now - qu[0].enqV[idx]
 		if len(qu) < b && headAge < flush {
 			continue
@@ -93,7 +93,7 @@ func (r *resource) pick() (si, n int, formV float64) {
 		return -1, 0, 0
 	}
 	idx := r.stages[best]
-	b := r.rt.plan.Steps[idx].Batch
+	b := r.dp.plan.Steps[idx].Batch
 	n = b
 	if n > len(r.queues[best]) {
 		n = len(r.queues[best])
@@ -112,7 +112,7 @@ func (r *resource) pick() (si, n int, formV float64) {
 }
 
 // park blocks until new work arrives, a flush deadline passes, or the
-// runtime shuts down. Returns false on shutdown.
+// dataplane shuts down. Returns false on shutdown.
 func (r *resource) park() bool {
 	var timerC <-chan time.Time
 	var timer *time.Timer
@@ -121,12 +121,12 @@ func (r *resource) park() bool {
 		if len(r.queues[i]) == 0 {
 			continue
 		}
-		if d := r.queues[i][0].enqV[idx] + r.rt.opts.FlushTimeout; d < deadline {
+		if d := r.queues[i][0].enqV[idx] + r.dp.opts.FlushTimeout; d < deadline {
 			deadline, has = d, true
 		}
 	}
 	if has {
-		d := time.Until(r.rt.clock.wallAt(deadline))
+		d := time.Until(r.dp.clock.wallAt(deadline))
 		if d < 0 {
 			d = 0
 		}
@@ -144,7 +144,7 @@ func (r *resource) park() bool {
 		return true
 	case <-timerC:
 		return true
-	case <-r.rt.quit:
+	case <-r.dp.quit:
 		return false
 	}
 }
@@ -157,24 +157,24 @@ func (r *resource) exec(si, n int, formV float64) {
 	batch := r.queues[si][:n:n]
 	r.queues[si] = append([]*request(nil), r.queues[si][n:]...)
 
-	lat := r.rt.plan.StepLatency(idx, n)
+	lat := r.dp.plan.StepLatency(idx, n)
 	start := maxf(r.busyUntil, formV)
 	done := start + lat
 	r.busyUntil = done
 
 	var search chan error
-	if r.rt.plan.Steps[idx].Stage.Kind == pipeline.KindRetrieval && r.rt.opts.Searcher != nil {
+	if r.dp.plan.Steps[idx].Stage.Kind == pipeline.KindRetrieval && r.dp.opts.Searcher != nil {
 		search = make(chan error, 1)
-		go r.rt.runSearch(batch, search)
+		go r.dp.runSearch(batch, search)
 	}
-	r.rt.clock.sleepUntil(done)
+	r.dp.clock.sleepUntil(done)
 	if search != nil {
 		if err := <-search; err != nil {
-			r.rt.setSearchErr(err)
+			r.dp.onSearchErr(err)
 		}
 	}
-	r.rt.coll.batchServed(idx, n, r.rt.plan.Steps[idx].Batch)
+	r.dp.coll.batchServed(idx, n, r.dp.plan.Steps[idx].Batch)
 	for _, q := range batch {
-		r.rt.advance(q, idx, done)
+		r.dp.advance(q, idx, done)
 	}
 }

@@ -1,0 +1,43 @@
+package serve
+
+import (
+	"testing"
+
+	"rago/internal/core"
+	"rago/internal/trace"
+)
+
+// BenchmarkServeCaseIV is the serving perf trajectory point CI uploads
+// (BENCH_serve.json): a 10k-request Poisson replay of Case IV at 1.5x
+// analytical capacity and fixed time compression, reporting steady-state
+// sustained QPS and p99 TTFT alongside ns/op.
+func BenchmarkServeCaseIV(b *testing.B) {
+	pipe, prof, sched := caseIVSetup(b)
+	want, ok := (&core.Assembler{Pipe: pipe, Prof: prof}).Evaluate(sched)
+	if !ok {
+		b.Fatal("schedule infeasible analytically")
+	}
+	const n = 10000
+	reqs, err := trace.Poisson(n, 1.5*want.QPS, 42)
+	if err != nil {
+		b.Fatal(err)
+	}
+	speedup := (float64(n) / want.QPS) / 4.0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rt, err := New(pipe, prof, sched, Options{Speedup: speedup})
+		if err != nil {
+			b.Fatal(err)
+		}
+		rep, err := rt.Serve(reqs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.Completed != n {
+			b.Fatalf("completed %d of %d", rep.Completed, n)
+		}
+		b.ReportMetric(rep.SustainedQPS, "sustainedQPS")
+		b.ReportMetric(rep.TTFT.P99, "p99TTFT_s")
+		b.ReportMetric(rep.QPSVsAnalytic, "QPSvsAnalytic")
+	}
+}

@@ -6,7 +6,6 @@ import (
 	"sort"
 	"strings"
 	"sync"
-	"time"
 
 	"rago/internal/perf"
 	"rago/internal/pipeline"
@@ -14,7 +13,9 @@ import (
 
 // collector accumulates online serving measurements. All mutation happens
 // under one mutex; calls are short (append / counter bump), so contention
-// stays negligible next to stage service times.
+// stays negligible next to stage service times. One collector may be
+// shared by several dataplanes (the Server's epochs), so gauges are
+// additive across them.
 type collector struct {
 	mu sync.Mutex
 
@@ -22,8 +23,21 @@ type collector struct {
 	ttft, tpot, latency           []float64
 	firstDone, lastDone           float64
 
+	// arrV records every arrival's virtual time (admitted and rejected;
+	// monotone — the replay loop is sequential) and doneV every
+	// completion's, so windowed rates and quantiles can be computed
+	// mid-replay. doneV is only roughly ordered (decode slots overlap),
+	// so donePMax carries its running prefix maximum: everything before
+	// the first index with donePMax > t finished at or before t, which
+	// lets a window snapshot binary-search its suffix instead of
+	// scanning the whole history.
+	arrV     []float64
+	doneV    []float64
+	donePMax []float64
+
 	stageNames []string
 	queuePeak  []int
+	depthNow   []int // live queued+in-service gauge per stage
 	batches    []int
 	fillNum    []int
 	fillDen    []int
@@ -40,27 +54,44 @@ func (c *collector) init(pipe pipeline.Pipeline) {
 		c.stageNames[i] = st.Kind.String()
 	}
 	c.queuePeak = make([]int, n)
+	c.depthNow = make([]int, n)
 	c.batches = make([]int, n)
 	c.fillNum = make([]int, n)
 	c.fillDen = make([]int, n)
 }
 
-func (c *collector) admit() {
+func (c *collector) admit(at float64) {
 	c.mu.Lock()
 	c.admitted++
+	c.arrV = append(c.arrV, at)
 	c.mu.Unlock()
 }
 
-func (c *collector) reject() {
+func (c *collector) reject(at float64) {
 	c.mu.Lock()
 	c.rejected++
+	c.arrV = append(c.arrV, at)
 	c.mu.Unlock()
 }
 
-func (c *collector) observeQueue(stage, depth int) {
+// enqueued records a request entering a stage queue whose depth (within
+// its dataplane) is now depth, bumping the live gauge.
+func (c *collector) enqueued(stage, depth int) {
 	c.mu.Lock()
 	if depth > c.queuePeak[stage] {
 		c.queuePeak[stage] = depth
+	}
+	c.depthNow[stage]++
+	c.mu.Unlock()
+}
+
+// release drops n requests from a stage's live gauge without a batch
+// having been dispatched (decode completions).
+func (c *collector) release(stage, n int) {
+	c.mu.Lock()
+	c.depthNow[stage] -= n
+	if c.depthNow[stage] < 0 {
+		c.depthNow[stage] = 0
 	}
 	c.mu.Unlock()
 }
@@ -70,6 +101,10 @@ func (c *collector) batchServed(stage, formed, full int) {
 	c.batches[stage]++
 	c.fillNum[stage] += formed
 	c.fillDen[stage] += full
+	c.depthNow[stage] -= formed
+	if c.depthNow[stage] < 0 {
+		c.depthNow[stage] = 0
+	}
 	c.mu.Unlock()
 }
 
@@ -87,6 +122,12 @@ func (c *collector) complete(ttft, tpot, latency, done float64) {
 	c.ttft = append(c.ttft, ttft)
 	c.tpot = append(c.tpot, tpot)
 	c.latency = append(c.latency, latency)
+	c.doneV = append(c.doneV, done)
+	pm := done
+	if n := len(c.donePMax); n > 0 && c.donePMax[n-1] > pm {
+		pm = c.donePMax[n-1]
+	}
+	c.donePMax = append(c.donePMax, pm)
 	if c.completed == 1 || done < c.firstDone {
 		c.firstDone = done
 	}
@@ -98,7 +139,11 @@ func (c *collector) complete(ttft, tpot, latency, done float64) {
 
 // Quantiles summarizes one latency distribution (seconds).
 type Quantiles struct {
-	Mean, P50, P95, P99, Max float64
+	Mean float64 `json:"mean"`
+	P50  float64 `json:"p50"`
+	P95  float64 `json:"p95"`
+	P99  float64 `json:"p99"`
+	Max  float64 `json:"max"`
 }
 
 func quantilesOf(xs []float64) Quantiles {
@@ -138,52 +183,58 @@ func (q Quantiles) String() string {
 // QueueStat reports one stage's batching behaviour over the run.
 type QueueStat struct {
 	// Stage is the pipeline stage name.
-	Stage string
+	Stage string `json:"stage"`
 	// PeakDepth is the deepest its queue got.
-	PeakDepth int
+	PeakDepth int `json:"peak_depth"`
 	// Batches is how many batches were dispatched.
-	Batches int
+	Batches int `json:"batches"`
 	// MeanFill is the mean formed-batch size over the configured size.
-	MeanFill float64
+	MeanFill float64 `json:"mean_fill"`
 }
 
 // Report is the measured behaviour of one trace replay. All latencies are
-// virtual (schedule) seconds.
+// virtual (schedule) seconds. It marshals cleanly to JSON for CI
+// artifacts and offline analysis.
 type Report struct {
-	Admitted, Rejected, Completed int
+	Admitted  int `json:"admitted"`
+	Rejected  int `json:"rejected"`
+	Completed int `json:"completed"`
 
 	// TTFT is arrival to prefix completion; TPOT the per-output-token
 	// decode time; Latency arrival to full generation.
-	TTFT, TPOT, Latency Quantiles
+	TTFT    Quantiles `json:"ttft"`
+	TPOT    Quantiles `json:"tpot"`
+	Latency Quantiles `json:"latency"`
 
 	// SustainedQPS is completions over the completion span — the
 	// saturation throughput when the trace overdrives the schedule.
-	SustainedQPS float64
+	SustainedQPS float64 `json:"sustained_qps"`
 	// Span is the virtual completion span the rate is measured over.
-	Span float64
+	Span float64 `json:"span"`
 
-	// Analytic carries the assembler's prediction for the same schedule;
-	// QPSVsAnalytic is SustainedQPS over Analytic.QPS (0 if unavailable).
-	Analytic      perf.Metrics
-	HasAnalytic   bool
-	QPSVsAnalytic float64
+	// Analytic carries the assembler's prediction for the same schedule,
+	// zero-valued unless HasAnalytic (a multi-plan run has no single
+	// reference); QPSVsAnalytic is SustainedQPS over Analytic.QPS.
+	Analytic      perf.Metrics `json:"analytic"`
+	HasAnalytic   bool         `json:"has_analytic"`
+	QPSVsAnalytic float64      `json:"qps_vs_analytic,omitempty"`
 
 	// Queues reports per-stage batching and backlog, decode included.
-	Queues []QueueStat
+	Queues []QueueStat `json:"queues,omitempty"`
 
 	// Real-retrieval substrate stats (zero unless a Searcher was set).
-	Searches      int
-	SearchQueries int
-	SearchWall    Quantiles
+	Searches      int       `json:"searches,omitempty"`
+	SearchQueries int       `json:"search_queries,omitempty"`
+	SearchWall    Quantiles `json:"search_wall"`
 
 	// Speedup and WallSeconds record the time compression of the run.
-	Speedup     float64
-	WallSeconds float64
+	Speedup     float64 `json:"speedup"`
+	WallSeconds float64 `json:"wall_seconds"`
 }
 
-// report snapshots the collector into a Report. It runs after Serve's
+// report snapshots the collector into a Report. It runs after the owner's
 // WaitGroup barrier, so no concurrent mutation remains.
-func (c *collector) report(rt *Runtime) *Report {
+func (c *collector) report(analytic perf.Metrics, hasAnalytic bool, speedup, wall float64) *Report {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	rep := &Report{
@@ -193,20 +244,20 @@ func (c *collector) report(rt *Runtime) *Report {
 		TTFT:          quantilesOf(c.ttft),
 		TPOT:          quantilesOf(c.tpot),
 		Latency:       quantilesOf(c.latency),
-		Analytic:      rt.plan.Metrics,
-		HasAnalytic:   true,
+		Analytic:      analytic,
+		HasAnalytic:   hasAnalytic,
 		Searches:      c.searches,
 		SearchQueries: c.searchQueries,
 		SearchWall:    quantilesOf(c.searchWall),
-		Speedup:       rt.opts.Speedup,
-		WallSeconds:   time.Since(rt.clock.start).Seconds(),
+		Speedup:       speedup,
+		WallSeconds:   wall,
 	}
 	if span := c.lastDone - c.firstDone; span > 0 && c.completed > 1 {
 		rep.Span = span
 		rep.SustainedQPS = float64(c.completed-1) / span
 	}
-	if rep.HasAnalytic && rt.plan.Metrics.QPS > 0 {
-		rep.QPSVsAnalytic = rep.SustainedQPS / rt.plan.Metrics.QPS
+	if rep.HasAnalytic && analytic.QPS > 0 {
+		rep.QPSVsAnalytic = rep.SustainedQPS / analytic.QPS
 	}
 	for i, name := range c.stageNames {
 		if c.batches[i] == 0 && c.queuePeak[i] == 0 {

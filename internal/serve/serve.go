@@ -28,6 +28,14 @@
 // both exact virtual quantities — so measured saturation throughput
 // reflects the schedule, not OS timer jitter, while the concurrency
 // (channels, goroutines, shared indexes) is entirely real and race-tested.
+//
+// Two front ends drive the same data plane. Runtime executes one plan for
+// one trace. Server executes a sequence of plans: Switch hot-swaps it onto
+// a new compiled plan with drain-and-migrate semantics — in-flight
+// requests finish on the old plan's workers while new admissions route to
+// the new plan's — which is what the SLO-aware controller in
+// internal/control drives. Both publish windowed telemetry (Telemetry)
+// that can be polled mid-replay.
 package serve
 
 import (
@@ -52,10 +60,11 @@ import (
 // reported so the substrate can be compared against the analytical model.
 type SearchFunc func(queries [][]float32) ([][]vectordb.Result, error)
 
-// Options configures a Runtime.
+// Options configures a Runtime or Server.
 type Options struct {
 	// Speedup compresses time: one virtual second of schedule latency is
-	// served in 1/Speedup wall seconds. 0 means 1 (real time).
+	// served in 1/Speedup wall seconds. 0 means 1 (real time); negative
+	// values are rejected.
 	Speedup float64
 	// FlushTimeout is how long (virtual seconds) a partially filled batch
 	// may wait before dispatching anyway. 0 means the 0.05 s default; any
@@ -64,7 +73,7 @@ type Options struct {
 	FlushTimeout float64
 	// MaxInFlight is the admission bound: arrivals finding this many
 	// requests already in the system are rejected (open-loop shedding).
-	// 0 admits the whole trace.
+	// 0 admits the whole trace; negative values are rejected.
 	MaxInFlight int
 	// Searcher, when set, runs real vector search per retrieval batch.
 	Searcher SearchFunc
@@ -74,8 +83,23 @@ type Options struct {
 	QuerySeed int64
 }
 
+// validate rejects nonsensical options with a descriptive error instead of
+// silently mapping them to defaults.
+func (o Options) validate() error {
+	if o.Speedup < 0 {
+		return fmt.Errorf("serve: Speedup must be non-negative (0 means real time), got %g", o.Speedup)
+	}
+	if o.MaxInFlight < 0 {
+		return fmt.Errorf("serve: MaxInFlight must be non-negative (0 admits everything), got %d", o.MaxInFlight)
+	}
+	if o.Searcher != nil && o.QueryDim < 1 {
+		return fmt.Errorf("serve: Searcher requires a positive QueryDim")
+	}
+	return nil
+}
+
 func (o Options) withDefaults() Options {
-	if o.Speedup <= 0 {
+	if o.Speedup == 0 {
 		o.Speedup = 1
 	}
 	switch {
@@ -108,49 +132,174 @@ type item struct {
 	idx int // pipeline stage index
 }
 
-// Runtime is a live serving engine for one compiled plan. It is
-// single-use: build, Serve one trace, read the Report.
-type Runtime struct {
-	plan *engine.Plan
-	opts Options
+// dataplane is the per-plan concurrent execution fabric: the batching
+// workers, decode slot pool, and bounded channels executing one compiled
+// plan. A Runtime owns exactly one; a Server owns one per epoch, all
+// sharing the clock and the metrics collector, so in-flight requests keep
+// draining on a retired plan's workers while a newer dataplane admits.
+type dataplane struct {
+	plan  *engine.Plan
+	opts  Options
+	clock clock
+	coll  *collector
 
 	resources []*resource
 	decode    *decodeTier
-	clock     clock
-	coll      collector
 	quit      chan struct{}
-	wg        sync.WaitGroup
+	stopOnce  sync.Once
 
-	inflight    atomic.Int64
-	maxInflight int64
-	served      atomic.Bool
+	// inflight counts requests admitted to this dataplane and not yet
+	// completed; the owner uses it for admission control and (Server)
+	// drain detection.
+	inflight atomic.Int64
 
-	searchMu  sync.Mutex
-	searchErr error
+	// onComplete retires a finished request with the owner (WaitGroup,
+	// drain bookkeeping). onSearchErr records a real-retrieval failure.
+	onComplete  func(q *request, done float64)
+	onSearchErr func(error)
+}
+
+// newDataplane builds the workers and channels for one plan. bound is the
+// in-flight admission bound; channel capacity is bound times the stages a
+// worker serves, so no send in the data plane can ever block: a request
+// occupies at most one slot per member stage (fan-out branches can queue a
+// request at several stages of one worker concurrently).
+func newDataplane(plan *engine.Plan, opts Options, ck clock, coll *collector, bound int,
+	onComplete func(*request, float64), onSearchErr func(error)) *dataplane {
+	dp := &dataplane{
+		plan:        plan,
+		opts:        opts,
+		clock:       ck,
+		coll:        coll,
+		quit:        make(chan struct{}),
+		onComplete:  onComplete,
+		onSearchErr: onSearchErr,
+	}
+	for _, res := range plan.Resources {
+		r := newResource(dp, res.Name, res.Stages)
+		r.inbox = make(chan item, bound*len(r.stages))
+		dp.resources = append(dp.resources, r)
+	}
+	dp.decode = &decodeTier{dp: dp, latency: plan.Steps[plan.DecodeIdx].Latency}
+	dp.decode.start(bound)
+	return dp
+}
+
+// launch starts the worker goroutines.
+func (dp *dataplane) launch() {
+	for _, r := range dp.resources {
+		go r.run()
+	}
+	go dp.decode.run()
+}
+
+// stop shuts the workers down. Idempotent; safe once no request is
+// in flight on this dataplane.
+func (dp *dataplane) stop() {
+	dp.stopOnce.Do(func() { close(dp.quit) })
+}
+
+// admit registers a request arriving at virtual time at and routes it to
+// the plan's entry stages. The caller has already accounted it in
+// dp.inflight (so drain detection cannot race admission).
+func (dp *dataplane) admit(q *request, at float64) {
+	for st, ps := range dp.plan.Preds {
+		q.pending[st].Store(int32(len(ps)))
+	}
+	for _, e := range dp.plan.Entries {
+		q.enqV[e] = at
+		dp.submit(q, e)
+	}
+}
+
+// submit routes a request, ready at stage idx, to the owning worker.
+func (dp *dataplane) submit(q *request, idx int) {
+	if st := dp.plan.Steps[idx]; st.Resource >= 0 {
+		dp.resources[st.Resource].inbox <- item{q, idx}
+		return
+	}
+	dp.coll.enqueued(dp.plan.DecodeIdx, len(dp.decode.inbox)+1)
+	dp.decode.inbox <- q
+}
+
+// advance moves a request past stage idx, which completed at virtual
+// time t: successors whose last predecessor this was become ready.
+func (dp *dataplane) advance(q *request, idx int, t float64) {
+	if idx == dp.plan.PrefixIdx {
+		q.ttft = t - q.arrival
+	}
+	for _, succ := range dp.plan.Succs[idx] {
+		if q.pending[succ].Add(-1) == 0 {
+			q.enqV[succ] = t
+			dp.submit(q, succ)
+		}
+	}
+}
+
+// complete retires a fully generated request.
+func (dp *dataplane) complete(q *request, done float64) {
+	tpot := 0.0
+	if out := dp.plan.Steps[dp.plan.DecodeIdx].Stage.OutTokens; out > 0 {
+		tpot = (done - q.decStart) / float64(out)
+	}
+	dp.coll.release(dp.plan.DecodeIdx, 1)
+	dp.coll.complete(q.ttft, tpot, done-q.arrival, done)
+	dp.inflight.Add(-1)
+	dp.onComplete(q, done)
+}
+
+// runSearch synthesizes the batch's query vectors and executes them against
+// the real retrieval substrate, concurrently with the modeled pacing.
+func (dp *dataplane) runSearch(batch []*request, done chan<- error) {
+	qpr := dp.plan.Pipe.Schema.QueriesPerRetrieval
+	if qpr < 1 {
+		qpr = 1
+	}
+	rng := rand.New(rand.NewSource(dp.opts.QuerySeed + int64(batch[0].id)))
+	queries := make([][]float32, 0, len(batch)*qpr)
+	for range batch {
+		for j := 0; j < qpr; j++ {
+			v := make([]float32, dp.opts.QueryDim)
+			for d := range v {
+				v[d] = rng.Float32() * 10
+			}
+			queries = append(queries, v)
+		}
+	}
+	start := time.Now()
+	_, err := dp.opts.Searcher(queries)
+	dp.coll.searchServed(len(queries), time.Since(start).Seconds())
+	done <- err
+}
+
+// Runtime is a live serving engine for one compiled plan: the
+// single-plan facade over Server (one epoch, never switched, analytical
+// reference attached). It is single-use: build, Serve one trace, read
+// the Report.
+type Runtime struct {
+	plan *engine.Plan
+	srv  *Server
 }
 
 // New compiles (pipeline, schedule) through the shared engine and builds
 // a runtime executing the resulting plan. Iterative-retrieval workloads
 // are not executable by this engine yet (the §5.3 decode-loop dynamics
-// live in sim.RunIterative) and are rejected.
+// live in sim.RunIterative) and are rejected — before compilation, so
+// the message names the right remedy — as are negative Options
+// (NewServer's validation).
 func New(pipe pipeline.Pipeline, prof *stageperf.Profiler, sched engine.Schedule, opts Options) (*Runtime, error) {
 	if pipe.Schema.Iterative() {
 		return nil, fmt.Errorf("serve: iterative-retrieval workloads are not executable; use sim.RunIterative")
-	}
-	opts = opts.withDefaults()
-	if opts.Searcher != nil && opts.QueryDim < 1 {
-		return nil, fmt.Errorf("serve: Searcher requires a positive QueryDim")
 	}
 	plan, err := engine.Compile(pipe, sched, prof)
 	if err != nil {
 		return nil, err
 	}
-	rt := &Runtime{plan: plan, opts: opts}
-	for _, res := range plan.Resources {
-		rt.resources = append(rt.resources, newResource(rt, res.Name, res.Stages))
+	srv, err := NewServer(plan, opts)
+	if err != nil {
+		return nil, err
 	}
-	rt.decode = &decodeTier{rt: rt, latency: plan.Steps[plan.DecodeIdx].Latency}
-	return rt, nil
+	return &Runtime{plan: plan, srv: srv}, nil
 }
 
 // Plan returns the compiled execution plan the runtime executes.
@@ -164,137 +313,17 @@ func (rt *Runtime) Analytic() (perf.Metrics, bool) { return rt.plan.Metrics, tru
 // request has completed or been rejected. Arrival times are virtual
 // seconds; they are paced in wall time at the configured Speedup.
 func (rt *Runtime) Serve(reqs []trace.Request) (*Report, error) {
-	if len(reqs) == 0 {
-		return nil, fmt.Errorf("serve: empty trace")
+	rep, err := rt.srv.Serve(reqs)
+	if rep == nil {
+		return nil, err
 	}
-	if !rt.served.CompareAndSwap(false, true) {
-		return nil, fmt.Errorf("serve: Runtime is single-use; build a new one per trace")
-	}
-	bound := rt.opts.MaxInFlight
-	if bound <= 0 {
-		bound = len(reqs)
-	}
-	rt.maxInflight = int64(bound)
-	// Channel capacity is the in-flight bound times the stages a worker
-	// serves, so no send in the data plane can ever block: a request
-	// occupies at most one slot per member stage (fan-out branches can
-	// queue a request at several stages of one worker concurrently).
-	for _, r := range rt.resources {
-		r.inbox = make(chan item, bound*len(r.stages))
-	}
-	rt.decode.start(bound)
-	rt.quit = make(chan struct{})
-	rt.coll.init(rt.plan.Pipe)
-	rt.clock = newClock(rt.opts.Speedup)
-	for _, r := range rt.resources {
-		go r.run()
-	}
-	go rt.decode.run()
-	rt.wg.Add(len(reqs))
-	go rt.replay(reqs)
-	rt.wg.Wait()
-	close(rt.quit)
-	rep := rt.coll.report(rt)
-	rt.searchMu.Lock()
-	err := rt.searchErr
-	rt.searchMu.Unlock()
-	return rep, err
+	return &rep.Report, err
 }
 
-// replay paces open-loop arrivals and applies admission control.
-func (rt *Runtime) replay(reqs []trace.Request) {
-	nStages := len(rt.plan.Steps)
-	for i := range reqs {
-		r := reqs[i]
-		rt.clock.sleepUntil(r.Arrival)
-		if rt.inflight.Load() >= rt.maxInflight {
-			rt.coll.reject()
-			rt.wg.Done()
-			continue
-		}
-		rt.inflight.Add(1)
-		rt.coll.admit()
-		q := &request{
-			id:      r.ID,
-			arrival: r.Arrival,
-			pending: make([]atomic.Int32, nStages),
-			enqV:    make([]float64, nStages),
-		}
-		for st, ps := range rt.plan.Preds {
-			q.pending[st].Store(int32(len(ps)))
-		}
-		for _, e := range rt.plan.Entries {
-			q.enqV[e] = r.Arrival
-			rt.submit(q, e)
-		}
-	}
-}
-
-// submit routes a request, ready at stage idx, to the owning worker.
-func (rt *Runtime) submit(q *request, idx int) {
-	if st := rt.plan.Steps[idx]; st.Resource >= 0 {
-		rt.resources[st.Resource].inbox <- item{q, idx}
-		return
-	}
-	rt.decode.inbox <- q
-}
-
-// advance moves a request past stage idx, which completed at virtual
-// time t: successors whose last predecessor this was become ready.
-func (rt *Runtime) advance(q *request, idx int, t float64) {
-	if idx == rt.plan.PrefixIdx {
-		q.ttft = t - q.arrival
-	}
-	for _, succ := range rt.plan.Succs[idx] {
-		if q.pending[succ].Add(-1) == 0 {
-			q.enqV[succ] = t
-			rt.submit(q, succ)
-		}
-	}
-}
-
-// complete retires a fully generated request.
-func (rt *Runtime) complete(q *request, done float64) {
-	tpot := 0.0
-	if out := rt.plan.Steps[rt.plan.DecodeIdx].Stage.OutTokens; out > 0 {
-		tpot = (done - q.decStart) / float64(out)
-	}
-	rt.coll.complete(q.ttft, tpot, done-q.arrival, done)
-	rt.inflight.Add(-1)
-	rt.wg.Done()
-}
-
-// runSearch synthesizes the batch's query vectors and executes them against
-// the real retrieval substrate, concurrently with the modeled pacing.
-func (rt *Runtime) runSearch(batch []*request, done chan<- error) {
-	qpr := rt.plan.Pipe.Schema.QueriesPerRetrieval
-	if qpr < 1 {
-		qpr = 1
-	}
-	rng := rand.New(rand.NewSource(rt.opts.QuerySeed + int64(batch[0].id)))
-	queries := make([][]float32, 0, len(batch)*qpr)
-	for range batch {
-		for j := 0; j < qpr; j++ {
-			v := make([]float32, rt.opts.QueryDim)
-			for d := range v {
-				v[d] = rng.Float32() * 10
-			}
-			queries = append(queries, v)
-		}
-	}
-	start := time.Now()
-	_, err := rt.opts.Searcher(queries)
-	rt.coll.searchServed(len(queries), time.Since(start).Seconds())
-	done <- err
-}
-
-func (rt *Runtime) setSearchErr(err error) {
-	rt.searchMu.Lock()
-	if rt.searchErr == nil {
-		rt.searchErr = err
-	}
-	rt.searchMu.Unlock()
-}
+// Telemetry snapshots the sliding-window serving metrics over the trailing
+// window virtual seconds. It is safe to call concurrently with Serve, at
+// any time; before Serve starts it returns the zero Window.
+func (rt *Runtime) Telemetry(window float64) Window { return rt.srv.Telemetry(window) }
 
 // clock maps virtual schedule time onto compressed wall time.
 type clock struct {

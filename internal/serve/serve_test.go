@@ -17,7 +17,7 @@ import (
 // caseIVSetup builds the richest non-iterative pipeline (rewriter +
 // retrieval + reranker, 5 XPU stages) with the same schedule the
 // discrete-event validator is tested on.
-func caseIVSetup(t *testing.T) (pipeline.Pipeline, *stageperf.Profiler, core.Schedule) {
+func caseIVSetup(t testing.TB) (pipeline.Pipeline, *stageperf.Profiler, core.Schedule) {
 	t.Helper()
 	schema := ragschema.CaseIV(8e9)
 	pipe, err := pipeline.Build(schema)
@@ -40,7 +40,7 @@ func caseIVSetup(t *testing.T) (pipeline.Pipeline, *stageperf.Profiler, core.Sch
 }
 
 // caseISetup is the simple single-retrieval pipeline from the sim tests.
-func caseISetup(t *testing.T) (pipeline.Pipeline, *stageperf.Profiler, core.Schedule) {
+func caseISetup(t testing.TB) (pipeline.Pipeline, *stageperf.Profiler, core.Schedule) {
 	t.Helper()
 	schema := ragschema.CaseI(8e9, 1)
 	pipe, err := pipeline.Build(schema)
@@ -282,7 +282,7 @@ func TestRuntimeRejects(t *testing.T) {
 
 // caseVSetup builds the multi-source fan-out stage graph (two parallel
 // retrieval sources joining on a reranker) with a fixed schedule.
-func caseVSetup(t *testing.T) (pipeline.Pipeline, *stageperf.Profiler, core.Schedule) {
+func caseVSetup(t testing.TB) (pipeline.Pipeline, *stageperf.Profiler, core.Schedule) {
 	t.Helper()
 	schema := ragschema.CaseV(8e9, 2)
 	pipe, err := pipeline.Build(schema)

@@ -1,0 +1,99 @@
+package serve
+
+import "sort"
+
+// Telemetry: the windowed metrics feed the online controller polls
+// mid-replay. Where Report summarizes a whole run after the fact, a
+// Window is a live snapshot over the trailing W virtual seconds —
+// arrival rate, completion rate, TTFT/TPOT quantiles, and per-stage
+// queue depth — cheap enough to take every few virtual seconds.
+
+// StageDepth is one stage's live queue occupancy (queued plus in-service
+// requests across all active dataplanes).
+type StageDepth struct {
+	Stage string `json:"stage"`
+	Depth int    `json:"depth"`
+}
+
+// Window is a sliding-window snapshot of live serving behaviour. All
+// times are virtual (schedule) seconds.
+type Window struct {
+	// Now is the virtual time of the snapshot; Span the width actually
+	// covered (smaller than the requested window early in a run).
+	Now  float64 `json:"now"`
+	Span float64 `json:"span"`
+
+	// Arrivals counts arrivals (admitted and rejected) inside the window
+	// and ArrivalRate is Arrivals/Span — the controller's load estimate.
+	Arrivals    int     `json:"arrivals"`
+	ArrivalRate float64 `json:"arrival_rate"`
+
+	// Completions counts requests finished inside the window; QPS is
+	// Completions/Span.
+	Completions int     `json:"completions"`
+	QPS         float64 `json:"qps"`
+
+	// TTFT and TPOT are quantiles over the window's completions.
+	TTFT Quantiles `json:"ttft"`
+	TPOT Quantiles `json:"tpot"`
+
+	// InFlight is the number of admitted, unfinished requests right now;
+	// Depths the live per-stage queue occupancy.
+	InFlight int          `json:"in_flight"`
+	Depths   []StageDepth `json:"depths,omitempty"`
+
+	// Cumulative counters since the start of the run.
+	Admitted  int `json:"admitted"`
+	Rejected  int `json:"rejected"`
+	Completed int `json:"completed"`
+}
+
+// snapshot computes the trailing-window view at virtual time now.
+func (c *collector) snapshot(now, window float64, inflight int) Window {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	lo := now - window
+	if lo < 0 {
+		lo = 0
+	}
+	w := Window{
+		Now:       now,
+		Span:      now - lo,
+		InFlight:  inflight,
+		Admitted:  c.admitted,
+		Rejected:  c.rejected,
+		Completed: c.completed,
+	}
+	// Arrivals are recorded in order, so the window is a suffix.
+	for i := len(c.arrV) - 1; i >= 0; i-- {
+		if c.arrV[i] <= lo {
+			break
+		}
+		w.Arrivals++
+	}
+	// Completions finish only roughly in order (decode slots overlap),
+	// but the prefix maximum of done times is monotone: everything
+	// before the first index where it exceeds lo is certainly outside
+	// the window, so only the suffix needs the exact filter.
+	var ttft, tpot []float64
+	from := sort.Search(len(c.donePMax), func(i int) bool { return c.donePMax[i] > lo })
+	for i := from; i < len(c.doneV); i++ {
+		if d := c.doneV[i]; d > lo && d <= now {
+			ttft = append(ttft, c.ttft[i])
+			tpot = append(tpot, c.tpot[i])
+		}
+	}
+	w.Completions = len(ttft)
+	if w.Span > 0 {
+		w.ArrivalRate = float64(w.Arrivals) / w.Span
+		w.QPS = float64(w.Completions) / w.Span
+	}
+	w.TTFT = quantilesOf(ttft)
+	w.TPOT = quantilesOf(tpot)
+	for i, name := range c.stageNames {
+		if c.depthNow[i] > 0 {
+			w.Depths = append(w.Depths, StageDepth{Stage: name, Depth: c.depthNow[i]})
+		}
+	}
+	return w
+}

@@ -9,7 +9,7 @@ package serve
 // all slots decode concurrently), sleeping it out in scaled wall time on
 // its own goroutine — so up to DecodeBatch generations genuinely overlap.
 type decodeTier struct {
-	rt      *Runtime
+	dp      *dataplane
 	inbox   chan *request
 	slots   chan float64 // free-at virtual times; cap == DecodeBatch
 	latency float64      // full-batch generation wall time (virtual)
@@ -17,7 +17,7 @@ type decodeTier struct {
 
 func (d *decodeTier) start(bound int) {
 	d.inbox = make(chan *request, bound)
-	batch := d.rt.plan.Sched.DecodeBatch
+	batch := d.dp.plan.Sched.DecodeBatch
 	d.slots = make(chan float64, batch)
 	for i := 0; i < batch; i++ {
 		d.slots <- 0
@@ -26,19 +26,18 @@ func (d *decodeTier) start(bound int) {
 
 // run admits queued sequences into free slots in arrival order.
 func (d *decodeTier) run() {
-	decIdx := d.rt.plan.DecodeIdx
+	decIdx := d.dp.plan.DecodeIdx
 	for {
 		var q *request
 		select {
 		case q = <-d.inbox:
-		case <-d.rt.quit:
+		case <-d.dp.quit:
 			return
 		}
-		d.rt.coll.observeQueue(decIdx, len(d.inbox)+1)
 		var free float64
 		select {
 		case free = <-d.slots:
-		case <-d.rt.quit:
+		case <-d.dp.quit:
 			return
 		}
 		q.decStart = maxf(free, q.enqV[decIdx])
@@ -49,7 +48,7 @@ func (d *decodeTier) run() {
 // finish sleeps out one sequence's generation, returns the slot lease, and
 // retires the request.
 func (d *decodeTier) finish(q *request, done float64) {
-	d.rt.clock.sleepUntil(done)
+	d.dp.clock.sleepUntil(done)
 	d.slots <- done
-	d.rt.complete(q, done)
+	d.dp.complete(q, done)
 }

@@ -33,6 +33,10 @@ type ServeResult struct {
 	MeanTTFT float64
 	// MeanLatency is the average time from arrival to full generation.
 	MeanLatency float64
+	// FirstDone and LastDone bound the completion span in absolute trace
+	// time, so results of trace segments simulated on different plans can
+	// be combined into one aggregate rate (the controller's sim replay).
+	FirstDone, LastDone float64
 }
 
 // NewServe compiles (pipeline, schedule) through the shared engine and
@@ -46,6 +50,19 @@ func NewServe(pipe pipeline.Pipeline, prof *stageperf.Profiler, sched engine.Sch
 	plan, err := engine.Compile(pipe, sched, prof)
 	if err != nil {
 		return nil, err
+	}
+	return &ServeSim{plan: plan}, nil
+}
+
+// NewServeFromPlan wraps an already-compiled execution plan — the object
+// the optimizer's library and the live runtime share — so switching
+// decisions can be replayed without recompiling schedules.
+func NewServeFromPlan(plan *engine.Plan) (*ServeSim, error) {
+	if plan == nil {
+		return nil, fmt.Errorf("sim: nil plan")
+	}
+	if plan.Pipe.Schema.Iterative() {
+		return nil, fmt.Errorf("sim: ServeSim covers single-retrieval pipelines; use RunIterative for §5.3 workloads")
 	}
 	return &ServeSim{plan: plan}, nil
 }
@@ -146,7 +163,13 @@ func (s *ServeSim) Run(reqs []trace.Request, flushTimeout float64) (ServeResult,
 		queues[idx] = append(queues[idx], r)
 		states[r].enqAt[idx] = now
 		if flushTimeout > 0 {
-			push(now+flushTimeout, evFlush, idx, 0)
+			// Nudge the flush event past the deadline: it must see
+			// headAge >= flushTimeout despite float rounding, or a tail
+			// partial batch with no later arrivals stalls forever. The
+			// relative term keeps the nudge above one ulp at large
+			// absolute trace times, where 1e-9 alone would be absorbed.
+			ft := now + flushTimeout
+			push(ft+1e-9+ft*1e-12, evFlush, idx, 0)
 		} else {
 			push(now, evFlush, idx, 0)
 		}
@@ -262,5 +285,7 @@ func (s *ServeSim) Run(reqs []trace.Request, flushTimeout float64) (ServeResult,
 		QPS:         qps,
 		MeanTTFT:    sumTTFT / float64(completed),
 		MeanLatency: sumLat / float64(completed),
+		FirstDone:   firstDone,
+		LastDone:    lastDone,
 	}, nil
 }

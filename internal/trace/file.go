@@ -1,0 +1,177 @@
+package trace
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// The on-disk trace formats, for replaying recorded or externally
+// generated workloads (RAGPulse-style request logs) through the serving
+// runtime and for persisting synthetic traces as CI artifacts:
+//
+//   - JSON: {"name": ..., "requests": [{"arrival": s, "triggers": [..]}]}
+//   - CSV:  header "arrival,triggers", one row per request, triggers as a
+//     ';'-joined list (empty for none).
+//
+// Readers accept requests in any order, validate arrivals, and return them
+// sorted by arrival time with dense IDs, so a loaded trace is always
+// replayable as-is.
+
+type fileTrace struct {
+	Name     string    `json:"name,omitempty"`
+	Requests []fileReq `json:"requests"`
+}
+
+type fileReq struct {
+	ID       int     `json:"id"`
+	Arrival  float64 `json:"arrival"`
+	Triggers []int   `json:"triggers,omitempty"`
+}
+
+// WriteJSON renders a trace as indented JSON. name labels the trace in the
+// file (it may be empty).
+func WriteJSON(w io.Writer, name string, reqs []Request) error {
+	ft := fileTrace{Name: name, Requests: make([]fileReq, len(reqs))}
+	for i, r := range reqs {
+		ft.Requests[i] = fileReq{ID: r.ID, Arrival: r.Arrival, Triggers: r.Triggers}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(ft)
+}
+
+// ReadJSON parses a JSON trace and returns its requests sorted by arrival
+// with dense IDs. Unknown fields are ignored, so externally recorded logs
+// carrying extra per-request metadata replay as-is.
+func ReadJSON(r io.Reader) ([]Request, error) {
+	var ft fileTrace
+	if err := json.NewDecoder(r).Decode(&ft); err != nil {
+		return nil, fmt.Errorf("trace: decoding JSON trace: %w", err)
+	}
+	out := make([]Request, len(ft.Requests))
+	for i, fr := range ft.Requests {
+		out[i] = Request{Arrival: fr.Arrival, Triggers: fr.Triggers}
+	}
+	return normalize(out)
+}
+
+// WriteCSV renders a trace as CSV with an "arrival,triggers" header.
+func WriteCSV(w io.Writer, reqs []Request) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"arrival", "triggers"}); err != nil {
+		return err
+	}
+	for _, r := range reqs {
+		parts := make([]string, len(r.Triggers))
+		for i, p := range r.Triggers {
+			parts[i] = strconv.Itoa(p)
+		}
+		rec := []string{strconv.FormatFloat(r.Arrival, 'g', -1, 64), strings.Join(parts, ";")}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses a CSV trace (with or without the header row) and returns
+// its requests sorted by arrival with dense IDs.
+func ReadCSV(r io.Reader) ([]Request, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1
+	recs, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("trace: decoding CSV trace: %w", err)
+	}
+	var out []Request
+	for i, rec := range recs {
+		if len(rec) == 0 {
+			continue
+		}
+		arr, err := strconv.ParseFloat(strings.TrimSpace(rec[0]), 64)
+		if err != nil {
+			if i == 0 {
+				continue // header row
+			}
+			return nil, fmt.Errorf("trace: CSV row %d: bad arrival %q", i+1, rec[0])
+		}
+		req := Request{Arrival: arr}
+		if len(rec) > 1 && strings.TrimSpace(rec[1]) != "" {
+			for _, f := range strings.Split(rec[1], ";") {
+				p, err := strconv.Atoi(strings.TrimSpace(f))
+				if err != nil {
+					return nil, fmt.Errorf("trace: CSV row %d: bad trigger %q", i+1, f)
+				}
+				req.Triggers = append(req.Triggers, p)
+			}
+		}
+		out = append(out, req)
+	}
+	return normalize(out)
+}
+
+// Save writes a trace to path, choosing the format by extension (.json or
+// .csv). The extension is validated before the file is touched, so an
+// unsupported path never truncates existing data.
+func Save(path string, reqs []Request) error {
+	ext := strings.ToLower(filepath.Ext(path))
+	if ext != ".json" && ext != ".csv" {
+		return fmt.Errorf("trace: unknown trace extension %q (want .json or .csv)", ext)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if ext == ".json" {
+		name := strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
+		if err := WriteJSON(f, name, reqs); err != nil {
+			return err
+		}
+	} else if err := WriteCSV(f, reqs); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// Load reads a trace from path, choosing the format by extension (.json or
+// .csv).
+func Load(path string) ([]Request, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	switch ext := strings.ToLower(filepath.Ext(path)); ext {
+	case ".json":
+		return ReadJSON(f)
+	case ".csv":
+		return ReadCSV(f)
+	default:
+		return nil, fmt.Errorf("trace: unknown trace extension %q (want .json or .csv)", ext)
+	}
+}
+
+// normalize validates arrivals, sorts by arrival time, and assigns dense
+// IDs, making any well-formed file replayable directly.
+func normalize(reqs []Request) ([]Request, error) {
+	for i, r := range reqs {
+		if math.IsNaN(r.Arrival) || math.IsInf(r.Arrival, 0) || r.Arrival < 0 {
+			return nil, fmt.Errorf("trace: request %d has invalid arrival %g", i, r.Arrival)
+		}
+	}
+	sort.SliceStable(reqs, func(i, j int) bool { return reqs[i].Arrival < reqs[j].Arrival })
+	for i := range reqs {
+		reqs[i].ID = i
+	}
+	return reqs, nil
+}

@@ -1,0 +1,133 @@
+package trace
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestJSONRoundtrip(t *testing.T) {
+	reqs, err := Poisson(100, 20, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs = WithTriggers(reqs, 3, 256, 3)
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, "roundtrip", reqs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(reqs) {
+		t.Fatalf("got %d requests, want %d", len(got), len(reqs))
+	}
+	for i := range got {
+		if got[i].Arrival != reqs[i].Arrival || got[i].ID != i {
+			t.Fatalf("mismatch at %d: %+v vs %+v", i, got[i], reqs[i])
+		}
+		if len(got[i].Triggers) != len(reqs[i].Triggers) {
+			t.Fatalf("triggers lost at %d", i)
+		}
+		for j := range got[i].Triggers {
+			if got[i].Triggers[j] != reqs[i].Triggers[j] {
+				t.Fatalf("trigger mismatch at %d/%d", i, j)
+			}
+		}
+	}
+}
+
+func TestCSVRoundtrip(t *testing.T) {
+	reqs := WithTriggers(Burst(20), 2, 128, 5)
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, reqs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(reqs) {
+		t.Fatalf("got %d requests, want %d", len(got), len(reqs))
+	}
+	for i := range got {
+		if got[i].Arrival != 0 || len(got[i].Triggers) != 2 {
+			t.Fatalf("row %d corrupted: %+v", i, got[i])
+		}
+	}
+}
+
+func TestReadNormalizes(t *testing.T) {
+	// Out-of-order arrivals and sparse IDs must come back sorted, dense.
+	in := `{"requests":[{"id":7,"arrival":2.5},{"id":3,"arrival":0.5},{"id":9,"arrival":1.0}]}`
+	got, err := ReadJSON(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{0.5, 1.0, 2.5}
+	for i, r := range got {
+		if r.ID != i || r.Arrival != want[i] {
+			t.Fatalf("normalize failed at %d: %+v", i, r)
+		}
+	}
+	if _, err := ReadJSON(strings.NewReader(`{"requests":[{"arrival":-1}]}`)); err == nil {
+		t.Error("negative arrival should error")
+	}
+	// Externally recorded logs may carry extra metadata per request.
+	got, err = ReadJSON(strings.NewReader(`{"requests":[{"arrival":1.0,"output_tokens":128}]}`))
+	if err != nil || len(got) != 1 {
+		t.Errorf("unknown fields should be ignored, got %v (%v)", got, err)
+	}
+	if _, err := ReadCSV(strings.NewReader("arrival,triggers\n1.0,2;x\n")); err == nil {
+		t.Error("bad trigger should error")
+	}
+	if _, err := ReadCSV(strings.NewReader("arrival\n1.0\nnope\n")); err == nil {
+		t.Error("bad arrival past the header should error")
+	}
+}
+
+func TestSaveLoad(t *testing.T) {
+	dir := t.TempDir()
+	reqs, err := Diurnal(200, 30, 0.5, 60, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"t.json", "t.csv"} {
+		path := filepath.Join(dir, name)
+		if err := Save(path, reqs); err != nil {
+			t.Fatal(err)
+		}
+		got, err := Load(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(reqs) {
+			t.Fatalf("%s: got %d requests, want %d", name, len(got), len(reqs))
+		}
+		for i := range got {
+			// CSV stores float64 with full round-trip precision.
+			if got[i].Arrival != reqs[i].Arrival {
+				t.Fatalf("%s: arrival mismatch at %d", name, i)
+			}
+		}
+	}
+	precious := filepath.Join(dir, "t.txt")
+	if err := os.WriteFile(precious, []byte("keep me"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := Save(precious, reqs); err == nil {
+		t.Error("unknown extension should error on save")
+	}
+	if data, err := os.ReadFile(precious); err != nil || string(data) != "keep me" {
+		t.Errorf("failed Save must not touch the existing file, got %q (%v)", data, err)
+	}
+	if _, err := Load(filepath.Join(dir, "t.txt")); err == nil {
+		t.Error("unknown extension should error on load")
+	}
+	if _, err := Load(filepath.Join(dir, "missing.json")); err == nil {
+		t.Error("missing file should error")
+	}
+}

@@ -1,0 +1,122 @@
+package trace
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Diurnal returns n requests from a non-homogeneous Poisson process whose
+// rate follows a day-like sinusoid,
+//
+//	rate(t) = base * (1 + amplitude*sin(2*pi*t/period)),
+//
+// sampled by Lewis-Shedler thinning against the peak rate. RAGPulse-style
+// production RAG traffic is diurnal with load swinging around a baseline;
+// amplitude in [0, 1] sets the swing (1 means the trough reaches zero).
+// Deterministic by seed.
+func Diurnal(n int, base, amplitude, period float64, seed int64) ([]Request, error) {
+	if n < 0 || base <= 0 || period <= 0 {
+		return nil, fmt.Errorf("trace: need n >= 0, positive base rate and period")
+	}
+	if amplitude < 0 || amplitude > 1 {
+		return nil, fmt.Errorf("trace: diurnal amplitude must be in [0, 1], got %g", amplitude)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	peak := base * (1 + amplitude)
+	out := make([]Request, 0, n)
+	t := 0.0
+	for len(out) < n {
+		t += rng.ExpFloat64() / peak
+		rate := base * (1 + amplitude*math.Sin(2*math.Pi*t/period))
+		if rng.Float64()*peak < rate {
+			out = append(out, Request{ID: len(out), Arrival: t})
+		}
+	}
+	return out, nil
+}
+
+// MMPP returns n requests from a Markov-modulated Poisson process: the
+// arrival rate switches between the given states (e.g. a quiet rate and a
+// burst rate), holding each for an exponentially distributed sojourn with
+// the given mean before cycling to the next. Two well-separated rates give
+// the on/off burstiness real RAG request logs show. Deterministic by seed.
+func MMPP(n int, rates []float64, meanSojourn float64, seed int64) ([]Request, error) {
+	if n < 0 || len(rates) == 0 || meanSojourn <= 0 {
+		return nil, fmt.Errorf("trace: need n >= 0, at least one state rate, and a positive mean sojourn")
+	}
+	for i, r := range rates {
+		if r <= 0 {
+			return nil, fmt.Errorf("trace: MMPP state %d rate must be positive, got %g", i, r)
+		}
+	}
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]Request, 0, n)
+	t := 0.0
+	state := 0
+	remaining := rng.ExpFloat64() * meanSojourn
+	for len(out) < n {
+		// Exponential races are memoryless, so redrawing the arrival gap
+		// after a state switch keeps the process exact.
+		gap := rng.ExpFloat64() / rates[state]
+		if gap < remaining {
+			t += gap
+			remaining -= gap
+			out = append(out, Request{ID: len(out), Arrival: t})
+			continue
+		}
+		t += remaining
+		state = (state + 1) % len(rates)
+		remaining = rng.ExpFloat64() * meanSojourn
+	}
+	return out, nil
+}
+
+// Gamma returns n requests with i.i.d. Gamma-distributed inter-arrival
+// times of mean 1/rate and the given shape. Shape 1 recovers Poisson;
+// shape < 1 yields over-dispersed, heavy-tailed gaps (clumped arrivals
+// separated by long lulls); shape > 1 is smoother than Poisson.
+// Deterministic by seed.
+func Gamma(n int, rate, shape float64, seed int64) ([]Request, error) {
+	if n < 0 || rate <= 0 || shape <= 0 {
+		return nil, fmt.Errorf("trace: need n >= 0 and positive rate and shape")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	scale := 1 / (rate * shape) // mean gap = shape*scale = 1/rate
+	out := make([]Request, n)
+	t := 0.0
+	for i := range out {
+		t += gammaSample(rng, shape) * scale
+		out[i] = Request{ID: i, Arrival: t}
+	}
+	return out, nil
+}
+
+// gammaSample draws Gamma(shape, 1) via Marsaglia-Tsang squeeze; shapes
+// below one are boosted through Gamma(shape+1) * U^(1/shape).
+func gammaSample(rng *rand.Rand, shape float64) float64 {
+	if shape < 1 {
+		u := rng.Float64()
+		for u == 0 {
+			u = rng.Float64()
+		}
+		return gammaSample(rng, shape+1) * math.Pow(u, 1/shape)
+	}
+	d := shape - 1.0/3.0
+	c := 1 / math.Sqrt(9*d)
+	for {
+		x := rng.NormFloat64()
+		v := 1 + c*x
+		if v <= 0 {
+			continue
+		}
+		v = v * v * v
+		u := rng.Float64()
+		if u < 1-0.0331*x*x*x*x {
+			return d * v
+		}
+		if u > 0 && math.Log(u) < 0.5*x*x+d-d*v+d*math.Log(v) {
+			return d * v
+		}
+	}
+}

@@ -1,0 +1,164 @@
+package trace
+
+import (
+	"math"
+	"testing"
+)
+
+// meanGap returns the mean inter-arrival time of a trace.
+func meanGap(reqs []Request) float64 {
+	if len(reqs) < 2 {
+		return 0
+	}
+	return (reqs[len(reqs)-1].Arrival - reqs[0].Arrival) / float64(len(reqs)-1)
+}
+
+func sameTrace(t *testing.T, a, b []Request) {
+	t.Helper()
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Arrival != b[i].Arrival || a[i].ID != b[i].ID {
+			t.Fatalf("non-deterministic at %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestDiurnal(t *testing.T) {
+	const (
+		n      = 20000
+		base   = 50.0
+		amp    = 0.8
+		period = 100.0
+	)
+	reqs, err := Diurnal(n, base, amp, period, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reqs) != n {
+		t.Fatalf("got %d requests", len(reqs))
+	}
+	for i := 1; i < n; i++ {
+		if reqs[i].Arrival < reqs[i-1].Arrival || reqs[i].ID != i {
+			t.Fatalf("arrivals out of order or IDs not dense at %d", i)
+		}
+	}
+	// The first half of each period is the crest, the second the trough;
+	// arrival counts there must reflect the modulation.
+	crest, trough := 0, 0
+	for _, r := range reqs {
+		switch phase := math.Mod(r.Arrival, period) / period; {
+		case phase < 0.5:
+			crest++
+		default:
+			trough++
+		}
+	}
+	ratio := float64(crest) / float64(trough)
+	// Integrated rate over the crest half vs the trough half:
+	// (1 + 2*amp/pi) / (1 - 2*amp/pi) ~= 3.1 at amp=0.8.
+	want := (1 + 2*amp/math.Pi) / (1 - 2*amp/math.Pi)
+	if ratio < 0.8*want || ratio > 1.2*want {
+		t.Errorf("crest/trough arrival ratio %.2f, want ~%.2f", ratio, want)
+	}
+
+	again, _ := Diurnal(n, base, amp, period, 4)
+	sameTrace(t, reqs, again)
+
+	for _, bad := range []func() ([]Request, error){
+		func() ([]Request, error) { return Diurnal(-1, base, amp, period, 1) },
+		func() ([]Request, error) { return Diurnal(10, 0, amp, period, 1) },
+		func() ([]Request, error) { return Diurnal(10, base, -0.1, period, 1) },
+		func() ([]Request, error) { return Diurnal(10, base, 1.5, period, 1) },
+		func() ([]Request, error) { return Diurnal(10, base, amp, 0, 1) },
+	} {
+		if _, err := bad(); err == nil {
+			t.Error("invalid diurnal parameters should error")
+		}
+	}
+}
+
+func TestMMPP(t *testing.T) {
+	const n = 20000
+	rates := []float64{5, 100}
+	reqs, err := MMPP(n, rates, 10, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reqs) != n {
+		t.Fatalf("got %d requests", len(reqs))
+	}
+	// Long-run mean rate is the harmonic of state throughputs weighted by
+	// equal sojourn time: total arrivals over total time across states.
+	meanRate := (rates[0] + rates[1]) / 2
+	if g := meanGap(reqs); g < 0.5/meanRate || g > 2/meanRate {
+		t.Errorf("mean gap %.5f implausible for mean rate %.1f", g, meanRate)
+	}
+	// Burstiness: the squared coefficient of variation of gaps must exceed
+	// 1 (Poisson) clearly.
+	var sum, sum2 float64
+	for i := 1; i < n; i++ {
+		g := reqs[i].Arrival - reqs[i-1].Arrival
+		sum += g
+		sum2 += g * g
+	}
+	mean := sum / float64(n-1)
+	cv2 := (sum2/float64(n-1) - mean*mean) / (mean * mean)
+	if cv2 < 1.5 {
+		t.Errorf("MMPP gap CV^2 = %.2f, want clearly over-dispersed (> 1.5)", cv2)
+	}
+
+	again, _ := MMPP(n, rates, 10, 7)
+	sameTrace(t, reqs, again)
+
+	if _, err := MMPP(10, nil, 10, 1); err == nil {
+		t.Error("no states should error")
+	}
+	if _, err := MMPP(10, []float64{5, 0}, 10, 1); err == nil {
+		t.Error("zero state rate should error")
+	}
+	if _, err := MMPP(10, rates, 0, 1); err == nil {
+		t.Error("zero sojourn should error")
+	}
+}
+
+func TestGamma(t *testing.T) {
+	const (
+		n    = 20000
+		rate = 40.0
+	)
+	for _, shape := range []float64{0.3, 1, 4} {
+		reqs, err := Gamma(n, rate, shape, 11)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(reqs) != n {
+			t.Fatalf("got %d requests", len(reqs))
+		}
+		if g := meanGap(reqs); math.Abs(g-1/rate)/(1/rate) > 0.1 {
+			t.Errorf("shape %g: mean gap %.5f, want ~%.5f", shape, g, 1/rate)
+		}
+		var sum, sum2 float64
+		for i := 1; i < n; i++ {
+			g := reqs[i].Arrival - reqs[i-1].Arrival
+			sum += g
+			sum2 += g * g
+		}
+		mean := sum / float64(n-1)
+		cv2 := (sum2/float64(n-1) - mean*mean) / (mean * mean)
+		// Gamma gaps have CV^2 = 1/shape.
+		if want := 1 / shape; cv2 < 0.7*want || cv2 > 1.3*want {
+			t.Errorf("shape %g: gap CV^2 = %.2f, want ~%.2f", shape, cv2, want)
+		}
+		again, _ := Gamma(n, rate, shape, 11)
+		sameTrace(t, reqs, again)
+	}
+
+	if _, err := Gamma(10, 0, 1, 1); err == nil {
+		t.Error("zero rate should error")
+	}
+	if _, err := Gamma(10, 1, 0, 1); err == nil {
+		t.Error("zero shape should error")
+	}
+}

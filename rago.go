@@ -28,6 +28,7 @@
 package rago
 
 import (
+	"rago/internal/control"
 	"rago/internal/core"
 	"rago/internal/engine"
 	"rago/internal/hw"
@@ -194,7 +195,11 @@ type (
 	Request = trace.Request
 )
 
-// Simulation entry points.
+// Simulation entry points and trace generators. The non-stationary
+// processes (diurnal sinusoid, Markov-modulated bursts, heavy-tailed
+// Gamma inter-arrivals) model production RAG traffic for the online
+// controller; all are deterministic by seed. Traces persist to JSON or
+// CSV files (SaveTrace/LoadTrace, extension-dispatched).
 var (
 	// RunIterative executes the §5.3 token-level decode simulation.
 	RunIterative = sim.RunIterative
@@ -202,6 +207,15 @@ var (
 	PoissonTrace = trace.Poisson
 	// BurstTrace generates a simultaneous burst (§7.2).
 	BurstTrace = trace.Burst
+	// DiurnalTrace generates a sinusoid-modulated Poisson process.
+	DiurnalTrace = trace.Diurnal
+	// MMPPTrace generates Markov-modulated (bursty on/off) arrivals.
+	MMPPTrace = trace.MMPP
+	// GammaTrace generates Gamma inter-arrival (heavy-tailed) arrivals.
+	GammaTrace = trace.Gamma
+	// SaveTrace and LoadTrace persist traces as .json or .csv files.
+	SaveTrace = trace.Save
+	LoadTrace = trace.Load
 )
 
 // Serving runtime (a concurrent, goroutine-based engine that executes a
@@ -232,6 +246,66 @@ func NewRuntime(schema Schema, sched Schedule, cluster Cluster, opts ServeOption
 		return nil, err
 	}
 	return serve.New(pipe, stageperf.New(cluster.Chip, cluster.Host, schema), sched, opts)
+}
+
+// Online control plane (an SLO-aware controller over the serving
+// runtime: windowed telemetry, a plan library from the Pareto frontier,
+// and live plan switching with drain-and-migrate semantics).
+type (
+	// TelemetryWindow is a sliding-window snapshot of live serving
+	// metrics (arrival rate, windowed p99 TTFT/TPOT, queue depths),
+	// pollable mid-replay via Runtime.Telemetry or Server.Telemetry.
+	TelemetryWindow = serve.Window
+	// Server is a live serving engine that hot-swaps between compiled
+	// plans of one pipeline (Switch drains in-flight requests on the
+	// old plan while new admissions route to the new one).
+	Server = serve.Server
+	// ServerReport extends ServeReport with the plan-switching history
+	// and chip-second accounting.
+	ServerReport = serve.ServerReport
+	// SLO is the latency objective the controller enforces.
+	SLO = control.SLO
+	// PlanLibrary is the controller's menu of SLO-feasible compiled
+	// plans, ordered by sustainable QPS and chip cost.
+	PlanLibrary = control.Library
+	// Controller keeps a Server inside its SLO under time-varying load
+	// at minimum chip cost.
+	Controller = control.Controller
+	// ControlConfig tunes the control loop (window, interval, headroom,
+	// hold-down).
+	ControlConfig = control.Config
+	// ControlResult is a controlled replay's outcome: report, switch
+	// events, and chip-seconds versus static peak provisioning.
+	ControlResult = control.Result
+	// SimReplayResult is the discrete-event replay of a switching
+	// history, the reference the live run is validated against.
+	SimReplayResult = control.SimResult
+)
+
+// NewServer builds a multi-plan serving engine starting on the given
+// compiled plan (see CompilePlan).
+func NewServer(initial *ExecutionPlan, opts ServeOptions) (*Server, error) {
+	return serve.NewServer(initial, opts)
+}
+
+// NewPlanLibrary compiles the SLO-feasible subset of a Pareto frontier
+// into the controller's plan menu.
+func NewPlanLibrary(o *Optimizer, front []SchedulePoint, slo SLO) (*PlanLibrary, error) {
+	return control.NewLibrary(o, front, slo)
+}
+
+// NewController builds the SLO-aware online controller over a plan
+// library; Run replays a trace through a fresh Server, switching plans to
+// hold the SLO at minimum chip cost.
+func NewController(lib *PlanLibrary, cfg ControlConfig) (*Controller, error) {
+	return control.NewController(lib, cfg)
+}
+
+// ReplaySwitches re-executes a controlled run's switching decisions in
+// the discrete-event validator; the returned QPS should match the live
+// run within the established 15% band when admission control is off.
+func ReplaySwitches(lib *PlanLibrary, res *ControlResult, reqs []Request, flushTimeout float64) (SimReplayResult, error) {
+	return control.SimReplay(lib, res, reqs, flushTimeout)
 }
 
 // Vector search substrate (a working IVF-PQ implementation of the
