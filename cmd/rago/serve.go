@@ -158,9 +158,6 @@ func runServe(args []string) {
 	if err != nil {
 		log.Fatal(err)
 	}
-	if schema.Iterative() {
-		log.Fatal("serve: iterative-retrieval workloads (case3) are not executable yet; use the optimize subcommand's models")
-	}
 
 	// Preamble goes to stderr under -json so stdout stays machine-readable.
 	info := os.Stdout
@@ -280,28 +277,23 @@ func runControlled(o *core.Optimizer, front []core.SchedulePoint, tf traceFlags,
 	}
 
 	// The discrete-event replay of the same decisions validates the live
-	// run; admission shedding is not modeled there, so skip under it.
-	var simRes *control.SimResult
-	if res.Report.Rejected == 0 {
-		sr, err := control.SimReplay(lib, res, reqs, opts.FlushTimeout)
-		if err != nil {
-			log.Fatal(err)
-		}
-		simRes = &sr
+	// run; the simulator applies the same admission bound, so the
+	// cross-check runs whether or not -max-inflight shed arrivals.
+	simRes, err := control.SimReplay(lib, res, reqs, opts.FlushTimeout, opts.MaxInFlight)
+	if err != nil {
+		log.Fatal(err)
 	}
 
 	if jsonOut {
 		printJSON(struct {
 			*control.Result
 			SimReplay *control.SimResult `json:"sim_replay,omitempty"`
-		}{res, simRes})
+		}{res, &simRes})
 		return
 	}
 	fmt.Print(res)
-	if simRes != nil {
-		fmt.Printf("sim replay: %d completed, QPS %.2f (runtime/sim ratio %.2f)\n",
-			simRes.Completed, simRes.QPS, res.Report.SustainedQPS/simRes.QPS)
-	}
+	fmt.Printf("sim replay: %d completed (%d rejected), QPS %.2f (runtime/sim ratio %.2f)\n",
+		simRes.Completed, simRes.Rejected, simRes.QPS, res.Report.SustainedQPS/simRes.QPS)
 }
 
 // autoSpeedup compresses the expected makespan into ~10s wall. The run

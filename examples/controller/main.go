@@ -54,7 +54,7 @@ func main() {
 	}
 	fmt.Print(res)
 
-	sim, err := rago.ReplaySwitches(lib, res, reqs, 0.05)
+	sim, err := rago.ReplaySwitches(lib, res, reqs, 0.05, 0)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -204,7 +204,7 @@ func TestControllerDiurnalHoldsSLO(t *testing.T) {
 	}
 
 	// The sim replay of the same switching decisions must agree.
-	simRes, err := SimReplay(lib, res, reqs, 0.05)
+	simRes, err := SimReplay(lib, res, reqs, 0.05, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -218,6 +218,68 @@ func TestControllerDiurnalHoldsSLO(t *testing.T) {
 	}
 	if math.IsNaN(res.Saved) {
 		t.Errorf("accounting produced NaN: %+v", res)
+	}
+}
+
+// TestControllerSimReplayWithAdmissionBound is the cross-check that used
+// to be skipped whenever -max-inflight shed arrivals: the discrete-event
+// replay now applies the same shed-on-full bound, so a controlled run
+// with admission control must still agree with its sim replay within the
+// 15% band — and both sides must actually have shed load.
+func TestControllerSimReplayWithAdmissionBound(t *testing.T) {
+	lib := caseIVLadder(t)
+	// Flat load near the mid plan's capacity with a bound below the
+	// steady-state in-flight population, so shedding is systematic
+	// rather than a startup transient.
+	rate := 0.9 * lib.Entries[1].QPS
+	const dur = 120.0
+	const bound = 32
+	n := int(rate * dur)
+	reqs, err := trace.Poisson(n, rate, 29)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctl, err := NewController(lib, Config{
+		SLO:      SLO{TTFT: 1.0},
+		Window:   12,
+		Interval: 4,
+		Headroom: 1.3,
+		HoldDown: 12,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wallBudget := 3.0
+	if raceEnabled {
+		wallBudget = 9.0
+	}
+	res, err := ctl.Run(serve.Options{Speedup: dur / wallBudget, MaxInFlight: bound}, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := res.Report
+	if rep.Completed+rep.Rejected != n {
+		t.Fatalf("completed %d + rejected %d != %d", rep.Completed, rep.Rejected, n)
+	}
+	if rep.Rejected == 0 {
+		t.Fatalf("bound %d against ~%.0f in-flight demand should shed load", bound, rate)
+	}
+
+	simRes, err := SimReplay(lib, res, reqs, 0.05, bound)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if simRes.Rejected == 0 {
+		t.Errorf("sim replay with the same bound should shed load too")
+	}
+	if d := float64(simRes.Completed-rep.Completed) / float64(rep.Completed); d < -0.15 || d > 0.15 {
+		t.Errorf("sim replay completed %d vs live %d (%.0f%% apart), want within 15%%",
+			simRes.Completed, rep.Completed, 100*d)
+	}
+	ratio := rep.SustainedQPS / simRes.QPS
+	if ratio < 0.85 || ratio > 1.15 {
+		t.Errorf("runtime QPS %.2f vs sim replay QPS %.2f (ratio %.2f), want within 15%%",
+			rep.SustainedQPS, simRes.QPS, ratio)
 	}
 }
 

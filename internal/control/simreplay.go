@@ -14,6 +14,8 @@ type SimResult struct {
 	// the union completion span.
 	Completed int     `json:"completed"`
 	QPS       float64 `json:"qps"`
+	// Rejected counts arrivals the admission bound shed across tenures.
+	Rejected int `json:"rejected,omitempty"`
 	// Segments is how many plan tenures actually served requests.
 	Segments int `json:"segments"`
 }
@@ -23,10 +25,14 @@ type SimResult struct {
 // was current at its arrival, on that plan's own resources — exactly the
 // drain-and-migrate semantics of the live Server, where epochs never
 // share workers — and the per-tenure results are combined over the union
-// completion span. The returned QPS is the reference the live runtime is
+// completion span. maxInFlight applies the live runtime's admission bound
+// (shed-on-full, 0 admits everything) per tenure; the live Server bounds
+// in-flight requests globally across draining epochs, so under heavy
+// shedding the per-tenure replay is an approximation — accurate away from
+// switch instants. The returned QPS is the reference the live runtime is
 // cross-checked against (the two must agree within the established 15%
-// band when admission control is off).
-func SimReplay(lib *Library, res *Result, reqs []trace.Request, flushTimeout float64) (SimResult, error) {
+// band).
+func SimReplay(lib *Library, res *Result, reqs []trace.Request, flushTimeout float64, maxInFlight int) (SimResult, error) {
 	if lib == nil || len(lib.Entries) == 0 {
 		return SimResult{}, fmt.Errorf("control: empty plan library")
 	}
@@ -35,6 +41,9 @@ func SimReplay(lib *Library, res *Result, reqs []trace.Request, flushTimeout flo
 	}
 	if len(reqs) == 0 {
 		return SimResult{}, fmt.Errorf("control: empty trace")
+	}
+	if maxInFlight < 0 {
+		return SimResult{}, fmt.Errorf("control: maxInFlight must be non-negative (0 admits everything), got %d", maxInFlight)
 	}
 	// Reconstruct the plan timeline: entry indices over [bound, next).
 	type tenure struct {
@@ -68,11 +77,13 @@ func SimReplay(lib *Library, res *Result, reqs []trace.Request, flushTimeout flo
 		if err != nil {
 			return SimResult{}, err
 		}
+		s.MaxInFlight = maxInFlight
 		r, err := s.Run(seg, flushTimeout)
 		if err != nil {
 			return SimResult{}, err
 		}
 		out.Completed += r.Completed
+		out.Rejected += r.Rejected
 		out.Segments++
 		if r.FirstDone < first {
 			first = r.FirstDone

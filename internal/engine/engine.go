@@ -95,6 +95,11 @@ type Plan struct {
 	// Iter is the §5.3 iterative-retrieval cost structure (zero-valued
 	// for single-retrieval workloads).
 	Iter IterCost
+	// Round is the compiled per-round decode-loop structure the
+	// executors run (nil for single-retrieval workloads). Its steps'
+	// Resource fields index Resources: iterative rounds occupy the same
+	// retrieval tier and prefix group the initial pass runs on.
+	Round *IterRound
 
 	// GenTime is the decode tier's full-batch generation time including
 	// iterative stalls; Metrics the assembled analytical prediction
@@ -118,7 +123,7 @@ func Compile(pipe pipeline.Pipeline, sched Schedule, prof *stageperf.Profiler) (
 		return nil, err
 	}
 
-	iter, ok := IterativeCost(pipe, prof, sched)
+	iter, round, ok := IterativePlan(pipe, prof, sched)
 	if !ok {
 		return nil, fmt.Errorf("engine: iterative retrieval structure infeasible under schedule")
 	}
@@ -131,6 +136,7 @@ func Compile(pipe pipeline.Pipeline, sched Schedule, prof *stageperf.Profiler) (
 		DecodeIdx:     pipe.Index(pipeline.KindDecode),
 		RetrievalIdxs: pipe.Indices(pipeline.KindRetrieval),
 		Iter:          iter,
+		Round:         round,
 		prof:          prof,
 	}
 	n := len(pipe.Stages)
@@ -232,6 +238,15 @@ func Compile(pipe pipeline.Pipeline, sched Schedule, prof *stageperf.Profiler) (
 		qps = math.Min(qps, 1/occ)
 	}
 
+	// Resolve the iterative round's steps onto the plan's resources: the
+	// rounds run on the same retrieval tier and prefix-hosting group the
+	// initial pass was just placed on, so reuse those steps' resolved
+	// resource indices (iterative schemas are single-source).
+	if round != nil {
+		round.Retrieval.Resource = p.Steps[p.RetrievalIdxs[0]].Resource
+		round.Prefix.Resource = p.Steps[p.PrefixIdx].Resource
+	}
+
 	// Decode tier: continuous batching; worst-case TPOT is the step
 	// latency plus iterative stalls amortized per token (§5.3).
 	dec := prof.EvalR(pipe.Stages[p.DecodeIdx], sched.DecodeChips, sched.DecodeBatch, sched.DecodeReplicasOrOne())
@@ -308,12 +323,64 @@ func (p *Plan) CompatibleWith(q *Plan) bool {
 	return true
 }
 
-// StepLatency returns the service time of stage idx at the actually
-// formed batch size n: the precompiled latency at the full batch, a
-// re-profiled one for partial batches. Infeasible partial points fall
-// back to the full-batch latency.
+// NumSlots is the per-request bookkeeping width executors allocate: one
+// slot per pipeline stage plus, on iterative plans, one per decode-loop
+// round step (IterRetrievalSlot, IterPrefixSlot). The virtual slots sit
+// past the pipeline stages so stage indices stay stable either way.
+func (p *Plan) NumSlots() int {
+	if p.Round != nil {
+		return len(p.Steps) + 2
+	}
+	return len(p.Steps)
+}
+
+// IterRetrievalSlot and IterPrefixSlot are the virtual stage indices of
+// the decode-loop round steps on iterative plans: executors queue parked
+// sequences at these slots exactly like pipeline stages, so the rounds
+// share the batching workers (and their serialization) with the initial
+// retrieval and prefix. Only meaningful when Round is non-nil.
+func (p *Plan) IterRetrievalSlot() int { return len(p.Steps) }
+func (p *Plan) IterPrefixSlot() int    { return len(p.Steps) + 1 }
+
+// ResourceStages returns the stage indices resource ri serves, with the
+// iterative round's virtual slots appended to their owning resources —
+// the one slot layout both executors (the live dataplane and the
+// discrete-event simulator) build their per-resource queues from, so
+// round batches contend with the regular stages on the same serial
+// worker.
+func (p *Plan) ResourceStages(ri int) []int {
+	stages := p.Resources[ri].Stages
+	if p.Round == nil {
+		return stages
+	}
+	if ri == p.Round.Retrieval.Resource {
+		stages = append(append([]int(nil), stages...), p.IterRetrievalSlot())
+	}
+	if ri == p.Round.Prefix.Resource {
+		stages = append(append([]int(nil), stages...), p.IterPrefixSlot())
+	}
+	return stages
+}
+
+// StepAt returns the step at a real or virtual stage index: pipeline
+// steps below len(Steps), the iterative round's steps above.
+func (p *Plan) StepAt(idx int) Step {
+	switch {
+	case idx < len(p.Steps):
+		return p.Steps[idx]
+	case idx == p.IterRetrievalSlot():
+		return p.Round.Retrieval
+	default:
+		return p.Round.Prefix
+	}
+}
+
+// StepLatency returns the service time of stage idx (real or virtual) at
+// the actually formed batch size n: the precompiled latency at the full
+// batch, a re-profiled one for partial batches. Infeasible partial points
+// fall back to the full-batch latency.
 func (p *Plan) StepLatency(idx, n int) float64 {
-	st := p.Steps[idx]
+	st := p.StepAt(idx)
 	if n >= st.Batch {
 		return st.Latency
 	}

@@ -21,6 +21,32 @@ type IterCost struct {
 	PrefixOccupancy float64
 }
 
+// IterRound is the compiled per-round structure of the §5.3 decode loop:
+// the two steps a parked batch of sequences traverses before rejoining
+// continuous decode, plus the loop constants. Where IterCost prices the
+// loop in aggregate (the closed-form stall fixed point), IterRound is what
+// lets the executors — the discrete-event simulator and the live serving
+// runtime — actually run the rounds: park at a trigger, form a batch of
+// Retrieval.Batch parked sequences on the retrieval tier, pass the newly
+// retrieved content through the prefix group, resume.
+type IterRound struct {
+	// Retrieval executes one iterative retrieval batch on the retrieval
+	// tier; Prefix the pass over the newly retrieved content on the
+	// prefix group's chips. Both run at Schedule.IterativeBatch and their
+	// Resource fields index Plan.Resources (filled in by Compile), so the
+	// rounds occupy the same serial workers the initial retrieval and
+	// prefix run on.
+	Retrieval Step
+	Prefix    Step
+	// RoundsPerSeq is the iterative retrieval count per sequence
+	// (RetrievalFrequency minus the up-front retrieval).
+	RoundsPerSeq int
+	// DecodeStep is the per-token decode step latency at the full decode
+	// batch (the decode tier's generation latency over its output
+	// tokens) — the pace a sequence decodes at between parks.
+	DecodeStep float64
+}
+
 // minStallDenom caps the batch-formation feedback loop: as the iterative
 // batch approaches twice the decode batch, waiting sequences starve the
 // trigger supply and the fixed point diverges; real systems limp along via
@@ -44,9 +70,18 @@ const minStallDenom = 0.05
 // queueing stretches the generation (this is why tiny iterative batches
 // hurt large decode batches in Fig. 9b).
 func IterativeCost(pipe pipeline.Pipeline, prof *stageperf.Profiler, s Schedule) (IterCost, bool) {
+	cost, _, ok := IterativePlan(pipe, prof, s)
+	return cost, ok
+}
+
+// IterativePlan evaluates the §5.3 stall model (see IterativeCost) and
+// additionally compiles the per-round step structure the executors need.
+// The round is nil for single-retrieval workloads; its Resource fields are
+// left unset (Compile resolves them against the plan's resource list).
+func IterativePlan(pipe pipeline.Pipeline, prof *stageperf.Profiler, s Schedule) (IterCost, *IterRound, bool) {
 	schema := pipe.Schema
 	if !schema.Iterative() {
-		return IterCost{}, true
+		return IterCost{}, nil, true
 	}
 	n := float64(schema.RetrievalFrequency - 1)
 	bIter := s.IterativeBatch
@@ -55,17 +90,17 @@ func IterativeCost(pipe pipeline.Pipeline, prof *stageperf.Profiler, s Schedule)
 	retrIdx := pipe.Index(pipeline.KindRetrieval)
 	prefixIdx := pipe.Index(pipeline.KindPrefix)
 	if retrIdx < 0 || prefixIdx < 0 {
-		return IterCost{}, false
+		return IterCost{}, nil, false
 	}
 	gi := groupOf(prefixIdx, s)
 	if gi < 0 {
-		return IterCost{}, false
+		return IterCost{}, nil, false
 	}
 	prefixChips := s.Groups[gi].Chips
 
 	rt := prof.Eval(pipe.Stages[retrIdx], s.RetrievalServers, bIter)
 	if !rt.OK {
-		return IterCost{}, false
+		return IterCost{}, nil, false
 	}
 	// The iterative prefix processes the newly retrieved passages on the
 	// prefix group's chips, at whatever replication maximizes its
@@ -74,7 +109,7 @@ func IterativeCost(pipe pipeline.Pipeline, prof *stageperf.Profiler, s Schedule)
 	iterStage := pipe.Stages[prefixIdx]
 	iterStage.SeqLen = schema.RetrievedTokens()
 	if iterStage.SeqLen <= 0 {
-		return IterCost{}, false
+		return IterCost{}, nil, false
 	}
 	var pt stageperf.Point
 	for _, cand := range prof.Candidates(iterStage, prefixChips, bIter) {
@@ -83,14 +118,14 @@ func IterativeCost(pipe pipeline.Pipeline, prof *stageperf.Profiler, s Schedule)
 		}
 	}
 	if !pt.OK {
-		return IterCost{}, false
+		return IterCost{}, nil, false
 	}
 
 	// Decode time without stalls.
 	decIdx := pipe.Index(pipeline.KindDecode)
 	dec := prof.EvalR(pipe.Stages[decIdx], s.DecodeChips, bDec, s.DecodeReplicasOrOne())
 	if !dec.OK {
-		return IterCost{}, false
+		return IterCost{}, nil, false
 	}
 	d := dec.Latency
 
@@ -110,11 +145,35 @@ func IterativeCost(pipe pipeline.Pipeline, prof *stageperf.Profiler, s Schedule)
 		t = tMin
 	}
 
-	return IterCost{
+	cost := IterCost{
 		StallPerRequest:    t - d,
 		RetrievalOccupancy: n / rt.QPS,
 		PrefixOccupancy:    n / pt.QPS,
-	}, true
+	}
+	outTokens := pipe.Stages[decIdx].OutTokens
+	round := &IterRound{
+		Retrieval: Step{
+			Stage:    pipe.Stages[retrIdx],
+			Resource: -1,
+			Chips:    s.RetrievalServers,
+			Batch:    bIter,
+			Replicas: 1,
+			Latency:  rt.Latency + prof.RetrievalTransferLatency(),
+			QPS:      rt.QPS,
+		},
+		Prefix: Step{
+			Stage:    iterStage,
+			Resource: -1,
+			Chips:    prefixChips,
+			Batch:    bIter,
+			Replicas: pt.Replicas,
+			Latency:  pt.Latency,
+			QPS:      pt.QPS,
+		},
+		RoundsPerSeq: schema.RetrievalFrequency - 1,
+		DecodeStep:   d / float64(outTokens),
+	}
+	return cost, round, true
 }
 
 // groupOf finds which schedule group serves pipeline stage idx, or -1.

@@ -80,7 +80,7 @@ func (r *resource) pick() (si, n int, formV float64) {
 		if len(qu) == 0 {
 			continue
 		}
-		b := r.dp.plan.Steps[idx].Batch
+		b := r.dp.plan.StepAt(idx).Batch
 		headAge := now - qu[0].enqV[idx]
 		if len(qu) < b && headAge < flush {
 			continue
@@ -93,7 +93,7 @@ func (r *resource) pick() (si, n int, formV float64) {
 		return -1, 0, 0
 	}
 	idx := r.stages[best]
-	b := r.dp.plan.Steps[idx].Batch
+	b := r.dp.plan.StepAt(idx).Batch
 	n = b
 	if n > len(r.queues[best]) {
 		n = len(r.queues[best])
@@ -163,7 +163,7 @@ func (r *resource) exec(si, n int, formV float64) {
 	r.busyUntil = done
 
 	var search chan error
-	if r.dp.plan.Steps[idx].Stage.Kind == pipeline.KindRetrieval && r.dp.opts.Searcher != nil {
+	if r.dp.plan.StepAt(idx).Stage.Kind == pipeline.KindRetrieval && r.dp.opts.Searcher != nil {
 		search = make(chan error, 1)
 		go r.dp.runSearch(batch, search)
 	}
@@ -173,7 +173,7 @@ func (r *resource) exec(si, n int, formV float64) {
 			r.dp.onSearchErr(err)
 		}
 	}
-	r.dp.coll.batchServed(idx, n, r.dp.plan.Steps[idx].Batch)
+	r.dp.coll.batchServed(idx, n, r.dp.plan.StepAt(idx).Batch)
 	for _, q := range batch {
 		r.dp.advance(q, idx, done)
 	}

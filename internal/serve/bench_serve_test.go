@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"rago/internal/core"
+	"rago/internal/engine"
 	"rago/internal/trace"
 )
 
@@ -39,5 +40,41 @@ func BenchmarkServeCaseIV(b *testing.B) {
 		b.ReportMetric(rep.SustainedQPS, "sustainedQPS")
 		b.ReportMetric(rep.TTFT.P99, "p99TTFT_s")
 		b.ReportMetric(rep.QPSVsAnalytic, "QPSvsAnalytic")
+	}
+}
+
+// BenchmarkServeCaseIII is the iterative-retrieval serving trajectory
+// point CI uploads (BENCH_iterative.json): a saturating Case III replay
+// through the live decode loop, reporting sustained QPS, p99 TTFT, and
+// the mean §5.3 stall-per-request alongside ns/op.
+func BenchmarkServeCaseIII(b *testing.B) {
+	pipe, prof, sched := caseIIISetup(b)
+	plan, err := engine.Compile(pipe, sched, prof)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const n = 4000
+	reqs, err := trace.Poisson(n, 1.5*plan.Metrics.QPS, 42)
+	if err != nil {
+		b.Fatal(err)
+	}
+	reqs = trace.WithTriggers(reqs, plan.Round.RoundsPerSeq, pipe.Stages[plan.DecodeIdx].OutTokens, 7)
+	speedup := (float64(n) / plan.Metrics.QPS) / 8.0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rt, err := New(pipe, prof, sched, Options{Speedup: speedup, FlushTimeout: iterFlush})
+		if err != nil {
+			b.Fatal(err)
+		}
+		rep, err := rt.Serve(reqs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.Completed != n {
+			b.Fatalf("completed %d of %d", rep.Completed, n)
+		}
+		b.ReportMetric(rep.SustainedQPS, "sustainedQPS")
+		b.ReportMetric(rep.TTFT.P99, "p99TTFT_s")
+		b.ReportMetric(rep.Stall.Mean, "meanStall_s")
 	}
 }

@@ -7,8 +7,8 @@ import (
 	"strings"
 	"sync"
 
+	"rago/internal/engine"
 	"rago/internal/perf"
-	"rago/internal/pipeline"
 )
 
 // collector accumulates online serving measurements. All mutation happens
@@ -21,6 +21,7 @@ type collector struct {
 
 	admitted, rejected, completed int
 	ttft, tpot, latency           []float64
+	stall                         []float64 // iterative decode-loop parked seconds per request
 	firstDone, lastDone           float64
 
 	// arrV records every arrival's virtual time (admitted and rejected;
@@ -47,11 +48,18 @@ type collector struct {
 	searchQueries int
 }
 
-func (c *collector) init(pipe pipeline.Pipeline) {
-	n := len(pipe.Stages)
+// init sizes the per-stage accounting for a plan's slot layout: one entry
+// per pipeline stage plus, on iterative plans, the decode loop's two
+// virtual round slots.
+func (c *collector) init(plan *engine.Plan) {
+	n := plan.NumSlots()
 	c.stageNames = make([]string, n)
-	for i, st := range pipe.Stages {
+	for i, st := range plan.Pipe.Stages {
 		c.stageNames[i] = st.Kind.String()
+	}
+	if plan.Round != nil {
+		c.stageNames[plan.IterRetrievalSlot()] = "iter-retrieval"
+		c.stageNames[plan.IterPrefixSlot()] = "iter-prefix"
 	}
 	c.queuePeak = make([]int, n)
 	c.depthNow = make([]int, n)
@@ -116,12 +124,13 @@ func (c *collector) searchServed(queries int, wall float64) {
 	c.mu.Unlock()
 }
 
-func (c *collector) complete(ttft, tpot, latency, done float64) {
+func (c *collector) complete(ttft, tpot, latency, done, stall float64) {
 	c.mu.Lock()
 	c.completed++
 	c.ttft = append(c.ttft, ttft)
 	c.tpot = append(c.tpot, tpot)
 	c.latency = append(c.latency, latency)
+	c.stall = append(c.stall, stall)
 	c.doneV = append(c.doneV, done)
 	pm := done
 	if n := len(c.donePMax); n > 0 && c.donePMax[n-1] > pm {
@@ -205,6 +214,10 @@ type Report struct {
 	TTFT    Quantiles `json:"ttft"`
 	TPOT    Quantiles `json:"tpot"`
 	Latency Quantiles `json:"latency"`
+	// Stall is the per-request seconds sequences spent parked in the
+	// §5.3 decode loop (batch-formation wait plus round service);
+	// all-zero on single-retrieval workloads.
+	Stall Quantiles `json:"stall"`
 
 	// SustainedQPS is completions over the completion span — the
 	// saturation throughput when the trace overdrives the schedule.
@@ -244,6 +257,7 @@ func (c *collector) report(analytic perf.Metrics, hasAnalytic bool, speedup, wal
 		TTFT:          quantilesOf(c.ttft),
 		TPOT:          quantilesOf(c.tpot),
 		Latency:       quantilesOf(c.latency),
+		Stall:         quantilesOf(c.stall),
 		Analytic:      analytic,
 		HasAnalytic:   hasAnalytic,
 		Searches:      c.searches,
@@ -285,6 +299,9 @@ func (r *Report) String() string {
 	fmt.Fprintf(&b, "TTFT     %s\n", r.TTFT)
 	fmt.Fprintf(&b, "TPOT     %s\n", r.TPOT)
 	fmt.Fprintf(&b, "latency  %s\n", r.Latency)
+	if r.Stall.Max > 0 {
+		fmt.Fprintf(&b, "stall    %s\n", r.Stall)
+	}
 	for _, q := range r.Queues {
 		if q.Batches > 0 {
 			fmt.Fprintf(&b, "queue %-15s peak %5d  batches %6d  fill %.2f\n", q.Stage, q.PeakDepth, q.Batches, q.MeanFill)

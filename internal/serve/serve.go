@@ -10,7 +10,12 @@
 // additionally run real batched IVF-PQ queries against the
 // internal/vectordb substrate on the serving path; the decode tier is a
 // pool of continuous-batching slots implemented as a bounded channel of
-// slot leases. Requests traverse the pipeline's stage graph: fan-out
+// slot leases. On iterative plans (§5.3) decode slots run the decode loop
+// live: sequences park at their trigger positions while iterative
+// retrieval+prefix rounds batch — at the schedule's IterativeBatch, as
+// virtual stage slots on the same serial workers the initial pass uses —
+// then resume, accumulating the measured stall the analytical fixed
+// point prices. Requests traverse the pipeline's stage graph: fan-out
 // branches run concurrently across workers and a join stage admits a
 // request only once its last predecessor finishes (an atomic countdown per
 // stage), so multi-source pipelines serve through the same data plane as
@@ -119,11 +124,23 @@ type request struct {
 	// that decrements a stage's count to zero owns the hand-off.
 	pending []atomic.Int32
 	// enqV records the virtual time the request entered each stage's
-	// queue. Each slot is written exactly once, before the channel send
-	// that publishes it to the reading worker.
+	// queue (virtual iterative slots included). Pipeline slots are
+	// written exactly once, before the channel send that publishes them
+	// to the reading worker; the iterative slots are rewritten per
+	// round, always by the goroutine about to publish the request.
 	enqV     []float64
 	ttft     float64
 	decStart float64
+
+	// Iterative decode-loop state (nil/zero on single-retrieval plans).
+	// triggers are the decode token positions the sequence parks at;
+	// resume carries the virtual time each round finished back to the
+	// parked decode goroutine (buffered: one round in flight at a time);
+	// stall accumulates the total parked seconds.
+	triggers []int
+	resume   chan float64
+	parkedV  float64
+	stall    float64
 }
 
 // item is one unit of inbox work: a request ready at one stage.
@@ -175,14 +192,42 @@ func newDataplane(plan *engine.Plan, opts Options, ck clock, coll *collector, bo
 		onComplete:  onComplete,
 		onSearchErr: onSearchErr,
 	}
-	for _, res := range plan.Resources {
-		r := newResource(dp, res.Name, res.Stages)
+	for ri, res := range plan.Resources {
+		// ResourceStages appends the decode loop's virtual round slots
+		// to their owning resources, so round batches contend with (and
+		// are picked against) the regular stages on the same worker.
+		r := newResource(dp, res.Name, plan.ResourceStages(ri))
 		r.inbox = make(chan item, bound*len(r.stages))
 		dp.resources = append(dp.resources, r)
 	}
-	dp.decode = &decodeTier{dp: dp, latency: plan.Steps[plan.DecodeIdx].Latency}
+	dp.decode = &decodeTier{
+		dp:        dp,
+		latency:   plan.Steps[plan.DecodeIdx].Latency,
+		outTokens: plan.Steps[plan.DecodeIdx].Stage.OutTokens,
+		round:     plan.Round,
+	}
 	dp.decode.start(bound)
 	return dp
+}
+
+// newRequest builds the per-request bookkeeping for this dataplane's plan,
+// synthesizing deterministic trigger positions (seeded by the request ID)
+// when an iterative plan's trace entry carries none.
+func (dp *dataplane) newRequest(r trace.Request) *request {
+	q := &request{
+		id:      r.ID,
+		arrival: r.Arrival,
+		pending: make([]atomic.Int32, len(dp.plan.Steps)),
+		enqV:    make([]float64, dp.plan.NumSlots()),
+	}
+	if dp.plan.Round != nil {
+		q.resume = make(chan float64, 1)
+		q.triggers = r.Triggers
+		if q.triggers == nil {
+			q.triggers = trace.TriggersFor(r.ID, dp.plan.Round.RoundsPerSeq, dp.decode.outTokens)
+		}
+	}
+	return q
 }
 
 // launch starts the worker goroutines.
@@ -212,9 +257,10 @@ func (dp *dataplane) admit(q *request, at float64) {
 	}
 }
 
-// submit routes a request, ready at stage idx, to the owning worker.
+// submit routes a request, ready at stage idx (real or virtual), to the
+// owning worker.
 func (dp *dataplane) submit(q *request, idx int) {
-	if st := dp.plan.Steps[idx]; st.Resource >= 0 {
+	if st := dp.plan.StepAt(idx); st.Resource >= 0 {
 		dp.resources[st.Resource].inbox <- item{q, idx}
 		return
 	}
@@ -223,8 +269,22 @@ func (dp *dataplane) submit(q *request, idx int) {
 }
 
 // advance moves a request past stage idx, which completed at virtual
-// time t: successors whose last predecessor this was become ready.
+// time t: successors whose last predecessor this was become ready. The
+// iterative round's virtual slots chain outside the stage graph: the
+// retrieval half feeds the prefix half, and the prefix half hands the
+// finish time back to the parked decode goroutine.
 func (dp *dataplane) advance(q *request, idx int, t float64) {
+	if dp.plan.Round != nil {
+		switch idx {
+		case dp.plan.IterRetrievalSlot():
+			q.enqV[dp.plan.IterPrefixSlot()] = t
+			dp.submit(q, dp.plan.IterPrefixSlot())
+			return
+		case dp.plan.IterPrefixSlot():
+			q.resume <- t
+			return
+		}
+	}
 	if idx == dp.plan.PrefixIdx {
 		q.ttft = t - q.arrival
 	}
@@ -243,7 +303,7 @@ func (dp *dataplane) complete(q *request, done float64) {
 		tpot = (done - q.decStart) / float64(out)
 	}
 	dp.coll.release(dp.plan.DecodeIdx, 1)
-	dp.coll.complete(q.ttft, tpot, done-q.arrival, done)
+	dp.coll.complete(q.ttft, tpot, done-q.arrival, done, q.stall)
 	dp.inflight.Add(-1)
 	dp.onComplete(q, done)
 }
@@ -282,15 +342,10 @@ type Runtime struct {
 }
 
 // New compiles (pipeline, schedule) through the shared engine and builds
-// a runtime executing the resulting plan. Iterative-retrieval workloads
-// are not executable by this engine yet (the §5.3 decode-loop dynamics
-// live in sim.RunIterative) and are rejected — before compilation, so
-// the message names the right remedy — as are negative Options
-// (NewServer's validation).
+// a runtime executing the resulting plan. Negative Options are rejected
+// (NewServer's validation), as are plans the engine cannot execute live
+// (Executable).
 func New(pipe pipeline.Pipeline, prof *stageperf.Profiler, sched engine.Schedule, opts Options) (*Runtime, error) {
-	if pipe.Schema.Iterative() {
-		return nil, fmt.Errorf("serve: iterative-retrieval workloads are not executable; use sim.RunIterative")
-	}
 	plan, err := engine.Compile(pipe, sched, prof)
 	if err != nil {
 		return nil, err
@@ -300,6 +355,24 @@ func New(pipe pipeline.Pipeline, prof *stageperf.Profiler, sched engine.Schedule
 		return nil, err
 	}
 	return &Runtime{plan: plan, srv: srv}, nil
+}
+
+// Executable reports whether the serving engine can execute plans of this
+// compiled plan's shape, with a descriptive error naming the schema when
+// it cannot. Every schema the engine compiles today is servable —
+// iterative decode loops included — so this only rejects structurally
+// incomplete plans (an iterative schema whose plan carries no round
+// structure, which engine.Compile never produces but hand-built plans
+// could).
+func Executable(plan *engine.Plan) error {
+	if plan == nil {
+		return fmt.Errorf("serve: nil plan")
+	}
+	if plan.Pipe.Schema.Iterative() && plan.Round == nil {
+		return fmt.Errorf("serve: schema %q is iterative but its plan carries no decode-loop round structure; compile it through engine.Compile",
+			plan.Pipe.Schema.Name)
+	}
+	return nil
 }
 
 // Plan returns the compiled execution plan the runtime executes.

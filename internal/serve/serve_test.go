@@ -246,13 +246,22 @@ func TestRuntimeConcurrentReplay(t *testing.T) {
 func TestRuntimeRejects(t *testing.T) {
 	pipe, prof, sched := caseISetup(t)
 
+	// Iterative pipelines are first-class now: a schedule without an
+	// iterative batch still fails compilation (schedule validation), but
+	// a complete one builds a live runtime.
 	iterSchema := ragschema.CaseIII(8e9, 4)
 	iterPipe, err := pipeline.Build(iterSchema)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := New(iterPipe, stageperf.New(hw.XPUC, hw.EPYCHost, iterSchema), sched, Options{}); err == nil {
-		t.Error("iterative pipelines should be rejected")
+	iterProf := stageperf.New(hw.XPUC, hw.EPYCHost, iterSchema)
+	if _, err := New(iterPipe, iterProf, sched, Options{}); err == nil {
+		t.Error("iterative schedule without IterativeBatch should be rejected")
+	}
+	iterSched := sched
+	iterSched.IterativeBatch = 8
+	if _, err := New(iterPipe, iterProf, iterSched, Options{}); err != nil {
+		t.Errorf("iterative workload with a complete schedule should serve: %v", err)
 	}
 
 	bad := sched

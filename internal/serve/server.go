@@ -118,13 +118,10 @@ type Server struct {
 
 // NewServer builds a multi-plan serving engine starting on the given
 // compiled plan (see engine.Compile or core.Assembler.Compile).
-// Iterative-retrieval plans and negative Options are rejected.
+// Inexecutable plans (Executable) and negative Options are rejected.
 func NewServer(initial *engine.Plan, opts Options) (*Server, error) {
-	if initial == nil {
-		return nil, fmt.Errorf("serve: nil initial plan")
-	}
-	if initial.Pipe.Schema.Iterative() {
-		return nil, fmt.Errorf("serve: iterative-retrieval workloads are not executable; use sim.RunIterative")
+	if err := Executable(initial); err != nil {
+		return nil, err
 	}
 	if err := opts.validate(); err != nil {
 		return nil, err
@@ -241,7 +238,7 @@ func (s *Server) Serve(reqs []trace.Request) (*ServerReport, error) {
 	}
 	s.bound = bound
 	s.maxInflight = int64(bound)
-	s.coll.init(s.cur.plan.Pipe)
+	s.coll.init(s.cur.plan)
 	s.clock = newClock(s.opts.Speedup)
 	first := s.cur
 	first.dp = newDataplane(first.plan, s.opts, s.clock, &s.coll, bound, s.onComplete(first), s.setSearchErr)
@@ -295,13 +292,7 @@ func (s *Server) replay(reqs []trace.Request) {
 		e.admitted.Add(1)
 		s.mu.RUnlock()
 		s.coll.admit(r.Arrival)
-		q := &request{
-			id:      r.ID,
-			arrival: r.Arrival,
-			pending: make([]atomic.Int32, len(e.dp.plan.Steps)),
-			enqV:    make([]float64, len(e.dp.plan.Steps)),
-		}
-		e.dp.admit(q, r.Arrival)
+		e.dp.admit(e.dp.newRequest(r), r.Arrival)
 	}
 }
 

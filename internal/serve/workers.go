@@ -1,5 +1,7 @@
 package serve
 
+import "rago/internal/engine"
+
 // decodeTier is the continuous-batching decode pool. The plan's
 // DecodeBatch slots are a bounded channel of slot leases, each lease
 // carrying the virtual time its slot frees up: acquiring a lease and
@@ -8,11 +10,21 @@ package serve
 // for the full profiled generation latency (the profile already assumes
 // all slots decode concurrently), sleeping it out in scaled wall time on
 // its own goroutine — so up to DecodeBatch generations genuinely overlap.
+//
+// On iterative plans (§5.3) a sequence additionally owns a decode loop:
+// it decodes at the plan's per-token step pace until a trigger position,
+// parks — holding its slot, exactly like the token-level simulator and
+// the analytical fixed point assume — while a retrieval+prefix round runs
+// through the iterative batcher slots on the regular workers, then
+// resumes at the round's finish time. The parked seconds accumulate as
+// the sequence's stall.
 type decodeTier struct {
-	dp      *dataplane
-	inbox   chan *request
-	slots   chan float64 // free-at virtual times; cap == DecodeBatch
-	latency float64      // full-batch generation wall time (virtual)
+	dp        *dataplane
+	inbox     chan *request
+	slots     chan float64 // free-at virtual times; cap == DecodeBatch
+	latency   float64      // full-batch generation wall time (virtual)
+	outTokens int
+	round     *engine.IterRound // nil on single-retrieval plans
 }
 
 func (d *decodeTier) start(bound int) {
@@ -41,12 +53,49 @@ func (d *decodeTier) run() {
 			return
 		}
 		q.decStart = maxf(free, q.enqV[decIdx])
-		go d.finish(q, q.decStart+d.latency)
+		go d.generate(q)
 	}
 }
 
-// finish sleeps out one sequence's generation, returns the slot lease, and
-// retires the request.
+// generate runs one sequence's decode: a single sleep for the whole
+// generation on single-retrieval plans, or the §5.3 decode loop — decode
+// to each trigger, park for an iterative retrieval+prefix round, resume —
+// on iterative ones. The sequence holds its decode slot throughout,
+// parks included (continuous batching refills slots only on completion),
+// which is what makes saturation throughput DecodeBatch over the stalled
+// generation time, as the analytical model prices it.
+func (d *decodeTier) generate(q *request) {
+	if d.round == nil || len(q.triggers) == 0 {
+		d.finish(q, q.decStart+d.latency)
+		return
+	}
+	t, tok := q.decStart, 0
+	for _, trig := range q.triggers {
+		// Clamp recorded positions into [tok, outTokens]: decode only
+		// moves forward, so an out-of-range or out-of-order trigger
+		// parks at the nearest legal token instead of rewinding time.
+		if trig > d.outTokens {
+			trig = d.outTokens
+		}
+		if trig < tok {
+			trig = tok
+		}
+		t += float64(trig-tok) * d.round.DecodeStep
+		tok = trig
+		d.dp.clock.sleepUntil(t)
+		q.parkedV = t
+		q.enqV[d.dp.plan.IterRetrievalSlot()] = t
+		d.dp.submit(q, d.dp.plan.IterRetrievalSlot())
+		resumed := <-q.resume
+		q.stall += resumed - q.parkedV
+		t = resumed
+	}
+	t += float64(d.outTokens-tok) * d.round.DecodeStep
+	d.finish(q, t)
+}
+
+// finish sleeps out the remainder of one sequence's generation, returns
+// the slot lease, and retires the request.
 func (d *decodeTier) finish(q *request, done float64) {
 	d.dp.clock.sleepUntil(done)
 	d.slots <- done

@@ -17,22 +17,37 @@ import (
 // continuous-batching slots. Requests traverse the pipeline's stage graph —
 // fan-out stages run concurrently on their resources and joins wait for
 // every predecessor — so linear chains and multi-source fan-outs run
-// through the same loop. It exists to validate the analytical assembly: at
-// saturation its throughput must match the compiled Plan.Metrics QPS, and
-// unloaded its TTFT must match the analytical latency chain.
+// through the same loop. Iterative plans (§5.3) additionally run the
+// decode loop: sequences park at their trigger positions and an iterative
+// retrieval+prefix round batches through the same tier and prefix-group
+// servers the initial pass uses, mirroring the live serving runtime. It
+// exists to validate the analytical assembly: at saturation its throughput
+// must match the compiled Plan.Metrics QPS, and unloaded its TTFT must
+// match the analytical latency chain.
 type ServeSim struct {
 	plan *engine.Plan
+
+	// MaxInFlight is the admission bound: arrivals finding this many
+	// requests already in the system are rejected, with the same
+	// shed-on-full semantics (and Rejected accounting) as
+	// serve.Options.MaxInFlight. 0 admits the whole trace.
+	MaxInFlight int
 }
 
 // ServeResult is the measured behaviour of one run.
 type ServeResult struct {
 	Completed int
+	// Rejected counts arrivals shed by the MaxInFlight admission bound.
+	Rejected int
 	// QPS is completions divided by the completion span.
 	QPS float64
 	// MeanTTFT is the average time from arrival to prefix completion.
 	MeanTTFT float64
 	// MeanLatency is the average time from arrival to full generation.
 	MeanLatency float64
+	// MeanStall is the average per-request time sequences spent parked
+	// in the §5.3 decode loop (0 for single-retrieval plans).
+	MeanStall float64
 	// FirstDone and LastDone bound the completion span in absolute trace
 	// time, so results of trace segments simulated on different plans can
 	// be combined into one aggregate rate (the controller's sim replay).
@@ -40,18 +55,13 @@ type ServeResult struct {
 }
 
 // NewServe compiles (pipeline, schedule) through the shared engine and
-// builds a simulator for the resulting plan. Iterative-retrieval
-// workloads are served by IterativeSim instead; this executor covers
-// single-retrieval pipelines (linear or fan-out).
+// builds a simulator for the resulting plan.
 func NewServe(pipe pipeline.Pipeline, prof *stageperf.Profiler, sched engine.Schedule) (*ServeSim, error) {
-	if pipe.Schema.Iterative() {
-		return nil, fmt.Errorf("sim: ServeSim covers single-retrieval pipelines; use RunIterative for §5.3 workloads")
-	}
 	plan, err := engine.Compile(pipe, sched, prof)
 	if err != nil {
 		return nil, err
 	}
-	return &ServeSim{plan: plan}, nil
+	return NewServeFromPlan(plan)
 }
 
 // NewServeFromPlan wraps an already-compiled execution plan — the object
@@ -61,8 +71,9 @@ func NewServeFromPlan(plan *engine.Plan) (*ServeSim, error) {
 	if plan == nil {
 		return nil, fmt.Errorf("sim: nil plan")
 	}
-	if plan.Pipe.Schema.Iterative() {
-		return nil, fmt.Errorf("sim: ServeSim covers single-retrieval pipelines; use RunIterative for §5.3 workloads")
+	if plan.Pipe.Schema.Iterative() && plan.Round == nil {
+		return nil, fmt.Errorf("sim: schema %q is iterative but its plan carries no decode-loop round structure; compile it through engine.Compile",
+			plan.Pipe.Schema.Name)
 	}
 	return &ServeSim{plan: plan}, nil
 }
@@ -73,6 +84,7 @@ const (
 	evStageDone
 	evResourceFree
 	evFlush
+	evDecodePark
 	evDecodeDone
 )
 
@@ -107,9 +119,17 @@ type reqState struct {
 	done    float64
 	// pending counts unfinished predecessors per stage; a stage becomes
 	// ready when its count reaches zero. enqAt records when the request
-	// entered each stage's queue (for batch-formation aging).
+	// entered each stage's queue (for batch-formation aging; virtual
+	// iterative slots included).
 	pending []int
 	enqAt   []float64
+	// Iterative decode-loop state: the remaining trigger positions, the
+	// tokens decoded so far, when the sequence parked, and the
+	// accumulated parked time.
+	triggers []int
+	tok      int
+	parkedAt float64
+	stall    float64
 }
 
 // Run executes the trace. flushTimeout is how long a partially filled
@@ -120,10 +140,18 @@ func (s *ServeSim) Run(reqs []trace.Request, flushTimeout float64) (ServeResult,
 		return ServeResult{}, fmt.Errorf("sim: empty trace")
 	}
 	plan := s.plan
-	nStages := len(plan.Steps)
+	nSlots := plan.NumSlots()
 	busy := make([]bool, len(plan.Resources))
-	queues := make([][]int, nStages) // per-stage request queues
+	queues := make([][]int, nSlots) // per-stage request queues
 	states := make([]reqState, len(reqs))
+
+	// Per-resource stage lists with the iterative round's virtual slots
+	// appended to their owning resources — the same layout the live
+	// dataplane builds, so round batches contend with the regular stages.
+	stagesOf := make([][]int, len(plan.Resources))
+	for ri := range plan.Resources {
+		stagesOf[ri] = plan.ResourceStages(ri)
+	}
 
 	var h eventHeap
 	seq := 0
@@ -131,30 +159,76 @@ func (s *ServeSim) Run(reqs []trace.Request, flushTimeout float64) (ServeResult,
 		heap.Push(&h, event{at: at, kind: kind, a: a, b: b, seq: seq})
 		seq++
 	}
+	decIdx := plan.DecodeIdx
+	outTokens := plan.Steps[decIdx].Stage.OutTokens
 	for i, r := range reqs {
-		pending := make([]int, nStages)
+		pending := make([]int, len(plan.Steps))
 		for st, ps := range plan.Preds {
 			pending[st] = len(ps)
 		}
-		states[i] = reqState{arrival: r.Arrival, pending: pending, enqAt: make([]float64, nStages)}
+		states[i] = reqState{arrival: r.Arrival, pending: pending, enqAt: make([]float64, nSlots)}
+		if plan.Round != nil {
+			states[i].triggers = r.Triggers
+			if states[i].triggers == nil {
+				states[i].triggers = trace.TriggersFor(r.ID, plan.Round.RoundsPerSeq, outTokens)
+			}
+		}
 		push(r.Arrival, evArrival, i, 0)
 	}
 
-	decIdx := plan.DecodeIdx
 	prefixIdx := plan.PrefixIdx
 	decFree := plan.Sched.DecodeBatch
 	var decQueue []int
+
+	// nextTrigger returns request r's next trigger position, clamped
+	// into [tok, outTokens] — decode only moves forward, so an
+	// out-of-range or out-of-order recorded trigger parks at the
+	// nearest legal token instead of rewinding time (matching the live
+	// runtime's clamp).
+	nextTrigger := func(r int) int {
+		trig := states[r].triggers[0]
+		if trig > outTokens {
+			trig = outTokens
+		}
+		if trig < states[r].tok {
+			trig = states[r].tok
+		}
+		return trig
+	}
+
+	// startSeq admits request r into a decode slot at time now: a single
+	// full-generation event on single-retrieval plans, the first decode
+	// segment of the §5.3 loop on iterative ones.
+	startSeq := func(r int, now float64) {
+		if plan.Round == nil || len(states[r].triggers) == 0 {
+			push(now+plan.Steps[decIdx].Latency, evDecodeDone, r, 0)
+			return
+		}
+		states[r].tok = 0
+		push(now+float64(nextTrigger(r))*plan.Round.DecodeStep, evDecodePark, r, 0)
+	}
+
+	// nextSegment resumes request r's decode at time now, after a round.
+	nextSegment := func(r int, now float64) {
+		st := &states[r]
+		if len(st.triggers) > 0 {
+			push(now+float64(nextTrigger(r)-st.tok)*plan.Round.DecodeStep, evDecodePark, r, 0)
+			return
+		}
+		push(now+float64(outTokens-st.tok)*plan.Round.DecodeStep, evDecodeDone, r, 0)
+	}
 
 	// enqueue places request r at stage idx's queue (or a decode slot).
 	enqueue := func(r, idx int, now float64) {
 		if idx == decIdx {
 			// Continuous batching: each of the DecodeBatch slots holds
-			// one sequence for the full-batch generation wall time
-			// (the profiled latency already assumes all slots decode
+			// one sequence for its full generation — iterative parks
+			// included — and is only refilled on completion (the
+			// profiled latency already assumes all slots decode
 			// concurrently).
 			if decFree > 0 {
 				decFree--
-				push(now+plan.Steps[decIdx].Latency, evDecodeDone, r, 0)
+				startSeq(r, now)
 			} else {
 				decQueue = append(decQueue, r)
 			}
@@ -184,13 +258,13 @@ func (s *ServeSim) Run(reqs []trace.Request, flushTimeout float64) (ServeResult,
 		// with the oldest waiting head among dispatchable queues.
 		best := -1
 		bestAge := math.Inf(-1)
-		for _, idx := range plan.Resources[res].Stages {
+		for _, idx := range stagesOf[res] {
 			if len(queues[idx]) == 0 {
 				continue
 			}
 			head := queues[idx][0]
 			headAge := now - states[head].enqAt[idx]
-			if len(queues[idx]) < plan.Steps[idx].Batch && headAge < flushTimeout {
+			if len(queues[idx]) < plan.StepAt(idx).Batch && headAge < flushTimeout {
 				continue
 			}
 			if headAge > bestAge {
@@ -200,7 +274,7 @@ func (s *ServeSim) Run(reqs []trace.Request, flushTimeout float64) (ServeResult,
 		if best < 0 {
 			return
 		}
-		n := plan.Steps[best].Batch
+		n := plan.StepAt(best).Batch
 		if n > len(queues[best]) {
 			n = len(queues[best])
 		}
@@ -218,32 +292,58 @@ func (s *ServeSim) Run(reqs []trace.Request, flushTimeout float64) (ServeResult,
 	// ready moves request r into stage idx once its predecessors finish.
 	ready := func(r, idx int, now float64) {
 		enqueue(r, idx, now)
-		if res := plan.Steps[idx].Resource; res >= 0 {
+		if res := plan.StepAt(idx).Resource; res >= 0 {
 			trySchedule(res, now)
 		}
 	}
 
 	var firstDone, lastDone float64
-	var sumTTFT, sumLat float64
-	completed := 0
+	var sumTTFT, sumLat, sumStall float64
+	completed, rejected, inflight := 0, 0, 0
 
 	for h.Len() > 0 {
 		e := heap.Pop(&h).(event)
 		now := e.at
 		switch e.kind {
 		case evArrival:
+			// Shed-on-full admission control, matching the live
+			// runtime's Rejected accounting.
+			if s.MaxInFlight > 0 && inflight >= s.MaxInFlight {
+				rejected++
+				continue
+			}
+			inflight++
 			for _, idx := range plan.Entries {
 				ready(e.a, idx, now)
 			}
 		case evFlush:
-			if res := plan.Steps[e.a].Resource; res >= 0 {
+			if res := plan.StepAt(e.a).Resource; res >= 0 {
 				trySchedule(res, now)
 			}
 		case evResourceFree:
 			busy[e.a] = false
 			trySchedule(e.a, now)
+		case evDecodePark:
+			// The sequence reached a trigger position: park it (slot
+			// held) and queue the iterative retrieval half of the round.
+			st := &states[e.a]
+			st.tok = nextTrigger(e.a)
+			st.triggers = st.triggers[1:]
+			st.parkedAt = now
+			ready(e.a, plan.IterRetrievalSlot(), now)
 		case evStageDone:
 			r, idx := e.a, e.b
+			if plan.Round != nil {
+				switch idx {
+				case plan.IterRetrievalSlot():
+					ready(r, plan.IterPrefixSlot(), now)
+					continue
+				case plan.IterPrefixSlot():
+					states[r].stall += now - states[r].parkedAt
+					nextSegment(r, now)
+					continue
+				}
+			}
 			if idx == prefixIdx {
 				states[r].ttft = now - states[r].arrival
 			}
@@ -257,18 +357,20 @@ func (s *ServeSim) Run(reqs []trace.Request, flushTimeout float64) (ServeResult,
 			r := e.a
 			states[r].done = now
 			completed++
+			inflight--
 			if completed == 1 {
 				firstDone = now
 			}
 			lastDone = now
 			sumTTFT += states[r].ttft
 			sumLat += now - states[r].arrival
+			sumStall += states[r].stall
 			decFree++
 			if len(decQueue) > 0 {
 				nxt := decQueue[0]
 				decQueue = decQueue[1:]
 				decFree--
-				push(now+plan.Steps[decIdx].Latency, evDecodeDone, nxt, 0)
+				startSeq(nxt, now)
 			}
 		}
 	}
@@ -282,9 +384,11 @@ func (s *ServeSim) Run(reqs []trace.Request, flushTimeout float64) (ServeResult,
 	}
 	return ServeResult{
 		Completed:   completed,
+		Rejected:    rejected,
 		QPS:         qps,
 		MeanTTFT:    sumTTFT / float64(completed),
 		MeanLatency: sumLat / float64(completed),
+		MeanStall:   sumStall / float64(completed),
 		FirstDone:   firstDone,
 		LastDone:    lastDone,
 	}, nil

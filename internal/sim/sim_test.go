@@ -232,13 +232,21 @@ func TestServeSimUnloadedTTFT(t *testing.T) {
 
 func TestServeSimRejects(t *testing.T) {
 	pipe, prof, sched := serveSetup(t)
+	// Iterative pipelines simulate now; an incomplete schedule (no
+	// iterative batch) still fails compilation, a complete one builds.
 	iterSchema := ragschema.CaseIII(8e9, 4)
 	iterPipe, err := pipeline.Build(iterSchema)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := NewServe(iterPipe, stageperf.New(hw.XPUC, hw.EPYCHost, iterSchema), sched); err == nil {
-		t.Errorf("iterative pipelines should be rejected")
+	iterProf := stageperf.New(hw.XPUC, hw.EPYCHost, iterSchema)
+	if _, err := NewServe(iterPipe, iterProf, sched); err == nil {
+		t.Errorf("iterative schedule without IterativeBatch should be rejected")
+	}
+	iterSched := sched
+	iterSched.IterativeBatch = 8
+	if _, err := NewServe(iterPipe, iterProf, iterSched); err != nil {
+		t.Errorf("iterative workload with a complete schedule should simulate: %v", err)
 	}
 	bad := sched
 	bad.DecodeChips = 0

@@ -162,11 +162,18 @@ func Load(path string) ([]Request, error) {
 }
 
 // normalize validates arrivals, sorts by arrival time, and assigns dense
-// IDs, making any well-formed file replayable directly.
+// IDs, making any well-formed file replayable directly. Recorded trigger
+// positions are sorted ascending and must be positive — the executors'
+// decode loops advance token by token, so positions out of order would
+// run virtual time backward.
 func normalize(reqs []Request) ([]Request, error) {
 	for i, r := range reqs {
 		if math.IsNaN(r.Arrival) || math.IsInf(r.Arrival, 0) || r.Arrival < 0 {
 			return nil, fmt.Errorf("trace: request %d has invalid arrival %g", i, r.Arrival)
+		}
+		sort.Ints(r.Triggers)
+		if len(r.Triggers) > 0 && r.Triggers[0] < 1 {
+			return nil, fmt.Errorf("trace: request %d has non-positive trigger position %d", i, r.Triggers[0])
 		}
 	}
 	sort.SliceStable(reqs, func(i, j int) bool { return reqs[i].Arrival < reqs[j].Arrival })

@@ -71,6 +71,17 @@ func Triggers(count, decodeTokens int, rng *rand.Rand) []int {
 	return out
 }
 
+// TriggersFor synthesizes one request's trigger positions as a pure
+// function of its ID. Executors call it when a trace entry carries no
+// recorded positions, so the live runtime and the simulators park every
+// sequence at identical tokens by construction — use WithTriggers (or a
+// recorded trace) to control the positions instead. The multiplier
+// decorrelates neighboring IDs.
+func TriggersFor(id, count, decodeTokens int) []int {
+	rng := rand.New(rand.NewSource(int64(id) * 0x9E3779B9))
+	return Triggers(count, decodeTokens, rng)
+}
+
 // WithTriggers decorates requests with iterative-retrieval positions.
 func WithTriggers(reqs []Request, perRequest, decodeTokens int, seed int64) []Request {
 	rng := rand.New(rand.NewSource(seed))

@@ -107,6 +107,8 @@ type (
 	Optimizer = core.Optimizer
 	// Schedule is one complete scheduling decision.
 	Schedule = core.Schedule
+	// GroupSchedule is the resolved policy for one XPU placement group.
+	GroupSchedule = core.GroupSchedule
 	// SchedulePoint couples a schedule with its metrics.
 	SchedulePoint = core.SchedulePoint
 	// Plan is one (placement, allocation) pair.
@@ -216,11 +218,16 @@ var (
 	// SaveTrace and LoadTrace persist traces as .json or .csv files.
 	SaveTrace = trace.Save
 	LoadTrace = trace.Load
+	// WithTriggers decorates a trace with per-request iterative-retrieval
+	// positions (§5.3), so the live runtime and the simulators park every
+	// sequence at identical tokens.
+	WithTriggers = trace.WithTriggers
 )
 
 // Serving runtime (a concurrent, goroutine-based engine that executes a
 // Schedule from the optimizer for real under open-loop load: one batching
-// worker per placement group, continuous-batching decode slots, wall-clock
+// worker per placement group, continuous-batching decode slots — running
+// the §5.3 iterative decode loop live on iterative workloads — wall-clock
 // pacing of profiled stage latencies, admission control, and an online
 // p50/p95/p99 metrics collector).
 type (
@@ -302,10 +309,11 @@ func NewController(lib *PlanLibrary, cfg ControlConfig) (*Controller, error) {
 }
 
 // ReplaySwitches re-executes a controlled run's switching decisions in
-// the discrete-event validator; the returned QPS should match the live
-// run within the established 15% band when admission control is off.
-func ReplaySwitches(lib *PlanLibrary, res *ControlResult, reqs []Request, flushTimeout float64) (SimReplayResult, error) {
-	return control.SimReplay(lib, res, reqs, flushTimeout)
+// the discrete-event validator, applying the same maxInFlight admission
+// bound the live run used (0 admits everything); the returned QPS should
+// match the live run within the established 15% band.
+func ReplaySwitches(lib *PlanLibrary, res *ControlResult, reqs []Request, flushTimeout float64, maxInFlight int) (SimReplayResult, error) {
+	return control.SimReplay(lib, res, reqs, flushTimeout, maxInFlight)
 }
 
 // Vector search substrate (a working IVF-PQ implementation of the
