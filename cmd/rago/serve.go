@@ -11,6 +11,7 @@ import (
 
 	"rago/internal/control"
 	"rago/internal/core"
+	"rago/internal/engine"
 	"rago/internal/perf"
 	"rago/internal/pipeline"
 	"rago/internal/serve"
@@ -33,6 +34,9 @@ type traceFlags struct {
 	shape     *float64
 	mmppRates *string
 	sojourn   *float64
+	promptLen *string
+	outLen    *string
+	shapeMax  *int
 }
 
 func addTraceFlags(fs *flag.FlagSet) traceFlags {
@@ -48,7 +52,88 @@ func addTraceFlags(fs *flag.FlagSet) traceFlags {
 		shape:     fs.Float64("shape", 0.5, "gamma: inter-arrival shape (<1 = heavy-tailed bursts)"),
 		mmppRates: fs.String("mmpp-rates", "", "mmpp: comma-separated state rates in requests/s (default 0.2x,2x the mean rate)"),
 		sojourn:   fs.Float64("mmpp-sojourn", 60, "mmpp: mean state sojourn in virtual seconds"),
+		promptLen: fs.String("prompt-len", "", "per-request prompt length distribution: const:N | lognormal:MEDIAN,SIGMA | hist:TOK=W;TOK=W;... (empty = schema constant)"),
+		outLen:    fs.String("out-len", "", "per-request output length distribution, same spec syntax as -prompt-len"),
+		shapeMax:  fs.Int("shape-max", 8192, "token clamp for sampled lengths (the model-context bound)"),
 	}
+}
+
+// parseLengthDist parses a -prompt-len/-out-len spec into a LengthDist.
+func parseLengthDist(spec string, maxTok int) (trace.LengthDist, error) {
+	if spec == "" {
+		return trace.LengthDist{}, nil
+	}
+	kind, rest, _ := strings.Cut(spec, ":")
+	switch kind {
+	case "const":
+		n, err := strconv.Atoi(rest)
+		if err != nil {
+			return trace.LengthDist{}, fmt.Errorf("serve: bad const length %q", rest)
+		}
+		if n > maxTok {
+			return trace.LengthDist{}, fmt.Errorf("serve: const length %d exceeds -shape-max %d (the model-context clamp)", n, maxTok)
+		}
+		return trace.ConstantLengths(n)
+	case "lognormal":
+		parts := strings.Split(rest, ",")
+		if len(parts) != 2 {
+			return trace.LengthDist{}, fmt.Errorf("serve: lognormal spec wants MEDIAN,SIGMA, got %q", rest)
+		}
+		median, err1 := strconv.ParseFloat(strings.TrimSpace(parts[0]), 64)
+		sigma, err2 := strconv.ParseFloat(strings.TrimSpace(parts[1]), 64)
+		if err1 != nil || err2 != nil {
+			return trace.LengthDist{}, fmt.Errorf("serve: bad lognormal spec %q", rest)
+		}
+		return trace.LognormalLengths(median, sigma, maxTok)
+	case "hist":
+		var buckets []trace.LengthBucket
+		for _, pair := range strings.Split(rest, ";") {
+			tokStr, wStr, ok := strings.Cut(pair, "=")
+			if !ok {
+				return trace.LengthDist{}, fmt.Errorf("serve: hist entry %q wants TOK=WEIGHT", pair)
+			}
+			tok, err1 := strconv.Atoi(strings.TrimSpace(tokStr))
+			w, err2 := strconv.ParseFloat(strings.TrimSpace(wStr), 64)
+			if err1 != nil || err2 != nil {
+				return trace.LengthDist{}, fmt.Errorf("serve: bad hist entry %q", pair)
+			}
+			buckets = append(buckets, trace.LengthBucket{Tokens: tok, Weight: w})
+		}
+		return trace.EmpiricalLengths(buckets, maxTok)
+	default:
+		return trace.LengthDist{}, fmt.Errorf("serve: unknown length distribution %q (const|lognormal|hist)", kind)
+	}
+}
+
+// applyShapes decorates the trace with per-request lengths when either
+// spec flag is set (recorded traces included — shaping a replayed arrival
+// process is a supported way to stress a trace). The description gains the
+// shape summary.
+func (tf traceFlags) applyShapes(reqs []trace.Request, desc string) ([]trace.Request, string, error) {
+	prompt, err := parseLengthDist(*tf.promptLen, *tf.shapeMax)
+	if err != nil {
+		return nil, "", err
+	}
+	output, err := parseLengthDist(*tf.outLen, *tf.shapeMax)
+	if err != nil {
+		return nil, "", err
+	}
+	if prompt.IsZero() && output.IsZero() {
+		return reqs, desc, nil
+	}
+	// Decorrelate the shape stream from the arrival stream: both are
+	// seeded from -seed, but reusing the identical source would make
+	// request lengths a deterministic function of the same uniforms that
+	// shaped the inter-arrival gaps.
+	reqs = trace.WithShapes(reqs, prompt, output, *tf.seed^0x73686170)
+	part := func(name, spec string) string {
+		if spec == "" {
+			return name + " schema-const"
+		}
+		return name + " " + spec
+	}
+	return reqs, fmt.Sprintf("%s, shapes: %s, %s (clamp %d)",
+		desc, part("prompt", *tf.promptLen), part("out", *tf.outLen), *tf.shapeMax), nil
 }
 
 // build materializes the trace. rate0 is the auto mean rate when -rate is
@@ -62,14 +147,18 @@ func (tf traceFlags) build(rate0 float64) ([]trace.Request, string, error) {
 		if len(reqs) == 0 {
 			return nil, "", fmt.Errorf("serve: trace file %s is empty", *tf.tracePath)
 		}
+		reqs, desc, err := tf.applyShapes(reqs, fmt.Sprintf("%d requests from %s", len(reqs), *tf.tracePath))
+		if err != nil {
+			return nil, "", err
+		}
 		// -save-trace alongside -trace re-persists the loaded trace
-		// (format conversion, normalization).
+		// (format conversion, normalization, added shapes).
 		if *tf.saveTrace != "" {
 			if err := trace.Save(*tf.saveTrace, reqs); err != nil {
 				return nil, "", err
 			}
 		}
-		return reqs, fmt.Sprintf("%d requests from %s", len(reqs), *tf.tracePath), nil
+		return reqs, desc, nil
 	}
 	rate := *tf.rate
 	if rate <= 0 {
@@ -116,6 +205,10 @@ func (tf traceFlags) build(rate0 float64) ([]trace.Request, string, error) {
 	}
 	if len(reqs) == 0 {
 		return nil, "", fmt.Errorf("serve: empty trace (need -n > 0 or a non-empty -trace file)")
+	}
+	reqs, desc, err = tf.applyShapes(reqs, desc)
+	if err != nil {
+		return nil, "", err
 	}
 	if *tf.saveTrace != "" {
 		if err := trace.Save(*tf.saveTrace, reqs); err != nil {
@@ -227,6 +320,9 @@ func runServe(args []string) {
 
 	fmt.Fprintf(info, "schedule: %s\n", chosen.Item.Describe(o.Pipe))
 	fmt.Fprintf(info, "analytic: %s\n", chosen.Metrics)
+	if shapes := traceShapes(reqs); shapes != nil {
+		fmt.Fprintf(info, "analytic (shape-weighted): %s\n", rt.Plan().ShapeMetrics(shapes))
+	}
 	fmt.Fprintf(info, "trace:    %s\n", desc)
 	fmt.Fprintf(info, "pacing:   speedup %.0fx\n\n", opts.Speedup)
 
@@ -294,6 +390,21 @@ func runControlled(o *core.Optimizer, front []core.SchedulePoint, tf traceFlags,
 	fmt.Print(res)
 	fmt.Printf("sim replay: %d completed (%d rejected), QPS %.2f (runtime/sim ratio %.2f)\n",
 		simRes.Completed, simRes.Rejected, simRes.QPS, res.Report.SustainedQPS/simRes.QPS)
+}
+
+// traceShapes extracts the per-request shapes, or nil when the whole
+// trace runs at the schema constants (no shape-weighted reference needed).
+func traceShapes(reqs []trace.Request) []engine.Shape {
+	shaped := false
+	out := make([]engine.Shape, len(reqs))
+	for i, r := range reqs {
+		out[i] = engine.Shape{PromptTokens: r.PromptTokens, OutputTokens: r.OutputTokens}
+		shaped = shaped || r.Shaped()
+	}
+	if !shaped {
+		return nil
+	}
+	return out
 }
 
 // autoSpeedup compresses the expected makespan into ~10s wall. The run

@@ -107,6 +107,12 @@ type Plan struct {
 	GenTime float64
 	Metrics perf.Metrics
 
+	// DecodeStep is the per-token decode step latency at the full decode
+	// batch — the pace shape-aware executors hold a decode slot at, so a
+	// request generating k tokens occupies its slot for k*DecodeStep
+	// (GenTimeFor).
+	DecodeStep float64
+
 	prof *stageperf.Profiler
 }
 
@@ -263,6 +269,7 @@ func Compile(pipe pipeline.Pipeline, sched Schedule, prof *stageperf.Profiler) (
 		QPS:      dec.QPS,
 	}
 	p.GenTime = dec.Latency + iter.StallPerRequest
+	p.DecodeStep = dec.StepLatency
 	outTokens := float64(pipe.Stages[p.DecodeIdx].OutTokens)
 	qps = math.Min(qps, float64(sched.DecodeBatch)/p.GenTime)
 
@@ -282,20 +289,11 @@ func Compile(pipe pipeline.Pipeline, sched Schedule, prof *stageperf.Profiler) (
 // unloaded latency chain: the longest path over full-batch step latencies
 // from the pipeline entries through the prefix. On a linear pipeline this
 // is the plain sum of every pre-decode stage latency; on a fan-out graph
-// parallel branches overlap and only the slowest counts.
+// parallel branches overlap and only the slowest counts. The walk itself
+// lives in criticalPathTTFTWithPrefix (shape.go), which ShapeMetrics also
+// uses with the shape-weighted prefix latency.
 func (p *Plan) criticalPathTTFT() float64 {
-	finish := make([]float64, len(p.Steps))
-	for i := range p.Steps {
-		if i == p.DecodeIdx {
-			continue
-		}
-		start := 0.0
-		for _, j := range p.Preds[i] {
-			start = math.Max(start, finish[j])
-		}
-		finish[i] = start + p.Steps[i].Latency
-	}
-	return finish[p.PrefixIdx]
+	return p.criticalPathTTFTWithPrefix(p.Steps[p.PrefixIdx].Latency)
 }
 
 // CompatibleWith reports whether q executes the same stage graph as p —

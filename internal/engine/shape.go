@@ -1,0 +1,227 @@
+package engine
+
+import (
+	"math"
+	"slices"
+	"sort"
+
+	"rago/internal/perf"
+	"rago/internal/stageperf"
+)
+
+// Shape-aware step costing. RAGO's workload characterization (§4) is built
+// on sequence-length distributions, and real RAG traffic has heavy-tailed
+// per-request prompt and output lengths; a compiled plan therefore prices
+// steps not only by batch size but by the sequence shape of the batch.
+//
+// The model both executors (the live runtime and the discrete-event
+// simulator) share: a prefix batch is costed at the padded maximum of its
+// members' prompt lengths — padding to a PadQuantum-token grid, the way
+// real serving systems bucket-pad prefill batches, which also bounds the
+// number of distinct operating points the memoizing profiler ever sees —
+// and each decode slot is held for its own request's output length at the
+// plan's per-token step pace. The padding waste (tokens computed beyond
+// what the batch's members needed) is reported so pad-to-max's cost is
+// visible; shape-aware batch formation that avoids it is a recorded
+// follow-up, not silently assumed away.
+
+// Shape is the padded sequence shape one batch is costed at. The zero
+// value means "schema constant" and takes the precompiled constant-shape
+// path bit for bit.
+type Shape struct {
+	// PromptTokens is the padded prompt (prefix) length in tokens.
+	PromptTokens int
+	// OutputTokens is the generation length in tokens.
+	OutputTokens int
+}
+
+// PadQuantum is the token granularity shaped batches are padded to.
+const PadQuantum = 64
+
+// PadTokens rounds n up to the padding grid (minimum one quantum).
+func PadTokens(n int) int {
+	if n <= PadQuantum {
+		return PadQuantum
+	}
+	return (n + PadQuantum - 1) / PadQuantum * PadQuantum
+}
+
+// PrefixBatchShape aggregates the member prompt lengths of one prefix
+// batch into the padded shape the batch is costed at, plus the sum of the
+// members' effective (un-padded) prompt tokens for padding-waste
+// accounting. Members with length 0 count at the schema constant. A batch
+// whose members are all unshaped returns the zero Shape (and 0 tokens):
+// the precompiled constant-shape cost applies and no padding is recorded.
+func (p *Plan) PrefixBatchShape(prompts []int) (Shape, int) {
+	shaped := false
+	def := p.Pipe.Schema.PrefixTokens
+	maxRaw, sum := 0, 0
+	for _, pr := range prompts {
+		if pr > 0 {
+			shaped = true
+		} else {
+			pr = def
+		}
+		if pr > maxRaw {
+			maxRaw = pr
+		}
+		sum += pr
+	}
+	if !shaped {
+		return Shape{}, 0
+	}
+	return Shape{PromptTokens: PadTokens(maxRaw)}, sum
+}
+
+// StepLatencyShaped returns the service time of stage idx at the actually
+// formed batch size n and the given padded batch shape. The zero shape —
+// and every stage whose cost does not depend on the per-request shape
+// (retrieval, encode, rewrite, rerank, the iterative round slots) — takes
+// StepLatency's constant-shape path unchanged, which is what keeps
+// shape-less traces reproducing their historical results exactly. Shaped
+// prefix points that the profiler finds infeasible (a padded prompt
+// overflowing KV cache at this batch) fall back to the constant-shape
+// latency, like partial-batch re-profiling does.
+func (p *Plan) StepLatencyShaped(idx, n int, sh Shape) float64 {
+	if sh.PromptTokens <= 0 || idx != p.PrefixIdx {
+		return p.StepLatency(idx, n)
+	}
+	st := p.Steps[p.PrefixIdx]
+	b := n
+	if b > st.Batch {
+		b = st.Batch
+	}
+	r := st.Replicas
+	if r > b {
+		r = b
+	}
+	shaped := stageperf.ShapedStage(st.Stage, sh.PromptTokens)
+	if pt := p.prof.EvalR(shaped, st.Chips, b, r); pt.OK {
+		return pt.Latency
+	}
+	return p.StepLatency(idx, n)
+}
+
+// GenTimeFor returns the decode-slot holding time of one request
+// generating outTokens tokens (excluding iterative stalls, which accrue
+// per round in the executors). 0 means the schema constant and returns the
+// precompiled full-batch generation latency bit for bit.
+func (p *Plan) GenTimeFor(outTokens int) float64 {
+	if outTokens <= 0 {
+		return p.Steps[p.DecodeIdx].Latency
+	}
+	return float64(outTokens) * p.DecodeStep
+}
+
+// ShapeMetrics re-weights the plan's analytical prediction over an
+// empirical per-request shape distribution — the reference a heterogeneous
+// replay is cross-checked against, exactly as Plan.Metrics is for
+// constant-shape traces.
+//
+// Prefill: at saturation the prefix worker serves full batches of B
+// members drawn from the trace, each costed at the padded maximum of its
+// members, so the expected batch latency is E[L(pad(max of B draws))] —
+// computed exactly from the empirical CDF (P(max <= v) = F(v)^B) with each
+// distinct padded length priced through the memoizing profiler. That
+// expectation replaces the constant-shape prefix latency in both the TTFT
+// critical path and the prefix group's occupancy. Decode: slots free at
+// each request's own output length, so the tier's throughput bound is
+// DecodeBatch over the mean per-request generation time (iterative stalls
+// included), and TPOT is the mean per-token pace. Stages whose cost is
+// shape-independent keep their compiled occupancies.
+func (p *Plan) ShapeMetrics(shapes []Shape) perf.Metrics {
+	if len(shapes) == 0 {
+		return p.Metrics
+	}
+	dec := p.Steps[p.DecodeIdx]
+	var sumGen, sumOut float64
+	for _, s := range shapes {
+		out := s.OutputTokens
+		if out <= 0 {
+			out = dec.Stage.OutTokens
+		}
+		sumGen += p.GenTimeFor(s.OutputTokens) + p.Iter.StallPerRequest
+		sumOut += float64(out)
+	}
+	n := float64(len(shapes))
+	meanGen := sumGen / n
+
+	// Expected full-batch prefix latency over the padded-max distribution.
+	prefix := p.Steps[p.PrefixIdx]
+	elPrefix := p.expectedPrefixLatency(shapes, prefix.Batch)
+	deltaL := elPrefix - prefix.Latency
+
+	qps := math.Inf(1)
+	for _, res := range p.Resources {
+		occ := res.Occupancy
+		if slices.Contains(res.Stages, p.PrefixIdx) {
+			occ += deltaL / float64(prefix.Batch)
+		}
+		qps = math.Min(qps, 1/occ)
+	}
+	qps = math.Min(qps, float64(p.Sched.DecodeBatch)/meanGen)
+
+	return perf.Metrics{
+		TTFT:       p.criticalPathTTFTWithPrefix(elPrefix),
+		TPOT:       meanGen / (sumOut / n),
+		QPS:        qps,
+		QPSPerChip: qps / float64(p.Sched.ChipsUsed()),
+	}
+}
+
+// expectedPrefixLatency is E[L(pad(max of batch draws))] over the
+// empirical prompt distribution (unshaped entries at the schema constant).
+// With every entry unshaped it degenerates to the precompiled latency.
+func (p *Plan) expectedPrefixLatency(shapes []Shape, batch int) float64 {
+	prefix := p.Steps[p.PrefixIdx]
+	shaped := false
+	padded := make([]int, len(shapes))
+	for i, s := range shapes {
+		pr := s.PromptTokens
+		if pr > 0 {
+			shaped = true
+		} else {
+			pr = p.Pipe.Schema.PrefixTokens
+		}
+		padded[i] = PadTokens(pr)
+	}
+	if !shaped {
+		return prefix.Latency
+	}
+	sort.Ints(padded)
+	n := float64(len(padded))
+	var el, fPrev float64
+	for i := 0; i < len(padded); {
+		v := padded[i]
+		j := i
+		for j < len(padded) && padded[j] == v {
+			j++
+		}
+		f := math.Pow(float64(j)/n, float64(batch))
+		el += (f - fPrev) * p.StepLatencyShaped(p.PrefixIdx, batch, Shape{PromptTokens: v})
+		fPrev = f
+		i = j
+	}
+	return el
+}
+
+// criticalPathTTFTWithPrefix is criticalPathTTFT with the prefix stage's
+// full-batch latency overridden (the shape-weighted expectation).
+func (p *Plan) criticalPathTTFTWithPrefix(prefixLatency float64) float64 {
+	finish := make([]float64, len(p.Steps))
+	for i := range p.Steps {
+		if i == p.DecodeIdx {
+			continue
+		}
+		start := 0.0
+		for _, j := range p.Preds[i] {
+			start = math.Max(start, finish[j])
+		}
+		lat := p.Steps[i].Latency
+		if i == p.PrefixIdx {
+			lat = prefixLatency
+		}
+		finish[i] = start + lat
+	}
+	return finish[p.PrefixIdx]
+}

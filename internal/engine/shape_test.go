@@ -1,0 +1,148 @@
+package engine
+
+import (
+	"math"
+	"testing"
+
+	"rago/internal/ragschema"
+)
+
+func caseISchedule() Schedule {
+	return Schedule{
+		Groups:           []GroupSchedule{{Stages: []int{1}, Chips: 16, Batch: 8}},
+		RetrievalServers: 16,
+		RetrievalBatch:   8,
+		DecodeChips:      16,
+		DecodeBatch:      128,
+		DecodeReplicas:   4,
+	}
+}
+
+func TestPadTokens(t *testing.T) {
+	cases := map[int]int{0: 64, 1: 64, 64: 64, 65: 128, 512: 512, 513: 576, 4096: 4096}
+	for in, want := range cases {
+		if got := PadTokens(in); got != want {
+			t.Errorf("PadTokens(%d) = %d, want %d", in, got, want)
+		}
+	}
+}
+
+// TestStepLatencyShapedConstantPath: the zero shape — and shapes on
+// shape-independent stages — must take the precompiled constant-shape path
+// bit for bit. This is the regression guard that keeps shape-less traces
+// reproducing their historical results exactly.
+func TestStepLatencyShapedConstantPath(t *testing.T) {
+	plan, _, pipe := mustCompile(t, ragschema.CaseI(8e9, 1), caseISchedule())
+	for idx := range pipe.Stages {
+		b := plan.Steps[idx].Batch
+		for _, n := range []int{1, b} {
+			if got, want := plan.StepLatencyShaped(idx, n, Shape{}), plan.StepLatency(idx, n); got != want {
+				t.Errorf("stage %d n=%d: zero shape latency %v != constant path %v", idx, n, got, want)
+			}
+		}
+	}
+	// Retrieval ignores shapes entirely.
+	ri := plan.RetrievalIdxs[0]
+	if got, want := plan.StepLatencyShaped(ri, 8, Shape{PromptTokens: 4096}), plan.StepLatency(ri, 8); got != want {
+		t.Errorf("retrieval shaped latency %v != constant %v", got, want)
+	}
+	// GenTimeFor(0) and GenTimeFor(schema constant) are both exact.
+	dec := plan.Steps[plan.DecodeIdx]
+	if got := plan.GenTimeFor(0); got != dec.Latency {
+		t.Errorf("GenTimeFor(0) = %v, want precompiled %v", got, dec.Latency)
+	}
+	if got := plan.GenTimeFor(dec.Stage.OutTokens); got != dec.Latency {
+		t.Errorf("GenTimeFor(schema %d) = %v, want %v exactly", dec.Stage.OutTokens, got, dec.Latency)
+	}
+}
+
+// TestStepLatencyShapedMonotone: longer padded prompts must cost the
+// prefix strictly more, and a shaped full batch must agree with a direct
+// profiler evaluation of the reshaped stage.
+func TestStepLatencyShapedMonotone(t *testing.T) {
+	plan, _, _ := mustCompile(t, ragschema.CaseI(8e9, 1), caseISchedule())
+	pi := plan.PrefixIdx
+	b := plan.Steps[pi].Batch
+	short := plan.StepLatencyShaped(pi, b, Shape{PromptTokens: 256})
+	base := plan.StepLatencyShaped(pi, b, Shape{PromptTokens: 512})
+	long := plan.StepLatencyShaped(pi, b, Shape{PromptTokens: 2048})
+	if !(short < base && base < long) {
+		t.Errorf("prefix latency not monotone in prompt: 256->%v 512->%v 2048->%v", short, base, long)
+	}
+	// The schema constant (512, already on the pad grid) shaped through
+	// the profiler must equal the precompiled full-batch latency.
+	if got, want := base, plan.Steps[pi].Latency; math.Abs(got-want) > 1e-12*want {
+		t.Errorf("shaped-at-constant latency %v != precompiled %v", got, want)
+	}
+	// Half a batch of long prompts still costs less than a full one.
+	if half := plan.StepLatencyShaped(pi, b/2, Shape{PromptTokens: 2048}); half >= long {
+		t.Errorf("partial shaped batch %v should undercut full %v", half, long)
+	}
+}
+
+func TestPrefixBatchShape(t *testing.T) {
+	plan, _, _ := mustCompile(t, ragschema.CaseI(8e9, 1), caseISchedule())
+	// All-unshaped batches carry no shape and no padding accounting.
+	if sh, tok := plan.PrefixBatchShape([]int{0, 0, 0}); sh != (Shape{}) || tok != 0 {
+		t.Errorf("unshaped batch => %+v/%d, want zero", sh, tok)
+	}
+	// Mixed batch: the padded max governs; unshaped members count at the
+	// schema constant (512).
+	sh, tok := plan.PrefixBatchShape([]int{100, 0, 1000})
+	if sh.PromptTokens != PadTokens(1000) {
+		t.Errorf("padded max = %d, want %d", sh.PromptTokens, PadTokens(1000))
+	}
+	if tok != 100+512+1000 {
+		t.Errorf("token sum = %d, want %d", tok, 100+512+1000)
+	}
+	waste := 1 - float64(tok)/float64(3*sh.PromptTokens)
+	if waste <= 0 || waste >= 1 {
+		t.Errorf("padding waste %v out of (0,1)", waste)
+	}
+}
+
+// TestShapeMetrics: the shape-weighted analytical estimate must degrade
+// QPS and inflate TTFT for a heavy-tailed mix relative to the constant
+// prediction, shrink both for a uniformly short mix, and reduce to the
+// compiled Metrics exactly when every request is unshaped.
+func TestShapeMetrics(t *testing.T) {
+	plan, _, _ := mustCompile(t, ragschema.CaseI(8e9, 1), caseISchedule())
+
+	unshaped := make([]Shape, 500)
+	if got := plan.ShapeMetrics(unshaped); got != plan.Metrics {
+		t.Errorf("all-unshaped ShapeMetrics %+v != compiled Metrics %+v", got, plan.Metrics)
+	}
+	if got := plan.ShapeMetrics(nil); got != plan.Metrics {
+		t.Errorf("empty ShapeMetrics %+v != compiled Metrics %+v", got, plan.Metrics)
+	}
+
+	heavy := make([]Shape, 500)
+	for i := range heavy {
+		heavy[i] = Shape{PromptTokens: 512, OutputTokens: 256}
+		if i%4 == 0 {
+			heavy[i] = Shape{PromptTokens: 3072, OutputTokens: 768}
+		}
+	}
+	hm := plan.ShapeMetrics(heavy)
+	if !(hm.QPS < plan.Metrics.QPS) {
+		t.Errorf("heavy-tailed QPS %v should undercut constant %v", hm.QPS, plan.Metrics.QPS)
+	}
+	if !(hm.TTFT > plan.Metrics.TTFT) {
+		t.Errorf("heavy-tailed TTFT %v should exceed constant %v", hm.TTFT, plan.Metrics.TTFT)
+	}
+	if !hm.Valid() {
+		t.Errorf("shape metrics unphysical: %+v", hm)
+	}
+
+	short := make([]Shape, 500)
+	for i := range short {
+		short[i] = Shape{PromptTokens: 128, OutputTokens: 64}
+	}
+	sm := plan.ShapeMetrics(short)
+	if !(sm.QPS > plan.Metrics.QPS) {
+		t.Errorf("short-request QPS %v should exceed constant %v", sm.QPS, plan.Metrics.QPS)
+	}
+	if !(sm.TTFT < plan.Metrics.TTFT) {
+		t.Errorf("short-request TTFT %v should undercut constant %v", sm.TTFT, plan.Metrics.TTFT)
+	}
+}

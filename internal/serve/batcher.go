@@ -4,6 +4,7 @@ import (
 	"math"
 	"time"
 
+	"rago/internal/engine"
 	"rago/internal/pipeline"
 )
 
@@ -151,13 +152,26 @@ func (r *resource) park() bool {
 
 // exec serves one batch: advance the ledger, sleep out the scaled service
 // time (running real retrieval concurrently when configured), then hand
-// every member to its next stage.
+// every member to its next stage. Prefix batches carrying mixed
+// per-request shapes are costed at their members' padded maximum prompt
+// length, and the padding overhead is recorded.
 func (r *resource) exec(si, n int, formV float64) {
 	idx := r.stages[si]
 	batch := r.queues[si][:n:n]
 	r.queues[si] = append([]*request(nil), r.queues[si][n:]...)
 
 	lat := r.dp.plan.StepLatency(idx, n)
+	tok, pad := 0, 0
+	if idx == r.dp.plan.PrefixIdx && r.dp.shapedAny.Load() {
+		prompts := make([]int, n)
+		for i, q := range batch {
+			prompts[i] = q.promptTok
+		}
+		if sh, sum := r.dp.plan.PrefixBatchShape(prompts); sh != (engine.Shape{}) {
+			lat = r.dp.plan.StepLatencyShaped(idx, n, sh)
+			tok, pad = sum, n*sh.PromptTokens
+		}
+	}
 	start := maxf(r.busyUntil, formV)
 	done := start + lat
 	r.busyUntil = done
@@ -173,7 +187,7 @@ func (r *resource) exec(si, n int, formV float64) {
 			r.dp.onSearchErr(err)
 		}
 	}
-	r.dp.coll.batchServed(idx, n, r.dp.plan.StepAt(idx).Batch)
+	r.dp.coll.batchServed(idx, n, r.dp.plan.StepAt(idx).Batch, tok, pad)
 	for _, q := range batch {
 		r.dp.advance(q, idx, done)
 	}

@@ -43,6 +43,65 @@ func BenchmarkServeCaseIV(b *testing.B) {
 	}
 }
 
+// BenchmarkServeHeterogeneous is the workload-realism trajectory point CI
+// uploads (BENCH_shapes.json): a saturating Case I replay under
+// heavy-tailed per-request prompt/output lengths, reporting sustained QPS,
+// p99 TTFT, the pad-to-max padding-waste fraction, and the throughput
+// ratio against the same arrivals served at the schema-constant shape.
+func BenchmarkServeHeterogeneous(b *testing.B) {
+	pipe, prof, sched := caseISetup(b)
+	plan, err := engine.Compile(pipe, sched, prof)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const n = 6000
+	base, err := trace.Poisson(n, 1, 42)
+	if err != nil {
+		b.Fatal(err)
+	}
+	reqs := heavyShapes(b, base)
+	shapes := shapesOf(reqs)
+	want := plan.ShapeMetrics(shapes)
+	for i := range reqs {
+		reqs[i].Arrival /= 1.5 * want.QPS
+	}
+	speedup := (float64(n) / want.QPS) / 4.0
+
+	// Constant-shape baseline on the same arrival process.
+	baseline := make([]trace.Request, len(reqs))
+	for i, r := range reqs {
+		r.PromptTokens, r.OutputTokens = 0, 0
+		baseline[i] = r
+	}
+	brt, err := New(pipe, prof, sched, Options{Speedup: speedup})
+	if err != nil {
+		b.Fatal(err)
+	}
+	brep, err := brt.Serve(baseline)
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rt, err := New(pipe, prof, sched, Options{Speedup: speedup})
+		if err != nil {
+			b.Fatal(err)
+		}
+		rep, err := rt.Serve(reqs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.Completed != n {
+			b.Fatalf("completed %d of %d", rep.Completed, n)
+		}
+		b.ReportMetric(rep.SustainedQPS, "sustainedQPS")
+		b.ReportMetric(rep.TTFT.P99, "p99TTFT_s")
+		b.ReportMetric(rep.PadWaste, "padWasteFrac")
+		b.ReportMetric(rep.SustainedQPS/brep.SustainedQPS, "QPSvsConstantShape")
+	}
+}
+
 // BenchmarkServeCaseIII is the iterative-retrieval serving trajectory
 // point CI uploads (BENCH_iterative.json): a saturating Case III replay
 // through the live decode loop, reporting sustained QPS, p99 TTFT, and

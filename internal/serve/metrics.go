@@ -9,6 +9,7 @@ import (
 
 	"rago/internal/engine"
 	"rago/internal/perf"
+	"rago/internal/roofline"
 )
 
 // collector accumulates online serving measurements. All mutation happens
@@ -22,7 +23,11 @@ type collector struct {
 	admitted, rejected, completed int
 	ttft, tpot, latency           []float64
 	stall                         []float64 // iterative decode-loop parked seconds per request
-	firstDone, lastDone           float64
+	// shapeP and shapeO record each completion's sequence shape (0 =
+	// schema constant), parallel to ttft/tpot, so latency quantiles can
+	// be bucketed by request shape after the fact and inside windows.
+	shapeP, shapeO      []int
+	firstDone, lastDone float64
 
 	// arrV records every arrival's virtual time (admitted and rejected;
 	// monotone — the replay loop is sequential) and doneV every
@@ -42,6 +47,10 @@ type collector struct {
 	batches    []int
 	fillNum    []int
 	fillDen    []int
+	// padTok/padTotal accumulate effective vs padded batch tokens per
+	// stage (shaped prefix batches only) for padding-waste reporting.
+	padTok   []int64
+	padTotal []int64
 
 	searches      int
 	searchWall    []float64 // wall seconds per real retrieval batch
@@ -66,6 +75,8 @@ func (c *collector) init(plan *engine.Plan) {
 	c.batches = make([]int, n)
 	c.fillNum = make([]int, n)
 	c.fillDen = make([]int, n)
+	c.padTok = make([]int64, n)
+	c.padTotal = make([]int64, n)
 }
 
 func (c *collector) admit(at float64) {
@@ -104,11 +115,16 @@ func (c *collector) release(stage, n int) {
 	c.mu.Unlock()
 }
 
-func (c *collector) batchServed(stage, formed, full int) {
+// batchServed records one dispatched batch. tok and pad are the batch's
+// effective and padded token totals for shaped prefix batches (both 0 when
+// no shape-aware costing applied).
+func (c *collector) batchServed(stage, formed, full, tok, pad int) {
 	c.mu.Lock()
 	c.batches[stage]++
 	c.fillNum[stage] += formed
 	c.fillDen[stage] += full
+	c.padTok[stage] += int64(tok)
+	c.padTotal[stage] += int64(pad)
 	c.depthNow[stage] -= formed
 	if c.depthNow[stage] < 0 {
 		c.depthNow[stage] = 0
@@ -124,13 +140,15 @@ func (c *collector) searchServed(queries int, wall float64) {
 	c.mu.Unlock()
 }
 
-func (c *collector) complete(ttft, tpot, latency, done, stall float64) {
+func (c *collector) complete(ttft, tpot, latency, done, stall float64, promptTok, outTok int) {
 	c.mu.Lock()
 	c.completed++
 	c.ttft = append(c.ttft, ttft)
 	c.tpot = append(c.tpot, tpot)
 	c.latency = append(c.latency, latency)
 	c.stall = append(c.stall, stall)
+	c.shapeP = append(c.shapeP, promptTok)
+	c.shapeO = append(c.shapeO, outTok)
 	c.doneV = append(c.doneV, done)
 	pm := done
 	if n := len(c.donePMax); n > 0 && c.donePMax[n-1] > pm {
@@ -199,6 +217,83 @@ type QueueStat struct {
 	Batches int `json:"batches"`
 	// MeanFill is the mean formed-batch size over the configured size.
 	MeanFill float64 `json:"mean_fill"`
+	// PadWaste is the stage's padding-waste fraction: tokens spent
+	// padding shaped batches to their per-batch maximum over all padded
+	// tokens (0 where no shape-aware costing applied).
+	PadWaste float64 `json:"pad_waste,omitempty"`
+}
+
+// ShapeStat reports latency quantiles for one shape bucket of completed
+// requests. Buckets are power-of-two ceilings of the per-request prompt
+// and output lengths ("p<=512 o<=256"); requests running at the schema
+// constants land in the "schema" bucket, so a constant-shape replay has
+// exactly one bucket.
+type ShapeStat struct {
+	// Bucket labels the shape class.
+	Bucket string `json:"bucket"`
+	// Count is how many completions fell in the bucket.
+	Count int `json:"count"`
+	// TTFT and TPOT are quantiles over the bucket's completions.
+	TTFT Quantiles `json:"ttft"`
+	TPOT Quantiles `json:"tpot"`
+}
+
+// shapeBucketOf maps a completion's shape to its bucket label and a sort
+// key (prompt-major). Unshaped requests bucket as "schema".
+func shapeBucketOf(promptTok, outTok int) (string, uint64) {
+	if promptTok == 0 && outTok == 0 {
+		return "schema", 0
+	}
+	p, o := roofline.Pow2Up(promptTok), roofline.Pow2Up(outTok)
+	part := func(prefix string, raw, ceil int) string {
+		if raw == 0 {
+			return prefix + "=schema"
+		}
+		return fmt.Sprintf("%s<=%d", prefix, ceil)
+	}
+	return part("p", promptTok, p) + " " + part("o", outTok, o), uint64(p)<<32 | uint64(o)
+}
+
+// shapeStats buckets parallel ttft/tpot/shape slices into ShapeStats
+// sorted by ascending shape. Caller holds the collector lock (or owns the
+// slices).
+func shapeStats(ttft, tpot []float64, shapeP, shapeO []int) []ShapeStat {
+	type agg struct {
+		label      string
+		key        uint64
+		ttft, tpot []float64
+	}
+	byBucket := map[string]*agg{}
+	for i := range ttft {
+		label, key := shapeBucketOf(shapeP[i], shapeO[i])
+		a := byBucket[label]
+		if a == nil {
+			a = &agg{label: label, key: key}
+			byBucket[label] = a
+		}
+		a.ttft = append(a.ttft, ttft[i])
+		a.tpot = append(a.tpot, tpot[i])
+	}
+	aggs := make([]*agg, 0, len(byBucket))
+	for _, a := range byBucket {
+		aggs = append(aggs, a)
+	}
+	sort.Slice(aggs, func(i, j int) bool {
+		if aggs[i].key != aggs[j].key {
+			return aggs[i].key < aggs[j].key
+		}
+		return aggs[i].label < aggs[j].label
+	})
+	out := make([]ShapeStat, len(aggs))
+	for i, a := range aggs {
+		out[i] = ShapeStat{
+			Bucket: a.label,
+			Count:  len(a.ttft),
+			TTFT:   quantilesOf(a.ttft),
+			TPOT:   quantilesOf(a.tpot),
+		}
+	}
+	return out
 }
 
 // Report is the measured behaviour of one trace replay. All latencies are
@@ -218,6 +313,15 @@ type Report struct {
 	// §5.3 decode loop (batch-formation wait plus round service);
 	// all-zero on single-retrieval workloads.
 	Stall Quantiles `json:"stall"`
+
+	// Shapes breaks TTFT/TPOT down by per-request shape bucket
+	// (power-of-two prompt/output ceilings; constant-shape replays
+	// collapse into the single "schema" bucket).
+	Shapes []ShapeStat `json:"shapes,omitempty"`
+	// PadWaste is the fraction of prefix-batch tokens spent padding
+	// heterogeneous prompts to their batch maximum (0 when no shaped
+	// batch was served).
+	PadWaste float64 `json:"pad_waste,omitempty"`
 
 	// SustainedQPS is completions over the completion span — the
 	// saturation throughput when the trace overdrives the schedule.
@@ -266,6 +370,16 @@ func (c *collector) report(analytic perf.Metrics, hasAnalytic bool, speedup, wal
 		Speedup:       speedup,
 		WallSeconds:   wall,
 	}
+	var padTok, padTotal int64
+	// Shape buckets only add signal on heterogeneous traces; a
+	// constant-shape replay would collapse into one "schema" row that
+	// just repeats the global quantiles.
+	for i := range c.shapeP {
+		if c.shapeP[i] != 0 || c.shapeO[i] != 0 {
+			rep.Shapes = shapeStats(c.ttft, c.tpot, c.shapeP, c.shapeO)
+			break
+		}
+	}
 	if span := c.lastDone - c.firstDone; span > 0 && c.completed > 1 {
 		rep.Span = span
 		rep.SustainedQPS = float64(c.completed-1) / span
@@ -281,7 +395,15 @@ func (c *collector) report(analytic perf.Metrics, hasAnalytic bool, speedup, wal
 		if c.fillDen[i] > 0 {
 			qs.MeanFill = float64(c.fillNum[i]) / float64(c.fillDen[i])
 		}
+		if c.padTotal[i] > 0 {
+			qs.PadWaste = 1 - float64(c.padTok[i])/float64(c.padTotal[i])
+			padTok += c.padTok[i]
+			padTotal += c.padTotal[i]
+		}
 		rep.Queues = append(rep.Queues, qs)
+	}
+	if padTotal > 0 {
+		rep.PadWaste = 1 - float64(padTok)/float64(padTotal)
 	}
 	return rep
 }
@@ -302,10 +424,19 @@ func (r *Report) String() string {
 	if r.Stall.Max > 0 {
 		fmt.Fprintf(&b, "stall    %s\n", r.Stall)
 	}
+	for _, s := range r.Shapes {
+		fmt.Fprintf(&b, "shape %-18s n %6d  TTFT p99 %.4fs  TPOT p99 %.5fs\n", s.Bucket, s.Count, s.TTFT.P99, s.TPOT.P99)
+	}
+	if r.PadWaste > 0 {
+		fmt.Fprintf(&b, "padding waste %.1f%% of prefix-batch tokens (pad-to-max over mixed shapes)\n", 100*r.PadWaste)
+	}
 	for _, q := range r.Queues {
-		if q.Batches > 0 {
+		switch {
+		case q.Batches > 0 && q.PadWaste > 0:
+			fmt.Fprintf(&b, "queue %-15s peak %5d  batches %6d  fill %.2f  pad-waste %.2f\n", q.Stage, q.PeakDepth, q.Batches, q.MeanFill, q.PadWaste)
+		case q.Batches > 0:
 			fmt.Fprintf(&b, "queue %-15s peak %5d  batches %6d  fill %.2f\n", q.Stage, q.PeakDepth, q.Batches, q.MeanFill)
-		} else {
+		default:
 			fmt.Fprintf(&b, "queue %-15s peak %5d\n", q.Stage, q.PeakDepth)
 		}
 	}

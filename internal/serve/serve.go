@@ -132,6 +132,13 @@ type request struct {
 	ttft     float64
 	decStart float64
 
+	// promptTok and outTok are the request's sequence shape (0 = schema
+	// constant): prefix batches are costed at their members' padded
+	// maximum and the decode slot is held for the request's own output
+	// length.
+	promptTok int
+	outTok    int
+
 	// Iterative decode-loop state (nil/zero on single-retrieval plans).
 	// triggers are the decode token positions the sequence parks at;
 	// resume carries the virtual time each round finished back to the
@@ -170,6 +177,13 @@ type dataplane struct {
 	// drain detection.
 	inflight atomic.Int64
 
+	// shapedAny flips once any admitted request carries an explicit
+	// shape; while false, workers skip per-batch shape aggregation
+	// entirely (the common constant-shape fast path). The store in
+	// newRequest happens before the channel send publishing the request,
+	// so a worker batching a shaped request always observes true.
+	shapedAny atomic.Bool
+
 	// onComplete retires a finished request with the owner (WaitGroup,
 	// drain bookkeeping). onSearchErr records a real-retrieval failure.
 	onComplete  func(q *request, done float64)
@@ -202,7 +216,6 @@ func newDataplane(plan *engine.Plan, opts Options, ck clock, coll *collector, bo
 	}
 	dp.decode = &decodeTier{
 		dp:        dp,
-		latency:   plan.Steps[plan.DecodeIdx].Latency,
 		outTokens: plan.Steps[plan.DecodeIdx].Stage.OutTokens,
 		round:     plan.Round,
 	}
@@ -215,16 +228,25 @@ func newDataplane(plan *engine.Plan, opts Options, ck clock, coll *collector, bo
 // when an iterative plan's trace entry carries none.
 func (dp *dataplane) newRequest(r trace.Request) *request {
 	q := &request{
-		id:      r.ID,
-		arrival: r.Arrival,
-		pending: make([]atomic.Int32, len(dp.plan.Steps)),
-		enqV:    make([]float64, dp.plan.NumSlots()),
+		id:        r.ID,
+		arrival:   r.Arrival,
+		pending:   make([]atomic.Int32, len(dp.plan.Steps)),
+		enqV:      make([]float64, dp.plan.NumSlots()),
+		promptTok: r.PromptTokens,
+		outTok:    r.OutputTokens,
+	}
+	if r.Shaped() && !dp.shapedAny.Load() {
+		dp.shapedAny.Store(true)
 	}
 	if dp.plan.Round != nil {
 		q.resume = make(chan float64, 1)
 		q.triggers = r.Triggers
 		if q.triggers == nil {
-			q.triggers = trace.TriggersFor(r.ID, dp.plan.Round.RoundsPerSeq, dp.decode.outTokens)
+			out := dp.decode.outTokens
+			if q.outTok > 0 {
+				out = q.outTok
+			}
+			q.triggers = trace.TriggersFor(r.ID, dp.plan.Round.RoundsPerSeq, out)
 		}
 	}
 	return q
@@ -298,12 +320,16 @@ func (dp *dataplane) advance(q *request, idx int, t float64) {
 
 // complete retires a fully generated request.
 func (dp *dataplane) complete(q *request, done float64) {
+	out := dp.plan.Steps[dp.plan.DecodeIdx].Stage.OutTokens
+	if q.outTok > 0 {
+		out = q.outTok
+	}
 	tpot := 0.0
-	if out := dp.plan.Steps[dp.plan.DecodeIdx].Stage.OutTokens; out > 0 {
+	if out > 0 {
 		tpot = (done - q.decStart) / float64(out)
 	}
 	dp.coll.release(dp.plan.DecodeIdx, 1)
-	dp.coll.complete(q.ttft, tpot, done-q.arrival, done, q.stall)
+	dp.coll.complete(q.ttft, tpot, done-q.arrival, done, q.stall, q.promptTok, q.outTok)
 	dp.inflight.Add(-1)
 	dp.onComplete(q, done)
 }

@@ -37,6 +37,11 @@ type Window struct {
 	TTFT Quantiles `json:"ttft"`
 	TPOT Quantiles `json:"tpot"`
 
+	// Shapes breaks the window's TTFT/TPOT down by per-request shape
+	// bucket (empty on constant-shape traffic) — the signal a
+	// shape-aware autoscaler or SLO controller would subscribe to.
+	Shapes []ShapeStat `json:"shapes,omitempty"`
+
 	// InFlight is the number of admitted, unfinished requests right now;
 	// Depths the live per-stage queue occupancy.
 	InFlight int          `json:"in_flight"`
@@ -76,14 +81,22 @@ func (c *collector) snapshot(now, window float64, inflight int) Window {
 	// before the first index where it exceeds lo is certainly outside
 	// the window, so only the suffix needs the exact filter.
 	var ttft, tpot []float64
+	var shapeP, shapeO []int
+	shaped := false
 	from := sort.Search(len(c.donePMax), func(i int) bool { return c.donePMax[i] > lo })
 	for i := from; i < len(c.doneV); i++ {
 		if d := c.doneV[i]; d > lo && d <= now {
 			ttft = append(ttft, c.ttft[i])
 			tpot = append(tpot, c.tpot[i])
+			shapeP = append(shapeP, c.shapeP[i])
+			shapeO = append(shapeO, c.shapeO[i])
+			shaped = shaped || c.shapeP[i] != 0 || c.shapeO[i] != 0
 		}
 	}
 	w.Completions = len(ttft)
+	if shaped {
+		w.Shapes = shapeStats(ttft, tpot, shapeP, shapeO)
+	}
 	if w.Span > 0 {
 		w.ArrivalRate = float64(w.Arrivals) / w.Span
 		w.QPS = float64(w.Completions) / w.Span

@@ -21,9 +21,8 @@ import "rago/internal/engine"
 type decodeTier struct {
 	dp        *dataplane
 	inbox     chan *request
-	slots     chan float64 // free-at virtual times; cap == DecodeBatch
-	latency   float64      // full-batch generation wall time (virtual)
-	outTokens int
+	slots     chan float64      // free-at virtual times; cap == DecodeBatch
+	outTokens int               // schema-constant generation length
 	round     *engine.IterRound // nil on single-retrieval plans
 }
 
@@ -57,25 +56,31 @@ func (d *decodeTier) run() {
 	}
 }
 
-// generate runs one sequence's decode: a single sleep for the whole
-// generation on single-retrieval plans, or the §5.3 decode loop — decode
-// to each trigger, park for an iterative retrieval+prefix round, resume —
-// on iterative ones. The sequence holds its decode slot throughout,
-// parks included (continuous batching refills slots only on completion),
-// which is what makes saturation throughput DecodeBatch over the stalled
-// generation time, as the analytical model prices it.
+// generate runs one sequence's decode: a single sleep for the request's
+// own generation length on single-retrieval plans (the precompiled
+// constant-shape latency when the request is unshaped), or the §5.3
+// decode loop — decode to each trigger, park for an iterative
+// retrieval+prefix round, resume — on iterative ones. The sequence holds
+// its decode slot throughout, parks included (continuous batching refills
+// slots only on completion), and frees it at its own output length, which
+// is what makes saturation throughput DecodeBatch over the mean stalled
+// generation time, as the shape-weighted analytical model prices it.
 func (d *decodeTier) generate(q *request) {
 	if d.round == nil || len(q.triggers) == 0 {
-		d.finish(q, q.decStart+d.latency)
+		d.finish(q, q.decStart+d.dp.plan.GenTimeFor(q.outTok))
 		return
+	}
+	outTokens := d.outTokens
+	if q.outTok > 0 {
+		outTokens = q.outTok
 	}
 	t, tok := q.decStart, 0
 	for _, trig := range q.triggers {
 		// Clamp recorded positions into [tok, outTokens]: decode only
 		// moves forward, so an out-of-range or out-of-order trigger
 		// parks at the nearest legal token instead of rewinding time.
-		if trig > d.outTokens {
-			trig = d.outTokens
+		if trig > outTokens {
+			trig = outTokens
 		}
 		if trig < tok {
 			trig = tok
@@ -90,7 +95,7 @@ func (d *decodeTier) generate(q *request) {
 		q.stall += resumed - q.parkedV
 		t = resumed
 	}
-	t += float64(d.outTokens-tok) * d.round.DecodeStep
+	t += float64(outTokens-tok) * d.round.DecodeStep
 	d.finish(q, t)
 }
 

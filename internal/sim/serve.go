@@ -48,6 +48,10 @@ type ServeResult struct {
 	// MeanStall is the average per-request time sequences spent parked
 	// in the §5.3 decode loop (0 for single-retrieval plans).
 	MeanStall float64
+	// PadWaste is the fraction of prefix-batch tokens spent padding
+	// heterogeneous prompts to the batch maximum (0 on constant-shape
+	// traces, where no padding accounting applies).
+	PadWaste float64
 	// FirstDone and LastDone bound the completion span in absolute trace
 	// time, so results of trace segments simulated on different plans can
 	// be combined into one aggregate rate (the controller's sim replay).
@@ -123,6 +127,11 @@ type reqState struct {
 	// iterative slots included).
 	pending []int
 	enqAt   []float64
+	// promptTok and outTok are the request's sequence shape (0 = schema
+	// constant): prefix batches are costed at their members' padded
+	// maximum and decode slots are held for the request's own output
+	// length, mirroring the live runtime.
+	promptTok, outTok int
 	// Iterative decode-loop state: the remaining trigger positions, the
 	// tokens decoded so far, when the sequence parked, and the
 	// accumulated parked time.
@@ -130,6 +139,15 @@ type reqState struct {
 	tok      int
 	parkedAt float64
 	stall    float64
+}
+
+// genTokens is the request's generation length (schema constant when
+// unshaped).
+func (st *reqState) genTokens(schemaOut int) int {
+	if st.outTok > 0 {
+		return st.outTok
+	}
+	return schemaOut
 }
 
 // Run executes the trace. flushTimeout is how long a partially filled
@@ -166,11 +184,14 @@ func (s *ServeSim) Run(reqs []trace.Request, flushTimeout float64) (ServeResult,
 		for st, ps := range plan.Preds {
 			pending[st] = len(ps)
 		}
-		states[i] = reqState{arrival: r.Arrival, pending: pending, enqAt: make([]float64, nSlots)}
+		states[i] = reqState{
+			arrival: r.Arrival, pending: pending, enqAt: make([]float64, nSlots),
+			promptTok: r.PromptTokens, outTok: r.OutputTokens,
+		}
 		if plan.Round != nil {
 			states[i].triggers = r.Triggers
 			if states[i].triggers == nil {
-				states[i].triggers = trace.TriggersFor(r.ID, plan.Round.RoundsPerSeq, outTokens)
+				states[i].triggers = trace.TriggersFor(r.ID, plan.Round.RoundsPerSeq, states[i].genTokens(outTokens))
 			}
 		}
 		push(r.Arrival, evArrival, i, 0)
@@ -179,29 +200,42 @@ func (s *ServeSim) Run(reqs []trace.Request, flushTimeout float64) (ServeResult,
 	prefixIdx := plan.PrefixIdx
 	decFree := plan.Sched.DecodeBatch
 	var decQueue []int
+	// Padding accounting: effective vs padded prefix-batch tokens.
+	// Constant-shape traces skip per-batch shape aggregation entirely.
+	var padTok, padTotal int64
+	anyShaped := false
+	for _, r := range reqs {
+		if r.Shaped() {
+			anyShaped = true
+			break
+		}
+	}
 
 	// nextTrigger returns request r's next trigger position, clamped
-	// into [tok, outTokens] — decode only moves forward, so an
-	// out-of-range or out-of-order recorded trigger parks at the
-	// nearest legal token instead of rewinding time (matching the live
-	// runtime's clamp).
+	// into [tok, the request's own generation length] — decode only moves
+	// forward, so an out-of-range or out-of-order recorded trigger parks
+	// at the nearest legal token instead of rewinding time (matching the
+	// live runtime's clamp).
 	nextTrigger := func(r int) int {
-		trig := states[r].triggers[0]
-		if trig > outTokens {
-			trig = outTokens
+		st := &states[r]
+		trig := st.triggers[0]
+		if out := st.genTokens(outTokens); trig > out {
+			trig = out
 		}
-		if trig < states[r].tok {
-			trig = states[r].tok
+		if trig < st.tok {
+			trig = st.tok
 		}
 		return trig
 	}
 
 	// startSeq admits request r into a decode slot at time now: a single
-	// full-generation event on single-retrieval plans, the first decode
-	// segment of the §5.3 loop on iterative ones.
+	// event for the request's own generation length on single-retrieval
+	// plans (GenTimeFor takes the precompiled constant-shape path when
+	// the request is unshaped), the first decode segment of the §5.3 loop
+	// on iterative ones.
 	startSeq := func(r int, now float64) {
 		if plan.Round == nil || len(states[r].triggers) == 0 {
-			push(now+plan.Steps[decIdx].Latency, evDecodeDone, r, 0)
+			push(now+plan.GenTimeFor(states[r].outTok), evDecodeDone, r, 0)
 			return
 		}
 		states[r].tok = 0
@@ -215,7 +249,7 @@ func (s *ServeSim) Run(reqs []trace.Request, flushTimeout float64) (ServeResult,
 			push(now+float64(nextTrigger(r)-st.tok)*plan.Round.DecodeStep, evDecodePark, r, 0)
 			return
 		}
-		push(now+float64(outTokens-st.tok)*plan.Round.DecodeStep, evDecodeDone, r, 0)
+		push(now+float64(st.genTokens(outTokens)-st.tok)*plan.Round.DecodeStep, evDecodeDone, r, 0)
 	}
 
 	// enqueue places request r at stage idx's queue (or a decode slot).
@@ -281,8 +315,21 @@ func (s *ServeSim) Run(reqs []trace.Request, flushTimeout float64) (ServeResult,
 		batch := queues[best][:n]
 		queues[best] = append([]int(nil), queues[best][n:]...)
 		busy[res] = true
-		// Service time: the profiled latency at the formed batch size.
+		// Service time: the profiled latency at the formed batch size —
+		// prefix batches additionally costed at their members' padded
+		// maximum prompt length, with the padding overhead accounted.
 		lat := plan.StepLatency(best, n)
+		if best == plan.PrefixIdx && anyShaped {
+			prompts := make([]int, n)
+			for i, r := range batch {
+				prompts[i] = states[r].promptTok
+			}
+			if sh, tok := plan.PrefixBatchShape(prompts); sh != (engine.Shape{}) {
+				lat = plan.StepLatencyShaped(best, n, sh)
+				padTok += int64(tok)
+				padTotal += int64(n * sh.PromptTokens)
+			}
+		}
 		for _, r := range batch {
 			push(now+lat, evStageDone, r, best)
 		}
@@ -382,7 +429,7 @@ func (s *ServeSim) Run(reqs []trace.Request, flushTimeout float64) (ServeResult,
 	if span > 0 {
 		qps = float64(completed-1) / span
 	}
-	return ServeResult{
+	res := ServeResult{
 		Completed:   completed,
 		Rejected:    rejected,
 		QPS:         qps,
@@ -391,5 +438,9 @@ func (s *ServeSim) Run(reqs []trace.Request, flushTimeout float64) (ServeResult,
 		MeanStall:   sumStall / float64(completed),
 		FirstDone:   firstDone,
 		LastDone:    lastDone,
-	}, nil
+	}
+	if padTotal > 0 {
+		res.PadWaste = 1 - float64(padTok)/float64(padTotal)
+	}
+	return res, nil
 }

@@ -157,6 +157,26 @@ func (p *Profiler) Eval(st pipeline.Stage, chips, batch int) Point {
 	return p.EvalR(st, chips, batch, 1)
 }
 
+// ShapedStage returns st with a per-request prompt length applied:
+// promptTokens replaces the sequence length of prefix-type stages; zero
+// (and every other stage kind) is the identity. Decode stages are not
+// reshaped here — executors hold decode slots for a request's own output
+// length at the plan's precompiled per-token pace, and pricing the decode
+// step at a per-request context is a recorded ROADMAP follow-up.
+// Evaluating the returned stage through the profiler memoizes per shape
+// for free — the caches key on the full comparable Stage value — which is
+// what makes per-batch shape-aware costing affordable inside the
+// executors' hot loops.
+func ShapedStage(st pipeline.Stage, promptTokens int) pipeline.Stage {
+	switch st.Kind {
+	case pipeline.KindRewritePrefix, pipeline.KindPrefix:
+		if promptTokens > 0 {
+			st.SeqLen = promptTokens
+		}
+	}
+	return st
+}
+
 // EvalR evaluates st with its chips split into `replicas` data-parallel
 // groups of chips/replicas each; an incoming batch is split evenly across
 // replicas (latency follows the per-replica sub-batch, throughput sums

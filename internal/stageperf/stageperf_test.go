@@ -249,3 +249,39 @@ func TestMemoConsistency(t *testing.T) {
 		}
 	}
 }
+
+// TestShapedStage: per-request prompt lengths reshape prefix-type stages
+// only, the profiler prices longer shapes strictly higher, and the zero
+// shape is the identity (the constant-shape regression guard).
+func TestShapedStage(t *testing.T) {
+	prof, pl := profilerFor(t, ragschema.CaseI(8e9, 1))
+	pre := stage(t, pl, pipeline.KindPrefix)
+
+	if got := ShapedStage(pre, 0); got != pre {
+		t.Errorf("zero shape must be the identity, got %+v", got)
+	}
+	long := ShapedStage(pre, 4*pre.SeqLen)
+	if long.SeqLen != 4*pre.SeqLen || long.Kind != pre.Kind || long.Items != pre.Items {
+		t.Fatalf("shaped prefix = %+v", long)
+	}
+	base := prof.Eval(pre, 8, 4)
+	shaped := prof.Eval(long, 8, 4)
+	if !base.OK || !shaped.OK {
+		t.Fatalf("points infeasible: %+v / %+v", base, shaped)
+	}
+	if shaped.Latency <= base.Latency {
+		t.Errorf("4x prompt latency %v should exceed baseline %v", shaped.Latency, base.Latency)
+	}
+
+	// Decode and retrieval are shape-free here: decode slots are held for
+	// a request's own output length at the plan's precompiled per-token
+	// pace instead of re-profiling the stage.
+	dec := stage(t, pl, pipeline.KindDecode)
+	if got := ShapedStage(dec, 2048); got != dec {
+		t.Errorf("decode must ignore prompt shapes, got %+v", got)
+	}
+	retr := stage(t, pl, pipeline.KindRetrieval)
+	if got := ShapedStage(retr, 9999); got != retr {
+		t.Errorf("retrieval must ignore shapes, got %+v", got)
+	}
+}

@@ -17,13 +17,18 @@ import (
 // generated workloads (RAGPulse-style request logs) through the serving
 // runtime and for persisting synthetic traces as CI artifacts:
 //
-//   - JSON: {"name": ..., "requests": [{"arrival": s, "triggers": [..]}]}
-//   - CSV:  header "arrival,triggers", one row per request, triggers as a
-//     ';'-joined list (empty for none).
+//   - JSON: {"name": ..., "requests": [{"arrival": s, "triggers": [..],
+//     "prompt_tokens": n, "output_tokens": n}]}
+//   - CSV:  header "arrival,triggers,prompt_tokens,output_tokens", one row
+//     per request, triggers as a ';'-joined list (empty for none).
 //
-// Readers accept requests in any order, validate arrivals, and return them
-// sorted by arrival time with dense IDs, so a loaded trace is always
-// replayable as-is.
+// The per-request shape fields are optional in both formats: absent (or
+// empty/zero) means the schema-wide constant, which is how shape-less
+// traces recorded before the fields existed keep loading unchanged.
+//
+// Readers accept requests in any order, validate arrivals and shapes, and
+// return them sorted by arrival time with dense IDs, so a loaded trace is
+// always replayable as-is.
 
 type fileTrace struct {
 	Name     string    `json:"name,omitempty"`
@@ -31,9 +36,11 @@ type fileTrace struct {
 }
 
 type fileReq struct {
-	ID       int     `json:"id"`
-	Arrival  float64 `json:"arrival"`
-	Triggers []int   `json:"triggers,omitempty"`
+	ID           int     `json:"id"`
+	Arrival      float64 `json:"arrival"`
+	Triggers     []int   `json:"triggers,omitempty"`
+	PromptTokens int     `json:"prompt_tokens,omitempty"`
+	OutputTokens int     `json:"output_tokens,omitempty"`
 }
 
 // WriteJSON renders a trace as indented JSON. name labels the trace in the
@@ -41,7 +48,10 @@ type fileReq struct {
 func WriteJSON(w io.Writer, name string, reqs []Request) error {
 	ft := fileTrace{Name: name, Requests: make([]fileReq, len(reqs))}
 	for i, r := range reqs {
-		ft.Requests[i] = fileReq{ID: r.ID, Arrival: r.Arrival, Triggers: r.Triggers}
+		ft.Requests[i] = fileReq{
+			ID: r.ID, Arrival: r.Arrival, Triggers: r.Triggers,
+			PromptTokens: r.PromptTokens, OutputTokens: r.OutputTokens,
+		}
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
@@ -58,23 +68,40 @@ func ReadJSON(r io.Reader) ([]Request, error) {
 	}
 	out := make([]Request, len(ft.Requests))
 	for i, fr := range ft.Requests {
-		out[i] = Request{Arrival: fr.Arrival, Triggers: fr.Triggers}
+		out[i] = Request{
+			Arrival: fr.Arrival, Triggers: fr.Triggers,
+			PromptTokens: fr.PromptTokens, OutputTokens: fr.OutputTokens,
+		}
 	}
 	return normalize(out)
 }
 
-// WriteCSV renders a trace as CSV with an "arrival,triggers" header.
+// WriteCSV renders a trace as CSV with an
+// "arrival,triggers,prompt_tokens,output_tokens" header. Unshaped requests
+// write empty shape cells, so a constant-shape trace round-trips without
+// inventing explicit lengths.
 func WriteCSV(w io.Writer, reqs []Request) error {
 	cw := csv.NewWriter(w)
-	if err := cw.Write([]string{"arrival", "triggers"}); err != nil {
+	if err := cw.Write([]string{"arrival", "triggers", "prompt_tokens", "output_tokens"}); err != nil {
 		return err
+	}
+	shapeCell := func(n int) string {
+		if n == 0 {
+			return ""
+		}
+		return strconv.Itoa(n)
 	}
 	for _, r := range reqs {
 		parts := make([]string, len(r.Triggers))
 		for i, p := range r.Triggers {
 			parts[i] = strconv.Itoa(p)
 		}
-		rec := []string{strconv.FormatFloat(r.Arrival, 'g', -1, 64), strings.Join(parts, ";")}
+		rec := []string{
+			strconv.FormatFloat(r.Arrival, 'g', -1, 64),
+			strings.Join(parts, ";"),
+			shapeCell(r.PromptTokens),
+			shapeCell(r.OutputTokens),
+		}
 		if err := cw.Write(rec); err != nil {
 			return err
 		}
@@ -113,6 +140,22 @@ func ReadCSV(r io.Reader) ([]Request, error) {
 				}
 				req.Triggers = append(req.Triggers, p)
 			}
+		}
+		// Optional shape columns; rows from shape-less traces (2 columns)
+		// or with empty cells load as 0 = schema constant.
+		if len(rec) > 2 && strings.TrimSpace(rec[2]) != "" {
+			p, err := strconv.Atoi(strings.TrimSpace(rec[2]))
+			if err != nil {
+				return nil, fmt.Errorf("trace: CSV row %d: bad prompt_tokens %q", i+1, rec[2])
+			}
+			req.PromptTokens = p
+		}
+		if len(rec) > 3 && strings.TrimSpace(rec[3]) != "" {
+			o, err := strconv.Atoi(strings.TrimSpace(rec[3]))
+			if err != nil {
+				return nil, fmt.Errorf("trace: CSV row %d: bad output_tokens %q", i+1, rec[3])
+			}
+			req.OutputTokens = o
 		}
 		out = append(out, req)
 	}
@@ -161,11 +204,13 @@ func Load(path string) ([]Request, error) {
 	}
 }
 
-// normalize validates arrivals, sorts by arrival time, and assigns dense
-// IDs, making any well-formed file replayable directly. Recorded trigger
-// positions are sorted ascending and must be positive — the executors'
-// decode loops advance token by token, so positions out of order would
-// run virtual time backward.
+// normalize validates arrivals and shapes, sorts by arrival time, and
+// assigns dense IDs, making any well-formed file replayable directly.
+// Recorded trigger positions are sorted ascending and must be positive —
+// the executors' decode loops advance token by token, so positions out of
+// order would run virtual time backward. Recorded shapes must be
+// non-negative (0 means the schema constant); a negative prompt or output
+// length is unservable and rejected descriptively.
 func normalize(reqs []Request) ([]Request, error) {
 	for i, r := range reqs {
 		if math.IsNaN(r.Arrival) || math.IsInf(r.Arrival, 0) || r.Arrival < 0 {
@@ -174,6 +219,12 @@ func normalize(reqs []Request) ([]Request, error) {
 		sort.Ints(r.Triggers)
 		if len(r.Triggers) > 0 && r.Triggers[0] < 1 {
 			return nil, fmt.Errorf("trace: request %d has non-positive trigger position %d", i, r.Triggers[0])
+		}
+		if r.PromptTokens < 0 {
+			return nil, fmt.Errorf("trace: request %d has negative prompt_tokens %d (0 means the schema constant)", i, r.PromptTokens)
+		}
+		if r.OutputTokens < 0 {
+			return nil, fmt.Errorf("trace: request %d has negative output_tokens %d (0 means the schema constant)", i, r.OutputTokens)
 		}
 	}
 	sort.SliceStable(reqs, func(i, j int) bool { return reqs[i].Arrival < reqs[j].Arrival })

@@ -89,6 +89,122 @@ func TestReadNormalizes(t *testing.T) {
 	}
 }
 
+// TestShapeRoundtrip: per-request prompt/output lengths survive both file
+// formats exactly, and the two formats agree with each other.
+func TestShapeRoundtrip(t *testing.T) {
+	reqs, err := Poisson(60, 30, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prompt, err := LognormalLengths(512, 0.6, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	output, err := LognormalLengths(128, 0.8, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs = WithShapes(WithTriggers(reqs, 2, 256, 8), prompt, output, 8)
+
+	var jbuf, cbuf bytes.Buffer
+	if err := WriteJSON(&jbuf, "shapes", reqs); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteCSV(&cbuf, reqs); err != nil {
+		t.Fatal(err)
+	}
+	fromJSON, err := ReadJSON(&jbuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromCSV, err := ReadCSV(&cbuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range reqs {
+		for _, got := range [][]Request{fromJSON, fromCSV} {
+			if got[i].PromptTokens != reqs[i].PromptTokens || got[i].OutputTokens != reqs[i].OutputTokens {
+				t.Fatalf("shape lost at %d: %+v vs %+v", i, got[i], reqs[i])
+			}
+			if got[i].Arrival != reqs[i].Arrival || len(got[i].Triggers) != 2 {
+				t.Fatalf("non-shape fields corrupted at %d: %+v", i, got[i])
+			}
+		}
+	}
+}
+
+// TestShapelessBackCompat: traces recorded before the shape fields existed
+// (PR-3-era layout) must keep loading, with shapes defaulting to the
+// schema constant (0).
+func TestShapelessBackCompat(t *testing.T) {
+	oldJSON := `{"name":"pr3","requests":[
+		{"id":0,"arrival":0.5,"triggers":[10,20]},
+		{"id":1,"arrival":1.25}]}`
+	oldCSV := "arrival,triggers\n0.5,10;20\n1.25,\n"
+	fromJSON, err := ReadJSON(strings.NewReader(oldJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromCSV, err := ReadCSV(strings.NewReader(oldCSV))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, got := range [][]Request{fromJSON, fromCSV} {
+		if len(got) != 2 {
+			t.Fatalf("got %d requests, want 2", len(got))
+		}
+		for i, r := range got {
+			if r.Shaped() {
+				t.Errorf("shape-less trace produced a shaped request %d: %+v", i, r)
+			}
+		}
+		if len(got[0].Triggers) != 2 {
+			t.Errorf("triggers lost from shape-less trace: %+v", got[0])
+		}
+	}
+}
+
+// TestMalformedShapesRejected: negative or garbage shape fields must be
+// rejected descriptively, not silently served.
+func TestMalformedShapesRejected(t *testing.T) {
+	cases := []struct {
+		name string
+		read func() error
+		frag string
+	}{
+		{"json-negative-prompt", func() error {
+			_, err := ReadJSON(strings.NewReader(`{"requests":[{"arrival":1,"prompt_tokens":-4}]}`))
+			return err
+		}, "prompt_tokens"},
+		{"json-negative-output", func() error {
+			_, err := ReadJSON(strings.NewReader(`{"requests":[{"arrival":1,"output_tokens":-1}]}`))
+			return err
+		}, "output_tokens"},
+		{"csv-bad-prompt", func() error {
+			_, err := ReadCSV(strings.NewReader("arrival,triggers,prompt_tokens,output_tokens\n1.0,,abc,\n"))
+			return err
+		}, "prompt_tokens"},
+		{"csv-bad-output", func() error {
+			_, err := ReadCSV(strings.NewReader("1.0,,128,12.5\n"))
+			return err
+		}, "output_tokens"},
+		{"csv-negative-output", func() error {
+			_, err := ReadCSV(strings.NewReader("1.0,,128,-2\n"))
+			return err
+		}, "output_tokens"},
+	}
+	for _, tc := range cases {
+		err := tc.read()
+		if err == nil {
+			t.Errorf("%s: malformed shape accepted", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.frag) {
+			t.Errorf("%s: error %q should mention %q", tc.name, err, tc.frag)
+		}
+	}
+}
+
 func TestSaveLoad(t *testing.T) {
 	dir := t.TempDir()
 	reqs, err := Diurnal(200, 30, 0.5, 60, 1)

@@ -1,0 +1,96 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// Fuzz targets for the trace file readers. `go test` runs the seed corpus
+// as regular tests in CI; `go test -fuzz FuzzReadJSON ./internal/trace`
+// explores further. The invariant under arbitrary input: the readers
+// either return a descriptive error or a normalized, replayable trace —
+// never a panic, and never a request the executors cannot serve (negative
+// shapes, non-positive triggers, invalid arrivals).
+
+func checkNormalized(t *testing.T, reqs []Request) {
+	t.Helper()
+	for i, r := range reqs {
+		if r.ID != i {
+			t.Fatalf("request %d has non-dense ID %d", i, r.ID)
+		}
+		if i > 0 && r.Arrival < reqs[i-1].Arrival {
+			t.Fatalf("requests not sorted at %d", i)
+		}
+		if r.Arrival < 0 || r.PromptTokens < 0 || r.OutputTokens < 0 {
+			t.Fatalf("unservable request survived normalization: %+v", r)
+		}
+		for j, p := range r.Triggers {
+			if p < 1 || (j > 0 && p < r.Triggers[j-1]) {
+				t.Fatalf("bad trigger list %v at request %d", r.Triggers, i)
+			}
+		}
+	}
+}
+
+func FuzzReadJSON(f *testing.F) {
+	f.Add(`{"requests":[{"arrival":1.5,"triggers":[3,9],"prompt_tokens":512,"output_tokens":128}]}`)
+	f.Add(`{"name":"t","requests":[{"arrival":0},{"arrival":2.25}]}`)
+	f.Add(`{"requests":[{"arrival":1,"prompt_tokens":-3}]}`)
+	f.Add(`{"requests":[{"arrival":-1}]}`)
+	f.Add(`{"requests":[{"arrival":1e308},{"arrival":1e308}]}`)
+	f.Add(`not json at all`)
+	f.Add(`{"requests":[{"arrival":2,"triggers":[0]}]}`)
+	f.Fuzz(func(t *testing.T, data string) {
+		reqs, err := ReadJSON(strings.NewReader(data))
+		if err != nil {
+			return
+		}
+		checkNormalized(t, reqs)
+		// What parsed must round-trip: write it back and reread.
+		var buf bytes.Buffer
+		if err := WriteJSON(&buf, "fuzz", reqs); err != nil {
+			t.Fatalf("writing a normalized trace failed: %v", err)
+		}
+		again, err := ReadJSON(&buf)
+		if err != nil {
+			t.Fatalf("rereading a written trace failed: %v", err)
+		}
+		if len(again) != len(reqs) {
+			t.Fatalf("round-trip changed length: %d vs %d", len(again), len(reqs))
+		}
+	})
+}
+
+func FuzzReadCSV(f *testing.F) {
+	f.Add("arrival,triggers,prompt_tokens,output_tokens\n1.5,3;9,512,128\n")
+	f.Add("arrival,triggers\n0.5,\n2.5,7\n") // shape-less, PR-3-era layout
+	f.Add("1.0,,256,64\n")                   // headerless
+	f.Add("arrival,triggers,prompt_tokens,output_tokens\n1.0,,-1,\n")
+	f.Add("x,y\nz\n")
+	f.Add("")
+	f.Add("1.0,2;x\n")
+	f.Fuzz(func(t *testing.T, data string) {
+		reqs, err := ReadCSV(strings.NewReader(data))
+		if err != nil {
+			return
+		}
+		checkNormalized(t, reqs)
+		var buf bytes.Buffer
+		if err := WriteCSV(&buf, reqs); err != nil {
+			t.Fatalf("writing a normalized trace failed: %v", err)
+		}
+		again, err := ReadCSV(&buf)
+		if err != nil {
+			t.Fatalf("rereading a written trace failed: %v", err)
+		}
+		if len(again) != len(reqs) {
+			t.Fatalf("round-trip changed length: %d vs %d", len(again), len(reqs))
+		}
+		for i := range again {
+			if again[i].PromptTokens != reqs[i].PromptTokens || again[i].OutputTokens != reqs[i].OutputTokens {
+				t.Fatalf("shape fields drifted through CSV round-trip at %d", i)
+			}
+		}
+	})
+}

@@ -1,0 +1,172 @@
+package trace
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Per-request sequence-length sampling. Production RAG traffic (RAGPulse)
+// has heavy-tailed per-request prompt and output lengths; these samplers
+// decorate a trace with seed-deterministic shapes so the executors can be
+// driven with realistic length mixes instead of the schema-wide constants.
+//
+// A LengthDist is validated at construction: degenerate parameters
+// (0-token outputs, an upper clamp below one token, a median outside the
+// clamp) are rejected with descriptive errors rather than producing
+// unservable requests, and every sample is clamped into [1, Max] so a
+// heavy tail can never exceed the model context the caller budgets.
+
+// distKind enumerates the supported length distributions.
+type distKind int
+
+const (
+	distUnset distKind = iota
+	distConstant
+	distLognormal
+	distEmpirical
+)
+
+// LengthBucket is one bin of an empirical length histogram.
+type LengthBucket struct {
+	// Tokens is the length requests in this bucket have.
+	Tokens int
+	// Weight is the bucket's relative frequency (any positive scale).
+	Weight float64
+}
+
+// LengthDist draws per-request token lengths. The zero value is "unset"
+// and leaves the corresponding Request field at 0 (schema constant).
+// Construct via ConstantLengths, LognormalLengths, or EmpiricalLengths.
+type LengthDist struct {
+	kind distKind
+
+	value     int     // constant
+	mu, sigma float64 // lognormal (of the underlying normal)
+	max       int     // upper clamp, tokens
+
+	// Empirical histogram, bucket tokens ascending with cumulative
+	// weights normalized to 1.
+	tokens []int
+	cum    []float64
+}
+
+// IsZero reports whether the distribution is unset.
+func (d LengthDist) IsZero() bool { return d.kind == distUnset }
+
+// Max returns the distribution's upper clamp in tokens (0 when unset).
+func (d LengthDist) Max() int { return d.max }
+
+// ConstantLengths returns a degenerate distribution: every request gets
+// exactly n tokens.
+func ConstantLengths(n int) (LengthDist, error) {
+	if n < 1 {
+		return LengthDist{}, fmt.Errorf("trace: constant length %d tokens is unservable (need >= 1)", n)
+	}
+	return LengthDist{kind: distConstant, value: n, max: n}, nil
+}
+
+// LognormalLengths returns a lognormal length distribution with the given
+// median (tokens) and log-scale sigma, clamped into [1, max]. Sigma around
+// 0.6-1.0 reproduces the heavy tails of real RAG request logs; sigma 0 is
+// the constant median.
+func LognormalLengths(median, sigma float64, max int) (LengthDist, error) {
+	if median < 1 {
+		return LengthDist{}, fmt.Errorf("trace: lognormal median %g tokens is unservable (need >= 1)", median)
+	}
+	if sigma < 0 {
+		return LengthDist{}, fmt.Errorf("trace: lognormal sigma must be non-negative, got %g", sigma)
+	}
+	if max < 1 {
+		return LengthDist{}, fmt.Errorf("trace: length clamp %d tokens is unservable (need >= 1; cap it at the model context)", max)
+	}
+	if float64(max) < median {
+		return LengthDist{}, fmt.Errorf("trace: lognormal median %g exceeds the %d-token clamp", median, max)
+	}
+	return LengthDist{kind: distLognormal, mu: math.Log(median), sigma: sigma, max: max}, nil
+}
+
+// EmpiricalLengths returns a histogram distribution over the given buckets
+// (RAGPulse-style recorded length histograms), clamped into [1, max].
+// Buckets may arrive in any order; weights are normalized internally.
+func EmpiricalLengths(buckets []LengthBucket, max int) (LengthDist, error) {
+	if len(buckets) == 0 {
+		return LengthDist{}, fmt.Errorf("trace: empirical length histogram is empty")
+	}
+	if max < 1 {
+		return LengthDist{}, fmt.Errorf("trace: length clamp %d tokens is unservable (need >= 1; cap it at the model context)", max)
+	}
+	bs := append([]LengthBucket(nil), buckets...)
+	sort.Slice(bs, func(i, j int) bool { return bs[i].Tokens < bs[j].Tokens })
+	var total float64
+	for _, b := range bs {
+		if b.Tokens < 1 {
+			return LengthDist{}, fmt.Errorf("trace: empirical bucket at %d tokens is unservable (need >= 1)", b.Tokens)
+		}
+		if b.Tokens > max {
+			return LengthDist{}, fmt.Errorf("trace: empirical bucket at %d tokens exceeds the %d-token clamp", b.Tokens, max)
+		}
+		if b.Weight <= 0 || math.IsNaN(b.Weight) || math.IsInf(b.Weight, 0) {
+			return LengthDist{}, fmt.Errorf("trace: empirical bucket at %d tokens has non-positive weight %g", b.Tokens, b.Weight)
+		}
+		total += b.Weight
+	}
+	d := LengthDist{kind: distEmpirical, max: max, tokens: make([]int, len(bs)), cum: make([]float64, len(bs))}
+	run := 0.0
+	for i, b := range bs {
+		run += b.Weight / total
+		d.tokens[i] = b.Tokens
+		d.cum[i] = run
+	}
+	d.cum[len(d.cum)-1] = 1 // absorb rounding so the last bucket is reachable
+	return d, nil
+}
+
+// Sample draws one length. Unset distributions return 0 (schema constant);
+// every real draw is clamped into [1, Max].
+func (d LengthDist) Sample(rng *rand.Rand) int {
+	switch d.kind {
+	case distConstant:
+		return d.value
+	case distLognormal:
+		n := int(math.Round(math.Exp(d.mu + d.sigma*rng.NormFloat64())))
+		if n < 1 {
+			n = 1
+		}
+		if n > d.max {
+			n = d.max
+		}
+		return n
+	case distEmpirical:
+		u := rng.Float64()
+		i := sort.SearchFloat64s(d.cum, u)
+		if i >= len(d.tokens) {
+			i = len(d.tokens) - 1
+		}
+		return d.tokens[i]
+	default:
+		return 0
+	}
+}
+
+// WithShapes decorates requests with per-request prompt and output lengths
+// drawn from the given distributions, deterministically by seed. An unset
+// distribution leaves the corresponding field untouched — 0 (schema
+// constant) on synthetic traces, or whatever a recorded trace already
+// carries — so one-sided shaping (e.g. redrawing outputs over a trace's
+// recorded prompts) composes without destroying data.
+func WithShapes(reqs []Request, prompt, output LengthDist, seed int64) []Request {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]Request, len(reqs))
+	for i, r := range reqs {
+		if !prompt.IsZero() {
+			r.PromptTokens = prompt.Sample(rng)
+		}
+		if !output.IsZero() {
+			r.OutputTokens = output.Sample(rng)
+		}
+		out[i] = r
+	}
+	return out
+}

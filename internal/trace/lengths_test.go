@@ -1,0 +1,169 @@
+package trace
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestLognormalLengths(t *testing.T) {
+	d, err := LognormalLengths(512, 0.6, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	var sum float64
+	n := 20000
+	lo, hi := math.MaxInt, 0
+	for i := 0; i < n; i++ {
+		v := d.Sample(rng)
+		if v < 1 || v > 4096 {
+			t.Fatalf("sample %d outside [1, 4096]", v)
+		}
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+		sum += float64(v)
+	}
+	// Lognormal mean = median * exp(sigma^2/2) ~ 613; the clamp shaves a
+	// little off the tail.
+	mean := sum / float64(n)
+	if mean < 500 || mean > 700 {
+		t.Errorf("lognormal mean %.1f outside the expected ~613 band", mean)
+	}
+	if hi <= 2*lo {
+		t.Errorf("distribution not spread: min %d max %d", lo, hi)
+	}
+}
+
+func TestEmpiricalLengths(t *testing.T) {
+	d, err := EmpiricalLengths([]LengthBucket{
+		{Tokens: 2048, Weight: 1}, // out of order on purpose
+		{Tokens: 128, Weight: 6},
+		{Tokens: 512, Weight: 3},
+	}, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	counts := map[int]int{}
+	n := 10000
+	for i := 0; i < n; i++ {
+		counts[d.Sample(rng)]++
+	}
+	if len(counts) != 3 {
+		t.Fatalf("sampled values %v, want exactly the three buckets", counts)
+	}
+	if f := float64(counts[128]) / float64(n); f < 0.55 || f > 0.65 {
+		t.Errorf("128-token bucket frequency %.3f, want ~0.6", f)
+	}
+	if f := float64(counts[2048]) / float64(n); f < 0.07 || f > 0.13 {
+		t.Errorf("2048-token bucket frequency %.3f, want ~0.1", f)
+	}
+}
+
+func TestConstantLengths(t *testing.T) {
+	d, err := ConstantLengths(256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 10; i++ {
+		if v := d.Sample(rng); v != 256 {
+			t.Fatalf("constant sample %d", v)
+		}
+	}
+}
+
+// TestLengthDistRejectsDegenerate: unservable parameters — 0-token
+// outputs, clamps below one token, medians beyond the model-context clamp
+// — must be rejected descriptively at construction, never sampled.
+func TestLengthDistRejectsDegenerate(t *testing.T) {
+	cases := []struct {
+		name string
+		err  error
+		frag string
+	}{
+		{"constant-zero", errOf(ConstantLengths(0)), "unservable"},
+		{"constant-negative", errOf(ConstantLengths(-5)), "unservable"},
+		{"lognormal-zero-median", errOf(LognormalLengths(0, 0.5, 1024)), "unservable"},
+		{"lognormal-negative-sigma", errOf(LognormalLengths(512, -1, 1024)), "sigma"},
+		{"lognormal-zero-max", errOf(LognormalLengths(512, 0.5, 0)), "model context"},
+		{"lognormal-median-over-max", errOf(LognormalLengths(512, 0.5, 256)), "clamp"},
+		{"empirical-empty", errOf(EmpiricalLengths(nil, 1024)), "empty"},
+		{"empirical-zero-token", errOf(EmpiricalLengths([]LengthBucket{{Tokens: 0, Weight: 1}}, 1024)), "unservable"},
+		{"empirical-over-max", errOf(EmpiricalLengths([]LengthBucket{{Tokens: 2048, Weight: 1}}, 1024)), "clamp"},
+		{"empirical-bad-weight", errOf(EmpiricalLengths([]LengthBucket{{Tokens: 128, Weight: 0}}, 1024)), "weight"},
+	}
+	for _, tc := range cases {
+		if tc.err == nil {
+			t.Errorf("%s: degenerate input accepted", tc.name)
+			continue
+		}
+		if !strings.Contains(tc.err.Error(), tc.frag) {
+			t.Errorf("%s: error %q should mention %q", tc.name, tc.err, tc.frag)
+		}
+	}
+}
+
+func errOf(_ LengthDist, err error) error { return err }
+
+func TestWithShapes(t *testing.T) {
+	reqs, err := Poisson(100, 50, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prompt, err := LognormalLengths(512, 0.6, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := LognormalLengths(128, 0.8, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shaped := WithShapes(reqs, prompt, out, 11)
+	if len(shaped) != len(reqs) {
+		t.Fatalf("length changed: %d vs %d", len(shaped), len(reqs))
+	}
+	for i, r := range shaped {
+		if !r.Shaped() || r.PromptTokens < 1 || r.OutputTokens < 1 {
+			t.Fatalf("request %d not shaped: %+v", i, r)
+		}
+		if r.Arrival != reqs[i].Arrival || r.ID != reqs[i].ID {
+			t.Fatalf("request %d identity mutated", i)
+		}
+		if reqs[i].Shaped() {
+			t.Fatalf("input slice mutated at %d", i)
+		}
+	}
+	// One-sided shaping: unset prompt leaves the field at the schema
+	// constant marker.
+	oneSided := WithShapes(reqs, LengthDist{}, out, 11)
+	for i, r := range oneSided {
+		if r.PromptTokens != 0 || r.OutputTokens < 1 {
+			t.Fatalf("one-sided shaping wrong at %d: %+v", i, r)
+		}
+	}
+	// An unset distribution must preserve shapes the trace already
+	// carries (recorded traces), not zero them.
+	reshaped := WithShapes(shaped, LengthDist{}, out, 12)
+	for i, r := range reshaped {
+		if r.PromptTokens != shaped[i].PromptTokens {
+			t.Fatalf("recorded prompt destroyed at %d: %d -> %d", i, shaped[i].PromptTokens, r.PromptTokens)
+		}
+		if r.OutputTokens < 1 {
+			t.Fatalf("output not redrawn at %d: %+v", i, r)
+		}
+	}
+	// Deterministic by seed.
+	again := WithShapes(reqs, prompt, out, 11)
+	for i := range shaped {
+		if shaped[i].PromptTokens != again[i].PromptTokens || shaped[i].OutputTokens != again[i].OutputTokens {
+			t.Fatalf("non-deterministic shapes at %d", i)
+		}
+	}
+}

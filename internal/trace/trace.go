@@ -19,7 +19,19 @@ type Request struct {
 	// Triggers are decode token positions (1-based, strictly inside the
 	// generation) at which the request issues an iterative retrieval.
 	Triggers []int
+	// PromptTokens and OutputTokens are this request's sequence shape —
+	// real RAG traffic (RAGPulse) has heavy-tailed per-request prompt and
+	// output lengths, and the executors cost batches at the padded shape
+	// of their members. 0 means the schema-wide constant
+	// (Schema.PrefixTokens / Schema.DecodeTokens), which is also what
+	// shape-less recorded traces load as.
+	PromptTokens int
+	// OutputTokens is the generation length; 0 means the schema constant.
+	OutputTokens int
 }
+
+// Shaped reports whether the request carries an explicit sequence shape.
+func (r Request) Shaped() bool { return r.PromptTokens > 0 || r.OutputTokens > 0 }
 
 // Poisson returns n requests with exponential inter-arrival times at the
 // given rate (requests/second).

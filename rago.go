@@ -193,8 +193,18 @@ type (
 	ServeSim = sim.ServeSim
 	// ServeResult reports measured serving behaviour.
 	ServeResult = sim.ServeResult
-	// Request is one trace entry.
+	// Request is one trace entry; its PromptTokens/OutputTokens carry the
+	// per-request sequence shape (0 = schema constant).
 	Request = trace.Request
+	// LengthDist is a per-request token-length distribution (constant,
+	// lognormal, or empirical histogram), seed-deterministic and clamped.
+	LengthDist = trace.LengthDist
+	// LengthBucket is one bin of an empirical length histogram.
+	LengthBucket = trace.LengthBucket
+	// Shape is the padded sequence shape a batch is costed at; see
+	// ExecutionPlan.ShapeMetrics for the shape-weighted analytical
+	// reference of a heterogeneous trace.
+	Shape = engine.Shape
 )
 
 // Simulation entry points and trace generators. The non-stationary
@@ -222,6 +232,17 @@ var (
 	// positions (§5.3), so the live runtime and the simulators park every
 	// sequence at identical tokens.
 	WithTriggers = trace.WithTriggers
+	// WithShapes decorates a trace with per-request prompt/output lengths
+	// drawn from LengthDists — the heavy-tailed request shapes real RAG
+	// traffic shows; both executors cost batches at the padded member
+	// maximum and free decode slots at each request's own length.
+	WithShapes = trace.WithShapes
+	// ConstantLengths, LognormalLengths, and EmpiricalLengths construct
+	// validated length distributions (degenerate parameters — 0-token
+	// outputs, clamps below a token — are rejected descriptively).
+	ConstantLengths  = trace.ConstantLengths
+	LognormalLengths = trace.LognormalLengths
+	EmpiricalLengths = trace.EmpiricalLengths
 )
 
 // Serving runtime (a concurrent, goroutine-based engine that executes a
@@ -237,8 +258,12 @@ type (
 	// ServeOptions configures pacing (time compression), batching flush,
 	// admission control, and the optional real retrieval substrate.
 	ServeOptions = serve.Options
-	// ServeReport is the measured latency/throughput report of a replay.
+	// ServeReport is the measured latency/throughput report of a replay;
+	// on heterogeneous traces it carries per-shape-bucket quantiles
+	// (Shapes) and the pad-to-max padding-waste fraction (PadWaste).
 	ServeReport = serve.Report
+	// ShapeBucketStat is one shape bucket's TTFT/TPOT quantiles.
+	ShapeBucketStat = serve.ShapeStat
 	// SearchFunc plugs a real vector index (e.g. IVFPQ.SearchBatch) into
 	// the runtime's retrieval tier.
 	SearchFunc = serve.SearchFunc

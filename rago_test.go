@@ -195,3 +195,78 @@ func TestPublicAPIMetricsSanity(t *testing.T) {
 		t.Errorf("infinite TTFT accepted")
 	}
 }
+
+func TestPublicAPIHeterogeneousShapes(t *testing.T) {
+	// The workload-realism loop: shape a trace with heavy-tailed lengths,
+	// compile a plan, get the shape-weighted analytical reference, serve,
+	// and read per-shape buckets plus padding waste from the report.
+	schema := CaseI(8e9, 1)
+	cluster := DefaultCluster()
+	// A fixed schedule with a fast decode tier, so the completion span is
+	// dominated by serving, not by the last sequences' generations (the
+	// span-based QPS estimate needs span >> mean generation time).
+	sched := Schedule{
+		Groups:           []GroupSchedule{{Stages: []int{1}, Chips: 16, Batch: 8}},
+		RetrievalServers: 16,
+		RetrievalBatch:   8,
+		DecodeChips:      16,
+		DecodeBatch:      128,
+		DecodeReplicas:   4,
+	}
+	plan, err := CompilePlan(schema, sched, cluster)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	prompt, err := LognormalLengths(512, 0.8, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	output, err := LognormalLengths(256, 0.7, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 5000
+	base, err := PoissonTrace(n, 1, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs := WithShapes(base, prompt, output, 19)
+	shapes := make([]Shape, len(reqs))
+	for i, r := range reqs {
+		shapes[i] = Shape{PromptTokens: r.PromptTokens, OutputTokens: r.OutputTokens}
+	}
+	want := plan.ShapeMetrics(shapes)
+	if !(want.QPS < plan.Metrics.QPS) {
+		t.Fatalf("shape-weighted QPS %.2f should undercut constant %.2f", want.QPS, plan.Metrics.QPS)
+	}
+	for i := range reqs {
+		reqs[i].Arrival /= 1.5 * want.QPS
+	}
+
+	rt, err := NewRuntime(schema, sched, cluster, ServeOptions{Speedup: (n / want.QPS) / 4.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := rt.Serve(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Completed != n {
+		t.Fatalf("completed %d of %d", rep.Completed, n)
+	}
+	if ratio := rep.SustainedQPS / want.QPS; ratio < 0.85 || ratio > 1.15 {
+		t.Errorf("served QPS %.2f vs shape-weighted reference %.2f (ratio %.2f)", rep.SustainedQPS, want.QPS, ratio)
+	}
+	if len(rep.Shapes) < 2 || rep.PadWaste <= 0 {
+		t.Errorf("report missing shape artifacts: %d buckets, pad waste %.3f", len(rep.Shapes), rep.PadWaste)
+	}
+
+	// Degenerate sampler inputs are rejected descriptively.
+	if _, err := ConstantLengths(0); err == nil {
+		t.Error("0-token constant length should be rejected")
+	}
+	if _, err := LognormalLengths(1024, 0.5, 512); err == nil {
+		t.Error("median beyond the clamp should be rejected")
+	}
+}
