@@ -12,6 +12,7 @@ import (
 	"rago/internal/control"
 	"rago/internal/core"
 	"rago/internal/engine"
+	"rago/internal/obs"
 	"rago/internal/perf"
 	"rago/internal/pipeline"
 	"rago/internal/serve"
@@ -232,6 +233,9 @@ func runServe(args []string) {
 		flush       = fs.Float64("flush", 0.05, "partial-batch flush timeout in virtual seconds (0 = dispatch partial batches immediately)")
 		maxInflight = fs.Int("max-inflight", 0, "admission bound; arrivals beyond it are shed (0 = admit all)")
 		jsonOut     = fs.Bool("json", false, "print the full report as JSON on stdout (preamble goes to stderr)")
+		metricsAddr = fs.String("metrics-addr", "", "serve streaming metrics on this address (/window, /stream SSE, /debug/vars, /debug/pprof/); \":0\" picks a free port")
+		spanTrace   = fs.String("span-trace", "", "write a Chrome trace_event JSON of the replay to this file (load in https://ui.perfetto.dev)")
+		windowEvery = fs.Float64("window-every", 2, "stream a telemetry window snapshot onto the bus every this many virtual seconds (with -metrics-addr)")
 		dbVectors   = fs.Int("db", 0, "build a real IVF-PQ index of this many vectors on the retrieval path (0 = model-paced only)")
 		dbDim       = fs.Int("db-dim", 64, "real index dimensionality")
 		k           = fs.Int("k", 10, "neighbors per real query")
@@ -274,6 +278,50 @@ func runServe(args []string) {
 	if *flush == 0 {
 		opts.FlushTimeout = -1 // Options semantics: negative = immediate
 	}
+
+	// Observability wiring: one bus feeds the optional metrics endpoint
+	// and the optional span tracer; with neither flag the runtime keeps
+	// its nil-bus zero-cost fast path.
+	var tracer *obs.Tracer
+	if *metricsAddr != "" || *spanTrace != "" {
+		bus := obs.NewBus()
+		opts.Bus = bus
+		opts.WindowEvery = *windowEvery
+		if *metricsAddr != "" {
+			msrv, err := obs.NewMetricsServer(bus, *metricsAddr)
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer msrv.Close()
+			fmt.Fprintf(info, "metrics:  http://%s  (/window /stream /debug/vars /debug/pprof/)\n", msrv.Addr())
+		}
+		if *spanTrace != "" {
+			tracer = obs.NewTracer()
+			if err := tracer.Attach(bus, 0); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+	// flushTrace renders the recorded spans once the replay drains; both
+	// the static and the controlled paths call it before printing reports.
+	flushTrace := func() {
+		if tracer == nil {
+			return
+		}
+		tracer.Close()
+		f, err := os.Create(*spanTrace)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := tracer.WriteChromeTrace(f); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(info, "span trace: wrote %s (%d events, %d dropped) — load in https://ui.perfetto.dev\n",
+			*spanTrace, len(tracer.Events()), tracer.Dropped())
+	}
 	if *dbVectors > 0 {
 		fmt.Fprintf(info, "building IVF-PQ index: %d vectors, dim %d ...\n", *dbVectors, *dbDim)
 		data := vectordb.GenClustered(*dbVectors, *dbDim, 64, 0.4, *tf.seed)
@@ -291,7 +339,8 @@ func runServe(args []string) {
 
 	if *controller {
 		runControlled(o, front, tf, opts, info, *jsonOut, control.SLO{TTFT: *sloTTFT, TPOT: *sloTPOT},
-			control.Config{Window: *ctrlWindow, Interval: *ctrlTick, Headroom: *headroom, HoldDown: *holddown})
+			control.Config{Window: *ctrlWindow, Interval: *ctrlTick, Headroom: *headroom, HoldDown: *holddown},
+			flushTrace)
 		return
 	}
 
@@ -330,6 +379,7 @@ func runServe(args []string) {
 	if err != nil {
 		log.Fatal(err)
 	}
+	flushTrace()
 	if *jsonOut {
 		printJSON(rep)
 		return
@@ -341,7 +391,8 @@ func runServe(args []string) {
 // lets the online controller drive the replay, then cross-checks the
 // switching decisions in the discrete-event simulator.
 func runControlled(o *core.Optimizer, front []core.SchedulePoint, tf traceFlags,
-	opts serve.Options, info *os.File, jsonOut bool, slo control.SLO, cfg control.Config) {
+	opts serve.Options, info *os.File, jsonOut bool, slo control.SLO, cfg control.Config,
+	flushTrace func()) {
 	lib, err := control.NewLibrary(o, front, slo)
 	if err != nil {
 		log.Fatal(err)
@@ -371,6 +422,7 @@ func runControlled(o *core.Optimizer, front []core.SchedulePoint, tf traceFlags,
 	if err != nil {
 		log.Fatal(err)
 	}
+	flushTrace()
 
 	// The discrete-event replay of the same decisions validates the live
 	// run; the simulator applies the same admission bound, so the

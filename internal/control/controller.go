@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 
+	"rago/internal/obs"
 	"rago/internal/serve"
 	"rago/internal/trace"
 )
@@ -71,6 +72,10 @@ type Event struct {
 	// Rate and P99TTFT are the telemetry the decision saw.
 	Rate    float64 `json:"rate"`
 	P99TTFT float64 `json:"p99_ttft"`
+	// DrainSeconds is how long the retired plan's in-flight requests took
+	// to finish on its outgoing workers (the double-provisioned overlap
+	// the chip-second accounting charges). Filled in after the run drains.
+	DrainSeconds float64 `json:"drain_seconds"`
 }
 
 // Result is the outcome of one controlled replay.
@@ -187,6 +192,14 @@ func (c *Controller) Run(opts serve.Options, reqs []trace.Request) (*Result, err
 			res.Ticks++
 			w := srv.Telemetry(c.Cfg.Window)
 			want, reason := c.decide(cur, w)
+			if opts.Bus.Active() {
+				opts.Bus.Publish(obs.Event{Kind: obs.KindDecision, T: w.Now,
+					N: res.Ticks, Track: "controller", Payload: obs.DecisionInfo{
+						Cur: cur, Want: want, Reason: reason,
+						Rate: w.ArrivalRate, P99TTFT: w.TTFT.P99,
+						QPS: w.QPS, InFlight: w.InFlight,
+					}})
+			}
 			if want == cur {
 				continue
 			}
@@ -231,12 +244,24 @@ func (c *Controller) startEntry(reqs []trace.Request) int {
 	return c.Lib.IndexFor(float64(early) / c.Cfg.Window * c.Cfg.Headroom)
 }
 
-// account fills in the cost comparison once the run has drained.
+// account fills in the cost comparison once the run has drained, and
+// back-fills each switch event with its retired epoch's measured drain
+// time (switch i retires epoch i — epochs and events are both in switch
+// order, with epochs carrying one extra leading entry for the start plan).
 func (c *Controller) account(res *Result, rep *serve.ServerReport) {
 	res.ChipSeconds = rep.ChipSeconds
 	res.StaticChipSeconds = float64(c.Lib.Entries[res.MaxEntry].Chips) * rep.DurationV
 	if res.StaticChipSeconds > 0 {
 		res.Saved = 1 - res.ChipSeconds/res.StaticChipSeconds
+	}
+	for i := range res.Events {
+		if i >= len(rep.Epochs) {
+			break
+		}
+		e := rep.Epochs[i]
+		if d := e.DrainedV - e.RetiredV; d > 0 {
+			res.Events[i].DrainSeconds = d
+		}
 	}
 }
 
@@ -246,8 +271,8 @@ func (r *Result) String() string {
 	out += fmt.Sprintf("controller: %d ticks, %d switches, chip-seconds %.0f vs %.0f static peak (%.1f%% saved)\n",
 		r.Ticks, len(r.Events), r.ChipSeconds, r.StaticChipSeconds, 100*r.Saved)
 	for _, e := range r.Events {
-		out += fmt.Sprintf("  t=%8.1fs  %d -> %d  (%s: rate %.1f/s, p99 TTFT %.3fs)\n",
-			e.AtV, e.From, e.To, e.Reason, e.Rate, e.P99TTFT)
+		out += fmt.Sprintf("  t=%8.1fs  %d -> %d  (%s: rate %.1f/s, p99 TTFT %.3fs, drain %.1fs)\n",
+			e.AtV, e.From, e.To, e.Reason, e.Rate, e.P99TTFT, e.DrainSeconds)
 	}
 	return out
 }

@@ -18,6 +18,26 @@ type SimResult struct {
 	Rejected int `json:"rejected,omitempty"`
 	// Segments is how many plan tenures actually served requests.
 	Segments int `json:"segments"`
+	// PerSegment annotates each served tenure: which library entry ran
+	// it, the slice of the trace it carried, and its own completion rate.
+	PerSegment []SegmentSim `json:"per_segment,omitempty"`
+}
+
+// SegmentSim is one plan tenure of a simulated switching replay.
+type SegmentSim struct {
+	// Entry indexes Library.Entries; FromV is the tenure's start (0 for
+	// the initial plan).
+	Entry int     `json:"entry"`
+	FromV float64 `json:"from_v"`
+	// Requests/Completed/Rejected count the tenure's trace slice.
+	Requests  int `json:"requests"`
+	Completed int `json:"completed"`
+	Rejected  int `json:"rejected,omitempty"`
+	// FirstDone/LastDone bound the tenure's completions in absolute trace
+	// time; QPS is the tenure's own windowed completion rate.
+	FirstDone float64 `json:"first_done"`
+	LastDone  float64 `json:"last_done"`
+	QPS       float64 `json:"qps"`
 }
 
 // SimReplay replays a controller Result's switching decisions through the
@@ -85,6 +105,15 @@ func SimReplay(lib *Library, res *Result, reqs []trace.Request, flushTimeout flo
 		out.Completed += r.Completed
 		out.Rejected += r.Rejected
 		out.Segments++
+		segQPS := 0.0
+		if sp := r.LastDone - r.FirstDone; sp > 0 && r.Completed > 1 {
+			segQPS = float64(r.Completed-1) / sp
+		}
+		out.PerSegment = append(out.PerSegment, SegmentSim{
+			Entry: tn.entry, FromV: tn.from,
+			Requests: len(seg), Completed: r.Completed, Rejected: r.Rejected,
+			FirstDone: r.FirstDone, LastDone: r.LastDone, QPS: segQPS,
+		})
 		if r.FirstDone < first {
 			first = r.FirstDone
 		}

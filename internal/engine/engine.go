@@ -360,6 +360,53 @@ func (p *Plan) ResourceStages(ri int) []int {
 	return stages
 }
 
+// SlotName returns the stable, human-readable name of a plan slot:
+// pipeline stage kinds below len(Steps) ("rewrite-prefix", "retrieval",
+// "prefix", ...), the decode loop's virtual round slots above
+// ("iter-retrieval", "iter-prefix"). Per-stage telemetry rows and
+// observability span names key on these, so they must stay stable across
+// executors — the live runtime, the discrete-event simulator, and any
+// trace viewer diffing the two label the same work the same way.
+func (p *Plan) SlotName(idx int) string {
+	switch {
+	case idx < len(p.Steps):
+		return p.Pipe.Stages[idx].Kind.String()
+	case idx == p.IterRetrievalSlot():
+		return "iter-retrieval"
+	default:
+		return "iter-prefix"
+	}
+}
+
+// SlotNames returns SlotName for every slot (NumSlots entries).
+func (p *Plan) SlotNames() []string {
+	names := make([]string, p.NumSlots())
+	for i := range names {
+		names[i] = p.SlotName(i)
+	}
+	return names
+}
+
+// TrackName returns the stable name of the execution track serving a slot:
+// the owning resource's name ("group0", "retrieval", ...) for stages on
+// serial workers, "decode" for the continuous-batching decode pool. Span
+// exports group work by track.
+func (p *Plan) TrackName(idx int) string {
+	if st := p.StepAt(idx); st.Resource >= 0 {
+		return p.Resources[st.Resource].Name
+	}
+	return "decode"
+}
+
+// TrackNames returns TrackName for every slot (NumSlots entries).
+func (p *Plan) TrackNames() []string {
+	names := make([]string, p.NumSlots())
+	for i := range names {
+		names[i] = p.TrackName(i)
+	}
+	return names
+}
+
 // StepAt returns the step at a real or virtual stage index: pipeline
 // steps below len(Steps), the iterative round's steps above.
 func (p *Plan) StepAt(idx int) Step {

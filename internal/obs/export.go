@@ -1,0 +1,237 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Chrome trace_event export: the assembled spans rendered as a Perfetto /
+// chrome://tracing -loadable JSON document. Layout:
+//
+//   - process "resources": one track per serial resource (placement
+//     groups, retrieval tiers) showing dispatched batches — the serial
+//     ledger guarantees these never overlap — plus one lane per decode
+//     slot, with iterative stalls nested inside their decode spans.
+//   - process "requests": one track per request (capped by
+//     Tracer.RequestTracks) showing its full timeline — queue waits,
+//     batch service, decode, stalls — so a single slow request's time
+//     attribution (queue wait vs service vs retrieval stall) reads off
+//     one lane.
+//
+// Timestamps are virtual (schedule) microseconds.
+
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+const (
+	pidResources = 1
+	pidRequests  = 2
+)
+
+const usec = 1e6 // virtual seconds -> trace microseconds
+
+// ChromeTrace renders the recorded run as Chrome trace_event JSON.
+func (t *Tracer) ChromeTrace() ([]byte, error) {
+	var b strings.Builder
+	if err := t.WriteChromeTrace(&b); err != nil {
+		return nil, err
+	}
+	return []byte(b.String()), nil
+}
+
+// WriteChromeTrace writes the Chrome trace_event JSON document to w. Load
+// the output in https://ui.perfetto.dev (or chrome://tracing).
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	reqs := t.Requests()
+	doc := chromeTrace{DisplayTimeUnit: "ms"}
+	meta := func(pid, tid int, kind, name string) {
+		doc.TraceEvents = append(doc.TraceEvents, chromeEvent{
+			Name: kind, Ph: "M", PID: pid, TID: tid,
+			Args: map[string]any{"name": name},
+		})
+	}
+	meta(pidResources, 0, "process_name", "resources")
+	meta(pidRequests, 0, "process_name", "requests")
+
+	// Resource tracks: dedupe per-request spans back into the batches the
+	// workers actually dispatched (same track, slot, and interval), so
+	// each serial resource renders as a clean non-overlapping lane.
+	type batchKey struct {
+		track      string
+		slot       int
+		start, end float64
+	}
+	type batchAgg struct {
+		stage string
+		n     int
+		reqs  []int
+	}
+	batches := map[batchKey]*batchAgg{}
+	var decodes []Span // decode spans overlap; they get per-slot lanes
+	for _, rt := range reqs {
+		for _, s := range rt.Spans {
+			if s.Track == "decode" {
+				decodes = append(decodes, s)
+				continue
+			}
+			k := batchKey{s.Track, s.Slot, s.Start, s.End}
+			a := batches[k]
+			if a == nil {
+				a = &batchAgg{stage: s.Stage, n: s.Batch}
+				batches[k] = a
+			}
+			a.reqs = append(a.reqs, s.Req)
+		}
+	}
+	tracks := map[string]int{}
+	var trackNames []string
+	for k := range batches {
+		if _, ok := tracks[k.track]; !ok {
+			tracks[k.track] = 0
+			trackNames = append(trackNames, k.track)
+		}
+	}
+	sort.Strings(trackNames)
+	for i, name := range trackNames {
+		tracks[name] = i + 1
+		meta(pidResources, i+1, "thread_name", name)
+	}
+
+	keys := make([]batchKey, 0, len(batches))
+	for k := range batches {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].track != keys[j].track {
+			return keys[i].track < keys[j].track
+		}
+		if keys[i].start != keys[j].start {
+			return keys[i].start < keys[j].start
+		}
+		return keys[i].slot < keys[j].slot
+	})
+	for _, k := range keys {
+		a := batches[k]
+		sort.Ints(a.reqs)
+		doc.TraceEvents = append(doc.TraceEvents, chromeEvent{
+			Name: a.stage, Cat: "batch", Ph: "X",
+			TS: k.start * usec, Dur: (k.end - k.start) * usec,
+			PID: pidResources, TID: tracks[k.track],
+			Args: map[string]any{"batch": a.n, "reqs": intsCSV(a.reqs)},
+		})
+	}
+
+	// Decode slot lanes: greedy interval assignment recovers the slot
+	// structure (the runtime leases slots from a pool, so lane identity
+	// is a rendering choice, not recorded state).
+	sort.SliceStable(decodes, func(i, j int) bool {
+		if decodes[i].Start != decodes[j].Start {
+			return decodes[i].Start < decodes[j].Start
+		}
+		return decodes[i].Req < decodes[j].Req
+	})
+	var laneFree []float64
+	baseTID := len(trackNames) + 1
+	stallsByReq := map[int][]Stall{}
+	for _, rt := range reqs {
+		if len(rt.Stalls) > 0 {
+			stallsByReq[rt.ID] = rt.Stalls
+		}
+	}
+	for _, s := range decodes {
+		lane := -1
+		for i, free := range laneFree {
+			if free <= s.Start {
+				lane = i
+				break
+			}
+		}
+		if lane < 0 {
+			lane = len(laneFree)
+			laneFree = append(laneFree, 0)
+			meta(pidResources, baseTID+lane, "thread_name", fmt.Sprintf("decode slot %d", lane))
+		}
+		laneFree[lane] = s.End
+		doc.TraceEvents = append(doc.TraceEvents, chromeEvent{
+			Name: fmt.Sprintf("decode r%d", s.Req), Cat: "decode", Ph: "X",
+			TS: s.Start * usec, Dur: (s.End - s.Start) * usec,
+			PID: pidResources, TID: baseTID + lane,
+		})
+		for _, st := range stallsByReq[s.Req] {
+			doc.TraceEvents = append(doc.TraceEvents, chromeEvent{
+				Name: fmt.Sprintf("stall round %d", st.Round), Cat: "stall", Ph: "X",
+				TS: st.Park * usec, Dur: (st.Resume - st.Park) * usec,
+				PID: pidResources, TID: baseTID + lane,
+			})
+		}
+	}
+
+	// Request tracks: one lane per request, queue waits and services in
+	// causal order.
+	maxTracks := t.RequestTracks
+	if maxTracks == 0 {
+		maxTracks = 256
+	}
+	emitted := 0
+	for _, rt := range reqs {
+		if maxTracks < 0 || emitted >= maxTracks {
+			break
+		}
+		emitted++
+		tid := rt.ID + 1
+		meta(pidRequests, tid, "thread_name", fmt.Sprintf("req %d", rt.ID))
+		for _, s := range rt.Spans {
+			if s.Start > s.Enq {
+				doc.TraceEvents = append(doc.TraceEvents, chromeEvent{
+					Name: "wait " + s.Stage, Cat: "wait", Ph: "X",
+					TS: s.Enq * usec, Dur: (s.Start - s.Enq) * usec,
+					PID: pidRequests, TID: tid,
+				})
+			}
+			doc.TraceEvents = append(doc.TraceEvents, chromeEvent{
+				Name: s.Stage, Cat: "service", Ph: "X",
+				TS: s.Start * usec, Dur: (s.End - s.Start) * usec,
+				PID: pidRequests, TID: tid,
+				Args: map[string]any{"batch": s.Batch},
+			})
+		}
+		for _, st := range rt.Stalls {
+			doc.TraceEvents = append(doc.TraceEvents, chromeEvent{
+				Name: fmt.Sprintf("stall round %d", st.Round), Cat: "stall", Ph: "X",
+				TS: st.Park * usec, Dur: (st.Resume - st.Park) * usec,
+				PID: pidRequests, TID: tid,
+			})
+		}
+	}
+
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(doc)
+}
+
+func intsCSV(xs []int) string {
+	var b strings.Builder
+	for i, x := range xs {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%d", x)
+	}
+	return b.String()
+}

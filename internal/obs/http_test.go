@@ -1,0 +1,168 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+func newTestServer(t *testing.T) (*Bus, *MetricsServer) {
+	t.Helper()
+	b := NewBus()
+	m, err := NewMetricsServer(b, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { m.Close() })
+	return b, m
+}
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+// waitCounter polls /debug/vars until the named rago counter reaches want
+// (the consume goroutine is asynchronous).
+func waitCounter(t *testing.T, m *MetricsServer, name string, want float64) map[string]any {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		_, body := get(t, "http://"+m.Addr()+"/debug/vars")
+		var vars struct {
+			Rago map[string]any `json:"rago"`
+		}
+		if err := json.Unmarshal([]byte(body), &vars); err != nil {
+			t.Fatalf("bad /debug/vars JSON: %v", err)
+		}
+		if v, _ := vars.Rago[name].(float64); v >= want {
+			return vars.Rago
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("counter %q never reached %g; have %v", name, want, vars.Rago)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestMetricsServerWindowAndVars(t *testing.T) {
+	b, m := newTestServer(t)
+
+	if code, _ := get(t, "http://"+m.Addr()+"/window"); code != http.StatusNotFound {
+		t.Errorf("/window before any snapshot: status %d, want 404", code)
+	}
+
+	b.Publish(Event{Kind: KindAdmit, T: 1, Req: 0})
+	b.Publish(Event{Kind: KindReject, T: 2, Req: 1})
+	b.Publish(Event{Kind: KindDecodeFinish, T: 3, Req: 0, Dur: 2})
+	b.Publish(Event{Kind: KindWindow, T: 4, N: 1, Track: "telemetry",
+		Payload: map[string]any{"qps": 12.5}})
+
+	rago := waitCounter(t, m, "windows", 1)
+	for name, want := range map[string]float64{
+		"admitted": 1, "rejected": 1, "completed": 1, "events": 4, "bus_published": 4,
+	} {
+		if v, _ := rago[name].(float64); v != want {
+			t.Errorf("rago.%s = %v, want %g", name, rago[name], want)
+		}
+	}
+
+	code, body := get(t, "http://"+m.Addr()+"/window")
+	if code != http.StatusOK {
+		t.Fatalf("/window status %d: %s", code, body)
+	}
+	if !strings.Contains(body, `"kind": "window"`) || !strings.Contains(body, `"qps": 12.5`) {
+		t.Errorf("/window body missing snapshot fields: %s", body)
+	}
+
+	if code, body := get(t, "http://"+m.Addr()+"/"); code != http.StatusOK || !strings.Contains(body, "/stream") {
+		t.Errorf("index: %d %q", code, body)
+	}
+	if code, _ := get(t, "http://"+m.Addr()+"/debug/pprof/"); code != http.StatusOK {
+		t.Errorf("pprof index status %d", code)
+	}
+}
+
+// The SSE stream must forward window and switch events (and only the
+// control-plane kinds), one named frame each.
+func TestMetricsServerStream(t *testing.T) {
+	b, m := newTestServer(t)
+
+	resp, err := http.Get("http://" + m.Addr() + "/stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("stream content-type %q", ct)
+	}
+
+	b.Publish(Event{Kind: KindEnqueue, T: 0.5, Req: 3}) // not streamable: must not appear
+	b.Publish(Event{Kind: KindWindow, T: 1, N: 1, Track: "telemetry"})
+	b.Publish(Event{Kind: KindSwitchCommit, T: 2, N: 1, Track: "control",
+		Payload: SwitchInfo{Epoch: 1, From: "a", To: "b"}})
+
+	type frame struct{ event, data string }
+	frames := make(chan frame, 4)
+	go func() {
+		sc := bufio.NewScanner(resp.Body)
+		var f frame
+		for sc.Scan() {
+			line := sc.Text()
+			switch {
+			case strings.HasPrefix(line, "event: "):
+				f.event = strings.TrimPrefix(line, "event: ")
+			case strings.HasPrefix(line, "data: "):
+				f.data = strings.TrimPrefix(line, "data: ")
+			case line == "" && f.event != "":
+				frames <- f
+				f = frame{}
+			}
+		}
+	}()
+	want := []string{"window", "switch-commit"}
+	for _, kind := range want {
+		select {
+		case f := <-frames:
+			if f.event != kind {
+				t.Fatalf("stream frame %q, want %q (enqueue leaked into the feed?)", f.event, kind)
+			}
+			if !strings.Contains(f.data, fmt.Sprintf("%q", kind)) {
+				t.Errorf("frame data %s missing its kind", f.data)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("stream never delivered a %q frame", kind)
+		}
+	}
+}
+
+// A second MetricsServer in the same process must not panic on the global
+// expvar registry and must take over the "rago" var.
+func TestMetricsServerExpvarReuse(t *testing.T) {
+	b1, m1 := newTestServer(t)
+	b1.Publish(Event{Kind: KindAdmit, T: 1, Req: 0})
+	waitCounter(t, m1, "admitted", 1)
+	m1.Close()
+
+	b2, m2 := newTestServer(t)
+	b2.Publish(Event{Kind: KindAdmit, T: 1, Req: 0})
+	b2.Publish(Event{Kind: KindAdmit, T: 2, Req: 1})
+	rago := waitCounter(t, m2, "admitted", 2)
+	if v, _ := rago["admitted"].(float64); v != 2 {
+		t.Errorf("second server's admitted = %v, want 2 (expvar still bound to the first?)", v)
+	}
+}

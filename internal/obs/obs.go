@@ -1,0 +1,255 @@
+// Package obs is the observability layer of the serving stack: a
+// low-overhead typed event bus that the live runtime (internal/serve), the
+// discrete-event simulator (internal/sim), and the online controller
+// (internal/control) publish onto, per-request span tracing assembled from
+// those events (Tracer, exportable as Chrome trace_event JSON viewable in
+// Perfetto), and a streaming metrics endpoint (MetricsServer: expvar
+// counters, a JSON window snapshot, an SSE stream of windows and plan
+// switches, and net/http/pprof).
+//
+// The bus is designed so instrumentation can stay compiled into the hot
+// paths permanently: a nil *Bus — or one with no subscriber attached — is
+// a zero-cost no-op (publishers guard event construction on Bus.Active,
+// one nil check plus one atomic load), and subscriber channels are
+// bounded, so a slow or stuck consumer can never stall the dataplane:
+// events it cannot take are dropped and counted, never waited on.
+//
+// Because both executors publish the same event vocabulary with the same
+// stable slot names (engine.Plan.SlotName), a runtime-vs-sim disagreement
+// becomes a structural diff of two event streams — or, through the
+// Tracer's Chrome export, a visual diff of two timelines.
+package obs
+
+import (
+	"encoding/json"
+	"sync"
+	"sync/atomic"
+)
+
+// Kind enumerates the event vocabulary shared by every publisher.
+type Kind uint8
+
+const (
+	// KindAdmit and KindReject record the admission decision for one
+	// arrival (Req is the request ID, T its arrival time).
+	KindAdmit Kind = iota
+	KindReject
+	// KindEnqueue records a request entering a slot's queue (Slot/Stage
+	// name it, Track is the serving resource, T the queue-entry time).
+	KindEnqueue
+	// KindStageStart and KindStageFinish bracket one request's service
+	// inside a dispatched batch (N is the formed batch size; Finish
+	// carries the service time in Dur).
+	KindStageStart
+	KindStageFinish
+	// KindDecodeLease records a sequence acquiring a continuous-batching
+	// decode slot (T is the drift-free generation start).
+	KindDecodeLease
+	// KindDecodePark and KindDecodeResume bracket one iterative
+	// decode-loop stall (§5.3): the sequence parks at a trigger position
+	// while a retrieval+prefix round batches, then resumes. N is the
+	// 1-based round number; Resume carries the stalled seconds in Dur.
+	KindDecodePark
+	KindDecodeResume
+	// KindDecodeFinish records a sequence completing generation and
+	// freeing its slot (Dur is the total slot-holding time).
+	KindDecodeFinish
+	// KindSwitchBegin / KindSwitchCommit / KindSwitchDrain trace one plan
+	// hot-swap: the decision, new admissions routing to the new plan, and
+	// the retired plan's last in-flight request draining. N is the epoch
+	// index; Begin/Commit carry a SwitchInfo payload.
+	KindSwitchBegin
+	KindSwitchCommit
+	KindSwitchDrain
+	// KindDecision is one controller tick's decision (DecisionInfo
+	// payload), published whether or not it resulted in a switch.
+	KindDecision
+	// KindWindow is a streamed telemetry window snapshot (the serve
+	// Window as payload) — the feed an external autoscaler subscribes to
+	// instead of polling.
+	KindWindow
+)
+
+var kindNames = [...]string{
+	KindAdmit:        "admit",
+	KindReject:       "reject",
+	KindEnqueue:      "enqueue",
+	KindStageStart:   "stage-start",
+	KindStageFinish:  "stage-finish",
+	KindDecodeLease:  "decode-lease",
+	KindDecodePark:   "decode-park",
+	KindDecodeResume: "decode-resume",
+	KindDecodeFinish: "decode-finish",
+	KindSwitchBegin:  "switch-begin",
+	KindSwitchCommit: "switch-commit",
+	KindSwitchDrain:  "switch-drain",
+	KindDecision:     "decision",
+	KindWindow:       "window",
+}
+
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return "unknown"
+}
+
+// MarshalJSON renders the kind as its name, so exported streams (SSE,
+// trace files) stay self-describing.
+func (k Kind) MarshalJSON() ([]byte, error) { return json.Marshal(k.String()) }
+
+// Event is one typed observation. Events are small values; publishers
+// construct them only when a subscriber is attached (Bus.Active).
+type Event struct {
+	Kind Kind `json:"kind"`
+	// T is the virtual (schedule) time of the observation in seconds.
+	T float64 `json:"t"`
+	// Req is the request ID; meaningful only on request-scoped kinds
+	// (run-scoped events — switches, decisions, windows — leave it 0).
+	Req int `json:"req"`
+	// Slot is the plan slot index and Stage its stable name
+	// (engine.Plan.SlotName); zero-valued on non-stage events.
+	Slot  int    `json:"slot,omitempty"`
+	Stage string `json:"stage,omitempty"`
+	// Track names the execution track: the serving resource for stage
+	// events, "decode" for the slot pool, "controller" for decisions.
+	Track string `json:"track,omitempty"`
+	// N is the event's small-integer payload: batch size for stage
+	// events, round number for park/resume, epoch index for switches.
+	N int `json:"n,omitempty"`
+	// Dur is the event's span length in virtual seconds where one is
+	// naturally attached (service time, stall, slot tenure).
+	Dur float64 `json:"dur,omitempty"`
+	// Payload carries structured detail for window, switch, and decision
+	// events (serve.Window, SwitchInfo, DecisionInfo).
+	Payload any `json:"payload,omitempty"`
+}
+
+// SwitchInfo is the payload of KindSwitchBegin/Commit events.
+type SwitchInfo struct {
+	// Epoch is the index of the epoch the switch created.
+	Epoch int `json:"epoch"`
+	// From and To render the retired and activated schedules.
+	From string `json:"from"`
+	To   string `json:"to"`
+}
+
+// DecisionInfo is the payload of KindDecision events: what the controller
+// saw and what it chose, every tick.
+type DecisionInfo struct {
+	// Cur and Want index the plan library before and after the decision
+	// (equal on a hold).
+	Cur  int `json:"cur"`
+	Want int `json:"want"`
+	// Reason is "load", "slo", or "hold".
+	Reason string `json:"reason"`
+	// Rate, P99TTFT, QPS, and InFlight echo the telemetry window the
+	// decision read.
+	Rate     float64 `json:"rate"`
+	P99TTFT  float64 `json:"p99_ttft"`
+	QPS      float64 `json:"qps"`
+	InFlight int     `json:"in_flight"`
+}
+
+// Bus is a fan-out event bus with bounded, drop-counting subscribers.
+// Publish never blocks: a subscriber whose channel is full loses that
+// event (counted per subscriber and in aggregate), which is the contract
+// that lets the serving dataplane publish from its hot paths without a
+// consumer ever holding a worker goroutine hostage.
+//
+// A nil *Bus is valid everywhere and does nothing.
+type Bus struct {
+	mu     sync.RWMutex
+	subs   []*Sub
+	active atomic.Bool
+
+	published atomic.Uint64
+	dropped   atomic.Uint64
+}
+
+// NewBus builds an empty bus.
+func NewBus() *Bus { return &Bus{} }
+
+// Active reports whether any subscriber is attached. Publishers guard
+// event construction on it, so an idle bus costs one nil check and one
+// atomic load per instrumentation site. A nil bus is never active.
+func (b *Bus) Active() bool { return b != nil && b.active.Load() }
+
+// Publish fans the event out to every subscriber, dropping it (and
+// counting the drop) at any subscriber whose channel is full. No-op on a
+// nil or subscriber-less bus.
+func (b *Bus) Publish(ev Event) {
+	if !b.Active() {
+		return
+	}
+	b.published.Add(1)
+	b.mu.RLock()
+	for _, s := range b.subs {
+		select {
+		case s.ch <- ev:
+		default:
+			s.dropped.Add(1)
+			b.dropped.Add(1)
+		}
+	}
+	b.mu.RUnlock()
+}
+
+// Subscribe attaches a new subscriber with the given channel capacity
+// (buf < 1 uses 1024). The subscriber must either keep draining Events or
+// accept drops; Close detaches it.
+func (b *Bus) Subscribe(buf int) *Sub {
+	if buf < 1 {
+		buf = 1024
+	}
+	s := &Sub{bus: b, ch: make(chan Event, buf)}
+	b.mu.Lock()
+	b.subs = append(b.subs, s)
+	b.active.Store(true)
+	b.mu.Unlock()
+	return s
+}
+
+// Stats returns the cumulative published and dropped event counts (drops
+// summed over all subscribers, past and present).
+func (b *Bus) Stats() (published, dropped uint64) {
+	if b == nil {
+		return 0, 0
+	}
+	return b.published.Load(), b.dropped.Load()
+}
+
+// Sub is one bounded subscription on a Bus.
+type Sub struct {
+	bus     *Bus
+	ch      chan Event
+	dropped atomic.Uint64
+	once    sync.Once
+}
+
+// Events is the subscription's receive channel; it is closed by Close.
+func (s *Sub) Events() <-chan Event { return s.ch }
+
+// Dropped is how many events this subscriber lost to a full channel.
+func (s *Sub) Dropped() uint64 { return s.dropped.Load() }
+
+// Close detaches the subscriber and closes its channel. Safe to call
+// once per subscription from any goroutine; concurrent Publishes either
+// see the subscriber (and may still deliver) or do not — the removal and
+// the close happen under the same lock Publish iterates under, so no
+// send can race the close.
+func (s *Sub) Close() {
+	s.once.Do(func() {
+		b := s.bus
+		b.mu.Lock()
+		for i, t := range b.subs {
+			if t == s {
+				b.subs = append(b.subs[:i], b.subs[i+1:]...)
+				break
+			}
+		}
+		b.active.Store(len(b.subs) > 0)
+		close(s.ch)
+		b.mu.Unlock()
+	})
+}

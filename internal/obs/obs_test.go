@@ -1,0 +1,152 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// A nil bus must be inert: never active, publish and stats are no-ops.
+func TestNilBusIsInert(t *testing.T) {
+	var b *Bus
+	if b.Active() {
+		t.Fatal("nil bus reports active")
+	}
+	b.Publish(Event{Kind: KindAdmit}) // must not panic
+	if p, d := b.Stats(); p != 0 || d != 0 {
+		t.Fatalf("nil bus stats = (%d, %d), want zeros", p, d)
+	}
+}
+
+// Active must flip with the first subscriber and back off with the last.
+func TestBusActiveTracksSubscribers(t *testing.T) {
+	b := NewBus()
+	if b.Active() {
+		t.Fatal("empty bus reports active")
+	}
+	s1 := b.Subscribe(4)
+	s2 := b.Subscribe(4)
+	if !b.Active() {
+		t.Fatal("bus with subscribers reports inactive")
+	}
+	s1.Close()
+	if !b.Active() {
+		t.Fatal("bus lost active with one subscriber remaining")
+	}
+	s2.Close()
+	if b.Active() {
+		t.Fatal("bus still active after last subscriber closed")
+	}
+	// Publishing after all subscribers left must be a counted no-op of
+	// zero: Active gates it away entirely.
+	b.Publish(Event{Kind: KindAdmit})
+	if p, _ := b.Stats(); p != 0 {
+		t.Fatalf("published %d events on an inactive bus", p)
+	}
+}
+
+// Every subscriber receives every event while its buffer has room.
+func TestBusFanOut(t *testing.T) {
+	b := NewBus()
+	s1 := b.Subscribe(16)
+	s2 := b.Subscribe(16)
+	for i := 0; i < 10; i++ {
+		b.Publish(Event{Kind: KindEnqueue, Req: i})
+	}
+	s1.Close()
+	s2.Close()
+	for name, s := range map[string]*Sub{"s1": s1, "s2": s2} {
+		got := 0
+		for range s.Events() {
+			got++
+		}
+		if got != 10 {
+			t.Errorf("%s received %d events, want 10", name, got)
+		}
+		if s.Dropped() != 0 {
+			t.Errorf("%s dropped %d with room to spare", name, s.Dropped())
+		}
+	}
+	if p, d := b.Stats(); p != 10 || d != 0 {
+		t.Errorf("bus stats = (%d, %d), want (10, 0)", p, d)
+	}
+}
+
+// A full subscriber loses events — counted, never blocking the publisher.
+func TestBusDropsWhenFull(t *testing.T) {
+	b := NewBus()
+	slow := b.Subscribe(2) // never drained
+	fast := b.Subscribe(64)
+	for i := 0; i < 20; i++ {
+		b.Publish(Event{Kind: KindEnqueue, Req: i})
+	}
+	if slow.Dropped() != 18 {
+		t.Errorf("slow subscriber dropped %d, want 18", slow.Dropped())
+	}
+	if fast.Dropped() != 0 {
+		t.Errorf("fast subscriber dropped %d, want 0", fast.Dropped())
+	}
+	if _, d := b.Stats(); d != 18 {
+		t.Errorf("bus aggregate drops = %d, want 18", d)
+	}
+	slow.Close()
+	fast.Close()
+}
+
+// Concurrent publishers and a closing subscriber must not race or panic
+// (run under -race in CI).
+func TestBusConcurrentPublishClose(t *testing.T) {
+	b := NewBus()
+	subs := make([]*Sub, 8)
+	for i := range subs {
+		subs[i] = b.Subscribe(8)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				b.Publish(Event{Kind: KindStageStart, Req: i})
+			}
+		}()
+	}
+	for _, s := range subs {
+		wg.Add(1)
+		go func(s *Sub) {
+			defer wg.Done()
+			for range s.Events() {
+			}
+		}(s)
+		s.Close()
+	}
+	wg.Wait()
+}
+
+// Double-closing a subscription is safe.
+func TestSubCloseIdempotent(t *testing.T) {
+	b := NewBus()
+	s := b.Subscribe(1)
+	s.Close()
+	s.Close()
+}
+
+// Kind names are total over the declared vocabulary and render into JSON.
+func TestKindNames(t *testing.T) {
+	for k := KindAdmit; k <= KindWindow; k++ {
+		if k.String() == "unknown" || k.String() == "" {
+			t.Errorf("kind %d has no name", k)
+		}
+	}
+	if Kind(200).String() != "unknown" {
+		t.Errorf("out-of-range kind renders %q", Kind(200).String())
+	}
+	raw, err := json.Marshal(Event{Kind: KindDecodePark, T: 1.5, Req: 3, N: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(raw), `"kind":"decode-park"`) {
+		t.Errorf("event JSON %s does not carry the kind name", raw)
+	}
+}

@@ -1,0 +1,46 @@
+package obs
+
+import "sort"
+
+// SteadyRate estimates the steady-state completion rate of a run from its
+// completion timestamps: the maximum completions-per-second over any
+// quarter-span window anchored at a completion. The whole-span rate
+// ((n-1)/span) underestimates schedules whose mean generation time is
+// comparable to the run length — huge decode batches complete in a few
+// clumps, and the span is mostly warmup ramp and drain tail — whereas the
+// best quarter-span window sits inside the saturated middle of the run.
+//
+// The input need not be sorted (live completions finish only roughly in
+// order); it is copied, never mutated. Returns 0 when fewer than three
+// completions or a zero span make the estimate meaningless — callers fall
+// back to the span-based rate.
+func SteadyRate(done []float64) float64 {
+	if len(done) < 3 {
+		return 0
+	}
+	s := append([]float64(nil), done...)
+	sort.Float64s(s)
+	span := s[len(s)-1] - s[0]
+	if span <= 0 {
+		return 0
+	}
+	w := span / 4
+	best := 0.0
+	j := 0
+	for i := range s {
+		if s[i]+w > s[len(s)-1] {
+			break // window would hang past the last completion
+		}
+		if j < i {
+			j = i
+		}
+		for j < len(s) && s[j] <= s[i]+w {
+			j++
+		}
+		// s[i:j] are the completions in [s[i], s[i]+w].
+		if r := float64(j-i) / w; r > best {
+			best = r
+		}
+	}
+	return best
+}

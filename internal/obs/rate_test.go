@@ -1,0 +1,69 @@
+package obs
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSteadyRateDegenerate(t *testing.T) {
+	if r := SteadyRate(nil); r != 0 {
+		t.Errorf("empty: got %g, want 0", r)
+	}
+	if r := SteadyRate([]float64{1, 2}); r != 0 {
+		t.Errorf("two completions: got %g, want 0", r)
+	}
+	if r := SteadyRate([]float64{5, 5, 5, 5}); r != 0 {
+		t.Errorf("zero span: got %g, want 0", r)
+	}
+}
+
+// Uniform completions must estimate close to the true rate.
+func TestSteadyRateUniform(t *testing.T) {
+	done := make([]float64, 1001)
+	for i := range done {
+		done[i] = float64(i) * 0.1 // 10/s for 100s
+	}
+	r := SteadyRate(done)
+	if math.Abs(r-10)/10 > 0.05 {
+		t.Errorf("uniform 10/s: got %g", r)
+	}
+}
+
+// Input order must not matter (live completions are only roughly sorted).
+func TestSteadyRateUnsortedInput(t *testing.T) {
+	sorted := make([]float64, 200)
+	for i := range sorted {
+		sorted[i] = float64(i) * 0.5
+	}
+	shuffled := append([]float64(nil), sorted...)
+	for i := range shuffled { // deterministic scramble
+		j := (i * 7919) % len(shuffled)
+		shuffled[i], shuffled[j] = shuffled[j], shuffled[i]
+	}
+	if a, b := SteadyRate(sorted), SteadyRate(shuffled); a != b {
+		t.Errorf("order-dependent: %g vs %g", a, b)
+	}
+	if shuffled[0] == sorted[0] && shuffled[1] == sorted[1] {
+		t.Fatal("scramble did nothing; test is vacuous")
+	}
+}
+
+// A run that is mostly warmup and tail with a dense middle: the steady
+// rate must see the middle, where the span-based rate dilutes it.
+func TestSteadyRateIgnoresWarmupAndTail(t *testing.T) {
+	var done []float64
+	done = append(done, 0, 20) // sparse warmup
+	for i := 0; i < 400; i++ { // dense middle: 40/s over 10s
+		done = append(done, 40+float64(i)*0.025)
+	}
+	done = append(done, 80, 100) // sparse tail
+	span := done[len(done)-1] - done[0]
+	spanRate := float64(len(done)-1) / span
+	steady := SteadyRate(done)
+	if steady < 2*spanRate {
+		t.Errorf("steady %g did not rise above diluted span rate %g", steady, spanRate)
+	}
+	if steady < 10 || steady > 45 {
+		t.Errorf("steady %g implausible for a 40/s middle (window wider than the clump)", steady)
+	}
+}

@@ -1,0 +1,250 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Tracer assembles per-request span timelines from the event stream. It
+// can be fed directly (Record) or attached to a Bus, where it subscribes
+// with a large bounded buffer and drains on its own goroutine — fast
+// enough that drops are effectively reserved for pathological runs, and
+// counted (Dropped) so a broken trace is detectable rather than silent.
+//
+// Attach both a runtime's and a simulator's bus for the same trace, and
+// Requests()/ChromeTrace() give two structurally comparable timelines —
+// the span-parity contract the cross-check tests enforce and the visual
+// diff Perfetto renders.
+type Tracer struct {
+	mu     sync.Mutex
+	events []Event
+
+	sub     *Sub
+	drained chan struct{}
+
+	// RequestTracks caps how many per-request timeline tracks the Chrome
+	// export emits (requests beyond the first RequestTracks IDs still
+	// appear on the resource tracks). 0 means the 256 default; negative
+	// disables request tracks entirely.
+	RequestTracks int
+}
+
+// NewTracer builds an empty tracer.
+func NewTracer() *Tracer { return &Tracer{} }
+
+// Record appends one event. Safe for concurrent use.
+func (t *Tracer) Record(ev Event) {
+	t.mu.Lock()
+	t.events = append(t.events, ev)
+	t.mu.Unlock()
+}
+
+// Attach subscribes the tracer to a bus (buf < 1 uses 1<<16 — tracing
+// wants losslessness, so the buffer is deliberately deep) and drains the
+// subscription on a goroutine. Close detaches and waits for the drain.
+func (t *Tracer) Attach(b *Bus, buf int) error {
+	if t.sub != nil {
+		return fmt.Errorf("obs: tracer already attached")
+	}
+	if buf < 1 {
+		buf = 1 << 16
+	}
+	t.sub = b.Subscribe(buf)
+	t.drained = make(chan struct{})
+	go func() {
+		defer close(t.drained)
+		for ev := range t.sub.Events() {
+			t.Record(ev)
+		}
+	}()
+	return nil
+}
+
+// Close detaches an attached tracer from its bus and blocks until every
+// buffered event has been recorded. No-op when not attached.
+func (t *Tracer) Close() {
+	if t.sub == nil {
+		return
+	}
+	t.sub.Close()
+	<-t.drained
+}
+
+// Dropped is how many events the attached subscription lost (0 when fed
+// via Record only). A non-zero count means assembled spans may be
+// incomplete.
+func (t *Tracer) Dropped() uint64 {
+	if t.sub == nil {
+		return 0
+	}
+	return t.sub.Dropped()
+}
+
+// Events returns a copy of everything recorded so far, in receipt order.
+func (t *Tracer) Events() []Event {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]Event(nil), t.events...)
+}
+
+// Span is one serviced interval of a request at one plan slot: queue
+// entry (Enq), batch service start (Start), and completion (End), on the
+// named track. Iterative rounds produce one span per visit of the
+// virtual round slots; the decode span covers the whole slot tenure,
+// parks included.
+type Span struct {
+	Req   int     `json:"req"`
+	Slot  int     `json:"slot"`
+	Stage string  `json:"stage"`
+	Track string  `json:"track"`
+	Enq   float64 `json:"enq"`
+	Start float64 `json:"start"`
+	End   float64 `json:"end"`
+	// Batch is the formed batch size the span was served in (1 for the
+	// decode span, which occupies one continuous-batching slot).
+	Batch int `json:"batch"`
+}
+
+// Stall is one iterative decode-loop park: the sequence held its decode
+// slot from Park to Resume while round Round batched.
+type Stall struct {
+	Round  int     `json:"round"`
+	Park   float64 `json:"park"`
+	Resume float64 `json:"resume"`
+}
+
+// RequestTrace is one request's assembled timeline.
+type RequestTrace struct {
+	ID       int     `json:"id"`
+	Arrival  float64 `json:"arrival"`
+	Rejected bool    `json:"rejected,omitempty"`
+	// DecodeStart is when the sequence acquired its decode slot; Done
+	// when it finished generating (0 if the trace ended mid-flight).
+	DecodeStart float64 `json:"decode_start,omitempty"`
+	Done        float64 `json:"done,omitempty"`
+	// Spans are the serviced intervals in start order; Stalls the
+	// decode-loop parks (empty on single-retrieval plans).
+	Spans  []Span  `json:"spans,omitempty"`
+	Stalls []Stall `json:"stalls,omitempty"`
+}
+
+// StageVisits returns the ordered slot-name sequence of the request's
+// serviced spans — the structural signature the span-parity tests compare
+// between the live runtime and the simulator (timestamps differ, the
+// visit order must not).
+func (rt RequestTrace) StageVisits() []string {
+	out := make([]string, len(rt.Spans))
+	for i, s := range rt.Spans {
+		out[i] = s.Stage
+	}
+	return out
+}
+
+// slotKey identifies per-request per-slot assembly state.
+type slotKey struct{ req, slot int }
+
+// Requests assembles the recorded events into per-request timelines,
+// sorted by request ID. Events are ordered by virtual time (stable on
+// ties, preserving receipt order), so streams collected from concurrent
+// publishers assemble the same as single-threaded ones.
+func (t *Tracer) Requests() []RequestTrace {
+	evs := t.Events()
+	sort.SliceStable(evs, func(i, j int) bool { return evs[i].T < evs[j].T })
+
+	byID := map[int]*RequestTrace{}
+	get := func(id int) *RequestTrace {
+		rt := byID[id]
+		if rt == nil {
+			rt = &RequestTrace{ID: id}
+			byID[id] = rt
+		}
+		return rt
+	}
+	enq := map[slotKey]float64{}   // latest queue-entry time per (req, slot)
+	open := map[slotKey]Span{}     // spans started but not finished
+	decEnq := map[int]float64{}    // decode queue-entry time per request
+	decSlot := map[int]Event{}     // decode enqueue event per request (for naming)
+	stall := map[int]Stall{}       // open park per request
+
+	for _, ev := range evs {
+		switch ev.Kind {
+		case KindAdmit:
+			get(ev.Req).Arrival = ev.T
+		case KindReject:
+			rt := get(ev.Req)
+			rt.Arrival = ev.T
+			rt.Rejected = true
+		case KindEnqueue:
+			if ev.Track == "decode" {
+				decEnq[ev.Req] = ev.T
+				decSlot[ev.Req] = ev
+				continue
+			}
+			enq[slotKey{ev.Req, ev.Slot}] = ev.T
+		case KindStageStart:
+			k := slotKey{ev.Req, ev.Slot}
+			e, ok := enq[k]
+			if !ok {
+				e = ev.T
+			}
+			open[k] = Span{
+				Req: ev.Req, Slot: ev.Slot, Stage: ev.Stage, Track: ev.Track,
+				Enq: e, Start: ev.T, Batch: ev.N,
+			}
+			delete(enq, k)
+		case KindStageFinish:
+			k := slotKey{ev.Req, ev.Slot}
+			if s, ok := open[k]; ok {
+				s.End = ev.T
+				rt := get(ev.Req)
+				rt.Spans = append(rt.Spans, s)
+				delete(open, k)
+			}
+		case KindDecodeLease:
+			get(ev.Req).DecodeStart = ev.T
+		case KindDecodePark:
+			stall[ev.Req] = Stall{Round: ev.N, Park: ev.T}
+		case KindDecodeResume:
+			if st, ok := stall[ev.Req]; ok {
+				st.Resume = ev.T
+				rt := get(ev.Req)
+				rt.Stalls = append(rt.Stalls, st)
+				delete(stall, ev.Req)
+			}
+		case KindDecodeFinish:
+			rt := get(ev.Req)
+			rt.Done = ev.T
+			e, ok := decEnq[ev.Req]
+			if !ok {
+				e = rt.DecodeStart
+			}
+			start := rt.DecodeStart
+			if start == 0 && !ok {
+				start = ev.T - ev.Dur
+			}
+			sl := decSlot[ev.Req]
+			stage, track := sl.Stage, sl.Track
+			if stage == "" {
+				stage, track = "decode", "decode"
+			}
+			rt.Spans = append(rt.Spans, Span{
+				Req: ev.Req, Slot: sl.Slot, Stage: stage, Track: track,
+				Enq: e, Start: start, End: ev.T, Batch: 1,
+			})
+		}
+	}
+
+	out := make([]RequestTrace, 0, len(byID))
+	for _, rt := range byID {
+		sort.SliceStable(rt.Spans, func(i, j int) bool {
+			if rt.Spans[i].Start != rt.Spans[j].Start {
+				return rt.Spans[i].Start < rt.Spans[j].Start
+			}
+			return rt.Spans[i].End < rt.Spans[j].End
+		})
+		out = append(out, *rt)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}

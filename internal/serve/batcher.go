@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"rago/internal/engine"
+	"rago/internal/obs"
 	"rago/internal/pipeline"
 )
 
@@ -188,6 +189,14 @@ func (r *resource) exec(si, n int, formV float64) {
 		}
 	}
 	r.dp.coll.batchServed(idx, n, r.dp.plan.StepAt(idx).Batch, tok, pad)
+	if r.dp.bus.Active() {
+		for _, q := range batch {
+			r.dp.bus.Publish(obs.Event{Kind: obs.KindStageStart, T: start, Req: q.id,
+				Slot: idx, Stage: r.dp.slotName[idx], Track: r.name, N: n})
+			r.dp.bus.Publish(obs.Event{Kind: obs.KindStageFinish, T: done, Req: q.id,
+				Slot: idx, Stage: r.dp.slotName[idx], Track: r.name, N: n, Dur: lat})
+		}
+	}
 	for _, q := range batch {
 		r.dp.advance(q, idx, done)
 	}

@@ -8,6 +8,7 @@ import (
 	"sync"
 
 	"rago/internal/engine"
+	"rago/internal/obs"
 	"rago/internal/perf"
 	"rago/internal/roofline"
 )
@@ -62,14 +63,7 @@ type collector struct {
 // virtual round slots.
 func (c *collector) init(plan *engine.Plan) {
 	n := plan.NumSlots()
-	c.stageNames = make([]string, n)
-	for i, st := range plan.Pipe.Stages {
-		c.stageNames[i] = st.Kind.String()
-	}
-	if plan.Round != nil {
-		c.stageNames[plan.IterRetrievalSlot()] = "iter-retrieval"
-		c.stageNames[plan.IterPrefixSlot()] = "iter-prefix"
-	}
+	c.stageNames = plan.SlotNames()
 	c.queuePeak = make([]int, n)
 	c.depthNow = make([]int, n)
 	c.batches = make([]int, n)
@@ -326,6 +320,11 @@ type Report struct {
 	// SustainedQPS is completions over the completion span — the
 	// saturation throughput when the trace overdrives the schedule.
 	SustainedQPS float64 `json:"sustained_qps"`
+	// SteadyQPS is the peak windowed completion rate (obs.SteadyRate):
+	// the best quarter-span window, so warmup ramp and drain tail don't
+	// dilute the steady-state throughput the way the full span does on
+	// short runs. 0 when there are too few completions to window.
+	SteadyQPS float64 `json:"steady_qps,omitempty"`
 	// Span is the virtual completion span the rate is measured over.
 	Span float64 `json:"span"`
 
@@ -384,6 +383,7 @@ func (c *collector) report(analytic perf.Metrics, hasAnalytic bool, speedup, wal
 		rep.Span = span
 		rep.SustainedQPS = float64(c.completed-1) / span
 	}
+	rep.SteadyQPS = obs.SteadyRate(c.doneV)
 	if rep.HasAnalytic && analytic.QPS > 0 {
 		rep.QPSVsAnalytic = rep.SustainedQPS / analytic.QPS
 	}
@@ -414,6 +414,9 @@ func (r *Report) String() string {
 	fmt.Fprintf(&b, "completed %d/%d requests (%d rejected) in %.1fs virtual / %.1fs wall (speedup %.0fx)\n",
 		r.Completed, r.Admitted+r.Rejected, r.Rejected, r.Span, r.WallSeconds, r.Speedup)
 	fmt.Fprintf(&b, "sustained QPS %.2f", r.SustainedQPS)
+	if r.SteadyQPS > 0 {
+		fmt.Fprintf(&b, "  steady %.2f", r.SteadyQPS)
+	}
 	if r.HasAnalytic {
 		fmt.Fprintf(&b, "  (analytical %.2f, ratio %.2f)", r.Analytic.QPS, r.QPSVsAnalytic)
 	}

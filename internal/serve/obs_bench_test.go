@@ -1,0 +1,63 @@
+package serve
+
+import (
+	"testing"
+
+	"rago/internal/core"
+	"rago/internal/obs"
+	"rago/internal/trace"
+)
+
+// BenchmarkServeObsOverhead is the observability-cost trajectory point CI
+// uploads (BENCH_obs.json): the BenchmarkServeCaseIV replay served twice
+// per iteration — once with a nil bus (every instrumentation site on its
+// zero-cost fast path; nilBusQPS must track the historical ServeCaseIV
+// sustainedQPS within 5%) and once with a bus plus an attached
+// deep-buffered Tracer (the full per-request firehose) — reporting both
+// sustained rates and the traced/nil ratio.
+func BenchmarkServeObsOverhead(b *testing.B) {
+	pipe, prof, sched := caseIVSetup(b)
+	want, ok := (&core.Assembler{Pipe: pipe, Prof: prof}).Evaluate(sched)
+	if !ok {
+		b.Fatal("schedule infeasible analytically")
+	}
+	const n = 10000
+	reqs, err := trace.Poisson(n, 1.5*want.QPS, 42)
+	if err != nil {
+		b.Fatal(err)
+	}
+	speedup := (float64(n) / want.QPS) / 4.0
+
+	run := func(bus *obs.Bus) *Report {
+		rt, err := New(pipe, prof, sched, Options{Speedup: speedup, Bus: bus})
+		if err != nil {
+			b.Fatal(err)
+		}
+		rep, err := rt.Serve(reqs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.Completed != n {
+			b.Fatalf("completed %d of %d", rep.Completed, n)
+		}
+		return rep
+	}
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		nilRep := run(nil)
+
+		bus := obs.NewBus()
+		tr := obs.NewTracer()
+		if err := tr.Attach(bus, 1<<18); err != nil {
+			b.Fatal(err)
+		}
+		tracedRep := run(bus)
+		tr.Close()
+
+		b.ReportMetric(nilRep.SustainedQPS, "nilBusQPS")
+		b.ReportMetric(tracedRep.SustainedQPS, "tracedQPS")
+		b.ReportMetric(tracedRep.SustainedQPS/nilRep.SustainedQPS, "tracedOverNil")
+		b.ReportMetric(float64(tr.Dropped()), "tracerDropped")
+	}
+}

@@ -52,6 +52,7 @@ import (
 	"time"
 
 	"rago/internal/engine"
+	"rago/internal/obs"
 	"rago/internal/perf"
 	"rago/internal/pipeline"
 	"rago/internal/stageperf"
@@ -80,6 +81,19 @@ type Options struct {
 	// requests already in the system are rejected (open-loop shedding).
 	// 0 admits the whole trace; negative values are rejected.
 	MaxInFlight int
+	// Bus, when set, receives typed observability events for the run —
+	// request admit/reject, stage enqueue/start/finish, decode slot
+	// lease/park/resume/finish, plan-switch begin/commit/drain, and
+	// (with WindowEvery) streamed Window snapshots. A nil Bus, or one
+	// with no subscriber attached, keeps every instrumentation site on
+	// its zero-cost fast path; subscribers are bounded and drop-counted,
+	// so no consumer can ever stall the dataplane.
+	Bus *obs.Bus
+	// WindowEvery streams a Telemetry window snapshot (width WindowEvery,
+	// so consecutive snapshots tile the run) onto Bus every WindowEvery
+	// virtual seconds while Serve runs. 0 disables the stream; negative
+	// values are rejected.
+	WindowEvery float64
 	// Searcher, when set, runs real vector search per retrieval batch.
 	Searcher SearchFunc
 	// QueryDim is the dimensionality of synthesized queries for Searcher.
@@ -96,6 +110,12 @@ func (o Options) validate() error {
 	}
 	if o.MaxInFlight < 0 {
 		return fmt.Errorf("serve: MaxInFlight must be non-negative (0 admits everything), got %d", o.MaxInFlight)
+	}
+	if o.WindowEvery < 0 {
+		return fmt.Errorf("serve: WindowEvery must be non-negative (0 disables the window stream), got %g", o.WindowEvery)
+	}
+	if o.WindowEvery > 0 && o.Bus == nil {
+		return fmt.Errorf("serve: WindowEvery without a Bus has nowhere to stream")
 	}
 	if o.Searcher != nil && o.QueryDim < 1 {
 		return fmt.Errorf("serve: Searcher requires a positive QueryDim")
@@ -167,6 +187,14 @@ type dataplane struct {
 	clock clock
 	coll  *collector
 
+	// bus is the observability event sink; slotName/slotTrack precompute
+	// the stable per-slot span names so hot-path publishes allocate
+	// nothing (both nil when no bus is configured — every publish site
+	// guards on bus.Active()).
+	bus       *obs.Bus
+	slotName  []string
+	slotTrack []string
+
 	resources []*resource
 	decode    *decodeTier
 	quit      chan struct{}
@@ -202,9 +230,14 @@ func newDataplane(plan *engine.Plan, opts Options, ck clock, coll *collector, bo
 		opts:        opts,
 		clock:       ck,
 		coll:        coll,
+		bus:         opts.Bus,
 		quit:        make(chan struct{}),
 		onComplete:  onComplete,
 		onSearchErr: onSearchErr,
+	}
+	if dp.bus != nil {
+		dp.slotName = plan.SlotNames()
+		dp.slotTrack = plan.TrackNames()
 	}
 	for ri, res := range plan.Resources {
 		// ResourceStages appends the decode loop's virtual round slots
@@ -282,6 +315,10 @@ func (dp *dataplane) admit(q *request, at float64) {
 // submit routes a request, ready at stage idx (real or virtual), to the
 // owning worker.
 func (dp *dataplane) submit(q *request, idx int) {
+	if dp.bus.Active() {
+		dp.bus.Publish(obs.Event{Kind: obs.KindEnqueue, T: q.enqV[idx], Req: q.id,
+			Slot: idx, Stage: dp.slotName[idx], Track: dp.slotTrack[idx]})
+	}
 	if st := dp.plan.StepAt(idx); st.Resource >= 0 {
 		dp.resources[st.Resource].inbox <- item{q, idx}
 		return

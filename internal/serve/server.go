@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"rago/internal/engine"
+	"rago/internal/obs"
 	"rago/internal/perf"
 	"rago/internal/trace"
 )
@@ -23,6 +24,11 @@ var ErrServeEnded = errors.New("serve: replay has already drained")
 type epoch struct {
 	dp   *dataplane
 	plan *engine.Plan
+
+	// idx is the epoch's ordinal (0 = initial plan); bus, when non-nil,
+	// receives the drain event once the last in-flight request retires.
+	idx int
+	bus *obs.Bus
 
 	startV   float64
 	admitted atomic.Int64
@@ -40,6 +46,10 @@ func (e *epoch) close(v float64) {
 	e.closed.Do(func() {
 		e.drainedV = v
 		e.dp.stop()
+		if e.bus.Active() && e.retired.Load() {
+			e.bus.Publish(obs.Event{Kind: obs.KindSwitchDrain, T: v, N: e.idx,
+				Dur: v - e.retiredV, Track: "control"})
+		}
 	})
 }
 
@@ -193,7 +203,15 @@ func (s *Server) Switch(plan *engine.Plan) error {
 		return fmt.Errorf("serve: plan executes a different stage graph; only schedules of the same pipeline are hot-swappable")
 	}
 	now := s.clock.now()
-	next := &epoch{plan: plan, startV: now}
+	next := &epoch{plan: plan, startV: now, idx: len(s.epochs), bus: s.opts.Bus}
+	if s.opts.Bus.Active() {
+		s.opts.Bus.Publish(obs.Event{Kind: obs.KindSwitchBegin, T: now, N: next.idx,
+			Track: "control", Payload: obs.SwitchInfo{
+				Epoch: next.idx,
+				From:  old.plan.Sched.Describe(old.plan.Pipe),
+				To:    plan.Sched.Describe(plan.Pipe),
+			}})
+	}
 	next.dp = newDataplane(plan, s.opts, s.clock, &s.coll, s.bound, s.onComplete(next), s.setSearchErr)
 	next.dp.launch()
 	s.cur = next
@@ -201,6 +219,14 @@ func (s *Server) Switch(plan *engine.Plan) error {
 	old.retiredV = now
 	old.retired.Store(true)
 	s.mu.Unlock()
+	if s.opts.Bus.Active() {
+		s.opts.Bus.Publish(obs.Event{Kind: obs.KindSwitchCommit, T: now, N: next.idx,
+			Track: "control", Payload: obs.SwitchInfo{
+				Epoch: next.idx,
+				From:  old.plan.Sched.Describe(old.plan.Pipe),
+				To:    plan.Sched.Describe(plan.Pipe),
+			}})
+	}
 	// If the old epoch was already idle there is no completion left to
 	// observe the retirement flag; close it here. sync.Once makes the
 	// race with a concurrent last completion benign.
@@ -241,15 +267,28 @@ func (s *Server) Serve(reqs []trace.Request) (*ServerReport, error) {
 	s.coll.init(s.cur.plan)
 	s.clock = newClock(s.opts.Speedup)
 	first := s.cur
+	first.bus = s.opts.Bus
 	first.dp = newDataplane(first.plan, s.opts, s.clock, &s.coll, bound, s.onComplete(first), s.setSearchErr)
 	first.dp.launch()
 	s.epochs = append(s.epochs, first)
 	s.live.Store(true)
 	close(s.started)
 
+	var windowsDone chan struct{}
+	var stopWindows chan struct{}
+	if s.opts.Bus != nil && s.opts.WindowEvery > 0 {
+		windowsDone = make(chan struct{})
+		stopWindows = make(chan struct{})
+		go s.streamWindows(stopWindows, windowsDone)
+	}
+
 	s.wg.Add(len(reqs))
 	go s.replay(reqs)
 	s.wg.Wait()
+	if stopWindows != nil {
+		close(stopWindows)
+		<-windowsDone
+	}
 
 	s.mu.Lock()
 	s.ended = true
@@ -273,13 +312,20 @@ func (s *Server) Serve(reqs []trace.Request) (*ServerReport, error) {
 // replay paces open-loop arrivals, applying admission control and routing
 // each admission to the epoch current at its arrival.
 func (s *Server) replay(reqs []trace.Request) {
+	bus := s.opts.Bus
 	for i := range reqs {
 		r := reqs[i]
 		s.clock.sleepUntil(r.Arrival)
 		if s.inflight.Load() >= s.maxInflight {
 			s.coll.reject(r.Arrival)
+			if bus.Active() {
+				bus.Publish(obs.Event{Kind: obs.KindReject, T: r.Arrival, Req: r.ID})
+			}
 			s.wg.Done()
 			continue
+		}
+		if bus.Active() {
+			bus.Publish(obs.Event{Kind: obs.KindAdmit, T: r.Arrival, Req: r.ID})
 		}
 		// Admission happens under the read lock so a concurrent Switch
 		// cannot retire an epoch between choosing it and counting the
@@ -293,6 +339,26 @@ func (s *Server) replay(reqs []trace.Request) {
 		s.mu.RUnlock()
 		s.coll.admit(r.Arrival)
 		e.dp.admit(e.dp.newRequest(r), r.Arrival)
+	}
+}
+
+// streamWindows publishes a KindWindow snapshot onto the bus every
+// WindowEvery virtual seconds (the snapshot's trailing window is the same
+// width), until stopped at the end of the replay. The snapshots ride the
+// bus as Payload, so obs stays free of serve types.
+func (s *Server) streamWindows(stop, done chan struct{}) {
+	defer close(done)
+	every := s.opts.WindowEvery
+	for k := 1; ; k++ {
+		v := float64(k) * every
+		select {
+		case <-s.AfterVirtual(v):
+		case <-stop:
+			return
+		}
+		w := s.Telemetry(every)
+		s.opts.Bus.Publish(obs.Event{Kind: obs.KindWindow, T: w.Now,
+			Track: "telemetry", N: k, Payload: w})
 	}
 }
 

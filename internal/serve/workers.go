@@ -1,6 +1,9 @@
 package serve
 
-import "rago/internal/engine"
+import (
+	"rago/internal/engine"
+	"rago/internal/obs"
+)
 
 // decodeTier is the continuous-batching decode pool. The plan's
 // DecodeBatch slots are a bounded channel of slot leases, each lease
@@ -52,6 +55,10 @@ func (d *decodeTier) run() {
 			return
 		}
 		q.decStart = maxf(free, q.enqV[decIdx])
+		if d.dp.bus.Active() {
+			d.dp.bus.Publish(obs.Event{Kind: obs.KindDecodeLease, T: q.decStart, Req: q.id,
+				Slot: decIdx, Stage: d.dp.slotName[decIdx], Track: "decode"})
+		}
 		go d.generate(q)
 	}
 }
@@ -75,7 +82,7 @@ func (d *decodeTier) generate(q *request) {
 		outTokens = q.outTok
 	}
 	t, tok := q.decStart, 0
-	for _, trig := range q.triggers {
+	for ri, trig := range q.triggers {
 		// Clamp recorded positions into [tok, outTokens]: decode only
 		// moves forward, so an out-of-range or out-of-order trigger
 		// parks at the nearest legal token instead of rewinding time.
@@ -89,10 +96,19 @@ func (d *decodeTier) generate(q *request) {
 		tok = trig
 		d.dp.clock.sleepUntil(t)
 		q.parkedV = t
+		if d.dp.bus.Active() {
+			d.dp.bus.Publish(obs.Event{Kind: obs.KindDecodePark, T: t, Req: q.id,
+				Slot: d.dp.plan.DecodeIdx, Stage: "decode", Track: "decode", N: ri + 1})
+		}
 		q.enqV[d.dp.plan.IterRetrievalSlot()] = t
 		d.dp.submit(q, d.dp.plan.IterRetrievalSlot())
 		resumed := <-q.resume
 		q.stall += resumed - q.parkedV
+		if d.dp.bus.Active() {
+			d.dp.bus.Publish(obs.Event{Kind: obs.KindDecodeResume, T: resumed, Req: q.id,
+				Slot: d.dp.plan.DecodeIdx, Stage: "decode", Track: "decode",
+				N: ri + 1, Dur: resumed - q.parkedV})
+		}
 		t = resumed
 	}
 	t += float64(outTokens-tok) * d.round.DecodeStep
@@ -103,6 +119,11 @@ func (d *decodeTier) generate(q *request) {
 // the slot lease, and retires the request.
 func (d *decodeTier) finish(q *request, done float64) {
 	d.dp.clock.sleepUntil(done)
+	if d.dp.bus.Active() {
+		d.dp.bus.Publish(obs.Event{Kind: obs.KindDecodeFinish, T: done, Req: q.id,
+			Slot: d.dp.plan.DecodeIdx, Stage: "decode", Track: "decode",
+			Dur: done - q.decStart})
+	}
 	d.slots <- done
 	d.dp.complete(q, done)
 }

@@ -1,0 +1,84 @@
+package sim
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"rago/internal/engine"
+	"rago/internal/hw"
+	"rago/internal/obs"
+	"rago/internal/pipeline"
+	"rago/internal/ragschema"
+	"rago/internal/stageperf"
+	"rago/internal/trace"
+)
+
+// TestChromeTraceGoldenCaseI pins the Chrome trace_event export for a
+// tiny 5-request Case I burst, byte for byte: the simulator is
+// single-threaded and deterministic, the tracer assembles events in
+// published order, and the exporter sorts everything it emits — so the
+// golden catches silent drift anywhere along the event → span → export
+// chain. Regenerate deliberately with UPDATE_GOLDEN=1 after inspecting
+// the new trace in https://ui.perfetto.dev.
+func TestChromeTraceGoldenCaseI(t *testing.T) {
+	schema := ragschema.CaseI(8e9, 1)
+	pipe, err := pipeline.Build(schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof := stageperf.New(hw.XPUC, hw.EPYCHost, schema)
+	sched := engine.Schedule{
+		Groups:           []engine.GroupSchedule{{Stages: []int{1}, Chips: 16, Batch: 8}},
+		RetrievalServers: 16,
+		RetrievalBatch:   8,
+		DecodeChips:      16,
+		DecodeBatch:      128,
+		DecodeReplicas:   4,
+	}
+	plan, err := engine.Compile(pipe, sched, prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	bus := obs.NewBus()
+	tr := obs.NewTracer()
+	if err := tr.Attach(bus, 1<<12); err != nil {
+		t.Fatal(err)
+	}
+	des, err := NewServeFromPlan(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	des.Bus = bus
+	if _, err := des.Run(trace.Burst(5), 0); err != nil {
+		t.Fatal(err)
+	}
+	tr.Close()
+	if tr.Dropped() != 0 {
+		t.Fatalf("tracer dropped %d of a 5-request burst", tr.Dropped())
+	}
+
+	raw, err := tr.ChromeTrace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "chrome_trace_case1.json")
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.WriteFile(golden, raw, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d bytes)", golden, len(raw))
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (regenerate with UPDATE_GOLDEN=1)", err)
+	}
+	if !bytes.Equal(raw, want) {
+		t.Fatalf("chrome trace drifted from golden (got %d bytes, want %d); "+
+			"inspect in Perfetto, then UPDATE_GOLDEN=1 if intended.\ngot:\n%s",
+			len(raw), len(want), raw)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"math"
 
 	"rago/internal/engine"
+	"rago/internal/obs"
 	"rago/internal/pipeline"
 	"rago/internal/stageperf"
 	"rago/internal/trace"
@@ -32,6 +33,13 @@ type ServeSim struct {
 	// shed-on-full semantics (and Rejected accounting) as
 	// serve.Options.MaxInFlight. 0 admits the whole trace.
 	MaxInFlight int
+
+	// Bus, when non-nil, receives the same typed event stream the live
+	// runtime publishes — admit/reject, stage enqueue/start/finish, decode
+	// slot lease/park/resume/finish — with simulated virtual timestamps.
+	// Attach an obs.Tracer to get a Chrome trace of the simulated run, or
+	// to structurally compare it against a live replay (span parity).
+	Bus *obs.Bus
 }
 
 // ServeResult is the measured behaviour of one run.
@@ -41,6 +49,10 @@ type ServeResult struct {
 	Rejected int
 	// QPS is completions divided by the completion span.
 	QPS float64
+	// SteadyQPS is the peak windowed completion rate (obs.SteadyRate over
+	// the completion times): the best quarter-span window, insensitive to
+	// warmup ramp and drain tail. 0 when too few completions to window.
+	SteadyQPS float64
 	// MeanTTFT is the average time from arrival to prefix completion.
 	MeanTTFT float64
 	// MeanLatency is the average time from arrival to full generation.
@@ -134,11 +146,14 @@ type reqState struct {
 	promptTok, outTok int
 	// Iterative decode-loop state: the remaining trigger positions, the
 	// tokens decoded so far, when the sequence parked, and the
-	// accumulated parked time.
+	// accumulated parked time. rounds counts completed parks (event
+	// numbering); decStart is when the sequence acquired its decode slot.
 	triggers []int
 	tok      int
 	parkedAt float64
 	stall    float64
+	rounds   int
+	decStart float64
 }
 
 // genTokens is the request's generation length (schema constant when
@@ -179,6 +194,12 @@ func (s *ServeSim) Run(reqs []trace.Request, flushTimeout float64) (ServeResult,
 	}
 	decIdx := plan.DecodeIdx
 	outTokens := plan.Steps[decIdx].Stage.OutTokens
+	bus := s.Bus
+	var slotName, slotTrack []string
+	if bus != nil {
+		slotName = plan.SlotNames()
+		slotTrack = plan.TrackNames()
+	}
 	for i, r := range reqs {
 		pending := make([]int, len(plan.Steps))
 		for st, ps := range plan.Preds {
@@ -234,6 +255,11 @@ func (s *ServeSim) Run(reqs []trace.Request, flushTimeout float64) (ServeResult,
 	// the request is unshaped), the first decode segment of the §5.3 loop
 	// on iterative ones.
 	startSeq := func(r int, now float64) {
+		states[r].decStart = now
+		if bus.Active() {
+			bus.Publish(obs.Event{Kind: obs.KindDecodeLease, T: now, Req: reqs[r].ID,
+				Slot: decIdx, Stage: slotName[decIdx], Track: "decode"})
+		}
 		if plan.Round == nil || len(states[r].triggers) == 0 {
 			push(now+plan.GenTimeFor(states[r].outTok), evDecodeDone, r, 0)
 			return
@@ -254,6 +280,10 @@ func (s *ServeSim) Run(reqs []trace.Request, flushTimeout float64) (ServeResult,
 
 	// enqueue places request r at stage idx's queue (or a decode slot).
 	enqueue := func(r, idx int, now float64) {
+		if bus.Active() {
+			bus.Publish(obs.Event{Kind: obs.KindEnqueue, T: now, Req: reqs[r].ID,
+				Slot: idx, Stage: slotName[idx], Track: slotTrack[idx]})
+		}
 		if idx == decIdx {
 			// Continuous batching: each of the DecodeBatch slots holds
 			// one sequence for its full generation — iterative parks
@@ -330,6 +360,14 @@ func (s *ServeSim) Run(reqs []trace.Request, flushTimeout float64) (ServeResult,
 				padTotal += int64(n * sh.PromptTokens)
 			}
 		}
+		if bus.Active() {
+			for _, r := range batch {
+				bus.Publish(obs.Event{Kind: obs.KindStageStart, T: now, Req: reqs[r].ID,
+					Slot: best, Stage: slotName[best], Track: plan.Resources[res].Name, N: n})
+				bus.Publish(obs.Event{Kind: obs.KindStageFinish, T: now + lat, Req: reqs[r].ID,
+					Slot: best, Stage: slotName[best], Track: plan.Resources[res].Name, N: n, Dur: lat})
+			}
+		}
 		for _, r := range batch {
 			push(now+lat, evStageDone, r, best)
 		}
@@ -346,6 +384,7 @@ func (s *ServeSim) Run(reqs []trace.Request, flushTimeout float64) (ServeResult,
 
 	var firstDone, lastDone float64
 	var sumTTFT, sumLat, sumStall float64
+	var doneV []float64
 	completed, rejected, inflight := 0, 0, 0
 
 	for h.Len() > 0 {
@@ -357,9 +396,15 @@ func (s *ServeSim) Run(reqs []trace.Request, flushTimeout float64) (ServeResult,
 			// runtime's Rejected accounting.
 			if s.MaxInFlight > 0 && inflight >= s.MaxInFlight {
 				rejected++
+				if bus.Active() {
+					bus.Publish(obs.Event{Kind: obs.KindReject, T: now, Req: reqs[e.a].ID})
+				}
 				continue
 			}
 			inflight++
+			if bus.Active() {
+				bus.Publish(obs.Event{Kind: obs.KindAdmit, T: now, Req: reqs[e.a].ID})
+			}
 			for _, idx := range plan.Entries {
 				ready(e.a, idx, now)
 			}
@@ -377,6 +422,11 @@ func (s *ServeSim) Run(reqs []trace.Request, flushTimeout float64) (ServeResult,
 			st.tok = nextTrigger(e.a)
 			st.triggers = st.triggers[1:]
 			st.parkedAt = now
+			st.rounds++
+			if bus.Active() {
+				bus.Publish(obs.Event{Kind: obs.KindDecodePark, T: now, Req: reqs[e.a].ID,
+					Slot: decIdx, Stage: "decode", Track: "decode", N: st.rounds})
+			}
 			ready(e.a, plan.IterRetrievalSlot(), now)
 		case evStageDone:
 			r, idx := e.a, e.b
@@ -387,6 +437,11 @@ func (s *ServeSim) Run(reqs []trace.Request, flushTimeout float64) (ServeResult,
 					continue
 				case plan.IterPrefixSlot():
 					states[r].stall += now - states[r].parkedAt
+					if bus.Active() {
+						bus.Publish(obs.Event{Kind: obs.KindDecodeResume, T: now, Req: reqs[r].ID,
+							Slot: decIdx, Stage: "decode", Track: "decode",
+							N: states[r].rounds, Dur: now - states[r].parkedAt})
+					}
 					nextSegment(r, now)
 					continue
 				}
@@ -405,6 +460,12 @@ func (s *ServeSim) Run(reqs []trace.Request, flushTimeout float64) (ServeResult,
 			states[r].done = now
 			completed++
 			inflight--
+			if bus.Active() {
+				bus.Publish(obs.Event{Kind: obs.KindDecodeFinish, T: now, Req: reqs[r].ID,
+					Slot: decIdx, Stage: "decode", Track: "decode",
+					Dur: now - states[r].decStart})
+			}
+			doneV = append(doneV, now)
 			if completed == 1 {
 				firstDone = now
 			}
@@ -433,6 +494,7 @@ func (s *ServeSim) Run(reqs []trace.Request, flushTimeout float64) (ServeResult,
 		Completed:   completed,
 		Rejected:    rejected,
 		QPS:         qps,
+		SteadyQPS:   obs.SteadyRate(doneV),
 		MeanTTFT:    sumTTFT / float64(completed),
 		MeanLatency: sumLat / float64(completed),
 		MeanStall:   sumStall / float64(completed),

@@ -32,6 +32,7 @@ import (
 	"rago/internal/core"
 	"rago/internal/engine"
 	"rago/internal/hw"
+	"rago/internal/obs"
 	"rago/internal/perf"
 	"rago/internal/pipeline"
 	"rago/internal/ragschema"
@@ -340,6 +341,35 @@ func NewController(lib *PlanLibrary, cfg ControlConfig) (*Controller, error) {
 func ReplaySwitches(lib *PlanLibrary, res *ControlResult, reqs []Request, flushTimeout float64, maxInFlight int) (SimReplayResult, error) {
 	return control.SimReplay(lib, res, reqs, flushTimeout, maxInFlight)
 }
+
+// Observability: the typed event bus the executors publish onto, the
+// span tracer that assembles per-request timelines (exportable as
+// Perfetto-loadable Chrome trace JSON), and the streaming metrics
+// endpoint (/window, /stream SSE, expvar, pprof).
+type (
+	// Bus is the bounded fan-out event bus (nil = zero-cost no-op).
+	Bus = obs.Bus
+	// ObsEvent is one typed observability event.
+	ObsEvent = obs.Event
+	// Tracer assembles per-request spans from the event stream.
+	Tracer = obs.Tracer
+	// RequestTrace is one request's assembled span timeline.
+	RequestTrace = obs.RequestTrace
+	// MetricsServer is the streaming metrics HTTP endpoint.
+	MetricsServer = obs.MetricsServer
+)
+
+// Observability constructors.
+var (
+	// NewBus builds an event bus for ServeOptions.Bus / ServeSim.Bus.
+	NewBus = obs.NewBus
+	// NewTracer builds an empty span tracer (attach it to a Bus).
+	NewTracer = obs.NewTracer
+	// NewMetricsServer serves streaming metrics from a Bus on an address.
+	NewMetricsServer = obs.NewMetricsServer
+	// SteadyRate is the peak windowed completion rate over done times.
+	SteadyRate = obs.SteadyRate
+)
 
 // Vector search substrate (a working IVF-PQ implementation of the
 // retrieval tier the paper models analytically).
