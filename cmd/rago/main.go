@@ -28,6 +28,8 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"rago/internal/core"
@@ -97,9 +99,12 @@ func runOptimize(args []string) {
 	fs := flag.NewFlagSet("optimize", flag.ExitOnError)
 	wf := addWorkloadFlags(fs)
 	var (
-		normalize = fs.Int("normalize", 0, "fixed chip count for QPS/chip normalization (0 = allocated)")
-		baseline  = fs.Bool("baseline", false, "also evaluate the LLM-system-extension baseline")
-		maxPoints = fs.Int("max-points", 20, "frontier points to print (0 = all)")
+		normalize  = fs.Int("normalize", 0, "fixed chip count for QPS/chip normalization (0 = allocated)")
+		baseline   = fs.Bool("baseline", false, "also evaluate the LLM-system-extension baseline")
+		maxPoints  = fs.Int("max-points", 20, "frontier points to print (0 = all)")
+		workers    = fs.Int("workers", 0, "parallel search workers (0 = GOMAXPROCS)")
+		cpuprofile = fs.String("cpuprofile", "", "write a pprof CPU profile of the search to this file")
+		memprofile = fs.String("memprofile", "", "write a pprof heap profile after the search to this file")
 	)
 	fs.Parse(args)
 
@@ -109,12 +114,37 @@ func runOptimize(args []string) {
 	}
 	opts := core.DefaultOptions(cluster)
 	opts.NormalizeChips = *normalize
+	opts.Workers = *workers
 
 	o, err := core.NewOptimizer(schema, opts)
 	if err != nil {
 		log.Fatal(err)
 	}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatal(err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
 	front := o.Optimize()
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			log.Fatal(err)
+		}
+		f.Close()
+	}
 	if len(front) == 0 {
 		log.Fatal("no feasible schedule under the given resources")
 	}

@@ -31,3 +31,27 @@ func BenchmarkOptimizeCaseIV(b *testing.B) {
 	b.Run("memoized", func(b *testing.B) { run(b, false) })
 	b.Run("no-memo", func(b *testing.B) { run(b, true) })
 }
+
+// BenchmarkOptimizeCaseV measures the search on the iterative-retrieval
+// workload, whose per-candidate IterativePlan probe makes the inner loop
+// shape different from Case IV, with branch-and-bound pruning on (the
+// production path) and off (the exhaustive reference the differential test
+// compares against).
+func BenchmarkOptimizeCaseV(b *testing.B) {
+	run := func(b *testing.B, noPrune bool) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			opts := DefaultOptions(hw.DefaultCluster())
+			opts.NoPrune = noPrune
+			o, err := NewOptimizer(ragschema.CaseV(8e9, 2), opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if front := o.Optimize(); len(front) == 0 {
+				b.Fatal("empty frontier")
+			}
+		}
+	}
+	b.Run("pruned", func(b *testing.B) { run(b, false) })
+	b.Run("exhaustive", func(b *testing.B) { run(b, true) })
+}

@@ -1,0 +1,205 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"rago/internal/hw"
+	"rago/internal/perf"
+	"rago/internal/ragschema"
+)
+
+// TestBranchAndBoundMatchesExhaustive is the branch-and-bound acceptance
+// test: on every case preset, the pruned concurrent search must return a
+// frontier identical — schedules and metrics, in order — to the NoPrune
+// exhaustive reference. Pruning is only allowed to skip work that is
+// provably strictly dominated, so any divergence here is a bound
+// admissibility bug.
+func TestBranchAndBoundMatchesExhaustive(t *testing.T) {
+	cases := []struct {
+		name    string
+		schema  ragschema.Schema
+		cluster hw.Cluster
+		norm    int
+	}{
+		{"caseI", ragschema.CaseI(8e9, 1), hw.DefaultCluster(), 64},
+		{"caseII", ragschema.CaseII(70e9, 1_000_000), hw.DefaultCluster(), 0},
+		{"caseIII", ragschema.CaseIII(70e9, 4), hw.DefaultCluster(), 64},
+		{"caseIV", ragschema.CaseIV(8e9), hw.DefaultCluster(), 0},
+		{"caseV", ragschema.CaseV(8e9, 2), hw.DefaultCluster(), 64},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			opts := DefaultOptions(tc.cluster)
+			opts.NormalizeChips = tc.norm
+
+			exOpts := opts
+			exOpts.NoPrune = true
+			exhaustive, err := NewOptimizer(tc.schema, exOpts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := exhaustive.Optimize()
+
+			pruned, err := NewOptimizer(tc.schema, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := pruned.Optimize()
+
+			if len(want) == 0 {
+				t.Fatal("exhaustive frontier is empty — the case is not exercising the search")
+			}
+			if len(got) != len(want) {
+				t.Fatalf("frontier size diverged: pruned %d vs exhaustive %d", len(got), len(want))
+			}
+			for i := range want {
+				if got[i].Metrics != want[i].Metrics {
+					t.Errorf("point %d metrics diverged:\npruned     %v\nexhaustive %v", i, got[i].Metrics, want[i].Metrics)
+				}
+				if !reflect.DeepEqual(got[i].Item, want[i].Item) {
+					t.Errorf("point %d schedule diverged:\npruned     %+v\nexhaustive %+v", i, got[i].Item, want[i].Item)
+				}
+			}
+		})
+	}
+}
+
+// TestPlanBoundAdmissible checks the bound's defining property directly:
+// no schedule on a plan's frontier may beat the plan's optimistic bound on
+// any objective.
+func TestPlanBoundAdmissible(t *testing.T) {
+	o := newOpt(t, ragschema.CaseIV(8e9), hw.DefaultCluster(), 0)
+	plans := o.Plans()
+	checked := 0
+	for i, plan := range plans {
+		if i%97 != 0 { // sample; every plan costs a full sub-search
+			continue
+		}
+		bound, ok := o.planBound(plan)
+		front := o.PlanFrontier(plan)
+		if !ok {
+			if len(front) != 0 {
+				t.Fatalf("plan %d: bound says infeasible but frontier has %d points", i, len(front))
+			}
+			continue
+		}
+		for _, p := range front {
+			m := p.Metrics
+			if m.TTFT < bound.TTFT || m.TPOT < bound.TPOT || m.QPS > bound.QPS || m.QPSPerChip > bound.QPSPerChip {
+				t.Fatalf("plan %d: point %v beats admissible bound %v", i, m, bound)
+			}
+		}
+		checked++
+	}
+	if checked == 0 {
+		t.Fatal("no plans checked")
+	}
+}
+
+// TestWorkersOption pins that capping search concurrency changes neither
+// the frontier nor determinism.
+func TestWorkersOption(t *testing.T) {
+	opts := DefaultOptions(hw.DefaultCluster())
+	opts.NormalizeChips = 64
+	opts.Workers = 1
+	serial, err := NewOptimizer(ragschema.CaseI(8e9, 1), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := serial.Optimize()
+	want := newOpt(t, ragschema.CaseI(8e9, 1), hw.DefaultCluster(), 64).Optimize()
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Workers=1 frontier diverged from default")
+	}
+}
+
+// pruneGroupChoicesRef is the retired O(n²) pairwise implementation, kept
+// as the reference the staircase sweep is differential-tested against.
+func pruneGroupChoicesRef(cs []groupChoice) []groupChoice {
+	var out []groupChoice
+	for i, a := range cs {
+		dominated := false
+		for j, b := range cs {
+			if i == j {
+				continue
+			}
+			if b.ttft <= a.ttft && b.occ <= a.occ && (b.ttft < a.ttft || b.occ < a.occ) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// TestPruneGroupChoicesDifferential drives the staircase sweep against the
+// pairwise reference on random inputs, including heavy ties and exact
+// duplicates (which dominate neither way and must all survive, in input
+// order).
+func TestPruneGroupChoicesDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 500; trial++ {
+		n := rng.Intn(40)
+		cs := make([]groupChoice, n)
+		for i := range cs {
+			// Coarse grid to force ties and duplicates.
+			cs[i] = groupChoice{
+				ttft:  float64(rng.Intn(6)) * 0.01,
+				occ:   float64(rng.Intn(6)) * 0.001,
+				batch: 1 << uint(rng.Intn(4)),
+			}
+		}
+		got := pruneGroupChoices(append([]groupChoice(nil), cs...))
+		want := pruneGroupChoicesRef(cs)
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: kept %d choices, reference kept %d\ninput: %+v", trial, len(got), len(want), cs)
+		}
+		for i := range want {
+			if got[i].ttft != want[i].ttft || got[i].occ != want[i].occ || got[i].batch != want[i].batch {
+				t.Fatalf("trial %d: choice %d diverged: %+v vs %+v", trial, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestPlanCountGolden pins the size of the (placement, allocation)
+// enumeration per case preset on the default cluster, so any change to the
+// enumeration — intended or not — is visible in review.
+func TestPlanCountGolden(t *testing.T) {
+	cases := []struct {
+		name   string
+		schema ragschema.Schema
+		want   int
+	}{
+		{"caseI", ragschema.CaseI(8e9, 1), 36},
+		{"caseII", ragschema.CaseII(70e9, 1_000_000), 200},
+		{"caseIII", ragschema.CaseIII(70e9, 4), 36},
+		{"caseIV", ragschema.CaseIV(8e9), 7810},
+		{"caseV", ragschema.CaseV(8e9, 2), 236},
+	}
+	for _, tc := range cases {
+		o := newOpt(t, tc.schema, hw.DefaultCluster(), 0)
+		if got := len(o.Plans()); got != tc.want {
+			t.Errorf("%s: %d plans, golden %d — update the golden if the enumeration change is intended", tc.name, got, tc.want)
+		}
+	}
+}
+
+// TestRelaxWidens sanity-checks the float-drift margin helper: the relaxed
+// bound must be weakly better on every objective.
+func TestRelaxWidens(t *testing.T) {
+	m := perf.Metrics{TTFT: 0.1, TPOT: 0.01, QPS: 100, QPSPerChip: 1.5}
+	r := relax(m, 1e-9)
+	if r.TTFT > m.TTFT || r.TPOT > m.TPOT || r.QPS < m.QPS || r.QPSPerChip < m.QPSPerChip {
+		t.Fatalf("relax did not widen: %v -> %v", m, r)
+	}
+	if math.IsNaN(r.TTFT) {
+		t.Fatal("NaN")
+	}
+}

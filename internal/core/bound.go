@@ -1,0 +1,143 @@
+package core
+
+import (
+	"math"
+
+	"rago/internal/perf"
+	"rago/internal/pipeline"
+)
+
+// planBound computes an admissible optimistic bound for one plan: metrics
+// at least as good, on every objective, as any schedule the plan can
+// produce. The branch-and-bound search prunes a plan without evaluating a
+// single schedule when an incumbent frontier point strictly dominates its
+// bound — every completion is then strictly dominated too, so the final
+// frontier is provably unchanged (the differential test pins this).
+//
+// The bound composes per-resource envelopes (stageperf.Envelope — roofline
+// minima/maxima over every batch and replication the search may pick):
+//
+//   - TTFT >= the longest path to the prefix stage over per-stage minimum
+//     latencies (retrieval stages add the CPU-to-XPU transfer); every real
+//     schedule walks the same DAG with latencies >= these minima, and
+//     drops the non-negative retrieval-pause and iterative terms.
+//   - TPOT >= the decode tier's minimum latency over output tokens
+//     (iterative stalls only add).
+//   - QPS <= the loosest saturation throughput of every resource: a
+//     group's occupancy is at least the sum of its stages' minimum
+//     per-request service times, a retrieval tier's at least 1/MaxQPS,
+//     and the decode tier's bd/genTime is at most its envelope MaxQPS.
+//
+// ok is false when some stage is infeasible at every batch/replication on
+// the plan's resources: no schedule of the plan compiles, so the caller
+// skips the plan outright.
+func (o *Optimizer) planBound(plan Plan) (perf.Metrics, bool) {
+	pipe := o.Pipe
+	n := len(pipe.Stages)
+	prefixIdx := pipe.Index(pipeline.KindPrefix)
+	decIdx := pipe.Index(pipeline.KindDecode)
+	transfer := o.Prof.RetrievalTransferLatency()
+
+	// Per-stage optimistic latency and saturation throughput on the
+	// plan's resources.
+	minLat := make([]float64, n)
+	qpsUB := math.Inf(1)
+
+	// Pre-decode groups: stages share the group's chips; batches range
+	// over the pre-decode bound.
+	for gi, g := range plan.Placement.Groups {
+		chips := plan.GroupChips[gi]
+		var occLB float64
+		for _, idx := range g.Stages {
+			env := o.Prof.Envelope(pipe.Stages[idx], chips, o.Opts.MaxPreBatch)
+			if !env.OK {
+				return perf.Metrics{}, false
+			}
+			minLat[idx] = env.MinLatency
+			occLB += 1 / env.MaxQPS
+		}
+		qpsUB = math.Min(qpsUB, 1/occLB)
+	}
+
+	// Retrieval tiers (one per source, each on the plan's server count).
+	for _, ridx := range pipe.Indices(pipeline.KindRetrieval) {
+		env := o.Prof.Envelope(pipe.Stages[ridx], plan.Servers, o.Opts.MaxRetrievalBatch)
+		if !env.OK {
+			return perf.Metrics{}, false
+		}
+		minLat[ridx] = env.MinLatency + transfer
+		qpsUB = math.Min(qpsUB, env.MaxQPS)
+	}
+
+	// Decode tier.
+	denv := o.Prof.Envelope(pipe.Stages[decIdx], plan.DecodeChips, o.Opts.MaxDecodeBatch)
+	if !denv.OK {
+		return perf.Metrics{}, false
+	}
+	qpsUB = math.Min(qpsUB, denv.MaxQPS)
+	tpotLB := denv.MinLatency / float64(pipe.Stages[decIdx].OutTokens)
+
+	// TTFT: longest path to the prefix over minimum latencies. Stage
+	// indices are topologically ordered (ValidateGraph), so one forward
+	// sweep resolves the DAG.
+	finish := make([]float64, n)
+	preds := pipe.Preds()
+	for i := 0; i < n; i++ {
+		if i == decIdx {
+			continue
+		}
+		start := 0.0
+		for _, j := range preds[i] {
+			if j == decIdx {
+				continue
+			}
+			if finish[j] > start {
+				start = finish[j]
+			}
+		}
+		finish[i] = start + minLat[i]
+	}
+	ttftLB := finish[prefixIdx]
+
+	norm := plan.chips()
+	if o.Opts.NormalizeChips > 0 {
+		norm = o.Opts.NormalizeChips
+	}
+	return perf.Metrics{
+		TTFT:       ttftLB,
+		TPOT:       tpotLB,
+		QPS:        qpsUB,
+		QPSPerChip: qpsUB / float64(norm),
+	}, true
+}
+
+// chips is the XPU total every schedule of the plan occupies (groups plus
+// decode; retrieval servers are CPU hosts and never count).
+func (p Plan) chips() int {
+	total := p.DecodeChips
+	for _, c := range p.GroupChips {
+		total += c
+	}
+	return total
+}
+
+// boundEps is the relative optimism margin partial-extension pruning adds
+// on top of the plan bound: partial accumulations (sums, running minima)
+// and the engine's compiled metrics agree only to float rounding, so the
+// incumbent must beat a partial's bound by at least this factor before the
+// partial is discarded. Plan-level bounds need no margin — they are
+// composed purely of envelope minima that every compiled metric includes
+// termwise.
+const boundEps = 1e-9
+
+// relax widens m optimistically by eps on every objective (lower TTFT and
+// TPOT, higher throughput), turning an accumulated estimate into a bound
+// that tolerates rounding drift against engine-compiled metrics.
+func relax(m perf.Metrics, eps float64) perf.Metrics {
+	return perf.Metrics{
+		TTFT:       m.TTFT * (1 - eps),
+		TPOT:       m.TPOT * (1 - eps),
+		QPS:        m.QPS * (1 + eps),
+		QPSPerChip: m.QPSPerChip * (1 + eps),
+	}
+}

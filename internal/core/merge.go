@@ -2,6 +2,7 @@ package core
 
 import (
 	"math"
+	"sort"
 
 	"rago/internal/engine"
 	"rago/internal/perf"
@@ -10,16 +11,33 @@ import (
 	"rago/internal/stageperf"
 )
 
-// partial tracks incrementally assembled metrics during the per-plan batch
-// search. Because components contribute independently (TTFT adds, TPOT is
-// set only by decode, throughput is a min), Pareto-pruning partials between
+// spart is one partially assembled schedule during the per-plan batch
+// search, compacted for the hot loop: metrics accumulate inline (TTFT
+// adds, TPOT is set only by decode, throughput is a running min) and the
+// group-choice chain is an arena parent pointer instead of a copied
+// Groups slice, so extending a partial allocates nothing. Because the
+// components contribute independently, Pareto-pruning partials between
 // components is lossless: a dominated partial stays dominated after any
 // extension.
-type partial struct {
+type spart struct {
 	ttft float64
 	tpot float64
 	qps  float64
-	s    Schedule
+	// node indexes searchCtx.nodes (the last group's choice; parents
+	// chain backwards through the groups), -1 before any group commits.
+	node int32
+	// retrB, decB, decR carry the scalar schedule fields until
+	// materialization.
+	retrB int32
+	decB  int32
+	decR  int32
+}
+
+// gnode is one arena entry of the group-choice chain.
+type gnode struct {
+	parent   int32
+	batch    int32
+	replicas []int // memo-owned; copied at materialization
 }
 
 // qpsUnbounded stands in for "no throughput constraint yet"; finite so the
@@ -36,14 +54,108 @@ type groupChoice struct {
 	replicas []int
 }
 
+// searchCtx is one worker's reusable state for the per-plan search:
+// the scratch metrics evaluator, the partial/arena buffers, and the
+// hoisted power-of-two batch ranges. Not safe for concurrent use.
+type searchCtx struct {
+	o  *Optimizer
+	ev *engine.Evaluator
+
+	preBatches  []int
+	retrBatches []int
+	decBatches  []int
+	iterBatches []int
+
+	nodes  []gnode
+	parts  []spart
+	next   []spart
+	stairs []partialCorner
+	idx    []int32
+
+	probeGroups []GroupSchedule
+}
+
+type partialCorner struct{ tpot, qps float64 }
+
+// newSearchCtx builds a worker context. The scratch evaluator runs the
+// exact compile arithmetic Assembler.Evaluate runs, without per-schedule
+// plan allocation; on the (already validated) pipelines the optimizer
+// builds it cannot fail, but a failure falls back to the Assembler.
+func (o *Optimizer) newSearchCtx() *searchCtx {
+	ctx := &searchCtx{
+		o:           o,
+		preBatches:  roofline.Pow2Range(1, o.Opts.MaxPreBatch),
+		retrBatches: roofline.Pow2Range(1, o.Opts.MaxRetrievalBatch),
+		decBatches:  roofline.Pow2Range(1, o.Opts.MaxDecodeBatch),
+		iterBatches: []int{0},
+	}
+	if o.Pipe.Schema.Iterative() {
+		ctx.iterBatches = roofline.Pow2Range(1, o.Opts.MaxDecodeBatch)
+	}
+	if ev, err := engine.NewEvaluator(o.Pipe, o.Prof); err == nil {
+		ctx.ev = ev
+	}
+	return ctx
+}
+
+// evaluate assembles end-to-end metrics for one schedule through the
+// scratch evaluator, applying the Assembler's QPS/chip normalization.
+// Results are bit-identical to Assembler.Evaluate.
+func (c *searchCtx) evaluate(s Schedule) (perf.Metrics, bool) {
+	if c.ev == nil {
+		return c.o.Asm.Evaluate(s)
+	}
+	m, ok := c.ev.Evaluate(s)
+	if !ok {
+		return perf.Metrics{}, false
+	}
+	if n := c.o.Asm.NormalizeChips; n > 0 {
+		m.QPSPerChip = m.QPS / float64(n)
+	}
+	return m, true
+}
+
+// materialize expands a surviving partial into a complete schedule,
+// walking the group-choice chain backwards (replica slices are copied out
+// of the shared memo).
+func (c *searchCtx) materialize(plan Plan, bIter int, p spart) Schedule {
+	ng := len(plan.Placement.Groups)
+	var groups []GroupSchedule
+	if ng > 0 {
+		groups = make([]GroupSchedule, ng)
+		node := p.node
+		for gi := ng - 1; gi >= 0; gi-- {
+			nd := c.nodes[node]
+			groups[gi] = GroupSchedule{
+				Stages:   plan.Placement.Groups[gi].Stages,
+				Chips:    plan.GroupChips[gi],
+				Batch:    int(nd.batch),
+				Replicas: append([]int(nil), nd.replicas...),
+			}
+			node = nd.parent
+		}
+	}
+	return Schedule{
+		Groups:           groups,
+		RetrievalServers: plan.Servers,
+		RetrievalBatch:   int(p.retrB),
+		DecodeChips:      plan.DecodeChips,
+		DecodeBatch:      int(p.decB),
+		DecodeReplicas:   int(p.decR),
+		IterativeBatch:   bIter,
+	}
+}
+
 // planCandidates enumerates batch policies for one plan at a fixed
 // iterative batch (bIter == 0 for non-iterative workloads), pruning
-// dominated combinations after each component. Survivors are returned as
-// complete schedules; callers re-evaluate them through the Assembler.
-func (o *Optimizer) planCandidates(plan Plan, bIter int) []Schedule {
-	preBatches := roofline.Pow2Range(1, o.Opts.MaxPreBatch)
-	retrBatches := roofline.Pow2Range(1, o.Opts.MaxRetrievalBatch)
-	decBatches := roofline.Pow2Range(1, o.Opts.MaxDecodeBatch)
+// dominated combinations after each component. When inc is non-nil, the
+// branch-and-bound pass additionally discards partials whose optimistic
+// completion (the plan bound with the partial's own throughput ceiling,
+// relaxed by boundEps for float drift) is strictly dominated by the
+// incumbent frontier — lossless for the final frontier. Survivors are
+// returned as complete schedules; callers re-evaluate them through the
+// scratch evaluator.
+func (o *Optimizer) planCandidates(ctx *searchCtx, plan Plan, bIter int, inc *perf.Incremental, bound perf.Metrics) []Schedule {
 	prefixIdx := o.Pipe.Index(pipeline.KindPrefix)
 	retrIdx := o.Pipe.Index(pipeline.KindRetrieval)
 	decIdx := o.Pipe.Index(pipeline.KindDecode)
@@ -76,47 +188,42 @@ func (o *Optimizer) planCandidates(plan Plan, bIter int) []Schedule {
 		iterPrefOcc = n / pt.QPS
 	}
 
-	parts := []partial{{
-		qps: qpsUnbounded,
-		s: Schedule{
-			RetrievalServers: plan.Servers,
-			DecodeChips:      plan.DecodeChips,
-			IterativeBatch:   bIter,
-		},
-	}}
+	normChips := float64(plan.chips())
+	if o.Opts.NormalizeChips > 0 {
+		normChips = float64(o.Opts.NormalizeChips)
+	}
+
+	ctx.nodes = ctx.nodes[:0]
+	parts := append(ctx.parts[:0], spart{qps: qpsUnbounded, node: -1})
+	next := ctx.next[:0]
 
 	// Pre-decode XPU groups.
 	for gi, g := range plan.Placement.Groups {
 		chips := plan.GroupChips[gi]
-		var choices []groupChoice
-		for _, b := range preBatches {
-			pause, ok := engine.RetrievalPause(o.Pipe, o.Prof, g.Stages, plan.Servers, b)
-			if !ok {
-				continue
-			}
-			choices = append(choices, o.groupChoices(g, chips, b, prefixIdx, iterPrefOcc, pause)...)
+		occExtra := 0.0
+		if groupHasStage(g, prefixIdx) {
+			occExtra = iterPrefOcc
 		}
-		choices = pruneGroupChoices(choices)
+		choices := o.groupChoicesFor(ctx, g, chips, plan.Servers, prefixIdx, occExtra)
 		if len(choices) == 0 {
+			ctx.parts, ctx.next = parts, next
 			return nil
 		}
-		var next []partial
+		next = next[:0]
 		for _, c := range choices {
 			for _, p := range parts {
+				ctx.nodes = append(ctx.nodes, gnode{parent: p.node, batch: int32(c.batch), replicas: c.replicas})
 				np := p
 				np.ttft += c.ttft
 				np.qps = math.Min(np.qps, 1/c.occ)
-				np.s.Groups = append(append([]GroupSchedule(nil), p.s.Groups...), GroupSchedule{
-					Stages:   g.Stages,
-					Chips:    chips,
-					Batch:    c.batch,
-					Replicas: c.replicas,
-				})
+				np.node = int32(len(ctx.nodes) - 1)
 				next = append(next, np)
 			}
 		}
-		parts = prunePartials(next)
+		parts = prunePartialsInto(ctx, next, parts[:0])
+		parts = ctx.pruneAgainstIncumbent(parts, inc, bound, normChips)
 		if len(parts) == 0 {
+			ctx.parts, ctx.next = parts, next
 			return nil
 		}
 	}
@@ -124,8 +231,8 @@ func (o *Optimizer) planCandidates(plan Plan, bIter int) []Schedule {
 	// Retrieval tier.
 	if retrIdx >= 0 {
 		transfer := o.Prof.RetrievalTransferLatency()
-		var next []partial
-		for _, b := range retrBatches {
+		next = next[:0]
+		for _, b := range ctx.retrBatches {
 			rt := o.Prof.Eval(o.Pipe.Stages[retrIdx], plan.Servers, b)
 			if !rt.OK {
 				continue
@@ -135,24 +242,26 @@ func (o *Optimizer) planCandidates(plan Plan, bIter int) []Schedule {
 				np := p
 				np.ttft += rt.Latency + transfer
 				np.qps = math.Min(np.qps, tierQPS)
-				np.s.RetrievalBatch = b
+				np.retrB = int32(b)
 				next = append(next, np)
 			}
 		}
-		parts = prunePartials(next)
+		parts = prunePartialsInto(ctx, next, parts[:0])
+		parts = ctx.pruneAgainstIncumbent(parts, inc, bound, normChips)
 		if len(parts) == 0 {
+			ctx.parts, ctx.next = parts, next
 			return nil
 		}
 	}
 
 	// Decode tier (sets TPOT).
 	outTokens := float64(o.Pipe.Stages[decIdx].OutTokens)
-	var next []partial
-	for _, bd := range decBatches {
+	next = next[:0]
+	for _, bd := range ctx.decBatches {
 		for _, cand := range o.Prof.Candidates(o.Pipe.Stages[decIdx], plan.DecodeChips, bd) {
 			var stall float64
 			if bIter > 0 {
-				probe := parts[0].s
+				probe := ctx.probeSchedule(plan, bIter)
 				probe.DecodeBatch = bd
 				probe.DecodeReplicas = cand.Replicas
 				ic, ok := engine.IterativeCost(o.Pipe, o.Prof, probe)
@@ -168,19 +277,120 @@ func (o *Optimizer) planCandidates(plan Plan, bIter int) []Schedule {
 				np := p
 				np.tpot = tpot
 				np.qps = math.Min(np.qps, tierQPS)
-				np.s.DecodeBatch = bd
-				np.s.DecodeReplicas = cand.Replicas
+				np.decB = int32(bd)
+				np.decR = int32(cand.Replicas)
 				next = append(next, np)
 			}
 		}
 	}
-	parts = prunePartials(next)
+	parts = prunePartialsInto(ctx, next, parts[:0])
 
 	out := make([]Schedule, len(parts))
 	for i, p := range parts {
-		out[i] = p.s
+		out[i] = ctx.materialize(plan, bIter, p)
 	}
+	ctx.parts, ctx.next = parts, next
 	return out
+}
+
+// probeSchedule builds the minimal schedule IterativeCost needs from the
+// plan: the stall model reads only the prefix group's chip count, the
+// retrieval servers, and the decode/iterative configuration, never the
+// groups' batch policies.
+func (c *searchCtx) probeSchedule(plan Plan, bIter int) Schedule {
+	c.probeGroups = c.probeGroups[:0]
+	for gi, g := range plan.Placement.Groups {
+		c.probeGroups = append(c.probeGroups, GroupSchedule{
+			Stages: g.Stages,
+			Chips:  plan.GroupChips[gi],
+			Batch:  1,
+		})
+	}
+	return Schedule{
+		Groups:           c.probeGroups,
+		RetrievalServers: plan.Servers,
+		DecodeChips:      plan.DecodeChips,
+		IterativeBatch:   bIter,
+	}
+}
+
+// pruneAgainstIncumbent drops partials whose optimistic completion bound —
+// the plan's admissible bound capped by the partial's own throughput, with
+// a boundEps relaxation absorbing accumulation-order float drift — is
+// strictly dominated by the shared incumbent frontier. inc == nil (the
+// exhaustive reference) disables the pass.
+func (c *searchCtx) pruneAgainstIncumbent(parts []spart, inc *perf.Incremental, bound perf.Metrics, normChips float64) []spart {
+	if inc == nil || len(parts) == 0 {
+		return parts
+	}
+	kept := parts[:0]
+	for _, p := range parts {
+		q := math.Min(p.qps, bound.QPS)
+		m := relax(perf.Metrics{
+			TTFT:       bound.TTFT,
+			TPOT:       bound.TPOT,
+			QPS:        q,
+			QPSPerChip: q / normChips,
+		}, boundEps)
+		if !inc.DominatedBy(m) {
+			kept = append(kept, p)
+		}
+	}
+	return kept
+}
+
+// groupHasStage reports whether the placement group serves stage idx.
+func groupHasStage(g pipeline.Group, idx int) bool {
+	for _, s := range g.Stages {
+		if s == idx {
+			return true
+		}
+	}
+	return false
+}
+
+// groupKey memoizes pruned group choices across plans: the choice set
+// depends only on the group's stage set, its chip count, the retrieval
+// server count (pause pricing), and the iterative prefix occupancy — not
+// on the rest of the plan, which is why the same predecode group recurs
+// across every decode-chip and sibling-allocation variation.
+type groupKey struct {
+	mask    uint64
+	chips   int
+	servers int
+	occBits uint64
+}
+
+// groupChoicesFor returns the Pareto-pruned batching/replication choices
+// for one placement group on chips, memoized across plans. The returned
+// slice is shared: callers must not mutate it.
+func (o *Optimizer) groupChoicesFor(ctx *searchCtx, g pipeline.Group, chips, servers, prefixIdx int, iterPrefOcc float64) []groupChoice {
+	key := groupKey{chips: chips, servers: servers, occBits: math.Float64bits(iterPrefOcc)}
+	for _, s := range g.Stages {
+		key.mask |= 1 << uint(s)
+	}
+	o.gmu.Lock()
+	if o.gcache == nil {
+		o.gcache = make(map[groupKey][]groupChoice)
+	}
+	cs, ok := o.gcache[key]
+	o.gmu.Unlock()
+	if ok {
+		return cs
+	}
+	var choices []groupChoice
+	for _, b := range ctx.preBatches {
+		pause, ok := engine.RetrievalPause(o.Pipe, o.Prof, g.Stages, servers, b)
+		if !ok {
+			continue
+		}
+		choices = append(choices, o.groupChoices(g, chips, b, prefixIdx, iterPrefOcc, pause)...)
+	}
+	choices = pruneGroupChoices(choices)
+	o.gmu.Lock()
+	o.gcache[key] = choices
+	o.gmu.Unlock()
+	return choices
 }
 
 // groupChoices evaluates every per-stage replication combination of a
@@ -199,9 +409,11 @@ func (o *Optimizer) groupChoices(g pipeline.Group, chips, batch, prefixIdx int, 
 		// an autoregressive rewriter with the prefix underutilizes
 		// wide pools at small batches (§7.1). Dedicated single-stage
 		// pools serve a stream of batches and replicate freely.
+		// Candidates returns the profiler's shared cache slice, so the
+		// filter builds a fresh slice instead of compacting in place.
 		if len(g.Stages) > 1 {
 			limit := engine.MaxPhaseReplicas(o.Pipe.Stages[idx], batch)
-			kept := cands[:0]
+			kept := make([]stageperf.Point, 0, len(cands))
 			for _, c := range cands {
 				if c.Replicas <= limit {
 					kept = append(kept, c)
@@ -238,22 +450,42 @@ func (o *Optimizer) groupChoices(g pipeline.Group, chips, batch, prefixIdx int, 
 	return out
 }
 
-// pruneGroupChoices keeps Pareto-optimal (ttft, occupancy) choices.
+// pruneGroupChoices keeps Pareto-optimal (ttft, occupancy) choices via a
+// sort-and-staircase sweep: sorted by (ttft asc, occ asc), a choice
+// survives iff it strictly lowers the running occupancy minimum, or
+// exactly duplicates the choice that set it (equal points dominate
+// neither way). Output preserves input order, matching the O(n²) pairwise
+// reference the differential test keeps around.
 func pruneGroupChoices(cs []groupChoice) []groupChoice {
-	var out []groupChoice
-	for i, a := range cs {
-		dominated := false
-		for j, b := range cs {
-			if i == j {
-				continue
-			}
-			if b.ttft <= a.ttft && b.occ <= a.occ && (b.ttft < a.ttft || b.occ < a.occ) {
-				dominated = true
-				break
-			}
+	if len(cs) <= 1 {
+		return cs
+	}
+	idx := make([]int, len(cs))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		x, y := cs[idx[a]], cs[idx[b]]
+		if x.ttft != y.ttft {
+			return x.ttft < y.ttft
 		}
-		if !dominated {
-			out = append(out, a)
+		return x.occ < y.occ
+	})
+	keep := make([]bool, len(cs))
+	minOcc, minTTFT := math.Inf(1), math.Inf(1)
+	for _, i := range idx {
+		c := cs[i]
+		if c.occ < minOcc {
+			keep[i] = true
+			minOcc, minTTFT = c.occ, c.ttft
+		} else if c.occ == minOcc && c.ttft == minTTFT {
+			keep[i] = true
+		}
+	}
+	out := make([]groupChoice, 0, len(cs))
+	for i, c := range cs {
+		if keep[i] {
+			out = append(out, c)
 		}
 	}
 	return out
@@ -272,23 +504,89 @@ func (o *Optimizer) planPrefixChips(plan Plan, prefixIdx int) (int, bool) {
 	return 0, false
 }
 
-// prunePartials keeps the Pareto-optimal partials (lower TTFT and TPOT,
-// higher throughput).
-func prunePartials(ps []partial) []partial {
-	if len(ps) <= 1 {
-		return ps
+// prunePartialsInto keeps the Pareto-optimal partials (lower TTFT and
+// TPOT, higher throughput), appending survivors to dst and returning it.
+// It is perf.Frontier specialized to the compact spart representation —
+// identical validity filtering, identical stable (TTFT, TPOT, qps)
+// ordering, identical staircase including exact-duplicate collapse — so
+// the surviving set and its order match what the generic path produced,
+// without boxing each partial into a Point and re-sorting large structs.
+// src is reordered in place.
+func prunePartialsInto(ctx *searchCtx, src []spart, dst []spart) []spart {
+	if len(src) <= 1 {
+		return append(dst, src...)
 	}
-	pts := make([]perf.Point[partial], len(ps))
-	for i, p := range ps {
-		pts[i] = perf.Point[partial]{
-			Metrics: perf.Metrics{TTFT: p.ttft, TPOT: p.tpot, QPS: p.qps, QPSPerChip: p.qps},
-			Item:    p,
+	valid := src[:0]
+	for _, p := range src {
+		if partialValid(p) {
+			valid = append(valid, p)
 		}
 	}
-	front := perf.Frontier(pts)
-	out := make([]partial, len(front))
-	for i, f := range front {
-		out[i] = f.Item
+	// Sort an index slice instead of the partials themselves: stability
+	// (which the exact-duplicate collapse needs) comes from the final
+	// index tiebreak, and the unstable pdqsort only swaps 4-byte indices
+	// instead of rotating 40-byte structs.
+	idx := ctx.idx[:0]
+	for i := range valid {
+		idx = append(idx, int32(i))
 	}
-	return out
+	ctx.idx = idx
+	sort.Slice(idx, func(a, b int) bool {
+		x, y := &valid[idx[a]], &valid[idx[b]]
+		if x.ttft != y.ttft {
+			return x.ttft < y.ttft
+		}
+		if x.tpot != y.tpot {
+			return x.tpot < y.tpot
+		}
+		if x.qps != y.qps {
+			return x.qps > y.qps
+		}
+		return idx[a] < idx[b]
+	})
+	stairs := ctx.stairs[:0]
+	for _, pi := range idx {
+		p := valid[pi]
+		i := sort.Search(len(stairs), func(k int) bool { return stairs[k].tpot > p.tpot }) - 1
+		if i >= 0 && stairs[i].qps >= p.qps {
+			continue // dominated (or an exact duplicate)
+		}
+		dst = append(dst, p)
+		// Replace the corners in [ins, end) — now dominated — with the
+		// new corner, in place.
+		ins := i + 1
+		end := ins
+		for end < len(stairs) && stairs[end].qps <= p.qps {
+			end++
+		}
+		n := len(stairs)
+		if end == ins {
+			stairs = append(stairs, partialCorner{})
+			copy(stairs[ins+1:], stairs[ins:n])
+		} else {
+			copy(stairs[ins+1:], stairs[end:n])
+			stairs = stairs[:n-(end-ins)+1]
+		}
+		stairs[ins] = partialCorner{p.tpot, p.qps}
+	}
+	ctx.stairs = stairs
+	sort.SliceStable(dst, func(i, j int) bool {
+		a, b := dst[i], dst[j]
+		if a.ttft != b.ttft {
+			return a.ttft < b.ttft
+		}
+		return a.qps > b.qps
+	})
+	return dst
+}
+
+// partialValid mirrors perf.Metrics.Valid on a partial's accumulated
+// metrics.
+func partialValid(p spart) bool {
+	for _, v := range []float64{p.ttft, p.tpot, p.qps} {
+		if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+			return false
+		}
+	}
+	return true
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"runtime"
+	"sort"
 	"sync"
 
 	"rago/internal/hw"
@@ -31,6 +32,13 @@ type Options struct {
 	NormalizeChips int
 	// Placements overrides the Fig. 13 legal enumeration when non-nil.
 	Placements []pipeline.Placement
+	// NoPrune disables branch-and-bound pruning and bound-ordered
+	// dispatch, forcing the exhaustive reference search. The frontier is
+	// provably identical either way (the differential test pins it);
+	// the knob exists for that proof and for bound-quality debugging.
+	NoPrune bool
+	// Workers caps search concurrency; 0 means GOMAXPROCS.
+	Workers int
 }
 
 // DefaultOptions returns the search bounds used throughout the paper
@@ -53,6 +61,13 @@ type Optimizer struct {
 	Prof *stageperf.Profiler
 	Asm  *Assembler
 	Opts Options
+
+	// gmu guards gcache, the cross-plan memo of pruned per-group
+	// batching choices (see groupChoicesFor): the same (group, chips,
+	// servers) triple recurs across every decode-chip variation of the
+	// allocation enumeration.
+	gmu    sync.Mutex
+	gcache map[groupKey][]groupChoice
 }
 
 // NewOptimizer builds an optimizer for schema under opts.
@@ -131,6 +146,9 @@ func (o *Optimizer) Plans() []Plan {
 	budget := o.Opts.Cluster.XPUs()
 	chipOpts := roofline.Pow2Range(1, budget)
 	decodeMin := o.Prof.Sim.MinChips(o.Pipe.Stages[o.Pipe.Index(pipeline.KindDecode)].Model)
+	// Invariant across the whole enumeration; the recursion below used
+	// to recompute it in its innermost decode loop.
+	srvOpts := o.serverOptions()
 	var plans []Plan
 	for _, pl := range o.placements() {
 		mins := o.groupMinChips(pl)
@@ -141,7 +159,7 @@ func (o *Optimizer) Plans() []Plan {
 					if dc < decodeMin || used+dc > budget {
 						continue
 					}
-					for _, srv := range o.serverOptions() {
+					for _, srv := range srvOpts {
 						plans = append(plans, Plan{
 							Placement:   pl,
 							GroupChips:  append([]int(nil), acc...),
@@ -186,21 +204,23 @@ func (o *Optimizer) groupMinChips(pl pipeline.Placement) []int {
 }
 
 // PlanFrontier searches batching policies within one plan and returns its
-// Pareto frontier. Metrics are recomputed through Assembler.Evaluate for
-// every surviving schedule, so the output is exactly Evaluate-consistent.
+// Pareto frontier. Metrics are recomputed through the engine's compile
+// arithmetic for every surviving schedule, so the output is exactly
+// Evaluate-consistent.
 func (o *Optimizer) PlanFrontier(plan Plan) []SchedulePoint {
-	iterBatches := []int{0}
-	if o.Pipe.Schema.Iterative() {
-		iterBatches = roofline.Pow2Range(1, o.Opts.MaxDecodeBatch)
-	}
-	var candidates []Schedule
-	for _, bIter := range iterBatches {
-		candidates = append(candidates, o.planCandidates(plan, bIter)...)
-	}
+	return o.planFrontier(o.newSearchCtx(), plan, nil, perf.Metrics{})
+}
+
+// planFrontier is PlanFrontier on a worker's reusable context, optionally
+// pruning partial extensions against the shared incumbent (inc nil
+// disables; bound is the plan's admissible bound when inc is set).
+func (o *Optimizer) planFrontier(ctx *searchCtx, plan Plan, inc *perf.Incremental, bound perf.Metrics) []SchedulePoint {
 	var pts []SchedulePoint
-	for _, s := range candidates {
-		if m, ok := o.Asm.Evaluate(s); ok {
-			pts = append(pts, SchedulePoint{Metrics: m, Item: s})
+	for _, bIter := range ctx.iterBatches {
+		for _, s := range o.planCandidates(ctx, plan, bIter, inc, bound) {
+			if m, ok := ctx.evaluate(s); ok {
+				pts = append(pts, SchedulePoint{Metrics: m, Item: s})
+			}
 		}
 	}
 	front := perf.Frontier(pts)
@@ -209,18 +229,61 @@ func (o *Optimizer) PlanFrontier(plan Plan) []SchedulePoint {
 }
 
 // Optimize runs the full search and returns the global Pareto frontier
-// with its schedules (Algorithm 1's P_RAG). Plans are evaluated
-// concurrently; the shared stage-performance cache makes repeat
-// evaluations cheap.
+// with its schedules (Algorithm 1's P_RAG). The search is branch-and-
+// bound: every plan gets an admissible optimistic bound (planBound), plans
+// are dispatched best-bound-first so the shared incumbent frontier
+// tightens early, and a plan — or a partial extension inside one — is
+// skipped when an incumbent point strictly dominates its bound, which is
+// provably lossless for the returned frontier. Results are concatenated
+// in original enumeration order before the final frontier pass, so the
+// output is bit-identical to the exhaustive NoPrune reference, including
+// which schedule represents each set of exactly-equal metric points.
 func (o *Optimizer) Optimize() []SchedulePoint {
 	plans := o.Plans()
-	workers := runtime.GOMAXPROCS(0)
+	workers := o.Opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
 	if workers > len(plans) {
 		workers = len(plans)
 	}
 	if workers < 1 {
 		workers = 1
 	}
+
+	order := make([]int, len(plans))
+	for i := range order {
+		order[i] = i
+	}
+	var bounds []perf.Metrics
+	var feasible []bool
+	var inc *perf.Incremental
+	if !o.Opts.NoPrune {
+		bounds = make([]perf.Metrics, len(plans))
+		feasible = make([]bool, len(plans))
+		for i, p := range plans {
+			bounds[i], feasible[i] = o.planBound(p)
+		}
+		// Best-bound-first: plans whose optimistic metrics look
+		// strongest are searched first, so their real frontier points
+		// enter the incumbent early and prune the long tail.
+		sort.SliceStable(order, func(a, b int) bool {
+			i, j := order[a], order[b]
+			if feasible[i] != feasible[j] {
+				return feasible[i]
+			}
+			bi, bj := bounds[i], bounds[j]
+			if bi.QPSPerChip != bj.QPSPerChip {
+				return bi.QPSPerChip > bj.QPSPerChip
+			}
+			if bi.TTFT != bj.TTFT {
+				return bi.TTFT < bj.TTFT
+			}
+			return bi.TPOT < bj.TPOT
+		})
+		inc = &perf.Incremental{}
+	}
+
 	results := make([][]SchedulePoint, len(plans))
 	var wg sync.WaitGroup
 	next := make(chan int)
@@ -228,12 +291,27 @@ func (o *Optimizer) Optimize() []SchedulePoint {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			ctx := o.newSearchCtx()
 			for i := range next {
-				results[i] = o.PlanFrontier(plans[i])
+				if inc == nil {
+					results[i] = o.planFrontier(ctx, plans[i], nil, perf.Metrics{})
+					continue
+				}
+				if !feasible[i] {
+					continue // no schedule of the plan compiles
+				}
+				if inc.DominatedBy(bounds[i]) {
+					continue // every completion strictly dominated
+				}
+				pts := o.planFrontier(ctx, plans[i], inc, bounds[i])
+				results[i] = pts
+				for _, p := range pts {
+					inc.Insert(p.Metrics)
+				}
 			}
 		}()
 	}
-	for i := range plans {
+	for _, i := range order {
 		next <- i
 	}
 	close(next)

@@ -114,6 +114,10 @@ type Plan struct {
 	DecodeStep float64
 
 	prof *stageperf.Profiler
+	// cpScratch, when non-nil, is the critical-path walk's reusable
+	// buffer. Only Evaluator-owned scratch plans set it: a compiled Plan
+	// stays immutable and concurrency-safe, so its walks allocate.
+	cpScratch []float64
 }
 
 // Compile resolves a schedule against a pipeline into the shared
@@ -125,29 +129,20 @@ func Compile(pipe pipeline.Pipeline, sched Schedule, prof *stageperf.Profiler) (
 	if err := pipe.ValidateGraph(); err != nil {
 		return nil, err
 	}
-	if err := sched.Validate(pipe); err != nil {
+	p := &Plan{}
+	p.buildGraph(pipe)
+	if err := compileInto(p, pipe, sched, prof, true); err != nil {
 		return nil, err
 	}
+	return p, nil
+}
 
-	iter, round, ok := IterativePlan(pipe, prof, sched)
-	if !ok {
-		return nil, fmt.Errorf("engine: iterative retrieval structure infeasible under schedule")
-	}
-
-	p := &Plan{
-		Pipe:          pipe,
-		Sched:         sched,
-		Steps:         make([]Step, len(pipe.Stages)),
-		PrefixIdx:     pipe.Index(pipeline.KindPrefix),
-		DecodeIdx:     pipe.Index(pipeline.KindDecode),
-		RetrievalIdxs: pipe.Indices(pipeline.KindRetrieval),
-		Iter:          iter,
-		Round:         round,
-		prof:          prof,
-	}
+// buildGraph materializes the pipeline's stage graph onto the plan.
+func (p *Plan) buildGraph(pipe pipeline.Pipeline) {
 	n := len(pipe.Stages)
 	p.Succs = make([][]int, n)
 	p.Preds = make([][]int, n)
+	p.Entries = nil
 	for i := 0; i < n; i++ {
 		p.Succs[i] = pipe.Succs(i)
 	}
@@ -161,6 +156,73 @@ func Compile(pipe pipeline.Pipeline, sched Schedule, prof *stageperf.Profiler) (
 			p.Entries = append(p.Entries, i)
 		}
 	}
+}
+
+// Evaluator assembles the analytical metrics of schedules against one
+// (pipeline, profiler) pair, reusing a scratch plan between calls. It runs
+// the exact compileInto code path Compile runs — bit-identical metrics —
+// but re-fills preallocated step/resource/graph storage instead of building
+// a fresh immutable Plan per schedule, which is what the schedule search's
+// innermost loop (thousands of surviving candidates per plan) needs. Not
+// safe for concurrent use; each search worker owns one.
+type Evaluator struct {
+	pipe pipeline.Pipeline
+	prof *stageperf.Profiler
+	plan Plan
+	err  error
+}
+
+// NewEvaluator validates the pipeline graph once and builds the evaluator.
+func NewEvaluator(pipe pipeline.Pipeline, prof *stageperf.Profiler) (*Evaluator, error) {
+	if err := pipe.ValidateGraph(); err != nil {
+		return nil, err
+	}
+	e := &Evaluator{pipe: pipe, prof: prof}
+	e.plan.buildGraph(pipe)
+	e.plan.cpScratch = make([]float64, len(pipe.Stages))
+	return e, nil
+}
+
+// Evaluate compiles sched into the scratch plan and returns its assembled
+// metrics; ok is false when the schedule is infeasible.
+func (e *Evaluator) Evaluate(sched Schedule) (perf.Metrics, bool) {
+	if err := compileInto(&e.plan, e.pipe, sched, e.prof, false); err != nil {
+		return perf.Metrics{}, false
+	}
+	return e.plan.Metrics, true
+}
+
+// compileInto resolves sched against pipe into p, which must carry a
+// materialized stage graph for pipe (buildGraph). With alloc set, step and
+// resource storage is freshly allocated and defensively copied so the
+// result is immutable; without it, p's existing storage is re-filled and
+// schedule-owned slices are aliased (the Evaluator's scratch discipline).
+// Both paths execute the same arithmetic in the same order.
+func compileInto(p *Plan, pipe pipeline.Pipeline, sched Schedule, prof *stageperf.Profiler, alloc bool) error {
+	if err := sched.Validate(pipe); err != nil {
+		return err
+	}
+
+	iter, round, ok := IterativePlan(pipe, prof, sched)
+	if !ok {
+		return fmt.Errorf("engine: iterative retrieval structure infeasible under schedule")
+	}
+
+	p.Pipe = pipe
+	p.Sched = sched
+	p.PrefixIdx = pipe.Index(pipeline.KindPrefix)
+	p.DecodeIdx = pipe.Index(pipeline.KindDecode)
+	p.Iter = iter
+	p.Round = round
+	p.prof = prof
+	if alloc || p.RetrievalIdxs == nil {
+		p.RetrievalIdxs = pipe.Indices(pipeline.KindRetrieval)
+	}
+	if cap(p.Steps) < len(pipe.Stages) {
+		p.Steps = make([]Step, len(pipe.Stages))
+	}
+	p.Steps = p.Steps[:len(pipe.Stages)]
+	p.Resources = p.Resources[:0]
 	qps := math.Inf(1)
 
 	// Pre-decode XPU groups: time-multiplexed members contribute their
@@ -169,18 +231,18 @@ func Compile(pipe pipeline.Pipeline, sched Schedule, prof *stageperf.Profiler) (
 	// additionally absorbs the iterative prefix passes.
 	for gi, g := range sched.Groups {
 		if !GroupMemFits(pipe, prof, g) {
-			return nil, fmt.Errorf("engine: group %d models exceed %d-chip HBM", gi, g.Chips)
+			return fmt.Errorf("engine: group %d models exceed %d-chip HBM", gi, g.Chips)
 		}
 		var occ float64
 		for i, idx := range g.Stages {
 			// Time-multiplexed groups bound per-phase replication by
 			// the work one batch exposes (Fig. 14).
 			if len(g.Stages) > 1 && g.ReplicasFor(i) > MaxPhaseReplicas(pipe.Stages[idx], g.Batch) {
-				return nil, fmt.Errorf("engine: group %d stage %v over-replicated for its phase work", gi, pipe.Stages[idx].Kind)
+				return fmt.Errorf("engine: group %d stage %v over-replicated for its phase work", gi, pipe.Stages[idx].Kind)
 			}
 			pt := prof.EvalR(pipe.Stages[idx], g.Chips, g.Batch, g.ReplicasFor(i))
 			if !pt.OK {
-				return nil, fmt.Errorf("engine: stage %v infeasible on %d chips at batch %d", pipe.Stages[idx].Kind, g.Chips, g.Batch)
+				return fmt.Errorf("engine: stage %v infeasible on %d chips at batch %d", pipe.Stages[idx].Kind, g.Chips, g.Batch)
 			}
 			p.Steps[idx] = Step{
 				Stage:    pipe.Stages[idx],
@@ -201,12 +263,16 @@ func Compile(pipe pipeline.Pipeline, sched Schedule, prof *stageperf.Profiler) (
 		// next inference phase (§7.1's second baseline inefficiency).
 		pause, ok := RetrievalPause(pipe, prof, g.Stages, sched.RetrievalServers, g.Batch)
 		if !ok {
-			return nil, fmt.Errorf("engine: retrieval pause infeasible for group %d", gi)
+			return fmt.Errorf("engine: retrieval pause infeasible for group %d", gi)
 		}
 		occ += pause
+		stages := g.Stages
+		if alloc {
+			stages = append([]int(nil), g.Stages...)
+		}
 		p.Resources = append(p.Resources, Resource{
-			Name:      fmt.Sprintf("group%d", gi),
-			Stages:    append([]int(nil), g.Stages...),
+			Name:      groupName(gi),
+			Stages:    stages,
 			Occupancy: occ,
 		})
 		qps = math.Min(qps, 1/occ)
@@ -219,11 +285,11 @@ func Compile(pipe pipeline.Pipeline, sched Schedule, prof *stageperf.Profiler) (
 	for i, ridx := range p.RetrievalIdxs {
 		rt := prof.Eval(pipe.Stages[ridx], sched.RetrievalServers, sched.RetrievalBatch)
 		if !rt.OK {
-			return nil, fmt.Errorf("engine: retrieval infeasible on %d servers at batch %d", sched.RetrievalServers, sched.RetrievalBatch)
+			return fmt.Errorf("engine: retrieval infeasible on %d servers at batch %d", sched.RetrievalServers, sched.RetrievalBatch)
 		}
 		name := "retrieval"
 		if len(p.RetrievalIdxs) > 1 {
-			name = fmt.Sprintf("retrieval%d", i)
+			name = retrievalName(i)
 		}
 		p.Steps[ridx] = Step{
 			Stage:    pipe.Stages[ridx],
@@ -238,7 +304,7 @@ func Compile(pipe pipeline.Pipeline, sched Schedule, prof *stageperf.Profiler) (
 		p.Resources = append(p.Resources, Resource{
 			Name:      name,
 			Retrieval: true,
-			Stages:    []int{ridx},
+			Stages:    p.RetrievalIdxs[i : i+1],
 			Occupancy: occ,
 		})
 		qps = math.Min(qps, 1/occ)
@@ -257,7 +323,7 @@ func Compile(pipe pipeline.Pipeline, sched Schedule, prof *stageperf.Profiler) (
 	// latency plus iterative stalls amortized per token (§5.3).
 	dec := prof.EvalR(pipe.Stages[p.DecodeIdx], sched.DecodeChips, sched.DecodeBatch, sched.DecodeReplicasOrOne())
 	if !dec.OK {
-		return nil, fmt.Errorf("engine: decode infeasible on %d chips at batch %d", sched.DecodeChips, sched.DecodeBatch)
+		return fmt.Errorf("engine: decode infeasible on %d chips at batch %d", sched.DecodeChips, sched.DecodeBatch)
 	}
 	p.Steps[p.DecodeIdx] = Step{
 		Stage:    pipe.Stages[p.DecodeIdx],
@@ -280,10 +346,29 @@ func Compile(pipe pipeline.Pipeline, sched Schedule, prof *stageperf.Profiler) (
 		QPSPerChip: qps / float64(sched.ChipsUsed()),
 	}
 	if !p.Metrics.Valid() {
-		return nil, fmt.Errorf("engine: schedule assembles to unphysical metrics %v", p.Metrics)
+		return fmt.Errorf("engine: schedule assembles to unphysical metrics %v", p.Metrics)
 	}
-	return p, nil
+	return nil
 }
+
+// groupName and retrievalName return the stable resource names without the
+// per-compile Sprintf the scratch evaluator would otherwise pay millions of
+// times over a search.
+func groupName(i int) string {
+	if i < len(smallNames) {
+		return "group" + smallNames[i]
+	}
+	return fmt.Sprintf("group%d", i)
+}
+
+func retrievalName(i int) string {
+	if i < len(smallNames) {
+		return "retrieval" + smallNames[i]
+	}
+	return fmt.Sprintf("retrieval%d", i)
+}
+
+var smallNames = [...]string{"0", "1", "2", "3", "4", "5", "6", "7", "8", "9"}
 
 // criticalPathTTFT is the completion time of the prefix stage on the
 // unloaded latency chain: the longest path over full-batch step latencies

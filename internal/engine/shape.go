@@ -208,7 +208,14 @@ func (p *Plan) expectedPrefixLatency(shapes []Shape, batch int) float64 {
 // criticalPathTTFTWithPrefix is criticalPathTTFT with the prefix stage's
 // full-batch latency overridden (the shape-weighted expectation).
 func (p *Plan) criticalPathTTFTWithPrefix(prefixLatency float64) float64 {
-	finish := make([]float64, len(p.Steps))
+	finish := p.cpScratch
+	if finish == nil {
+		finish = make([]float64, len(p.Steps))
+	} else {
+		for i := range finish {
+			finish[i] = 0
+		}
+	}
 	for i := range p.Steps {
 		if i == p.DecodeIdx {
 			continue

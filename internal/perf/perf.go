@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 )
 
 // Metrics is one evaluated operating point of a system or stage.
@@ -118,6 +119,88 @@ func Frontier[T any](pts []Point[T]) []Point[T] {
 		return a.QPSPerChip > b.QPSPerChip
 	})
 	return front
+}
+
+// Incremental is a Pareto frontier of Metrics maintained point by point —
+// the incumbent set of a branch-and-bound search. Where Frontier computes
+// the staircase once over a complete point set, Incremental keeps the same
+// (TTFT asc)-sorted staircase live under interleaved Insert and DominatedBy
+// queries, and is safe for concurrent use: the schedule search's workers
+// share one incumbent, inserting each plan frontier as it completes and
+// probing optimistic plan bounds against it before paying for a search.
+//
+// Only metrics participate; payloads do not. Pruning a search node whose
+// admissible bound b satisfies DominatedBy(b) is lossless: every completion
+// of the node is weakly worse than b on all objectives, hence strictly
+// dominated by whichever incumbent point strictly dominates b.
+type Incremental struct {
+	mu  sync.RWMutex
+	pts []Metrics // non-dominated, sorted by (TTFT asc, TPOT asc)
+}
+
+// DominatedBy reports whether some current member strictly dominates m.
+// Equal points do not dominate, so a bound exactly on the frontier is not
+// prunable (its completions may tie rather than lose).
+func (inc *Incremental) DominatedBy(m Metrics) bool {
+	inc.mu.RLock()
+	defer inc.mu.RUnlock()
+	// Only points with TTFT <= m.TTFT can dominate; they are a prefix.
+	n := sort.Search(len(inc.pts), func(i int) bool { return inc.pts[i].TTFT > m.TTFT })
+	for i := 0; i < n; i++ {
+		if inc.pts[i].Dominates(m) {
+			return true
+		}
+	}
+	return false
+}
+
+// Insert adds m to the incumbent set, evicting members it dominates. It
+// returns false — leaving the set unchanged — when m is invalid, dominated
+// by a member, or a duplicate on the three objectives (raw QPS is not an
+// objective, matching Frontier's duplicate collapse).
+func (inc *Incremental) Insert(m Metrics) bool {
+	if !m.Valid() {
+		return false
+	}
+	inc.mu.Lock()
+	defer inc.mu.Unlock()
+	for _, p := range inc.pts {
+		if (p.TTFT == m.TTFT && p.TPOT == m.TPOT && p.QPSPerChip == m.QPSPerChip) || p.Dominates(m) {
+			return false
+		}
+	}
+	kept := inc.pts[:0]
+	for _, p := range inc.pts {
+		if !m.Dominates(p) {
+			kept = append(kept, p)
+		}
+	}
+	i := sort.Search(len(kept), func(k int) bool {
+		if kept[k].TTFT != m.TTFT {
+			return kept[k].TTFT > m.TTFT
+		}
+		return kept[k].TPOT > m.TPOT
+	})
+	kept = append(kept, Metrics{})
+	copy(kept[i+1:], kept[i:])
+	kept[i] = m
+	inc.pts = kept
+	return true
+}
+
+// Len returns the current frontier size.
+func (inc *Incremental) Len() int {
+	inc.mu.RLock()
+	defer inc.mu.RUnlock()
+	return len(inc.pts)
+}
+
+// Points returns a snapshot copy of the current frontier, sorted by
+// ascending TTFT.
+func (inc *Incremental) Points() []Metrics {
+	inc.mu.RLock()
+	defer inc.mu.RUnlock()
+	return append([]Metrics(nil), inc.pts...)
 }
 
 // MaxQPSPerChip returns the frontier point with the highest QPS/chip.

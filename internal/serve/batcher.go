@@ -21,13 +21,24 @@ type resource struct {
 	stages []int // pipeline stage indices served, in pipeline order
 	inbox  chan item
 
+	// queues[i][heads[i]:] is stage i's live FIFO: exec consumes a batch
+	// by advancing the head offset instead of re-copying the tail (one
+	// allocation per served batch, at batch-formation rate), and the
+	// storage resets to the front when the queue drains. Only run's
+	// goroutine touches either.
 	queues    [][]*request // parallel to stages
+	heads     []int        // consumed-prefix offsets, parallel to queues
+	prompts   []int        // scratch for per-batch shape aggregation
 	busyUntil float64      // virtual time the resource frees up
 }
 
 func newResource(dp *dataplane, name string, stages []int) *resource {
-	return &resource{dp: dp, name: name, stages: stages, queues: make([][]*request, len(stages))}
+	return &resource{dp: dp, name: name, stages: stages,
+		queues: make([][]*request, len(stages)), heads: make([]int, len(stages))}
 }
+
+// queue returns stage slot i's live (unconsumed) FIFO window.
+func (r *resource) queue(i int) []*request { return r.queues[i][r.heads[i]:] }
 
 // run is the worker loop: drain arrivals, pick the most overdue
 // dispatchable batch, execute it, repeat; park when nothing is ready.
@@ -60,8 +71,20 @@ func (r *resource) drain() {
 func (r *resource) enqueue(it item) {
 	for i, idx := range r.stages {
 		if idx == it.idx {
+			// Compact a mostly-consumed queue before growing it, so a
+			// backlog that never fully drains cannot grow the backing
+			// array (and pin served requests) without bound. Safe here:
+			// no exec batch alias is live outside exec itself.
+			if h := r.heads[i]; h >= 64 && 2*h >= len(r.queues[i]) {
+				live := copy(r.queues[i], r.queues[i][h:])
+				for j := live; j < len(r.queues[i]); j++ {
+					r.queues[i][j] = nil
+				}
+				r.queues[i] = r.queues[i][:live]
+				r.heads[i] = 0
+			}
 			r.queues[i] = append(r.queues[i], it.q)
-			r.dp.coll.enqueued(idx, len(r.queues[i]))
+			r.dp.coll.enqueued(idx, len(r.queue(i)))
 			return
 		}
 	}
@@ -78,7 +101,7 @@ func (r *resource) pick() (si, n int, formV float64) {
 	best := -1
 	bestAge := math.Inf(-1)
 	for i, idx := range r.stages {
-		qu := r.queues[i]
+		qu := r.queue(i)
 		if len(qu) == 0 {
 			continue
 		}
@@ -96,19 +119,20 @@ func (r *resource) pick() (si, n int, formV float64) {
 	}
 	idx := r.stages[best]
 	b := r.dp.plan.StepAt(idx).Batch
+	qu := r.queue(best)
 	n = b
-	if n > len(r.queues[best]) {
-		n = len(r.queues[best])
+	if n > len(qu) {
+		n = len(qu)
 	}
 	// Formable time: when the last selected member entered the queue —
 	// or, for a flush-dispatched partial batch, the head's flush
 	// deadline. Both are exact virtual quantities computed upstream, so
 	// the ledger never absorbs wall-clock wakeup jitter.
-	for _, q := range r.queues[best][:n] {
+	for _, q := range qu[:n] {
 		formV = maxf(formV, q.enqV[idx])
 	}
 	if n < b {
-		formV = maxf(formV, r.queues[best][0].enqV[idx]+flush)
+		formV = maxf(formV, qu[0].enqV[idx]+flush)
 	}
 	return best, n, formV
 }
@@ -120,10 +144,11 @@ func (r *resource) park() bool {
 	var timer *time.Timer
 	deadline, has := math.Inf(1), false
 	for i, idx := range r.stages {
-		if len(r.queues[i]) == 0 {
+		qu := r.queue(i)
+		if len(qu) == 0 {
 			continue
 		}
-		if d := r.queues[i][0].enqV[idx] + r.dp.opts.FlushTimeout; d < deadline {
+		if d := qu[0].enqV[idx] + r.dp.opts.FlushTimeout; d < deadline {
 			deadline, has = d, true
 		}
 	}
@@ -158,17 +183,24 @@ func (r *resource) park() bool {
 // length, and the padding overhead is recorded.
 func (r *resource) exec(si, n int, formV float64) {
 	idx := r.stages[si]
-	batch := r.queues[si][:n:n]
-	r.queues[si] = append([]*request(nil), r.queues[si][n:]...)
+	// The batch aliases the queue's consumed prefix; nothing appends to
+	// this stage's queue until exec returns (run's goroutine is the only
+	// writer), so the alias is stable for the call.
+	batch := r.queue(si)[:n:n]
+	r.heads[si] += n
+	if r.heads[si] == len(r.queues[si]) {
+		r.queues[si] = r.queues[si][:0]
+		r.heads[si] = 0
+	}
 
 	lat := r.dp.plan.StepLatency(idx, n)
 	tok, pad := 0, 0
 	if idx == r.dp.plan.PrefixIdx && r.dp.shapedAny.Load() {
-		prompts := make([]int, n)
-		for i, q := range batch {
-			prompts[i] = q.promptTok
+		r.prompts = r.prompts[:0]
+		for _, q := range batch {
+			r.prompts = append(r.prompts, q.promptTok)
 		}
-		if sh, sum := r.dp.plan.PrefixBatchShape(prompts); sh != (engine.Shape{}) {
+		if sh, sum := r.dp.plan.PrefixBatchShape(r.prompts); sh != (engine.Shape{}) {
 			lat = r.dp.plan.StepLatencyShaped(idx, n, sh)
 			tok, pad = sum, n*sh.PromptTokens
 		}

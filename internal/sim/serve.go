@@ -1,7 +1,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 
@@ -111,22 +110,88 @@ type event struct {
 	seq  int // tie-break for determinism
 }
 
+// before reports whether e orders ahead of o. (at, seq) is a total order —
+// seq is unique per event — so the pop sequence of any correct heap is the
+// same fully sorted sequence; swapping container/heap for the typed heap
+// below cannot change simulation results (the chrome-trace goldens pin it).
+func (e event) before(o event) bool {
+	if e.at != o.at {
+		return e.at < o.at
+	}
+	return e.seq < o.seq
+}
+
+// eventHeap is a hand-rolled binary min-heap over events. container/heap
+// funnels every Push and Pop through interface{}, which boxes one event per
+// call — on a saturation trace that is two heap allocations per simulated
+// event, and it dominated the simulator's allocation profile.
 type eventHeap []event
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+func (h *eventHeap) push(e event) {
+	hs := append(*h, e)
+	i := len(hs) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !hs[i].before(hs[parent]) {
+			break
+		}
+		hs[i], hs[parent] = hs[parent], hs[i]
+		i = parent
 	}
-	return h[i].seq < h[j].seq
+	*h = hs
 }
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	x := old[len(old)-1]
-	*h = old[:len(old)-1]
-	return x
+
+func (h *eventHeap) pop() event {
+	hs := *h
+	top := hs[0]
+	n := len(hs) - 1
+	hs[0] = hs[n]
+	hs = hs[:n]
+	*h = hs
+	i := 0
+	for {
+		c := 2*i + 1
+		if c >= n {
+			break
+		}
+		if r := c + 1; r < n && hs[r].before(hs[c]) {
+			c = r
+		}
+		if !hs[c].before(hs[i]) {
+			break
+		}
+		hs[i], hs[c] = hs[c], hs[i]
+		i = c
+	}
+	return top
+}
+
+// stageQueue is a per-stage FIFO with a consumed-head offset, so batch
+// dispatch advances an index instead of re-copying the tail of the queue
+// (the old `append([]int(nil), q[n:]...)` was one allocation per dispatched
+// batch). The storage resets to the front whenever the queue drains, which
+// at steady state it does every flush, keeping capacity bounded.
+type stageQueue struct {
+	buf  []int
+	head int
+}
+
+func (q *stageQueue) len() int  { return len(q.buf) - q.head }
+func (q *stageQueue) peek() int { return q.buf[q.head] }
+func (q *stageQueue) push(r int) {
+	q.buf = append(q.buf, r)
+}
+
+// popN consumes the queue's first n entries. The returned slice aliases the
+// queue's storage and is valid only until the next push.
+func (q *stageQueue) popN(n int) []int {
+	b := q.buf[q.head : q.head+n]
+	q.head += n
+	if q.head == len(q.buf) {
+		q.buf = q.buf[:0]
+		q.head = 0
+	}
+	return b
 }
 
 type reqState struct {
@@ -175,7 +240,7 @@ func (s *ServeSim) Run(reqs []trace.Request, flushTimeout float64) (ServeResult,
 	plan := s.plan
 	nSlots := plan.NumSlots()
 	busy := make([]bool, len(plan.Resources))
-	queues := make([][]int, nSlots) // per-stage request queues
+	queues := make([]stageQueue, nSlots) // per-stage request queues
 	states := make([]reqState, len(reqs))
 
 	// Per-resource stage lists with the iterative round's virtual slots
@@ -186,10 +251,10 @@ func (s *ServeSim) Run(reqs []trace.Request, flushTimeout float64) (ServeResult,
 		stagesOf[ri] = plan.ResourceStages(ri)
 	}
 
-	var h eventHeap
+	h := make(eventHeap, 0, 4*len(reqs))
 	seq := 0
 	push := func(at float64, kind, a, b int) {
-		heap.Push(&h, event{at: at, kind: kind, a: a, b: b, seq: seq})
+		h.push(event{at: at, kind: kind, a: a, b: b, seq: seq})
 		seq++
 	}
 	decIdx := plan.DecodeIdx
@@ -200,13 +265,22 @@ func (s *ServeSim) Run(reqs []trace.Request, flushTimeout float64) (ServeResult,
 		slotName = plan.SlotNames()
 		slotTrack = plan.TrackNames()
 	}
+	// Per-request pending/enqAt vectors carved out of two flat backing
+	// arrays: two allocations for the whole trace instead of two per
+	// request.
+	nSteps := len(plan.Steps)
+	predCount := make([]int, nSteps)
+	for st, ps := range plan.Preds {
+		predCount[st] = len(ps)
+	}
+	pendingBuf := make([]int, len(reqs)*nSteps)
+	enqAtBuf := make([]float64, len(reqs)*nSlots)
 	for i, r := range reqs {
-		pending := make([]int, len(plan.Steps))
-		for st, ps := range plan.Preds {
-			pending[st] = len(ps)
-		}
+		pending := pendingBuf[i*nSteps : (i+1)*nSteps : (i+1)*nSteps]
+		copy(pending, predCount)
 		states[i] = reqState{
-			arrival: r.Arrival, pending: pending, enqAt: make([]float64, nSlots),
+			arrival: r.Arrival, pending: pending,
+			enqAt:     enqAtBuf[i*nSlots : (i+1)*nSlots : (i+1)*nSlots],
 			promptTok: r.PromptTokens, outTok: r.OutputTokens,
 		}
 		if plan.Round != nil {
@@ -220,7 +294,10 @@ func (s *ServeSim) Run(reqs []trace.Request, flushTimeout float64) (ServeResult,
 
 	prefixIdx := plan.PrefixIdx
 	decFree := plan.Sched.DecodeBatch
-	var decQueue []int
+	var decQueue stageQueue
+	// Scratch for per-batch prompt-shape aggregation, reused across every
+	// dispatched prefix batch.
+	var prompts []int
 	// Padding accounting: effective vs padded prefix-batch tokens.
 	// Constant-shape traces skip per-batch shape aggregation entirely.
 	var padTok, padTotal int64
@@ -294,11 +371,11 @@ func (s *ServeSim) Run(reqs []trace.Request, flushTimeout float64) (ServeResult,
 				decFree--
 				startSeq(r, now)
 			} else {
-				decQueue = append(decQueue, r)
+				decQueue.push(r)
 			}
 			return
 		}
-		queues[idx] = append(queues[idx], r)
+		queues[idx].push(r)
 		states[r].enqAt[idx] = now
 		if flushTimeout > 0 {
 			// Nudge the flush event past the deadline: it must see
@@ -323,12 +400,12 @@ func (s *ServeSim) Run(reqs []trace.Request, flushTimeout float64) (ServeResult,
 		best := -1
 		bestAge := math.Inf(-1)
 		for _, idx := range stagesOf[res] {
-			if len(queues[idx]) == 0 {
+			if queues[idx].len() == 0 {
 				continue
 			}
-			head := queues[idx][0]
+			head := queues[idx].peek()
 			headAge := now - states[head].enqAt[idx]
-			if len(queues[idx]) < plan.StepAt(idx).Batch && headAge < flushTimeout {
+			if queues[idx].len() < plan.StepAt(idx).Batch && headAge < flushTimeout {
 				continue
 			}
 			if headAge > bestAge {
@@ -339,20 +416,19 @@ func (s *ServeSim) Run(reqs []trace.Request, flushTimeout float64) (ServeResult,
 			return
 		}
 		n := plan.StepAt(best).Batch
-		if n > len(queues[best]) {
-			n = len(queues[best])
+		if n > queues[best].len() {
+			n = queues[best].len()
 		}
-		batch := queues[best][:n]
-		queues[best] = append([]int(nil), queues[best][n:]...)
+		batch := queues[best].popN(n)
 		busy[res] = true
 		// Service time: the profiled latency at the formed batch size —
 		// prefix batches additionally costed at their members' padded
 		// maximum prompt length, with the padding overhead accounted.
 		lat := plan.StepLatency(best, n)
 		if best == plan.PrefixIdx && anyShaped {
-			prompts := make([]int, n)
-			for i, r := range batch {
-				prompts[i] = states[r].promptTok
+			prompts = prompts[:0]
+			for _, r := range batch {
+				prompts = append(prompts, states[r].promptTok)
 			}
 			if sh, tok := plan.PrefixBatchShape(prompts); sh != (engine.Shape{}) {
 				lat = plan.StepLatencyShaped(best, n, sh)
@@ -384,11 +460,11 @@ func (s *ServeSim) Run(reqs []trace.Request, flushTimeout float64) (ServeResult,
 
 	var firstDone, lastDone float64
 	var sumTTFT, sumLat, sumStall float64
-	var doneV []float64
+	doneV := make([]float64, 0, len(reqs))
 	completed, rejected, inflight := 0, 0, 0
 
-	for h.Len() > 0 {
-		e := heap.Pop(&h).(event)
+	for len(h) > 0 {
+		e := h.pop()
 		now := e.at
 		switch e.kind {
 		case evArrival:
@@ -474,9 +550,8 @@ func (s *ServeSim) Run(reqs []trace.Request, flushTimeout float64) (ServeResult,
 			sumLat += now - states[r].arrival
 			sumStall += states[r].stall
 			decFree++
-			if len(decQueue) > 0 {
-				nxt := decQueue[0]
-				decQueue = decQueue[1:]
+			if decQueue.len() > 0 {
+				nxt := decQueue.popN(1)[0]
 				decFree--
 				startSeq(nxt, now)
 			}

@@ -65,6 +65,7 @@ type Profiler struct {
 	cache  map[cacheKey]Point
 	rcache map[rcacheKey]Point
 	ccache map[cacheKey][]Point
+	ecache map[cacheKey]Envelope
 }
 
 // cacheKey memoizes on the full stage shape (pipeline.Stage is comparable):
@@ -97,6 +98,7 @@ func New(chip hw.XPU, host hw.CPUHost, schema ragschema.Schema) *Profiler {
 		cache:  make(map[cacheKey]Point),
 		rcache: make(map[rcacheKey]Point),
 		ccache: make(map[cacheKey][]Point),
+		ecache: make(map[cacheKey]Envelope),
 	}
 }
 
@@ -229,8 +231,10 @@ func (p *Profiler) evalReplicated(st pipeline.Stage, chips, batch, replicas int)
 // Candidates returns the Pareto-optimal replication choices for st at
 // (chips, batch): low-replica points minimize latency, high-replica points
 // maximize throughput. At most a handful of points survive. Results are
-// memoized per (stage, chips, batch); callers receive a private copy they
-// may filter in place.
+// memoized per (stage, chips, batch) and the cached slice itself is
+// returned — callers must treat it as read-only (the schedule search calls
+// this in its innermost loops, where a defensive copy per call was a
+// measurable share of all allocation).
 func (p *Profiler) Candidates(st pipeline.Stage, chips, batch int) []Point {
 	key := cacheKey{st, chips, batch}
 	if !p.NoMemo {
@@ -238,7 +242,7 @@ func (p *Profiler) Candidates(st pipeline.Stage, chips, batch int) []Point {
 		cached, ok := p.ccache[key]
 		p.mu.Unlock()
 		if ok {
-			return append([]Point(nil), cached...)
+			return cached
 		}
 	}
 	out := p.candidates(st, chips, batch)
@@ -246,9 +250,60 @@ func (p *Profiler) Candidates(st pipeline.Stage, chips, batch int) []Point {
 		p.mu.Lock()
 		p.ccache[key] = out
 		p.mu.Unlock()
-		out = append([]Point(nil), out...)
 	}
 	return out
+}
+
+// Envelope is the roofline optimum of one stage over every batching and
+// replication option a schedule search may use: no operating point of the
+// stage on these resources, at any batch in [1, the queried bound] and any
+// replica count, beats MinLatency on latency or MaxQPS on throughput. The
+// schedule search's branch-and-bound uses envelopes as admissible bounds —
+// optimistic on both axes by construction — to prune whole plans before
+// profiling their candidate schedules.
+type Envelope struct {
+	// MinLatency is the smallest batch service latency of any operating
+	// point (best-case TTFT contribution of the stage).
+	MinLatency float64
+	// MaxQPS is the highest steady-state throughput of any operating
+	// point (best-case occupancy contribution, 1/MaxQPS).
+	MaxQPS float64
+	// OK is false when no operating point is feasible at all, in which
+	// case no schedule using this stage at these resources exists.
+	OK bool
+}
+
+// Envelope computes the stage's envelope over power-of-two batches in
+// [1, maxBatch] and every replica candidate, memoized per
+// (stage, chips, maxBatch).
+func (p *Profiler) Envelope(st pipeline.Stage, chips, maxBatch int) Envelope {
+	key := cacheKey{st, chips, maxBatch}
+	if !p.NoMemo {
+		p.mu.Lock()
+		env, ok := p.ecache[key]
+		p.mu.Unlock()
+		if ok {
+			return env
+		}
+	}
+	env := Envelope{MinLatency: math.Inf(1)}
+	for b := 1; b <= maxBatch; b <<= 1 {
+		for _, pt := range p.Candidates(st, chips, b) {
+			env.OK = true
+			if pt.Latency < env.MinLatency {
+				env.MinLatency = pt.Latency
+			}
+			if pt.QPS > env.MaxQPS {
+				env.MaxQPS = pt.QPS
+			}
+		}
+	}
+	if !p.NoMemo {
+		p.mu.Lock()
+		p.ecache[key] = env
+		p.mu.Unlock()
+	}
+	return env
 }
 
 func (p *Profiler) candidates(st pipeline.Stage, chips, batch int) []Point {

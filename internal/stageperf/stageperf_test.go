@@ -223,17 +223,14 @@ func TestMemoConsistency(t *testing.T) {
 							st.Kind, chips, batch, reps, a, b, c)
 					}
 				}
+				// Candidates returns the cache's own slice (read-only by
+				// contract): repeated calls must alias the same backing
+				// store and match a cold profiler's values.
 				a := cached.Candidates(st, chips, batch)
-				// Mutate the returned slice in place the way the
-				// optimizer's phase-replica filter does; the cache must
-				// hand out private copies.
-				if len(a) > 0 {
-					kept := a[:0]
-					for range a {
-						kept = append(kept, Point{})
-					}
-				}
 				b := cached.Candidates(st, chips, batch)
+				if len(a) > 0 && &a[0] != &b[0] {
+					t.Fatalf("Candidates(%v,%d,%d) re-allocated on a cache hit", st.Kind, chips, batch)
+				}
 				c := cold.Candidates(st, chips, batch)
 				if len(b) != len(c) {
 					t.Fatalf("Candidates(%v,%d,%d) length drifted after caller mutation: %d vs %d",
@@ -283,5 +280,76 @@ func TestShapedStage(t *testing.T) {
 	retr := stage(t, pl, pipeline.KindRetrieval)
 	if got := ShapedStage(retr, 9999); got != retr {
 		t.Errorf("retrieval must ignore shapes, got %+v", got)
+	}
+}
+
+// TestEnvelope cross-checks the memoized roofline envelope against a
+// direct enumeration of Candidates over every power-of-two batch: the
+// envelope must be exactly the pointwise optimum (no operating point beats
+// it, some operating point attains each axis), repeated queries must be
+// identical, and a memo-less profiler must agree.
+func TestEnvelope(t *testing.T) {
+	schema := ragschema.CaseIV(8e9)
+	pipe, err := pipeline.Build(schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cached := New(hw.XPUC, hw.EPYCHost, schema)
+	cold := New(hw.XPUC, hw.EPYCHost, schema)
+	cold.NoMemo = true
+	for _, st := range pipe.Stages {
+		for _, chips := range []int{4, 16} {
+			for _, maxBatch := range []int{1, 16} {
+				env := cached.Envelope(st, chips, maxBatch)
+
+				// Brute-force the optimum from the candidate points.
+				ref := Envelope{MinLatency: math.Inf(1)}
+				for b := 1; b <= maxBatch; b <<= 1 {
+					for _, pt := range cached.Candidates(st, chips, b) {
+						ref.OK = true
+						ref.MinLatency = math.Min(ref.MinLatency, pt.Latency)
+						ref.MaxQPS = math.Max(ref.MaxQPS, pt.QPS)
+					}
+				}
+				if env != ref {
+					t.Fatalf("Envelope(%v,%d,%d) = %+v, enumeration says %+v",
+						st.Kind, chips, maxBatch, env, ref)
+				}
+				if env.OK && (math.IsInf(env.MinLatency, 0) || env.MaxQPS <= 0) {
+					t.Fatalf("Envelope(%v,%d,%d) feasible but degenerate: %+v",
+						st.Kind, chips, maxBatch, env)
+				}
+				if again := cached.Envelope(st, chips, maxBatch); again != env {
+					t.Fatalf("Envelope(%v,%d,%d) memo hit diverged: %+v vs %+v",
+						st.Kind, chips, maxBatch, again, env)
+				}
+				if c := cold.Envelope(st, chips, maxBatch); c != env {
+					t.Fatalf("Envelope(%v,%d,%d) NoMemo diverged: %+v vs %+v",
+						st.Kind, chips, maxBatch, c, env)
+				}
+			}
+		}
+	}
+}
+
+// TestEnvelopeBoundsCandidates pins the admissibility property the
+// branch-and-bound relies on: every feasible operating point at any batch
+// within the bound is weakly inside the envelope.
+func TestEnvelopeBoundsCandidates(t *testing.T) {
+	prof, pl := profilerFor(t, ragschema.CaseI(8e9, 1))
+	for _, k := range []pipeline.Kind{pipeline.KindPrefix, pipeline.KindDecode, pipeline.KindRetrieval} {
+		st := stage(t, pl, k)
+		chips := 16
+		env := prof.Envelope(st, chips, 64)
+		if !env.OK {
+			t.Fatalf("%v envelope infeasible at 16 chips", k)
+		}
+		for b := 1; b <= 64; b <<= 1 {
+			for _, pt := range prof.Candidates(st, chips, b) {
+				if pt.Latency < env.MinLatency || pt.QPS > env.MaxQPS {
+					t.Fatalf("%v point %+v escapes envelope %+v", k, pt, env)
+				}
+			}
+		}
 	}
 }
