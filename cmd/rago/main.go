@@ -151,6 +151,7 @@ func runOptimize(args []string) {
 
 	fmt.Printf("workload: %s\n", schema.Name)
 	fmt.Printf("cluster:  %d hosts x %d %s = %d XPUs\n", cluster.Hosts, cluster.Host.XPUsPerHost, cluster.Chip.Name, cluster.XPUs())
+	fmt.Printf("%s\n", o.SearchStats())
 	fmt.Printf("frontier: %d Pareto-optimal schedules\n\n", len(front))
 
 	printFrontier(o, front, *maxPoints)

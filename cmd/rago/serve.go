@@ -9,6 +9,7 @@ import (
 	"strconv"
 	"strings"
 
+	"rago/internal/cache"
 	"rago/internal/control"
 	"rago/internal/core"
 	"rago/internal/engine"
@@ -38,6 +39,11 @@ type traceFlags struct {
 	promptLen *string
 	outLen    *string
 	shapeMax  *int
+
+	docZipf         *float64
+	docCorpus       *int
+	sessions        *int
+	sessionAffinity *float64
 }
 
 func addTraceFlags(fs *flag.FlagSet) traceFlags {
@@ -56,7 +62,39 @@ func addTraceFlags(fs *flag.FlagSet) traceFlags {
 		promptLen: fs.String("prompt-len", "", "per-request prompt length distribution: const:N | lognormal:MEDIAN,SIGMA | hist:TOK=W;TOK=W;... (empty = schema constant)"),
 		outLen:    fs.String("out-len", "", "per-request output length distribution, same spec syntax as -prompt-len"),
 		shapeMax:  fs.Int("shape-max", 8192, "token clamp for sampled lengths (the model-context bound)"),
+
+		docZipf:         fs.Float64("doc-zipf", 0, "tag requests with Zipfian-popular retrieved-chunk IDs at this skew (>1, hotter is larger; 0 = untagged)"),
+		docCorpus:       fs.Int("doc-corpus", 10000, "reuse: retrieval corpus size in chunks"),
+		sessions:        fs.Int("sessions", 0, "reuse: overlay session affinity across this many concurrent sessions (0 = popularity only)"),
+		sessionAffinity: fs.Float64("session-affinity", 0.5, "reuse: probability a session's request re-retrieves its previous context verbatim"),
 	}
+}
+
+// applyReuse decorates the trace with retrieved-chunk ID tags when
+// -doc-zipf is set: Zipfian document popularity, optionally overlaid with
+// session affinity. perRequest is the schema's chunks-per-request
+// (NeighborsPerQuery x QueriesPerRetrieval). Tags are what the prefix/KV
+// cache keys on; an untagged trace leaves any cache idle.
+func (tf traceFlags) applyReuse(reqs []trace.Request, desc string, perRequest int) ([]trace.Request, string, error) {
+	if *tf.docZipf == 0 {
+		return reqs, desc, nil
+	}
+	// Decorrelate the reuse stream from the arrival and shape streams
+	// (same rationale as applyShapes' xor).
+	seed := *tf.seed ^ 0x72657573
+	var err error
+	if *tf.sessions > 0 {
+		reqs, err = trace.WithSessions(reqs, *tf.sessions, *tf.sessionAffinity, *tf.docCorpus, perRequest, *tf.docZipf, seed)
+		desc = fmt.Sprintf("%s, reuse: zipf %.2f over %d chunks, %d sessions (affinity %.2f)",
+			desc, *tf.docZipf, *tf.docCorpus, *tf.sessions, *tf.sessionAffinity)
+	} else {
+		reqs, err = trace.WithDocZipf(reqs, *tf.docCorpus, perRequest, *tf.docZipf, seed)
+		desc = fmt.Sprintf("%s, reuse: zipf %.2f over %d chunks", desc, *tf.docZipf, *tf.docCorpus)
+	}
+	if err != nil {
+		return nil, "", err
+	}
+	return reqs, desc, nil
 }
 
 // parseLengthDist parses a -prompt-len/-out-len spec into a LengthDist.
@@ -138,8 +176,9 @@ func (tf traceFlags) applyShapes(reqs []trace.Request, desc string) ([]trace.Req
 }
 
 // build materializes the trace. rate0 is the auto mean rate when -rate is
-// unset. The description is human-readable for the preamble.
-func (tf traceFlags) build(rate0 float64) ([]trace.Request, string, error) {
+// unset; perRequest is the schema's retrieved-chunks-per-request, used by
+// the reuse decorators. The description is human-readable for the preamble.
+func (tf traceFlags) build(rate0 float64, perRequest int) ([]trace.Request, string, error) {
 	if *tf.tracePath != "" {
 		reqs, err := trace.Load(*tf.tracePath)
 		if err != nil {
@@ -152,8 +191,12 @@ func (tf traceFlags) build(rate0 float64) ([]trace.Request, string, error) {
 		if err != nil {
 			return nil, "", err
 		}
+		reqs, desc, err = tf.applyReuse(reqs, desc, perRequest)
+		if err != nil {
+			return nil, "", err
+		}
 		// -save-trace alongside -trace re-persists the loaded trace
-		// (format conversion, normalization, added shapes).
+		// (format conversion, normalization, added shapes/reuse tags).
 		if *tf.saveTrace != "" {
 			if err := trace.Save(*tf.saveTrace, reqs); err != nil {
 				return nil, "", err
@@ -211,6 +254,10 @@ func (tf traceFlags) build(rate0 float64) ([]trace.Request, string, error) {
 	if err != nil {
 		return nil, "", err
 	}
+	reqs, desc, err = tf.applyReuse(reqs, desc, perRequest)
+	if err != nil {
+		return nil, "", err
+	}
 	if *tf.saveTrace != "" {
 		if err := trace.Save(*tf.saveTrace, reqs); err != nil {
 			return nil, "", err
@@ -228,18 +275,22 @@ func runServe(args []string) {
 	wf := addWorkloadFlags(fs)
 	tf := addTraceFlags(fs)
 	var (
-		point       = fs.String("point", "maxqps", "frontier point to serve: maxqps|minttft|<index>")
-		speedup     = fs.Float64("speedup", 0, "virtual seconds served per wall second (0 = auto, targeting ~10s wall)")
-		flush       = fs.Float64("flush", 0.05, "partial-batch flush timeout in virtual seconds (0 = dispatch partial batches immediately)")
-		maxInflight = fs.Int("max-inflight", 0, "admission bound; arrivals beyond it are shed (0 = admit all)")
-		jsonOut     = fs.Bool("json", false, "print the full report as JSON on stdout (preamble goes to stderr)")
-		metricsAddr = fs.String("metrics-addr", "", "serve streaming metrics on this address (/window, /stream SSE, /debug/vars, /debug/pprof/); \":0\" picks a free port")
-		spanTrace   = fs.String("span-trace", "", "write a Chrome trace_event JSON of the replay to this file (load in https://ui.perfetto.dev)")
-		windowEvery = fs.Float64("window-every", 2, "stream a telemetry window snapshot onto the bus every this many virtual seconds (with -metrics-addr)")
-		dbVectors   = fs.Int("db", 0, "build a real IVF-PQ index of this many vectors on the retrieval path (0 = model-paced only)")
-		dbDim       = fs.Int("db-dim", 64, "real index dimensionality")
-		k           = fs.Int("k", 10, "neighbors per real query")
-		nprobe      = fs.Int("nprobe", 8, "probed cells per real query")
+		point        = fs.String("point", "maxqps", "frontier point to serve: maxqps|minttft|<index>")
+		speedup      = fs.Float64("speedup", 0, "virtual seconds served per wall second (0 = auto, targeting ~10s wall)")
+		flush        = fs.Float64("flush", 0.05, "partial-batch flush timeout in virtual seconds (0 = dispatch partial batches immediately)")
+		maxInflight  = fs.Int("max-inflight", 0, "admission bound; arrivals beyond it are shed (0 = admit all)")
+		jsonOut      = fs.Bool("json", false, "print the full report as JSON on stdout (preamble goes to stderr)")
+		metricsAddr  = fs.String("metrics-addr", "", "serve streaming metrics on this address (/window, /stream SSE, /debug/vars, /debug/pprof/); \":0\" picks a free port")
+		spanTrace    = fs.String("span-trace", "", "write a Chrome trace_event JSON of the replay to this file (load in https://ui.perfetto.dev)")
+		windowEvery  = fs.Float64("window-every", 2, "stream a telemetry window snapshot onto the bus every this many virtual seconds (with -metrics-addr)")
+		cacheTokens  = fs.Int("cache-tokens", 0, "prefix/KV cache token budget over retrieved chunks (0 = no prefix cache; pair with -doc-zipf so requests carry chunk tags)")
+		cacheAnswers = fs.Int("cache-answers", 0, "exact-match answer cache entries short-circuiting repeated requests (0 = no answer tier)")
+		cacheGain    = fs.Float64("cache-gain", 0, "controller: discount the capacity target by 1/(1+gain*hit-rate) (0 = cache-blind)")
+
+		dbVectors = fs.Int("db", 0, "build a real IVF-PQ index of this many vectors on the retrieval path (0 = model-paced only)")
+		dbDim     = fs.Int("db-dim", 64, "real index dimensionality")
+		k         = fs.Int("k", 10, "neighbors per real query")
+		nprobe    = fs.Int("nprobe", 8, "probed cells per real query")
 
 		controller = fs.Bool("controller", false, "run the SLO-aware online controller over a plan library instead of one static schedule")
 		sloTTFT    = fs.Float64("slo-ttft", 1.0, "controller: p99 TTFT objective in virtual seconds")
@@ -277,6 +328,22 @@ func runServe(args []string) {
 	opts := serve.Options{Speedup: *speedup, FlushTimeout: *flush, MaxInFlight: *maxInflight}
 	if *flush == 0 {
 		opts.FlushTimeout = -1 // Options semantics: negative = immediate
+	}
+
+	// Chunks per request: what one retrieval round appends to the prompt.
+	perRequest := schema.NeighborsPerQuery * schema.QueriesPerRetrieval
+	if perRequest < 1 {
+		perRequest = 1
+	}
+	var cacheCfg *cache.Config
+	if *cacheTokens > 0 || *cacheAnswers > 0 {
+		cfg := cache.Config{PrefixTokens: *cacheTokens, ChunkTokens: schema.ChunkTokens, AnswerEntries: *cacheAnswers}
+		c, err := cache.New(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		opts.Cache = c
+		cacheCfg = &cfg
 	}
 
 	// Observability wiring: one bus feeds the optional metrics endpoint
@@ -339,8 +406,8 @@ func runServe(args []string) {
 
 	if *controller {
 		runControlled(o, front, tf, opts, info, *jsonOut, control.SLO{TTFT: *sloTTFT, TPOT: *sloTPOT},
-			control.Config{Window: *ctrlWindow, Interval: *ctrlTick, Headroom: *headroom, HoldDown: *holddown},
-			flushTrace)
+			control.Config{Window: *ctrlWindow, Interval: *ctrlTick, Headroom: *headroom, HoldDown: *holddown, CacheGain: *cacheGain},
+			flushTrace, perRequest, cacheCfg)
 		return
 	}
 
@@ -348,7 +415,7 @@ func runServe(args []string) {
 	if err != nil {
 		log.Fatal(err)
 	}
-	reqs, desc, err := tf.build(1.5 * chosen.Metrics.QPS)
+	reqs, desc, err := tf.build(1.5*chosen.Metrics.QPS, perRequest)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -372,6 +439,17 @@ func runServe(args []string) {
 	if shapes := traceShapes(reqs); shapes != nil {
 		fmt.Fprintf(info, "analytic (shape-weighted): %s\n", rt.Plan().ShapeMetrics(shapes))
 	}
+	if cacheCfg != nil && cacheCfg.PrefixTokens > 0 {
+		// Cache-aware analytic reference: replay the tagged trace through
+		// a fresh cache instance to get the per-request prefix credits the
+		// runtime's own cache will grant, then recost with them.
+		credits, cst, cerr := cache.ReplayCredits(*cacheCfg, reqs, schema.PrefixTokens)
+		if cerr != nil {
+			log.Fatal(cerr)
+		}
+		fmt.Fprintf(info, "analytic (cache-aware): %s\n", rt.Plan().CachedMetrics(traceShapes(reqs), credits))
+		fmt.Fprintf(info, "analytic replay %s\n", cst)
+	}
 	fmt.Fprintf(info, "trace:    %s\n", desc)
 	fmt.Fprintf(info, "pacing:   speedup %.0fx\n\n", opts.Speedup)
 
@@ -392,7 +470,7 @@ func runServe(args []string) {
 // switching decisions in the discrete-event simulator.
 func runControlled(o *core.Optimizer, front []core.SchedulePoint, tf traceFlags,
 	opts serve.Options, info *os.File, jsonOut bool, slo control.SLO, cfg control.Config,
-	flushTrace func()) {
+	flushTrace func(), perRequest int, cacheCfg *cache.Config) {
 	lib, err := control.NewLibrary(o, front, slo)
 	if err != nil {
 		log.Fatal(err)
@@ -403,7 +481,7 @@ func runControlled(o *core.Optimizer, front []core.SchedulePoint, tf traceFlags,
 		log.Fatal(err)
 	}
 	top := lib.Entries[len(lib.Entries)-1]
-	reqs, desc, err := tf.build(0.5 * top.QPS)
+	reqs, desc, err := tf.build(0.5*top.QPS, perRequest)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -425,9 +503,15 @@ func runControlled(o *core.Optimizer, front []core.SchedulePoint, tf traceFlags,
 	flushTrace()
 
 	// The discrete-event replay of the same decisions validates the live
-	// run; the simulator applies the same admission bound, so the
-	// cross-check runs whether or not -max-inflight shed arrivals.
-	simRes, err := control.SimReplay(lib, res, reqs, opts.FlushTimeout, opts.MaxInFlight)
+	// run; the simulator applies the same admission bound — and, when the
+	// runtime served with a cache, mirrors it with its own instance — so
+	// the cross-check runs whether or not -max-inflight shed arrivals.
+	var simRes control.SimResult
+	if cacheCfg != nil {
+		simRes, err = control.SimReplayCached(lib, res, reqs, opts.FlushTimeout, opts.MaxInFlight, *cacheCfg)
+	} else {
+		simRes, err = control.SimReplay(lib, res, reqs, opts.FlushTimeout, opts.MaxInFlight)
+	}
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,0 +1,30 @@
+package cache
+
+import "rago/internal/trace"
+
+// ReplayCredits replays a trace through a fresh prefix cache offline, in
+// arrival order, and returns the per-request prefill-token credits plus
+// the final counters. This is the analytic leg of the cache cross-check:
+// it measures the trace's intrinsic reuse skew at a configuration — what
+// hit rate and token savings the content stream itself supports — which
+// the live runtime's and the simulator's measured rates are validated
+// against, and which cache-aware analytical metrics
+// (engine.Plan.CachedMetrics) are weighted by.
+//
+// basePrompt is the prompt length assumed for unshaped requests (the
+// schema's PrefixTokens constant); shaped requests use their own.
+func ReplayCredits(cfg Config, reqs []trace.Request, basePrompt int) ([]int, Stats, error) {
+	c, err := New(cfg)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	credits := make([]int, len(reqs))
+	for i, r := range reqs {
+		base := r.PromptTokens
+		if base <= 0 {
+			base = basePrompt
+		}
+		credits[i] = c.Access(r.ChunkIDs, base)
+	}
+	return credits, c.Stats(), nil
+}

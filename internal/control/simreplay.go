@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"rago/internal/cache"
 	"rago/internal/sim"
 	"rago/internal/trace"
 )
@@ -21,6 +22,8 @@ type SimResult struct {
 	// PerSegment annotates each served tenure: which library entry ran
 	// it, the slice of the trace it carried, and its own completion rate.
 	PerSegment []SegmentSim `json:"per_segment,omitempty"`
+	// Cache is the replay's reuse-cache statistics (SimReplayCached only).
+	Cache *cache.Stats `json:"cache,omitempty"`
 }
 
 // SegmentSim is one plan tenure of a simulated switching replay.
@@ -53,6 +56,27 @@ type SegmentSim struct {
 // cross-checked against (the two must agree within the established 15%
 // band).
 func SimReplay(lib *Library, res *Result, reqs []trace.Request, flushTimeout float64, maxInFlight int) (SimResult, error) {
+	return simReplay(lib, res, reqs, flushTimeout, maxInFlight, nil)
+}
+
+// SimReplayCached is SimReplay with the simulator mirroring the live
+// Server's reuse cache: one cache built from cfg spans every tenure, the
+// way Options.Cache is server-scoped in the runtime (plan switches never
+// flush it). The replay's cache statistics land in SimResult.Cache.
+func SimReplayCached(lib *Library, res *Result, reqs []trace.Request, flushTimeout float64, maxInFlight int, cfg cache.Config) (SimResult, error) {
+	c, err := cache.New(cfg)
+	if err != nil {
+		return SimResult{}, err
+	}
+	out, err := simReplay(lib, res, reqs, flushTimeout, maxInFlight, c)
+	if err == nil {
+		st := c.Stats()
+		out.Cache = &st
+	}
+	return out, err
+}
+
+func simReplay(lib *Library, res *Result, reqs []trace.Request, flushTimeout float64, maxInFlight int, c *cache.Cache) (SimResult, error) {
 	if lib == nil || len(lib.Entries) == 0 {
 		return SimResult{}, fmt.Errorf("control: empty plan library")
 	}
@@ -98,6 +122,7 @@ func SimReplay(lib *Library, res *Result, reqs []trace.Request, flushTimeout flo
 			return SimResult{}, err
 		}
 		s.MaxInFlight = maxInFlight
+		s.Cache = c
 		r, err := s.Run(seg, flushTimeout)
 		if err != nil {
 			return SimResult{}, err

@@ -336,6 +336,9 @@ func (c *searchCtx) pruneAgainstIncumbent(parts []spart, inc *perf.Incremental, 
 			kept = append(kept, p)
 		}
 	}
+	if d := len(parts) - len(kept); d > 0 {
+		c.o.prunedPartials.Add(int64(d))
+	}
 	return kept
 }
 

@@ -6,6 +6,7 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"rago/internal/hw"
 	"rago/internal/perf"
@@ -68,7 +69,58 @@ type Optimizer struct {
 	// allocation enumeration.
 	gmu    sync.Mutex
 	gcache map[groupKey][]groupChoice
+
+	// stats describes the most recent Optimize call; the atomics are the
+	// live counters the concurrent workers increment while it runs.
+	stats          SearchStats
+	prunedPlans    atomic.Int64
+	searchedPlans  atomic.Int64
+	prunedPartials atomic.Int64
 }
+
+// SearchStats summarizes one Optimize call's branch-and-bound behaviour:
+// how much of the enumeration the admissible bounds eliminated, and how
+// tight those bounds were against what the search actually achieved. A
+// NoPrune (exhaustive reference) run reports only Plans/Searched — it
+// computes no bounds, so the pruning counters and gaps stay zero.
+type SearchStats struct {
+	// Plans is the full enumeration size; Infeasible the plans skipped
+	// because no schedule of theirs compiles; PrunedPlans the feasible
+	// plans skipped whole because the incumbent frontier dominated their
+	// bound; Searched the plans whose batching space was explored.
+	Plans       int `json:"plans"`
+	Infeasible  int `json:"infeasible"`
+	PrunedPlans int `json:"pruned_plans"`
+	Searched    int `json:"searched"`
+	// PrunedPartials counts partial schedule extensions discarded
+	// mid-plan against the incumbent (pruneAgainstIncumbent drops).
+	PrunedPartials int64 `json:"pruned_partials"`
+	// TTFTGap, TPOTGap, and QPSGap are per-objective bound-to-achieved
+	// ratios, each >= 1 when defined (0 when not): the frontier's best
+	// achieved value over the best optimistic bound for the latency
+	// objectives, and the inverse for throughput. 1.0 means the bound is
+	// exact on that axis; large values mean it is loose there and prunes
+	// little.
+	TTFTGap float64 `json:"ttft_gap"`
+	TPOTGap float64 `json:"tpot_gap"`
+	QPSGap  float64 `json:"qps_gap"`
+}
+
+// String renders the stats as the two CLI lines `rago optimize` prints.
+func (s SearchStats) String() string {
+	out := fmt.Sprintf("search: %d plans (%d infeasible, %d pruned by bound, %d searched), %d partials pruned",
+		s.Plans, s.Infeasible, s.PrunedPlans, s.Searched, s.PrunedPartials)
+	if s.TTFTGap > 0 || s.TPOTGap > 0 || s.QPSGap > 0 {
+		out += fmt.Sprintf("\nbound gap (achieved/bound): TTFT %.2fx, TPOT %.2fx, QPS %.2fx",
+			s.TTFTGap, s.TPOTGap, s.QPSGap)
+	}
+	return out
+}
+
+// SearchStats returns the statistics of the most recent Optimize call
+// (zero-valued before the first). Not synchronized with a concurrently
+// running Optimize.
+func (o *Optimizer) SearchStats() SearchStats { return o.stats }
 
 // NewOptimizer builds an optimizer for schema under opts.
 func NewOptimizer(schema ragschema.Schema, opts Options) (*Optimizer, error) {
@@ -240,6 +292,10 @@ func (o *Optimizer) planFrontier(ctx *searchCtx, plan Plan, inc *perf.Incrementa
 // which schedule represents each set of exactly-equal metric points.
 func (o *Optimizer) Optimize() []SchedulePoint {
 	plans := o.Plans()
+	o.stats = SearchStats{Plans: len(plans)}
+	o.prunedPlans.Store(0)
+	o.searchedPlans.Store(0)
+	o.prunedPartials.Store(0)
 	workers := o.Opts.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -294,6 +350,7 @@ func (o *Optimizer) Optimize() []SchedulePoint {
 			ctx := o.newSearchCtx()
 			for i := range next {
 				if inc == nil {
+					o.searchedPlans.Add(1)
 					results[i] = o.planFrontier(ctx, plans[i], nil, perf.Metrics{})
 					continue
 				}
@@ -301,8 +358,10 @@ func (o *Optimizer) Optimize() []SchedulePoint {
 					continue // no schedule of the plan compiles
 				}
 				if inc.DominatedBy(bounds[i]) {
+					o.prunedPlans.Add(1)
 					continue // every completion strictly dominated
 				}
+				o.searchedPlans.Add(1)
 				pts := o.planFrontier(ctx, plans[i], inc, bounds[i])
 				results[i] = pts
 				for _, p := range pts {
@@ -323,7 +382,65 @@ func (o *Optimizer) Optimize() []SchedulePoint {
 	}
 	front := perf.Frontier(all)
 	sortSchedules(front)
+
+	o.stats.PrunedPlans = int(o.prunedPlans.Load())
+	o.stats.Searched = int(o.searchedPlans.Load())
+	o.stats.PrunedPartials = o.prunedPartials.Load()
+	if inc != nil {
+		for i := range plans {
+			if !feasible[i] {
+				o.stats.Infeasible++
+			}
+		}
+		o.fillBoundGaps(front, bounds, feasible)
+	}
 	return front
+}
+
+// fillBoundGaps computes the per-objective bound-to-achieved ratios: the
+// frontier's best value on each axis against the best admissible bound
+// over the feasible plans. Each ratio is >= 1 when both sides are
+// positive (the bound is optimistic by construction) and 0 when either
+// side is undefined (empty frontier, no feasible plan).
+func (o *Optimizer) fillBoundGaps(front []SchedulePoint, bounds []perf.Metrics, feasible []bool) {
+	if len(front) == 0 {
+		return
+	}
+	var bTTFT, bTPOT, bQPS float64
+	seen := false
+	for i, b := range bounds {
+		if !feasible[i] {
+			continue
+		}
+		if !seen || b.TTFT < bTTFT {
+			bTTFT = b.TTFT
+		}
+		if !seen || b.TPOT < bTPOT {
+			bTPOT = b.TPOT
+		}
+		if !seen || b.QPSPerChip > bQPS {
+			bQPS = b.QPSPerChip
+		}
+		seen = true
+	}
+	if !seen {
+		return
+	}
+	aTTFT, aTPOT, aQPS := front[0].Metrics.TTFT, front[0].Metrics.TPOT, front[0].Metrics.QPSPerChip
+	for _, p := range front[1:] {
+		aTTFT = math.Min(aTTFT, p.Metrics.TTFT)
+		aTPOT = math.Min(aTPOT, p.Metrics.TPOT)
+		aQPS = math.Max(aQPS, p.Metrics.QPSPerChip)
+	}
+	if bTTFT > 0 {
+		o.stats.TTFTGap = aTTFT / bTTFT
+	}
+	if bTPOT > 0 {
+		o.stats.TPOTGap = aTPOT / bTPOT
+	}
+	if aQPS > 0 {
+		o.stats.QPSGap = bQPS / aQPS
+	}
 }
 
 // BaselineFrontier evaluates the §7.1 comparison system: all additional

@@ -68,23 +68,34 @@ const (
 	// Window as payload) — the feed an external autoscaler subscribes to
 	// instead of polling.
 	KindWindow
+	// KindCacheHit / KindCacheMiss record the prefix/KV cache lookup at
+	// batch formation for one tagged request (T is the batch-formation
+	// time; N is the prefill-token credit granted, 0 on a miss).
+	KindCacheHit
+	KindCacheMiss
+	// KindCacheAnswerHit records an exact-match answer-cache hit
+	// short-circuiting the whole pipeline at admission (T is the arrival).
+	KindCacheAnswerHit
 )
 
 var kindNames = [...]string{
-	KindAdmit:        "admit",
-	KindReject:       "reject",
-	KindEnqueue:      "enqueue",
-	KindStageStart:   "stage-start",
-	KindStageFinish:  "stage-finish",
-	KindDecodeLease:  "decode-lease",
-	KindDecodePark:   "decode-park",
-	KindDecodeResume: "decode-resume",
-	KindDecodeFinish: "decode-finish",
-	KindSwitchBegin:  "switch-begin",
-	KindSwitchCommit: "switch-commit",
-	KindSwitchDrain:  "switch-drain",
-	KindDecision:     "decision",
-	KindWindow:       "window",
+	KindAdmit:          "admit",
+	KindReject:         "reject",
+	KindEnqueue:        "enqueue",
+	KindStageStart:     "stage-start",
+	KindStageFinish:    "stage-finish",
+	KindDecodeLease:    "decode-lease",
+	KindDecodePark:     "decode-park",
+	KindDecodeResume:   "decode-resume",
+	KindDecodeFinish:   "decode-finish",
+	KindSwitchBegin:    "switch-begin",
+	KindSwitchCommit:   "switch-commit",
+	KindSwitchDrain:    "switch-drain",
+	KindDecision:       "decision",
+	KindWindow:         "window",
+	KindCacheHit:       "cache-hit",
+	KindCacheMiss:      "cache-miss",
+	KindCacheAnswerHit: "cache-answer-hit",
 }
 
 func (k Kind) String() string {

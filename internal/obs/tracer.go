@@ -161,11 +161,11 @@ func (t *Tracer) Requests() []RequestTrace {
 		}
 		return rt
 	}
-	enq := map[slotKey]float64{}   // latest queue-entry time per (req, slot)
-	open := map[slotKey]Span{}     // spans started but not finished
-	decEnq := map[int]float64{}    // decode queue-entry time per request
-	decSlot := map[int]Event{}     // decode enqueue event per request (for naming)
-	stall := map[int]Stall{}       // open park per request
+	enq := map[slotKey]float64{} // latest queue-entry time per (req, slot)
+	open := map[slotKey]Span{}   // spans started but not finished
+	decEnq := map[int]float64{}  // decode queue-entry time per request
+	decSlot := map[int]Event{}   // decode enqueue event per request (for naming)
+	stall := map[int]Stall{}     // open park per request
 
 	for _, ev := range evs {
 		switch ev.Kind {

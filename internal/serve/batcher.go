@@ -195,10 +195,34 @@ func (r *resource) exec(si, n int, formV float64) {
 
 	lat := r.dp.plan.StepLatency(idx, n)
 	tok, pad := 0, 0
-	if idx == r.dp.plan.PrefixIdx && r.dp.shapedAny.Load() {
+	consult := r.dp.cacheOn && r.dp.taggedAny.Load()
+	if idx == r.dp.plan.PrefixIdx && (r.dp.shapedAny.Load() || consult) {
 		r.prompts = r.prompts[:0]
 		for _, q := range batch {
-			r.prompts = append(r.prompts, q.promptTok)
+			pt := q.promptTok
+			if consult && len(q.chunkIDs) > 0 {
+				// Prefix-cache lookup at batch formation: the member
+				// prefills only its uncached suffix. Access both queries
+				// and admits, so the batch's own chunks are resident for
+				// every later batch — the prefix stage lives on exactly
+				// one worker goroutine, so lookups happen in dispatch
+				// order, the same serialization the simulator replays.
+				base := pt
+				if base <= 0 {
+					base = r.dp.plan.Pipe.Schema.PrefixTokens
+				}
+				credit := r.dp.cache.Access(q.chunkIDs, base)
+				pt = r.dp.plan.EffectivePrompt(pt, credit)
+				if r.dp.bus.Active() {
+					kind := obs.KindCacheMiss
+					if credit > 0 {
+						kind = obs.KindCacheHit
+					}
+					r.dp.bus.Publish(obs.Event{Kind: kind, T: formV, Req: q.id,
+						Slot: idx, Stage: r.dp.slotName[idx], Track: r.name, N: credit})
+				}
+			}
+			r.prompts = append(r.prompts, pt)
 		}
 		if sh, sum := r.dp.plan.PrefixBatchShape(r.prompts); sh != (engine.Shape{}) {
 			lat = r.dp.plan.StepLatencyShaped(idx, n, sh)

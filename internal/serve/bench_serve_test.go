@@ -3,6 +3,7 @@ package serve
 import (
 	"testing"
 
+	"rago/internal/cache"
 	"rago/internal/core"
 	"rago/internal/engine"
 	"rago/internal/trace"
@@ -135,5 +136,71 @@ func BenchmarkServeCaseIII(b *testing.B) {
 		b.ReportMetric(rep.SustainedQPS, "sustainedQPS")
 		b.ReportMetric(rep.TTFT.P99, "p99TTFT_s")
 		b.ReportMetric(rep.Stall.Mean, "meanStall_s")
+	}
+}
+
+// BenchmarkServeCachedCaseI is the prefix/KV-cache trajectory point CI
+// uploads (BENCH_cache.json): a hot Zipfian session-affine Case I trace on
+// a prefill-bound schedule (2 prefix chips, where prefill credits move
+// QPS), served once without a cache as the baseline and then with the
+// real cache at batch formation. Reports the cached sustained QPS, the
+// cached-vs-uncached throughput ratio (the headline — must clear 1.5x on
+// this mix), the measured hit rate, and the saved-prefill-token count.
+func BenchmarkServeCachedCaseI(b *testing.B) {
+	pipe, prof, sched := caseISetup(b)
+	sched.Groups[0].Chips = 2
+	plan, err := engine.Compile(pipe, sched, prof)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const n = 6000
+	reqs := hotTrace(b, n, 42)
+	cfg := cache.Config{PrefixTokens: 40_000, ChunkTokens: pipe.Schema.ChunkTokens}
+	credits, _, err := cache.ReplayCredits(cfg, reqs, pipe.Schema.PrefixTokens)
+	if err != nil {
+		b.Fatal(err)
+	}
+	want := plan.CachedMetrics(nil, credits)
+	// Overdrive at 1.5x the cache-aware capacity: the uncached baseline
+	// saturates at its own lower ceiling on the same arrivals.
+	for i := range reqs {
+		reqs[i].Arrival /= 1.5 * want.QPS
+	}
+	speedup := (float64(n) / want.QPS) / 4.0
+
+	brt, err := New(pipe, prof, sched, Options{Speedup: speedup})
+	if err != nil {
+		b.Fatal(err)
+	}
+	brep, err := brt.Serve(reqs)
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c, err := cache.New(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rt, err := New(pipe, prof, sched, Options{Speedup: speedup, Cache: c})
+		if err != nil {
+			b.Fatal(err)
+		}
+		rep, err := rt.Serve(reqs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.Completed != n {
+			b.Fatalf("completed %d of %d", rep.Completed, n)
+		}
+		if rep.Cache == nil {
+			b.Fatal("cached replay reported no cache stats")
+		}
+		b.ReportMetric(rep.SustainedQPS, "sustainedQPS")
+		b.ReportMetric(rep.SustainedQPS/brep.SustainedQPS, "QPSvsNoCache")
+		b.ReportMetric(rep.Cache.HitRate, "hitRate")
+		b.ReportMetric(float64(rep.Cache.SavedTokens), "savedPrefillTok")
+		b.ReportMetric(rep.TTFT.P99, "p99TTFT_s")
 	}
 }

@@ -7,6 +7,7 @@ import (
 	"strings"
 	"sync"
 
+	"rago/internal/cache"
 	"rago/internal/engine"
 	"rago/internal/obs"
 	"rago/internal/perf"
@@ -335,6 +336,11 @@ type Report struct {
 	HasAnalytic   bool         `json:"has_analytic"`
 	QPSVsAnalytic float64      `json:"qps_vs_analytic,omitempty"`
 
+	// Cache is the reuse cache's final counters (prefix hit rate, saved
+	// prefill tokens, evictions, answer-tier hits); nil when no cache was
+	// configured.
+	Cache *cache.Stats `json:"cache,omitempty"`
+
 	// Queues reports per-stage batching and backlog, decode included.
 	Queues []QueueStat `json:"queues,omitempty"`
 
@@ -432,6 +438,9 @@ func (r *Report) String() string {
 	}
 	if r.PadWaste > 0 {
 		fmt.Fprintf(&b, "padding waste %.1f%% of prefix-batch tokens (pad-to-max over mixed shapes)\n", 100*r.PadWaste)
+	}
+	if r.Cache != nil {
+		fmt.Fprintf(&b, "%s\n", r.Cache)
 	}
 	for _, q := range r.Queues {
 		switch {

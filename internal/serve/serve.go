@@ -51,6 +51,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"rago/internal/cache"
 	"rago/internal/engine"
 	"rago/internal/obs"
 	"rago/internal/perf"
@@ -94,6 +95,16 @@ type Options struct {
 	// virtual seconds while Serve runs. 0 disables the stream; negative
 	// values are rejected.
 	WindowEvery float64
+	// Cache, when set, is the retrieved-context reuse cache
+	// (internal/cache) this engine consults: the prefix tier at batch
+	// formation (tagged requests prefill only their uncached suffix, at
+	// the discounted shaped cost) and the answer tier at admission (an
+	// exact-match hit completes the request immediately). A nil Cache
+	// keeps every hot path on the historical no-cache behaviour —
+	// untagged traces are bit-identical either way. Executors being
+	// cross-checked against each other should each own their own
+	// instance, so their hit sequences stay independent.
+	Cache *cache.Cache
 	// Searcher, when set, runs real vector search per retrieval batch.
 	Searcher SearchFunc
 	// QueryDim is the dimensionality of synthesized queries for Searcher.
@@ -159,6 +170,10 @@ type request struct {
 	promptTok int
 	outTok    int
 
+	// chunkIDs are the retrieved document chunks the prompt is built from
+	// — the prefix/KV cache key. Empty requests bypass the cache.
+	chunkIDs []int
+
 	// Iterative decode-loop state (nil/zero on single-retrieval plans).
 	// triggers are the decode token positions the sequence parks at;
 	// resume carries the virtual time each round finished back to the
@@ -210,7 +225,23 @@ type dataplane struct {
 	// entirely (the common constant-shape fast path). The store in
 	// newRequest happens before the channel send publishing the request,
 	// so a worker batching a shaped request always observes true.
+	// taggedAny is the same latch for retrieved-chunk tags: with it false
+	// (or no cache configured) prefix workers never consult the cache.
 	shapedAny atomic.Bool
+	taggedAny atomic.Bool
+
+	// cache is the reuse cache (nil = caching off); cacheOn precomputes
+	// whether its prefix tier is enabled, so the batcher's dispatch path
+	// pays one bool load.
+	cache   *cache.Cache
+	cacheOn bool
+
+	// arena slab-allocates the per-request bookkeeping (request structs,
+	// pending counters, enqueue-time vectors): three allocations per
+	// arenaSlab admissions instead of three per request. newRequest is
+	// only ever called from the owner's sequential replay goroutine, so
+	// the arena needs no lock.
+	arena reqArena
 
 	// onComplete retires a finished request with the owner (WaitGroup,
 	// drain bookkeeping). onSearchErr records a real-retrieval failure.
@@ -231,6 +262,8 @@ func newDataplane(plan *engine.Plan, opts Options, ck clock, coll *collector, bo
 		clock:       ck,
 		coll:        coll,
 		bus:         opts.Bus,
+		cache:       opts.Cache,
+		cacheOn:     opts.Cache.PrefixOn(),
 		quit:        make(chan struct{}),
 		onComplete:  onComplete,
 		onSearchErr: onSearchErr,
@@ -256,20 +289,48 @@ func newDataplane(plan *engine.Plan, opts Options, ck clock, coll *collector, bo
 	return dp
 }
 
+// reqArena holds the slabs newRequest carves per-request bookkeeping out
+// of. Slabs are never recycled — requests keep their slices until they
+// retire — so this is purely allocation batching, with no lifetime hazard.
+type reqArena struct {
+	reqs    []request
+	pending []atomic.Int32
+	enqV    []float64
+}
+
+// arenaSlab is how many requests one slab serves.
+const arenaSlab = 256
+
 // newRequest builds the per-request bookkeeping for this dataplane's plan,
 // synthesizing deterministic trigger positions (seeded by the request ID)
-// when an iterative plan's trace entry carries none.
+// when an iterative plan's trace entry carries none. Called only from the
+// owner's sequential replay goroutine (see reqArena).
 func (dp *dataplane) newRequest(r trace.Request) *request {
-	q := &request{
-		id:        r.ID,
-		arrival:   r.Arrival,
-		pending:   make([]atomic.Int32, len(dp.plan.Steps)),
-		enqV:      make([]float64, dp.plan.NumSlots()),
-		promptTok: r.PromptTokens,
-		outTok:    r.OutputTokens,
+	nSteps, nSlots := len(dp.plan.Steps), dp.plan.NumSlots()
+	a := &dp.arena
+	if len(a.reqs) == 0 {
+		a.reqs = make([]request, arenaSlab)
 	}
+	if len(a.pending) < nSteps {
+		a.pending = make([]atomic.Int32, arenaSlab*nSteps)
+	}
+	if len(a.enqV) < nSlots {
+		a.enqV = make([]float64, arenaSlab*nSlots)
+	}
+	q := &a.reqs[0]
+	a.reqs = a.reqs[1:]
+	q.pending, a.pending = a.pending[:nSteps:nSteps], a.pending[nSteps:]
+	q.enqV, a.enqV = a.enqV[:nSlots:nSlots], a.enqV[nSlots:]
+	q.id = r.ID
+	q.arrival = r.Arrival
+	q.promptTok = r.PromptTokens
+	q.outTok = r.OutputTokens
+	q.chunkIDs = r.ChunkIDs
 	if r.Shaped() && !dp.shapedAny.Load() {
 		dp.shapedAny.Store(true)
+	}
+	if r.Tagged() && !dp.taggedAny.Load() {
+		dp.taggedAny.Store(true)
 	}
 	if dp.plan.Round != nil {
 		q.resume = make(chan float64, 1)
@@ -301,8 +362,20 @@ func (dp *dataplane) stop() {
 
 // admit registers a request arriving at virtual time at and routes it to
 // the plan's entry stages. The caller has already accounted it in
-// dp.inflight (so drain detection cannot race admission).
+// dp.inflight (so drain detection cannot race admission). An exact-match
+// answer-cache hit short-circuits the whole pipeline: the request
+// completes at its arrival instant without touching any worker.
 func (dp *dataplane) admit(q *request, at float64) {
+	if dp.cache.AnswerOn() && len(q.chunkIDs) > 0 &&
+		dp.cache.AnswerLookup(q.chunkIDs, q.promptTok, q.outTok) {
+		if dp.bus.Active() {
+			dp.bus.Publish(obs.Event{Kind: obs.KindCacheAnswerHit, T: at, Req: q.id})
+		}
+		dp.coll.complete(0, 0, 0, at, 0, q.promptTok, q.outTok)
+		dp.inflight.Add(-1)
+		dp.onComplete(q, at)
+		return
+	}
 	for st, ps := range dp.plan.Preds {
 		q.pending[st].Store(int32(len(ps)))
 	}
@@ -367,6 +440,9 @@ func (dp *dataplane) complete(q *request, done float64) {
 	}
 	dp.coll.release(dp.plan.DecodeIdx, 1)
 	dp.coll.complete(q.ttft, tpot, done-q.arrival, done, q.stall, q.promptTok, q.outTok)
+	if dp.cache.AnswerOn() && len(q.chunkIDs) > 0 {
+		dp.cache.AnswerStore(q.chunkIDs, q.promptTok, q.outTok)
+	}
 	dp.inflight.Add(-1)
 	dp.onComplete(q, done)
 }

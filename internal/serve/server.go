@@ -172,7 +172,13 @@ func (s *Server) Telemetry(window float64) Window {
 	if !s.live.Load() {
 		return Window{}
 	}
-	return s.coll.snapshot(s.clock.now(), window, int(s.inflight.Load()))
+	w := s.coll.snapshot(s.clock.now(), window, int(s.inflight.Load()))
+	if s.opts.Cache != nil {
+		st := s.opts.Cache.Stats()
+		w.CacheHitRate = st.HitRate
+		w.CacheSavedTokens = st.SavedTokens
+	}
+	return w
 }
 
 // Switch hot-swaps admissions onto plan, which must execute the same
@@ -374,6 +380,10 @@ func (s *Server) buildReport() *ServerReport {
 	}
 	base := s.coll.report(analytic, hasAnalytic, s.opts.Speedup,
 		time.Since(s.clock.start).Seconds())
+	if s.opts.Cache != nil {
+		st := s.opts.Cache.Stats()
+		base.Cache = &st
+	}
 	rep := &ServerReport{Report: *base, DurationV: s.endV, Switches: len(s.epochs) - 1}
 	for _, e := range s.epochs {
 		end := e.drainedV

@@ -47,6 +47,13 @@ type Window struct {
 	InFlight int          `json:"in_flight"`
 	Depths   []StageDepth `json:"depths,omitempty"`
 
+	// CacheHitRate and CacheSavedTokens surface the reuse cache's
+	// lifetime prefix hit rate and total saved prefill tokens at snapshot
+	// time (both zero when no cache is configured) — the signal the
+	// controller's cache-aware capacity weighting consumes.
+	CacheHitRate     float64 `json:"cache_hit_rate,omitempty"`
+	CacheSavedTokens int64   `json:"cache_saved_tokens,omitempty"`
+
 	// Cumulative counters since the start of the run.
 	Admitted  int `json:"admitted"`
 	Rejected  int `json:"rejected"`

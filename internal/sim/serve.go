@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"rago/internal/cache"
 	"rago/internal/engine"
 	"rago/internal/obs"
 	"rago/internal/pipeline"
@@ -39,6 +40,13 @@ type ServeSim struct {
 	// Attach an obs.Tracer to get a Chrome trace of the simulated run, or
 	// to structurally compare it against a live replay (span parity).
 	Bus *obs.Bus
+
+	// Cache mirrors serve.Options.Cache: the identical reuse-cache state
+	// machine consulted at the identical points (prefix tier at batch
+	// dispatch, answer tier at admission), so simulated hit rates
+	// cross-check the live runtime's. Give the simulator its own
+	// instance, never the one a live run is mutating.
+	Cache *cache.Cache
 }
 
 // ServeResult is the measured behaviour of one run.
@@ -67,6 +75,9 @@ type ServeResult struct {
 	// time, so results of trace segments simulated on different plans can
 	// be combined into one aggregate rate (the controller's sim replay).
 	FirstDone, LastDone float64
+	// Cache carries the reuse cache's final counters (nil when the run
+	// had no cache attached).
+	Cache *cache.Stats
 }
 
 // NewServe compiles (pipeline, schedule) through the shared engine and
@@ -308,6 +319,19 @@ func (s *ServeSim) Run(reqs []trace.Request, flushTimeout float64) (ServeResult,
 			break
 		}
 	}
+	// Reuse-cache gating, mirroring the live dataplane's cacheOn/taggedAny
+	// latches: an untagged trace (or nil cache) never touches the cache.
+	cacheOn, answerOn := s.Cache.PrefixOn(), s.Cache.AnswerOn()
+	anyTagged := false
+	for _, r := range reqs {
+		if r.Tagged() {
+			anyTagged = true
+			break
+		}
+	}
+	cacheOn = cacheOn && anyTagged
+	answerOn = answerOn && anyTagged
+	schemaPrompt := plan.Pipe.Schema.PrefixTokens
 
 	// nextTrigger returns request r's next trigger position, clamped
 	// into [tok, the request's own generation length] — decode only moves
@@ -425,10 +449,30 @@ func (s *ServeSim) Run(reqs []trace.Request, flushTimeout float64) (ServeResult,
 		// prefix batches additionally costed at their members' padded
 		// maximum prompt length, with the padding overhead accounted.
 		lat := plan.StepLatency(best, n)
-		if best == plan.PrefixIdx && anyShaped {
+		if best == plan.PrefixIdx && (anyShaped || cacheOn) {
 			prompts = prompts[:0]
 			for _, r := range batch {
-				prompts = append(prompts, states[r].promptTok)
+				pt := states[r].promptTok
+				if cacheOn && reqs[r].Tagged() {
+					// Prefix-cache lookup at batch dispatch — the same
+					// serialized Access sequence the live runtime's single
+					// prefix worker performs, so hit rates converge.
+					base := pt
+					if base <= 0 {
+						base = schemaPrompt
+					}
+					credit := s.Cache.Access(reqs[r].ChunkIDs, base)
+					pt = plan.EffectivePrompt(pt, credit)
+					if bus.Active() {
+						kind := obs.KindCacheMiss
+						if credit > 0 {
+							kind = obs.KindCacheHit
+						}
+						bus.Publish(obs.Event{Kind: kind, T: now, Req: reqs[r].ID,
+							Slot: best, Stage: slotName[best], Track: plan.Resources[res].Name, N: credit})
+					}
+				}
+				prompts = append(prompts, pt)
 			}
 			if sh, tok := plan.PrefixBatchShape(prompts); sh != (engine.Shape{}) {
 				lat = plan.StepLatencyShaped(best, n, sh)
@@ -480,6 +524,24 @@ func (s *ServeSim) Run(reqs []trace.Request, flushTimeout float64) (ServeResult,
 			inflight++
 			if bus.Active() {
 				bus.Publish(obs.Event{Kind: obs.KindAdmit, T: now, Req: reqs[e.a].ID})
+			}
+			// Exact-match answer-cache hit: the request completes at its
+			// arrival instant without touching any server (TTFT, latency,
+			// and stall all zero), mirroring the live dataplane's admit.
+			if answerOn && reqs[e.a].Tagged() &&
+				s.Cache.AnswerLookup(reqs[e.a].ChunkIDs, states[e.a].promptTok, states[e.a].outTok) {
+				if bus.Active() {
+					bus.Publish(obs.Event{Kind: obs.KindCacheAnswerHit, T: now, Req: reqs[e.a].ID})
+				}
+				states[e.a].done = now
+				completed++
+				inflight--
+				doneV = append(doneV, now)
+				if completed == 1 {
+					firstDone = now
+				}
+				lastDone = now
+				continue
 			}
 			for _, idx := range plan.Entries {
 				ready(e.a, idx, now)
@@ -549,6 +611,9 @@ func (s *ServeSim) Run(reqs []trace.Request, flushTimeout float64) (ServeResult,
 			sumTTFT += states[r].ttft
 			sumLat += now - states[r].arrival
 			sumStall += states[r].stall
+			if answerOn && reqs[r].Tagged() {
+				s.Cache.AnswerStore(reqs[r].ChunkIDs, states[r].promptTok, states[r].outTok)
+			}
 			decFree++
 			if decQueue.len() > 0 {
 				nxt := decQueue.popN(1)[0]
@@ -578,6 +643,10 @@ func (s *ServeSim) Run(reqs []trace.Request, flushTimeout float64) (ServeResult,
 	}
 	if padTotal > 0 {
 		res.PadWaste = 1 - float64(padTok)/float64(padTotal)
+	}
+	if s.Cache != nil {
+		st := s.Cache.Stats()
+		res.Cache = &st
 	}
 	return res, nil
 }

@@ -1,0 +1,125 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestChunkTagRoundtrip: retrieved-chunk ID tags survive both file
+// formats exactly, and the two formats agree with each other.
+func TestChunkTagRoundtrip(t *testing.T) {
+	reqs, err := Poisson(80, 30, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs, err = WithDocZipf(reqs, 500, 4, 1.3, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var jbuf, cbuf bytes.Buffer
+	if err := WriteJSON(&jbuf, "tags", reqs); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteCSV(&cbuf, reqs); err != nil {
+		t.Fatal(err)
+	}
+	fromJSON, err := ReadJSON(&jbuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromCSV, err := ReadCSV(&cbuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, got := range map[string][]Request{"json": fromJSON, "csv": fromCSV} {
+		if len(got) != len(reqs) {
+			t.Fatalf("%s: got %d requests, want %d", name, len(got), len(reqs))
+		}
+		for i := range got {
+			if !got[i].Tagged() {
+				t.Fatalf("%s: request %d lost its tags", name, i)
+			}
+			if len(got[i].ChunkIDs) != len(reqs[i].ChunkIDs) {
+				t.Fatalf("%s: request %d has %d chunks, want %d", name, i, len(got[i].ChunkIDs), len(reqs[i].ChunkIDs))
+			}
+			for j := range got[i].ChunkIDs {
+				if got[i].ChunkIDs[j] != reqs[i].ChunkIDs[j] {
+					t.Fatalf("%s: request %d chunk %d = %d, want %d", name, i, j, got[i].ChunkIDs[j], reqs[i].ChunkIDs[j])
+				}
+			}
+		}
+	}
+}
+
+// TestUntaggedBackCompat: trace files from before the cache PR — JSON
+// without chunk_ids, CSV with the old 4-column header — load untagged,
+// and untagged requests bypass the cache (Tagged() false).
+func TestUntaggedBackCompat(t *testing.T) {
+	got, err := ReadJSON(strings.NewReader(`{"requests":[{"arrival":0.5},{"arrival":1.5,"prompt_tokens":256}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range got {
+		if r.Tagged() {
+			t.Errorf("json request %d tagged from a tagless file: %v", i, r.ChunkIDs)
+		}
+	}
+
+	old := "arrival,triggers,prompt_tokens,output_tokens\n0.5,,0,0\n1.5,3;7,256,64\n"
+	got, err = ReadCSV(strings.NewReader(old))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("got %d requests, want 2", len(got))
+	}
+	for i, r := range got {
+		if r.Tagged() {
+			t.Errorf("csv request %d tagged from a 4-column file: %v", i, r.ChunkIDs)
+		}
+	}
+	if got[1].PromptTokens != 256 || len(got[1].Triggers) != 2 {
+		t.Errorf("4-column row misparsed: %+v", got[1])
+	}
+
+	// Empty chunk_ids column on the new header is also untagged.
+	newEmpty := "arrival,triggers,prompt_tokens,output_tokens,chunk_ids\n0.5,,0,0,\n"
+	got, err = ReadCSV(strings.NewReader(newEmpty))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0].Tagged() {
+		t.Errorf("empty chunk_ids column parsed as tags: %v", got[0].ChunkIDs)
+	}
+}
+
+func TestMalformedChunkTagsRejected(t *testing.T) {
+	cases := []struct {
+		name string
+		read func() error
+	}{
+		{"negative id json", func() error {
+			_, err := ReadJSON(strings.NewReader(`{"requests":[{"arrival":1,"chunk_ids":[3,-1]}]}`))
+			return err
+		}},
+		{"duplicate id json", func() error {
+			_, err := ReadJSON(strings.NewReader(`{"requests":[{"arrival":1,"chunk_ids":[3,3]}]}`))
+			return err
+		}},
+		{"non-numeric csv", func() error {
+			_, err := ReadCSV(strings.NewReader("arrival,triggers,prompt_tokens,output_tokens,chunk_ids\n1.0,,0,0,3;x\n"))
+			return err
+		}},
+		{"negative id csv", func() error {
+			_, err := ReadCSV(strings.NewReader("arrival,triggers,prompt_tokens,output_tokens,chunk_ids\n1.0,,0,0,3;-2\n"))
+			return err
+		}},
+	}
+	for _, tc := range cases {
+		if tc.read() == nil {
+			t.Errorf("%s: malformed tags loaded without error", tc.name)
+		}
+	}
+}

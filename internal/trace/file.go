@@ -18,13 +18,17 @@ import (
 // runtime and for persisting synthetic traces as CI artifacts:
 //
 //   - JSON: {"name": ..., "requests": [{"arrival": s, "triggers": [..],
-//     "prompt_tokens": n, "output_tokens": n}]}
-//   - CSV:  header "arrival,triggers,prompt_tokens,output_tokens", one row
-//     per request, triggers as a ';'-joined list (empty for none).
+//     "prompt_tokens": n, "output_tokens": n, "chunk_ids": [..]}]}
+//   - CSV:  header "arrival,triggers,prompt_tokens,output_tokens,chunk_ids",
+//     one row per request, triggers and chunk IDs as ';'-joined lists
+//     (empty for none).
 //
 // The per-request shape fields are optional in both formats: absent (or
 // empty/zero) means the schema-wide constant, which is how shape-less
-// traces recorded before the fields existed keep loading unchanged.
+// traces recorded before the fields existed keep loading unchanged. The
+// retrieved-chunk ID tags (the prefix-cache key) are equally optional:
+// untagged rows load as cache-bypassing requests, so pre-cache trace files
+// replay bit-identically.
 //
 // Readers accept requests in any order, validate arrivals and shapes, and
 // return them sorted by arrival time with dense IDs, so a loaded trace is
@@ -41,6 +45,7 @@ type fileReq struct {
 	Triggers     []int   `json:"triggers,omitempty"`
 	PromptTokens int     `json:"prompt_tokens,omitempty"`
 	OutputTokens int     `json:"output_tokens,omitempty"`
+	ChunkIDs     []int   `json:"chunk_ids,omitempty"`
 }
 
 // WriteJSON renders a trace as indented JSON. name labels the trace in the
@@ -51,6 +56,7 @@ func WriteJSON(w io.Writer, name string, reqs []Request) error {
 		ft.Requests[i] = fileReq{
 			ID: r.ID, Arrival: r.Arrival, Triggers: r.Triggers,
 			PromptTokens: r.PromptTokens, OutputTokens: r.OutputTokens,
+			ChunkIDs: r.ChunkIDs,
 		}
 	}
 	enc := json.NewEncoder(w)
@@ -71,18 +77,20 @@ func ReadJSON(r io.Reader) ([]Request, error) {
 		out[i] = Request{
 			Arrival: fr.Arrival, Triggers: fr.Triggers,
 			PromptTokens: fr.PromptTokens, OutputTokens: fr.OutputTokens,
+			ChunkIDs: fr.ChunkIDs,
 		}
 	}
 	return normalize(out)
 }
 
 // WriteCSV renders a trace as CSV with an
-// "arrival,triggers,prompt_tokens,output_tokens" header. Unshaped requests
-// write empty shape cells, so a constant-shape trace round-trips without
-// inventing explicit lengths.
+// "arrival,triggers,prompt_tokens,output_tokens,chunk_ids" header.
+// Unshaped requests write empty shape cells and untagged requests an empty
+// chunk-ID cell, so a constant-shape untagged trace round-trips without
+// inventing explicit lengths or tags.
 func WriteCSV(w io.Writer, reqs []Request) error {
 	cw := csv.NewWriter(w)
-	if err := cw.Write([]string{"arrival", "triggers", "prompt_tokens", "output_tokens"}); err != nil {
+	if err := cw.Write([]string{"arrival", "triggers", "prompt_tokens", "output_tokens", "chunk_ids"}); err != nil {
 		return err
 	}
 	shapeCell := func(n int) string {
@@ -91,16 +99,20 @@ func WriteCSV(w io.Writer, reqs []Request) error {
 		}
 		return strconv.Itoa(n)
 	}
-	for _, r := range reqs {
-		parts := make([]string, len(r.Triggers))
-		for i, p := range r.Triggers {
+	joinInts := func(v []int) string {
+		parts := make([]string, len(v))
+		for i, p := range v {
 			parts[i] = strconv.Itoa(p)
 		}
+		return strings.Join(parts, ";")
+	}
+	for _, r := range reqs {
 		rec := []string{
 			strconv.FormatFloat(r.Arrival, 'g', -1, 64),
-			strings.Join(parts, ";"),
+			joinInts(r.Triggers),
 			shapeCell(r.PromptTokens),
 			shapeCell(r.OutputTokens),
+			joinInts(r.ChunkIDs),
 		}
 		if err := cw.Write(rec); err != nil {
 			return err
@@ -157,6 +169,17 @@ func ReadCSV(r io.Reader) ([]Request, error) {
 			}
 			req.OutputTokens = o
 		}
+		// Optional retrieved-chunk ID column; rows from pre-cache traces
+		// (4 columns) or with an empty cell load untagged.
+		if len(rec) > 4 && strings.TrimSpace(rec[4]) != "" {
+			for _, f := range strings.Split(rec[4], ";") {
+				id, err := strconv.Atoi(strings.TrimSpace(f))
+				if err != nil {
+					return nil, fmt.Errorf("trace: CSV row %d: bad chunk ID %q", i+1, f)
+				}
+				req.ChunkIDs = append(req.ChunkIDs, id)
+			}
+		}
 		out = append(out, req)
 	}
 	return normalize(out)
@@ -204,8 +227,9 @@ func Load(path string) ([]Request, error) {
 	}
 }
 
-// normalize validates arrivals and shapes, sorts by arrival time, and
-// assigns dense IDs, making any well-formed file replayable directly.
+// normalize validates arrivals, shapes, and chunk-ID tags, sorts by
+// arrival time, and assigns dense IDs, making any well-formed file
+// replayable directly.
 // Recorded trigger positions are sorted ascending and must be positive —
 // the executors' decode loops advance token by token, so positions out of
 // order would run virtual time backward. Recorded shapes must be
@@ -225,6 +249,21 @@ func normalize(reqs []Request) ([]Request, error) {
 		}
 		if r.OutputTokens < 0 {
 			return nil, fmt.Errorf("trace: request %d has negative output_tokens %d (0 means the schema constant)", i, r.OutputTokens)
+		}
+		// Chunk IDs are cache keys: any non-negative ID is valid, order is
+		// semantic (it is the prompt's chunk order), duplicates are not (a
+		// chunk appears in a prompt once).
+		if len(r.ChunkIDs) > 0 {
+			seen := make(map[int]bool, len(r.ChunkIDs))
+			for _, id := range r.ChunkIDs {
+				if id < 0 {
+					return nil, fmt.Errorf("trace: request %d has negative chunk ID %d", i, id)
+				}
+				if seen[id] {
+					return nil, fmt.Errorf("trace: request %d repeats chunk ID %d", i, id)
+				}
+				seen[id] = true
+			}
 		}
 	}
 	sort.SliceStable(reqs, func(i, j int) bool { return reqs[i].Arrival < reqs[j].Arrival })

@@ -1,0 +1,102 @@
+package trace
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// Reuse-aware workload decorators. Real RAG traffic (RAGPulse) has heavy
+// query/document reuse: hot documents recur across requests, and a
+// session's follow-up questions re-retrieve its earlier context. These
+// decorators tag requests with the retrieved-chunk IDs that reuse
+// structure implies, which is what the prefix/KV cache tier
+// (internal/cache) keys on. Both are pure functions of their seed,
+// matching the package's determinism contract.
+
+// WithDocZipf tags each request with perRequest distinct retrieved-chunk
+// IDs drawn Zipfian from a corpus of `corpus` chunks at the given skew
+// (rand.Zipf's s parameter; must exceed 1 — larger is hotter). The drawn
+// IDs are sorted ascending, so the hottest (lowest-ID) chunks lead each
+// request's prompt: two requests sharing hot documents share a chunk-ID
+// *prefix*, the way a popularity-ordered context assembler maximizes KV
+// reuse.
+func WithDocZipf(reqs []Request, corpus, perRequest int, skew float64, seed int64) ([]Request, error) {
+	if err := validateReuse(corpus, perRequest, skew); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	zipf := rand.NewZipf(rng, skew, 1, uint64(corpus-1))
+	out := make([]Request, len(reqs))
+	for i, r := range reqs {
+		r.ChunkIDs = drawChunks(zipf, perRequest, corpus)
+		out[i] = r
+	}
+	return out, nil
+}
+
+// WithSessions overlays session affinity on the Zipfian popularity model:
+// each request joins one of `sessions` sessions, and with probability
+// `affinity` reuses its session's previous retrieval context verbatim (a
+// follow-up question over the same documents — a full prefix-cache hit by
+// construction); otherwise it draws a fresh Zipfian context that becomes
+// the session's working set. Requests are processed in slice order, so
+// apply this to an arrival-sorted trace.
+func WithSessions(reqs []Request, sessions int, affinity float64, corpus, perRequest int, skew float64, seed int64) ([]Request, error) {
+	if err := validateReuse(corpus, perRequest, skew); err != nil {
+		return nil, err
+	}
+	if sessions < 1 {
+		return nil, fmt.Errorf("trace: need at least 1 session, got %d", sessions)
+	}
+	if affinity < 0 || affinity > 1 {
+		return nil, fmt.Errorf("trace: session affinity must be in [0,1], got %g", affinity)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	zipf := rand.NewZipf(rng, skew, 1, uint64(corpus-1))
+	ctx := make([][]int, sessions) // each session's current working set
+	out := make([]Request, len(reqs))
+	for i, r := range reqs {
+		s := rng.Intn(sessions)
+		if ctx[s] != nil && rng.Float64() < affinity {
+			r.ChunkIDs = append([]int(nil), ctx[s]...)
+		} else {
+			r.ChunkIDs = drawChunks(zipf, perRequest, corpus)
+			ctx[s] = r.ChunkIDs
+		}
+		out[i] = r
+	}
+	return out, nil
+}
+
+func validateReuse(corpus, perRequest int, skew float64) error {
+	if corpus < 2 {
+		return fmt.Errorf("trace: need a corpus of at least 2 chunks, got %d", corpus)
+	}
+	if perRequest < 1 {
+		return fmt.Errorf("trace: need at least 1 chunk per request, got %d", perRequest)
+	}
+	if perRequest > corpus {
+		return fmt.Errorf("trace: %d chunks per request exceed the %d-chunk corpus", perRequest, corpus)
+	}
+	if skew <= 1 {
+		return fmt.Errorf("trace: Zipf skew must exceed 1, got %g", skew)
+	}
+	return nil
+}
+
+// drawChunks draws n distinct Zipfian chunk IDs and sorts them ascending
+// (hot chunks first in the prompt).
+func drawChunks(zipf *rand.Zipf, n, corpus int) []int {
+	seen := make(map[int]bool, n)
+	out := make([]int, 0, n)
+	for len(out) < n {
+		id := int(zipf.Uint64())
+		if !seen[id] {
+			seen[id] = true
+			out = append(out, id)
+		}
+	}
+	sort.Ints(out)
+	return out
+}

@@ -1,0 +1,160 @@
+package trace
+
+import (
+	"testing"
+)
+
+func basePoisson(t *testing.T, n int) []Request {
+	t.Helper()
+	reqs, err := Poisson(n, 25, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return reqs
+}
+
+func TestWithDocZipfTagsEveryRequest(t *testing.T) {
+	reqs, err := WithDocZipf(basePoisson(t, 300), 1000, 5, 1.3, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range reqs {
+		if !r.Tagged() {
+			t.Fatalf("request %d untagged", i)
+		}
+		if len(r.ChunkIDs) != 5 {
+			t.Fatalf("request %d has %d chunks, want 5", i, len(r.ChunkIDs))
+		}
+		seen := map[int]bool{}
+		for j, id := range r.ChunkIDs {
+			if id < 0 || id >= 1000 {
+				t.Fatalf("request %d chunk %d outside the corpus", i, id)
+			}
+			if seen[id] {
+				t.Fatalf("request %d repeats chunk %d", i, id)
+			}
+			seen[id] = true
+			if j > 0 && r.ChunkIDs[j-1] > id {
+				t.Fatalf("request %d chunks not ascending: %v", i, r.ChunkIDs)
+			}
+		}
+	}
+}
+
+// TestZipfSkewConcentrates sanity-checks the popularity model: a hotter
+// skew concentrates mass on fewer distinct chunks across the trace.
+func TestZipfSkewConcentrates(t *testing.T) {
+	distinct := func(skew float64) int {
+		reqs, err := WithDocZipf(basePoisson(t, 500), 5000, 5, skew, 42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen := map[int]bool{}
+		for _, r := range reqs {
+			for _, id := range r.ChunkIDs {
+				seen[id] = true
+			}
+		}
+		return len(seen)
+	}
+	mild, hot := distinct(1.1), distinct(2.5)
+	if hot >= mild {
+		t.Errorf("skew 2.5 touched %d distinct chunks, skew 1.1 touched %d; hotter should touch fewer", hot, mild)
+	}
+}
+
+func TestWithSessionsAffinityReplaysContext(t *testing.T) {
+	// affinity 1 with a single session: after the first request, every
+	// request replays the same context verbatim.
+	reqs, err := WithSessions(basePoisson(t, 50), 1, 1.0, 1000, 5, 1.3, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(reqs); i++ {
+		if len(reqs[i].ChunkIDs) != len(reqs[0].ChunkIDs) {
+			t.Fatalf("request %d context length differs", i)
+		}
+		for j := range reqs[i].ChunkIDs {
+			if reqs[i].ChunkIDs[j] != reqs[0].ChunkIDs[j] {
+				t.Fatalf("request %d diverged from the session context: %v vs %v", i, reqs[i].ChunkIDs, reqs[0].ChunkIDs)
+			}
+		}
+	}
+	// affinity 0: every request draws fresh (contexts may still coincide by
+	// chance on a small corpus, so assert at least some divergence).
+	reqs, err = WithSessions(basePoisson(t, 50), 1, 0.0, 100000, 5, 1.05, 43)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diverged := false
+	for i := 1; i < len(reqs) && !diverged; i++ {
+		for j := range reqs[i].ChunkIDs {
+			if reqs[i].ChunkIDs[j] != reqs[0].ChunkIDs[j] {
+				diverged = true
+				break
+			}
+		}
+	}
+	if !diverged {
+		t.Error("affinity 0 never drew a fresh context")
+	}
+}
+
+func TestReuseValidation(t *testing.T) {
+	reqs := basePoisson(t, 10)
+	cases := []struct {
+		name string
+		err  func() error
+	}{
+		{"tiny corpus", func() error { _, err := WithDocZipf(reqs, 1, 1, 1.3, 42); return err }},
+		{"zero per-request", func() error { _, err := WithDocZipf(reqs, 100, 0, 1.3, 42); return err }},
+		{"per-request over corpus", func() error { _, err := WithDocZipf(reqs, 4, 5, 1.3, 42); return err }},
+		{"skew at 1", func() error { _, err := WithDocZipf(reqs, 100, 5, 1.0, 42); return err }},
+		{"zero sessions", func() error { _, err := WithSessions(reqs, 0, 0.5, 100, 5, 1.3, 42); return err }},
+		{"affinity over 1", func() error { _, err := WithSessions(reqs, 4, 1.5, 100, 5, 1.3, 42); return err }},
+	}
+	for _, tc := range cases {
+		if tc.err() == nil {
+			t.Errorf("%s: decorator accepted invalid parameters", tc.name)
+		}
+	}
+}
+
+// TestReuseGoldenDeterminism pins the decorators' byte streams the same
+// way golden_test.go pins the generators': saved reuse-tagged traces and
+// cross-executor hit-rate comparisons assume a seed regenerates the exact
+// tag sequence.
+func TestReuseGoldenDeterminism(t *testing.T) {
+	cases := []struct {
+		name string
+		gen  func() ([]Request, error)
+		want string
+	}{
+		{"doc-zipf", func() ([]Request, error) {
+			return WithDocZipf(basePoisson(t, 200), 2000, 5, 1.4, 42)
+		}, "bb6082bf1f22cdb1a0cab69294f339df313b1431cecf3ac9a7689cb454ef6141"},
+		{"sessions", func() ([]Request, error) {
+			return WithSessions(basePoisson(t, 200), 16, 0.6, 2000, 5, 1.4, 42)
+		}, "7fdcc47a462b2c6d7d0f2aef2afb1775d505958b59b200d5a0e77bf02078978b"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			reqs, err := tc.gen()
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := traceDigest(t, reqs)
+			if got != tc.want {
+				t.Errorf("%s trace digest drifted:\n got  %s\n want %s\n(seeded decorators must be byte-stable; if the change is intentional, update the golden)",
+					tc.name, got, tc.want)
+			}
+			again, err := tc.gen()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if d := traceDigest(t, again); d != got {
+				t.Errorf("%s not deterministic across calls: %s vs %s", tc.name, d, got)
+			}
+		})
+	}
+}

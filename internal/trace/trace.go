@@ -28,10 +28,20 @@ type Request struct {
 	PromptTokens int
 	// OutputTokens is the generation length; 0 means the schema constant.
 	OutputTokens int
+	// ChunkIDs identifies the retrieved document chunks the request's
+	// prefix is built from, in prompt order. Tagged requests are what the
+	// prefix/KV cache tier (internal/cache) keys on: two requests sharing
+	// a chunk-ID prefix share cached KV. Empty means untagged — the
+	// request bypasses the cache entirely, which is how traces recorded
+	// before the field existed keep replaying unchanged.
+	ChunkIDs []int
 }
 
 // Shaped reports whether the request carries an explicit sequence shape.
 func (r Request) Shaped() bool { return r.PromptTokens > 0 || r.OutputTokens > 0 }
+
+// Tagged reports whether the request carries retrieved-chunk IDs.
+func (r Request) Tagged() bool { return len(r.ChunkIDs) > 0 }
 
 // Poisson returns n requests with exponential inter-arrival times at the
 // given rate (requests/second).
