@@ -286,6 +286,8 @@ func runServe(args []string) {
 		cacheTokens  = fs.Int("cache-tokens", 0, "prefix/KV cache token budget over retrieved chunks (0 = no prefix cache; pair with -doc-zipf so requests carry chunk tags)")
 		cacheAnswers = fs.Int("cache-answers", 0, "exact-match answer cache entries short-circuiting repeated requests (0 = no answer tier)")
 		cacheGain    = fs.Float64("cache-gain", 0, "controller: discount the capacity target by 1/(1+gain*hit-rate) (0 = cache-blind)")
+		batchPolicy  = fs.String("batch-policy", "fifo", "prefix batch-formation policy: fifo|bucketed|sorted")
+		chunkPrefill = fs.Int("chunk-prefill", 0, "chunked-prefill quantum in tokens (0 = off): prefix batches pad to the quantum instead of the batch max")
 
 		dbVectors = fs.Int("db", 0, "build a real IVF-PQ index of this many vectors on the retrieval path (0 = model-paced only)")
 		dbDim     = fs.Int("db-dim", 64, "real index dimensionality")
@@ -313,6 +315,14 @@ func runServe(args []string) {
 		info = os.Stderr
 	}
 
+	pol, err := engine.ParseBatchPolicy(*batchPolicy)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *chunkPrefill < 0 {
+		log.Fatal("-chunk-prefill must be non-negative")
+	}
+
 	o, err := core.NewOptimizer(schema, core.DefaultOptions(cluster))
 	if err != nil {
 		log.Fatal(err)
@@ -320,6 +330,24 @@ func runServe(args []string) {
 	front := o.Optimize()
 	if len(front) == 0 {
 		log.Fatal("no feasible schedule under the given resources")
+	}
+	// Stamp the requested formation dimensions onto every frontier point
+	// and re-price it (chunking changes the compiled prefix cost; the
+	// policy re-prices only shaped traffic).
+	if pol != engine.PolicyFIFO || *chunkPrefill > 0 {
+		kept := front[:0]
+		for _, p := range front {
+			p.Item.FormPolicy = pol
+			p.Item.ChunkQuantum = *chunkPrefill
+			if m, ok := o.Asm.Evaluate(p.Item); ok {
+				p.Metrics = m
+				kept = append(kept, p)
+			}
+		}
+		front = kept
+		if len(front) == 0 {
+			log.Fatal("no frontier schedule is feasible under the requested batch formation")
+		}
 	}
 
 	fmt.Fprintf(info, "workload: %s\n", schema.Name)
@@ -475,13 +503,21 @@ func runControlled(o *core.Optimizer, front []core.SchedulePoint, tf traceFlags,
 	if err != nil {
 		log.Fatal(err)
 	}
-	cfg.SLO = slo
-	ctl, err := control.NewController(lib, cfg)
+	top := lib.Entries[len(lib.Entries)-1]
+	reqs, desc, err := tf.build(0.5*top.QPS, perRequest)
 	if err != nil {
 		log.Fatal(err)
 	}
-	top := lib.Entries[len(lib.Entries)-1]
-	reqs, desc, err := tf.build(0.5*top.QPS, perRequest)
+	// On heterogeneous traffic, re-price the capacity staircase by each
+	// plan's policy-aware expected pad efficiency before the controller
+	// locks onto it: a formation policy that wastes less prefill earns
+	// proportionally more admitted load per chip.
+	if shapes := traceShapes(reqs); shapes != nil {
+		lib.WeightByShapes(shapes)
+		top = lib.Entries[len(lib.Entries)-1]
+	}
+	cfg.SLO = slo
+	ctl, err := control.NewController(lib, cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -491,6 +527,10 @@ func runControlled(o *core.Optimizer, front []core.SchedulePoint, tf traceFlags,
 
 	fmt.Fprintf(info, "library:  %d SLO-feasible plans (TTFT<=%.2fs):\n", len(lib.Entries), slo.TTFT)
 	for i, e := range lib.Entries {
+		if e.PadEff > 0 {
+			fmt.Fprintf(info, "  [%d] %6.1f QPS  %3d chips  pad-eff %.2f  %s\n", i, e.QPS, e.Chips, e.PadEff, e.Schedule)
+			continue
+		}
 		fmt.Fprintf(info, "  [%d] %6.1f QPS  %3d chips  %s\n", i, e.QPS, e.Chips, e.Schedule)
 	}
 	fmt.Fprintf(info, "trace:    %s\n", desc)

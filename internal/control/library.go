@@ -45,6 +45,10 @@ type Entry struct {
 	TTFT float64 `json:"ttft"`
 	// Chips is the XPU count the plan occupies (its cost).
 	Chips int `json:"chips"`
+	// PadEff is the plan's expected effective-to-padded prefill token
+	// ratio on the shape sample the library was last weighted by
+	// (WeightByShapes); 0 until weighted, 1 means zero padding waste.
+	PadEff float64 `json:"pad_eff,omitempty"`
 }
 
 // Library is the controller's precomputed plan menu: SLO-feasible
@@ -104,14 +108,18 @@ func NewLibraryFromPlans(plans []*engine.Plan) (*Library, error) {
 			Chips:    p.Sched.ChipsUsed(),
 		})
 	}
-	// Cheapest first; among equal costs the highest capacity wins.
+	return &Library{Entries: append([]Entry(nil), staircase(entries)...)}, nil
+}
+
+// staircase orders entries cheapest-first (highest capacity among equal
+// costs) and prunes entries whose extra chips buy no extra QPS.
+func staircase(entries []Entry) []Entry {
 	sort.SliceStable(entries, func(i, j int) bool {
 		if entries[i].Chips != entries[j].Chips {
 			return entries[i].Chips < entries[j].Chips
 		}
 		return entries[i].QPS > entries[j].QPS
 	})
-	// Keep the staircase: spending more chips must buy more QPS.
 	kept := entries[:0]
 	bestQPS := 0.0
 	for _, e := range entries {
@@ -121,7 +129,31 @@ func NewLibraryFromPlans(plans []*engine.Plan) (*Library, error) {
 		kept = append(kept, e)
 		bestQPS = e.QPS
 	}
-	return &Library{Entries: append([]Entry(nil), kept...)}, nil
+	return kept
+}
+
+// WeightByShapes re-prices the capacity staircase for a heterogeneous
+// shape sample: each entry's sustainable QPS and unloaded TTFT become its
+// plan's policy-aware shape-weighted predictions (ShapeMetrics at the
+// plan's own formation policy and chunk quantum), and PadEff records the
+// expected effective-to-padded prefill token ratio — a plan whose
+// formation policy wastes less prefill earns proportionally more admitted
+// load before the controller steps the staircase up. The staircase is
+// re-sorted and re-pruned under the new capacities (entries whose shaped
+// capacity no longer justifies their chips drop out). Empty samples leave
+// the library unchanged.
+func (l *Library) WeightByShapes(shapes []engine.Shape) {
+	if len(shapes) == 0 {
+		return
+	}
+	for i := range l.Entries {
+		e := &l.Entries[i]
+		m := e.Plan.ShapeMetrics(shapes)
+		e.QPS = m.QPS
+		e.TTFT = m.TTFT
+		e.PadEff = e.Plan.PadEfficiency(shapes)
+	}
+	l.Entries = staircase(l.Entries)
 }
 
 // IndexFor returns the cheapest entry sustaining at least targetQPS, or

@@ -105,6 +105,12 @@ func simReplay(lib *Library, res *Result, reqs []trace.Request, flushTimeout flo
 	out := SimResult{}
 	first, last := math.Inf(1), math.Inf(-1)
 	lo := 0
+	// Pool one simulator per library entry: an oscillating controller
+	// revisits the same few entries across many tenures, and ServeSim.Run
+	// keeps no cross-run state, so re-running a pooled instance is exactly
+	// one fresh construction per distinct entry instead of one per segment
+	// (the pool-scratch discipline the executors' hot paths already use).
+	sims := make(map[int]*sim.ServeSim, len(lib.Entries))
 	for i, tn := range timeline {
 		hi := len(reqs)
 		if i+1 < len(timeline) {
@@ -117,9 +123,14 @@ func simReplay(lib *Library, res *Result, reqs []trace.Request, flushTimeout flo
 		if len(seg) == 0 {
 			continue
 		}
-		s, err := sim.NewServeFromPlan(lib.Entries[tn.entry].Plan)
-		if err != nil {
-			return SimResult{}, err
+		s := sims[tn.entry]
+		if s == nil {
+			var err error
+			s, err = sim.NewServeFromPlan(lib.Entries[tn.entry].Plan)
+			if err != nil {
+				return SimResult{}, err
+			}
+			sims[tn.entry] = s
 		}
 		s.MaxInFlight = maxInFlight
 		s.Cache = c

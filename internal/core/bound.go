@@ -3,9 +3,92 @@ package core
 import (
 	"math"
 
+	"rago/internal/engine"
 	"rago/internal/perf"
 	"rago/internal/pipeline"
+	"rago/internal/stageperf"
 )
+
+// formBound carries the formation-dimension relaxation terms the plan
+// bounds need when the search prices batch policies, chunk quanta, or a
+// shape sample: the sample's minimum raw prompt / padded prompt / output
+// length (schema constants for unshaped entries), and the candidate chunk
+// quanta. Computed once per Optimize (planBound runs serially before the
+// workers start).
+type formBound struct {
+	active bool // any dimension beyond FIFO/unchunked/unshaped
+	shaped bool // a shape sample re-prices batches
+	minPrompt, padMin, minOut int
+	quanta                    []int
+}
+
+// formBoundTerms lazily computes the relaxation terms.
+func (o *Optimizer) formBoundTerms() *formBound {
+	if o.fb != nil {
+		return o.fb
+	}
+	fb := &formBound{}
+	for _, q := range o.Opts.ChunkQuanta {
+		if q > 0 {
+			fb.quanta = append(fb.quanta, q)
+		}
+	}
+	fb.shaped = len(o.Opts.Shapes) > 0
+	fb.active = fb.shaped || len(fb.quanta) > 0
+	schemaPrompt := o.Pipe.Schema.PrefixTokens
+	decIdx := o.Pipe.Index(pipeline.KindDecode)
+	schemaOut := o.Pipe.Stages[decIdx].OutTokens
+	fb.minPrompt, fb.minOut = schemaPrompt, schemaOut
+	for _, s := range o.Opts.Shapes {
+		pt, out := s.PromptTokens, s.OutputTokens
+		if pt <= 0 {
+			pt = schemaPrompt
+		}
+		if out <= 0 {
+			out = schemaOut
+		}
+		fb.minPrompt = min(fb.minPrompt, pt)
+		fb.minOut = min(fb.minOut, out)
+	}
+	if fb.minOut < 1 {
+		fb.minOut = 1
+	}
+	fb.padMin = engine.PadTokens(fb.minPrompt)
+	o.fb = fb
+	return fb
+}
+
+// prefixFormBound is the optimistic (latency, occupancy) floor of the
+// prefix stage on chips over every formation dimension the search may
+// pick. Shaped batches are priced at padded member maxima, all of which
+// are at least the sample's padded minimum, so the min-padded shaped
+// envelope lower-bounds every policy's expected latency (roofline costs
+// are monotone in sequence length). Chunked prefill completes a batch's
+// first member after at least one chunk (TTFT floor) and occupies the
+// resource for at least the shortest request's own chunk count
+// (occupancy floor), per candidate quantum.
+func (o *Optimizer) prefixFormBound(st pipeline.Stage, chips int) (minLat, occLB float64, ok bool) {
+	fb := o.formBoundTerms()
+	base := st
+	if fb.shaped {
+		base = stageperf.ShapedStage(st, fb.padMin)
+	}
+	env := o.Prof.Envelope(base, chips, o.Opts.MaxPreBatch)
+	if !env.OK {
+		return 0, 0, false
+	}
+	minLat = env.MinLatency
+	occLB = 1 / env.MaxQPS
+	for _, q := range fb.quanta {
+		cl := o.Prof.EvalR(stageperf.ShapedStage(st, q), chips, 1, 1)
+		if !cl.OK {
+			continue
+		}
+		minLat = math.Min(minLat, cl.Latency)
+		occLB = math.Min(occLB, float64((fb.minPrompt+q-1)/q)*cl.Latency)
+	}
+	return minLat, occLB, true
+}
 
 // planBound computes an admissible optimistic bound for one plan: metrics
 // at least as good, on every objective, as any schedule the plan can
@@ -45,10 +128,20 @@ func (o *Optimizer) planBound(plan Plan) (perf.Metrics, bool) {
 
 	// Pre-decode groups: stages share the group's chips; batches range
 	// over the pre-decode bound.
+	fb := o.formBoundTerms()
 	for gi, g := range plan.Placement.Groups {
 		chips := plan.GroupChips[gi]
 		var occLB float64
 		for _, idx := range g.Stages {
+			if idx == prefixIdx && fb.active {
+				lat, occ, ok := o.prefixFormBound(pipe.Stages[idx], chips)
+				if !ok {
+					return perf.Metrics{}, false
+				}
+				minLat[idx] = lat
+				occLB += occ
+				continue
+			}
 			env := o.Prof.Envelope(pipe.Stages[idx], chips, o.Opts.MaxPreBatch)
 			if !env.OK {
 				return perf.Metrics{}, false
@@ -69,12 +162,23 @@ func (o *Optimizer) planBound(plan Plan) (perf.Metrics, bool) {
 		qpsUB = math.Min(qpsUB, env.MaxQPS)
 	}
 
-	// Decode tier.
-	denv := o.Prof.Envelope(pipe.Stages[decIdx], plan.DecodeChips, o.Opts.MaxDecodeBatch)
+	// Decode tier. A shape sample re-prices decode at each request's own
+	// live KV context and output length: the envelope moves to the
+	// sample's minimum context (per-token pace is monotone in context, so
+	// it floors every request's pace), and the throughput ceiling scales
+	// by the schema-to-minimum output ratio (slots free after at least
+	// minOut tokens at the floored pace).
+	dstage := pipe.Stages[decIdx]
+	outRatio := 1.0
+	if fb.shaped {
+		dstage = stageperf.ShapedDecodeStage(dstage, engine.PadTokens(fb.minPrompt+fb.minOut/2))
+		outRatio = float64(pipe.Stages[decIdx].OutTokens) / float64(fb.minOut)
+	}
+	denv := o.Prof.Envelope(dstage, plan.DecodeChips, o.Opts.MaxDecodeBatch)
 	if !denv.OK {
 		return perf.Metrics{}, false
 	}
-	qpsUB = math.Min(qpsUB, denv.MaxQPS)
+	qpsUB = math.Min(qpsUB, denv.MaxQPS*outRatio)
 	tpotLB := denv.MinLatency / float64(pipe.Stages[decIdx].OutTokens)
 
 	// TTFT: longest path to the prefix over minimum latencies. Stage

@@ -66,6 +66,13 @@ type searchCtx struct {
 	decBatches  []int
 	iterBatches []int
 
+	// Formation search dimensions (batch policy x chunk quantum), and
+	// whether any of them — or a shape sample — departs from the
+	// historical FIFO/unchunked/unshaped search.
+	policies   []engine.BatchPolicy
+	quanta     []int
+	formActive bool
+
 	nodes  []gnode
 	parts  []spart
 	next   []spart
@@ -92,6 +99,17 @@ func (o *Optimizer) newSearchCtx() *searchCtx {
 	if o.Pipe.Schema.Iterative() {
 		ctx.iterBatches = roofline.Pow2Range(1, o.Opts.MaxDecodeBatch)
 	}
+	ctx.policies = o.Opts.Policies
+	if len(ctx.policies) == 0 {
+		ctx.policies = []engine.BatchPolicy{engine.PolicyFIFO}
+	}
+	ctx.quanta = o.Opts.ChunkQuanta
+	if len(ctx.quanta) == 0 {
+		ctx.quanta = []int{0}
+	}
+	ctx.formActive = len(o.Opts.Shapes) > 0 ||
+		len(ctx.policies) != 1 || ctx.policies[0] != engine.PolicyFIFO ||
+		len(ctx.quanta) != 1 || ctx.quanta[0] != 0
 	if ev, err := engine.NewEvaluator(o.Pipe, o.Prof); err == nil {
 		ctx.ev = ev
 	}
@@ -105,7 +123,13 @@ func (c *searchCtx) evaluate(s Schedule) (perf.Metrics, bool) {
 	if c.ev == nil {
 		return c.o.Asm.Evaluate(s)
 	}
-	m, ok := c.ev.Evaluate(s)
+	var m perf.Metrics
+	var ok bool
+	if len(c.o.Opts.Shapes) > 0 {
+		m, ok = c.ev.EvaluateShaped(s, c.o.Opts.Shapes)
+	} else {
+		m, ok = c.ev.Evaluate(s)
+	}
 	if !ok {
 		return perf.Metrics{}, false
 	}

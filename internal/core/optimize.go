@@ -8,6 +8,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"rago/internal/engine"
 	"rago/internal/hw"
 	"rago/internal/perf"
 	"rago/internal/pipeline"
@@ -33,6 +34,20 @@ type Options struct {
 	NormalizeChips int
 	// Placements overrides the Fig. 13 legal enumeration when non-nil.
 	Placements []pipeline.Placement
+	// Shapes, when non-empty, scores every candidate schedule by the
+	// policy-aware shape-weighted metrics (engine.ShapeMetricsWithPolicy)
+	// over this per-request length sample instead of the schema constants.
+	// Heterogeneous traffic is what differentiates formation policies; the
+	// plan bounds relax onto the sample minima to stay admissible against
+	// the shaped pricing.
+	Shapes []engine.Shape
+	// Policies enumerates batch-formation policies as a schedule search
+	// dimension. Empty searches only FIFO — byte-compatible with the
+	// historical search.
+	Policies []engine.BatchPolicy
+	// ChunkQuanta enumerates chunked-prefill quanta alongside the batch
+	// search (0 = chunking off). Empty searches only 0.
+	ChunkQuanta []int
 	// NoPrune disables branch-and-bound pruning and bound-ordered
 	// dispatch, forcing the exhaustive reference search. The frontier is
 	// provably identical either way (the differential test pins it);
@@ -62,6 +77,10 @@ type Optimizer struct {
 	Prof *stageperf.Profiler
 	Asm  *Assembler
 	Opts Options
+
+	// fb caches the formation-dimension bound relaxation terms
+	// (formBoundTerms); reset at the top of each Optimize.
+	fb *formBound
 
 	// gmu guards gcache, the cross-plan memo of pruned per-group
 	// batching choices (see groupChoicesFor): the same (group, chips,
@@ -267,11 +286,28 @@ func (o *Optimizer) PlanFrontier(plan Plan) []SchedulePoint {
 // pruning partial extensions against the shared incumbent (inc nil
 // disables; bound is the plan's admissible bound when inc is set).
 func (o *Optimizer) planFrontier(ctx *searchCtx, plan Plan, inc *perf.Incremental, bound perf.Metrics) []SchedulePoint {
+	if ctx.formActive {
+		// Within-plan partial pruning prices the FIFO/unchunked/unshaped
+		// proxy. The batch ladder survives it (TTFT strictly orders batch
+		// sizes, so every batch choice keeps a frontier representative for
+		// formation dimensions to re-price), but a partial's proxy
+		// throughput is not a bound on its shaped completions — so the
+		// mid-plan incumbent cut is disabled and only the admissible
+		// plan-level bound (planBound's formation relaxation) prunes.
+		inc = nil
+	}
 	var pts []SchedulePoint
 	for _, bIter := range ctx.iterBatches {
 		for _, s := range o.planCandidates(ctx, plan, bIter, inc, bound) {
-			if m, ok := ctx.evaluate(s); ok {
-				pts = append(pts, SchedulePoint{Metrics: m, Item: s})
+			for _, pol := range ctx.policies {
+				for _, q := range ctx.quanta {
+					sc := s
+					sc.FormPolicy = pol
+					sc.ChunkQuantum = q
+					if m, ok := ctx.evaluate(sc); ok {
+						pts = append(pts, SchedulePoint{Metrics: m, Item: sc})
+					}
+				}
 			}
 		}
 	}
@@ -292,6 +328,7 @@ func (o *Optimizer) planFrontier(ctx *searchCtx, plan Plan, inc *perf.Incrementa
 // which schedule represents each set of exactly-equal metric points.
 func (o *Optimizer) Optimize() []SchedulePoint {
 	plans := o.Plans()
+	o.fb = nil
 	o.stats = SearchStats{Plans: len(plans)}
 	o.prunedPlans.Store(0)
 	o.searchedPlans.Store(0)

@@ -113,6 +113,13 @@ type Plan struct {
 	// (GenTimeFor).
 	DecodeStep float64
 
+	// ChunkLatency is the service time of one ChunkQuantum-token prefill
+	// chunk on the prefix group (0 when chunked prefill is off). Executors
+	// run chunked prefix batches as back-to-back chunks at this pace
+	// (ChunkPrefill); it is compiled once so the hot path never touches
+	// the profiler.
+	ChunkLatency float64
+
 	prof *stageperf.Profiler
 	// cpScratch, when non-nil, is the critical-path walk's reusable
 	// buffer. Only Evaluator-owned scratch plans set it: a compiled Plan
@@ -192,6 +199,22 @@ func (e *Evaluator) Evaluate(sched Schedule) (perf.Metrics, bool) {
 	return e.plan.Metrics, true
 }
 
+// EvaluateShaped compiles sched into the scratch plan and returns its
+// shape-weighted metrics over the given length sample — the policy-aware
+// expected-padding pricing (ShapeMetricsWithPolicy at the schedule's own
+// FormPolicy and ChunkQuantum) the schedule search scores candidates with
+// when formation is a search dimension. An empty sample falls back to the
+// constant-shape metrics, bit-identical to Evaluate.
+func (e *Evaluator) EvaluateShaped(sched Schedule, shapes []Shape) (perf.Metrics, bool) {
+	if err := compileInto(&e.plan, e.pipe, sched, e.prof, false); err != nil {
+		return perf.Metrics{}, false
+	}
+	if len(shapes) == 0 {
+		return e.plan.Metrics, true
+	}
+	return e.plan.ShapeMetrics(shapes), true
+}
+
 // compileInto resolves sched against pipe into p, which must carry a
 // materialized stage graph for pipe (buildGraph). With alloc set, step and
 // resource storage is freshly allocated and defensively copied so the
@@ -215,6 +238,7 @@ func compileInto(p *Plan, pipe pipeline.Pipeline, sched Schedule, prof *stageper
 	p.Iter = iter
 	p.Round = round
 	p.prof = prof
+	p.ChunkLatency = 0 // scratch reuse: recomputed below when chunking is on
 	if alloc || p.RetrievalIdxs == nil {
 		p.RetrievalIdxs = pipe.Indices(pipeline.KindRetrieval)
 	}
@@ -243,6 +267,24 @@ func compileInto(p *Plan, pipe pipeline.Pipeline, sched Schedule, prof *stageper
 			pt := prof.EvalR(pipe.Stages[idx], g.Chips, g.Batch, g.ReplicasFor(i))
 			if !pt.OK {
 				return fmt.Errorf("engine: stage %v infeasible on %d chips at batch %d", pipe.Stages[idx].Kind, g.Chips, g.Batch)
+			}
+			if idx == p.PrefixIdx && sched.ChunkQuantum > 0 {
+				// Chunked prefill: price one quantum-sized chunk once, then
+				// express the stage's analytic contribution in chunk terms —
+				// per-request occupancy is the request's own chunk count
+				// (members pad to the quantum, not the batch max) and the
+				// TTFT contribution is the mean member completion within a
+				// full batch, since first tokens unblock at chunk
+				// boundaries instead of batch end.
+				cpt := prof.EvalR(stageperf.ShapedStage(pipe.Stages[idx], sched.ChunkQuantum), g.Chips, 1, 1)
+				if !cpt.OK {
+					return fmt.Errorf("engine: chunk quantum %d infeasible for prefix on %d chips", sched.ChunkQuantum, g.Chips)
+				}
+				p.ChunkLatency = cpt.Latency
+				chunks := (pipe.Schema.PrefixTokens + sched.ChunkQuantum - 1) / sched.ChunkQuantum
+				perReq := float64(chunks) * cpt.Latency
+				pt.Latency = perReq * float64(g.Batch+1) / 2
+				pt.QPS = 1 / perReq
 			}
 			p.Steps[idx] = Step{
 				Stage:    pipe.Stages[idx],

@@ -49,6 +49,16 @@ type Schedule struct {
 	// IterativeBatch is the batch size for decoder-initiated
 	// retrieval/prefix iterations (§6.1 [III]); 0 when not iterative.
 	IterativeBatch int
+	// FormPolicy is the prefix stage's batch-formation policy. The zero
+	// value (FIFO) reproduces the historical pad-to-max behavior bit for
+	// bit; Bucketed and SortedWindow trade arrival order for shape
+	// similarity to cut padding waste.
+	FormPolicy BatchPolicy
+	// ChunkQuantum, when positive, turns on chunked prefill: prefix
+	// batches execute as fixed-size token chunks (members pad to the
+	// quantum instead of the batch maximum) and each member's first token
+	// unblocks at its own chunk boundary. 0 means whole-prompt prefill.
+	ChunkQuantum int
 }
 
 // DecodeReplicasOrOne normalizes the zero value.
@@ -97,6 +107,12 @@ func (s Schedule) Describe(p pipeline.Pipeline) string {
 		fmt.Fprintf(&b, " iter-batch=%d", s.IterativeBatch)
 	}
 	b.WriteString("]")
+	if s.FormPolicy != PolicyFIFO {
+		fmt.Fprintf(&b, " [form=%s]", s.FormPolicy)
+	}
+	if s.ChunkQuantum > 0 {
+		fmt.Fprintf(&b, " [chunk=%d]", s.ChunkQuantum)
+	}
 	return b.String()
 }
 
@@ -139,6 +155,12 @@ func (s Schedule) Validate(p pipeline.Pipeline) error {
 	}
 	if p.Schema.Iterative() && s.IterativeBatch < 1 {
 		return fmt.Errorf("engine: iterative workload without iterative batch")
+	}
+	if s.FormPolicy < PolicyFIFO || s.FormPolicy > PolicySorted {
+		return fmt.Errorf("engine: unknown batch-formation policy %d", int(s.FormPolicy))
+	}
+	if s.ChunkQuantum < 0 {
+		return fmt.Errorf("engine: negative chunk quantum %d", s.ChunkQuantum)
 	}
 	return nil
 }

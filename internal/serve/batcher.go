@@ -30,12 +30,44 @@ type resource struct {
 	heads     []int        // consumed-prefix offsets, parallel to queues
 	prompts   []int        // scratch for per-batch shape aggregation
 	busyUntil float64      // virtual time the resource frees up
+
+	// former is the prefix stage's batch-formation state machine — the
+	// SAME engine.Former code the discrete-event simulator consults, so
+	// both executors form identical batches from identical windows.
+	// usePolicy short-circuits the historical FIFO fast path when the
+	// plan's policy is the default; chunked turns prefix batches into
+	// quantum-sized chunk runs (ChunkPrefill).
+	former    engine.Former
+	usePolicy bool
+	chunked   bool
+	batchBuf  []*request // scratch for non-contiguous (policy) batches
+	doneAt    []float64  // scratch for chunked per-member completions
 }
 
 func newResource(dp *dataplane, name string, stages []int) *resource {
-	return &resource{dp: dp, name: name, stages: stages,
+	r := &resource{dp: dp, name: name, stages: stages,
 		queues: make([][]*request, len(stages)), heads: make([]int, len(stages))}
+	for _, idx := range stages {
+		if idx == dp.plan.PrefixIdx {
+			r.former = dp.plan.Former()
+			r.former.Flush = dp.opts.FlushTimeout
+			r.usePolicy = dp.plan.Sched.FormPolicy != engine.PolicyFIFO
+			r.chunked = dp.plan.Sched.ChunkQuantum > 0
+		}
+	}
+	return r
 }
+
+// reqWindow adapts a stage queue onto the executor-neutral view the
+// shared formation policy decides over.
+type reqWindow struct {
+	qu  []*request
+	idx int
+}
+
+func (w reqWindow) Len() int                 { return len(w.qu) }
+func (w reqWindow) EnqueuedAt(i int) float64 { return w.qu[i].enqV[w.idx] }
+func (w reqWindow) PromptTokens(i int) int   { return w.qu[i].promptTok }
 
 // queue returns stage slot i's live (unconsumed) FIFO window.
 func (r *resource) queue(i int) []*request { return r.queues[i][r.heads[i]:] }
@@ -45,14 +77,14 @@ func (r *resource) queue(i int) []*request { return r.queues[i][r.heads[i]:] }
 func (r *resource) run() {
 	for {
 		r.drain()
-		si, n, formV := r.pick()
+		si, n, formV, sel := r.pick()
 		if si < 0 {
 			if !r.park() {
 				return
 			}
 			continue
 		}
-		r.exec(si, n, formV)
+		r.exec(si, n, formV, sel)
 	}
 }
 
@@ -94,19 +126,35 @@ func (r *resource) enqueue(it item) {
 // either fills a batch or whose head has waited past the flush timeout,
 // take the one with the oldest waiting head (the same fairness rule as the
 // discrete-event validator). It returns the stage slot, the batch size,
-// and the exact virtual time the batch became dispatchable.
-func (r *resource) pick() (si, n int, formV float64) {
+// the exact virtual time the batch became dispatchable, and — for
+// non-FIFO formation policies — the selected queue positions (nil means
+// the FIFO prefix). The prefix stage consults the plan's formation
+// policy; every other stage keeps the historical FIFO rule.
+func (r *resource) pick() (si, n int, formV float64, sel []int) {
 	now := r.dp.clock.now()
 	flush := r.dp.opts.FlushTimeout
 	best := -1
 	bestAge := math.Inf(-1)
+	polN, polFormV := 0, 0.0
+	var polSel []int
 	for i, idx := range r.stages {
 		qu := r.queue(i)
 		if len(qu) == 0 {
 			continue
 		}
-		b := r.dp.plan.StepAt(idx).Batch
 		headAge := now - qu[0].enqV[idx]
+		if r.usePolicy && idx == r.dp.plan.PrefixIdx {
+			pn, pf, ps := r.former.Form(reqWindow{qu, idx}, now)
+			if pn == 0 {
+				continue
+			}
+			polN, polFormV, polSel = pn, pf, ps
+			if headAge > bestAge {
+				bestAge, best = headAge, i
+			}
+			continue
+		}
+		b := r.dp.plan.StepAt(idx).Batch
 		if len(qu) < b && headAge < flush {
 			continue
 		}
@@ -115,9 +163,12 @@ func (r *resource) pick() (si, n int, formV float64) {
 		}
 	}
 	if best < 0 {
-		return -1, 0, 0
+		return -1, 0, 0, nil
 	}
 	idx := r.stages[best]
+	if r.usePolicy && idx == r.dp.plan.PrefixIdx {
+		return best, polN, polFormV, polSel
+	}
 	b := r.dp.plan.StepAt(idx).Batch
 	qu := r.queue(best)
 	n = b
@@ -134,7 +185,7 @@ func (r *resource) pick() (si, n int, formV float64) {
 	if n < b {
 		formV = maxf(formV, qu[0].enqV[idx]+flush)
 	}
-	return best, n, formV
+	return best, n, formV, nil
 }
 
 // park blocks until new work arrives, a flush deadline passes, or the
@@ -180,23 +231,58 @@ func (r *resource) park() bool {
 // time (running real retrieval concurrently when configured), then hand
 // every member to its next stage. Prefix batches carrying mixed
 // per-request shapes are costed at their members' padded maximum prompt
-// length, and the padding overhead is recorded.
-func (r *resource) exec(si, n int, formV float64) {
+// length, and the padding overhead is recorded; under chunked prefill the
+// batch runs as quantum-sized chunks and each member advances at its own
+// chunk boundary instead of batch end.
+func (r *resource) exec(si, n int, formV float64, sel []int) {
 	idx := r.stages[si]
-	// The batch aliases the queue's consumed prefix; nothing appends to
-	// this stage's queue until exec returns (run's goroutine is the only
-	// writer), so the alias is stable for the call.
-	batch := r.queue(si)[:n:n]
-	r.heads[si] += n
-	if r.heads[si] == len(r.queues[si]) {
-		r.queues[si] = r.queues[si][:0]
-		r.heads[si] = 0
+	var batch []*request
+	if sel == nil {
+		// The batch aliases the queue's consumed prefix; nothing appends
+		// to this stage's queue until exec returns (run's goroutine is the
+		// only writer), so the alias is stable for the call.
+		batch = r.queue(si)[:n:n]
+		r.heads[si] += n
+		if r.heads[si] == len(r.queues[si]) {
+			r.queues[si] = r.queues[si][:0]
+			r.heads[si] = 0
+		}
+	} else {
+		// A formation policy selected non-contiguous queue positions:
+		// gather them into scratch and compact the survivors in place.
+		r.batchBuf = r.batchBuf[:0]
+		q := r.queues[si]
+		h := r.heads[si]
+		for _, pos := range sel {
+			r.batchBuf = append(r.batchBuf, q[h+pos])
+		}
+		ln := len(q) - h
+		w := h + sel[0]
+		k := 0
+		for pos := sel[0]; pos < ln; pos++ {
+			if k < len(sel) && pos == sel[k] {
+				k++
+				continue
+			}
+			q[w] = q[h+pos]
+			w++
+		}
+		for j := w; j < len(q); j++ {
+			q[j] = nil
+		}
+		r.queues[si] = q[:w]
+		if r.heads[si] == len(r.queues[si]) {
+			r.queues[si] = r.queues[si][:0]
+			r.heads[si] = 0
+		}
+		batch = r.batchBuf
 	}
 
 	lat := r.dp.plan.StepLatency(idx, n)
-	tok, pad := 0, 0
+	tok, pad, chunks := 0, 0, 0
 	consult := r.dp.cacheOn && r.dp.taggedAny.Load()
-	if idx == r.dp.plan.PrefixIdx && (r.dp.shapedAny.Load() || consult) {
+	chunked := r.chunked && idx == r.dp.plan.PrefixIdx
+	if idx == r.dp.plan.PrefixIdx && (chunked || r.dp.shapedAny.Load() || consult) {
 		r.prompts = r.prompts[:0]
 		for _, q := range batch {
 			pt := q.promptTok
@@ -224,7 +310,12 @@ func (r *resource) exec(si, n int, formV float64) {
 			}
 			r.prompts = append(r.prompts, pt)
 		}
-		if sh, sum := r.dp.plan.PrefixBatchShape(r.prompts); sh != (engine.Shape{}) {
+		if chunked {
+			var total float64
+			r.doneAt, total, tok, pad = r.dp.plan.ChunkPrefill(r.prompts, r.doneAt)
+			lat = total
+			chunks = pad / r.dp.plan.Sched.ChunkQuantum
+		} else if sh, sum := r.dp.plan.PrefixBatchShape(r.prompts); sh != (engine.Shape{}) {
 			lat = r.dp.plan.StepLatencyShaped(idx, n, sh)
 			tok, pad = sum, n*sh.PromptTokens
 		}
@@ -232,6 +323,25 @@ func (r *resource) exec(si, n int, formV float64) {
 	start := maxf(r.busyUntil, formV)
 	done := start + lat
 	r.busyUntil = done
+
+	if chunked {
+		// Chunk pipelining: member i's first token unblocks as soon as its
+		// own chunks are done; the resource stays busy until the last
+		// chunk (busyUntil above).
+		for i, q := range batch {
+			md := start + r.doneAt[i]
+			r.dp.clock.sleepUntil(md)
+			if r.dp.bus.Active() {
+				r.dp.bus.Publish(obs.Event{Kind: obs.KindStageStart, T: start, Req: q.id,
+					Slot: idx, Stage: r.dp.slotName[idx], Track: r.name, N: n})
+				r.dp.bus.Publish(obs.Event{Kind: obs.KindStageFinish, T: md, Req: q.id,
+					Slot: idx, Stage: r.dp.slotName[idx], Track: r.name, N: n, Dur: r.doneAt[i]})
+			}
+			r.dp.advance(q, idx, md)
+		}
+		r.dp.coll.batchServed(idx, n, r.dp.plan.StepAt(idx).Batch, tok, pad, chunks)
+		return
+	}
 
 	var search chan error
 	if r.dp.plan.StepAt(idx).Stage.Kind == pipeline.KindRetrieval && r.dp.opts.Searcher != nil {
@@ -244,7 +354,7 @@ func (r *resource) exec(si, n int, formV float64) {
 			r.dp.onSearchErr(err)
 		}
 	}
-	r.dp.coll.batchServed(idx, n, r.dp.plan.StepAt(idx).Batch, tok, pad)
+	r.dp.coll.batchServed(idx, n, r.dp.plan.StepAt(idx).Batch, tok, pad, 0)
 	if r.dp.bus.Active() {
 		for _, q := range batch {
 			r.dp.bus.Publish(obs.Event{Kind: obs.KindStageStart, T: start, Req: q.id,

@@ -204,3 +204,118 @@ func BenchmarkServeCachedCaseI(b *testing.B) {
 		b.ReportMetric(rep.TTFT.P99, "p99TTFT_s")
 	}
 }
+
+// BenchmarkServeBucketedCaseI is the batch-formation trajectory point CI
+// uploads (BENCH_batch.json): a saturating heavy-tailed Case I replay on
+// a prefill-bound schedule (2 prefix chips, where padding waste is the
+// throughput ceiling), served under FIFO pad-to-max as the baseline and
+// then under bucketed formation on the same arrivals. Reports the
+// bucketed sustained QPS, p99 TTFT, padding-waste fraction, and the
+// headline QPS ratio against FIFO — the refactor's acceptance number.
+func BenchmarkServeBucketedCaseI(b *testing.B) {
+	pipe, prof, sched := caseISetup(b)
+	sched.Groups[0].Chips = 2
+	bs := sched
+	bs.FormPolicy = engine.PolicyBucketed
+	plan, err := engine.Compile(pipe, bs, prof)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const n = 6000
+	base, err := trace.Poisson(n, 1, 42)
+	if err != nil {
+		b.Fatal(err)
+	}
+	reqs := heavyShapes(b, base)
+	want := plan.ShapeMetrics(shapesOf(reqs))
+	// Overdrive at 1.5x the bucketed capacity: the FIFO baseline
+	// saturates at its own lower padded ceiling on the same arrivals.
+	for i := range reqs {
+		reqs[i].Arrival /= 1.5 * want.QPS
+	}
+	speedup := (float64(n) / want.QPS) / 4.0
+
+	frt, err := New(pipe, prof, sched, Options{Speedup: speedup})
+	if err != nil {
+		b.Fatal(err)
+	}
+	frep, err := frt.Serve(reqs)
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rt, err := New(pipe, prof, bs, Options{Speedup: speedup})
+		if err != nil {
+			b.Fatal(err)
+		}
+		rep, err := rt.Serve(reqs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.Completed != n {
+			b.Fatalf("completed %d of %d", rep.Completed, n)
+		}
+		b.ReportMetric(rep.SustainedQPS, "sustainedQPS")
+		b.ReportMetric(rep.TTFT.P99, "p99TTFT_s")
+		b.ReportMetric(rep.PadWaste, "padWasteFrac")
+		b.ReportMetric(rep.SustainedQPS/frep.SustainedQPS, "QPSvsFIFO")
+	}
+}
+
+// BenchmarkServeChunkedCaseI is the chunked-prefill companion point in
+// BENCH_batch.json: the same prefill-bound heavy-tailed replay with the
+// prefix running 256-token chunked prefill under FIFO order, against the
+// unchunked FIFO baseline. Chunking pads each member to the quantum
+// instead of the batch max, so the padding waste collapses even without
+// reordering.
+func BenchmarkServeChunkedCaseI(b *testing.B) {
+	pipe, prof, sched := caseISetup(b)
+	sched.Groups[0].Chips = 2
+	cs := sched
+	cs.ChunkQuantum = 256
+	plan, err := engine.Compile(pipe, cs, prof)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const n = 6000
+	base, err := trace.Poisson(n, 1, 42)
+	if err != nil {
+		b.Fatal(err)
+	}
+	reqs := heavyShapes(b, base)
+	want := plan.ShapeMetrics(shapesOf(reqs))
+	for i := range reqs {
+		reqs[i].Arrival /= 1.5 * want.QPS
+	}
+	speedup := (float64(n) / want.QPS) / 4.0
+
+	frt, err := New(pipe, prof, sched, Options{Speedup: speedup})
+	if err != nil {
+		b.Fatal(err)
+	}
+	frep, err := frt.Serve(reqs)
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rt, err := New(pipe, prof, cs, Options{Speedup: speedup})
+		if err != nil {
+			b.Fatal(err)
+		}
+		rep, err := rt.Serve(reqs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.Completed != n {
+			b.Fatalf("completed %d of %d", rep.Completed, n)
+		}
+		b.ReportMetric(rep.SustainedQPS, "sustainedQPS")
+		b.ReportMetric(rep.TTFT.P99, "p99TTFT_s")
+		b.ReportMetric(rep.PadWaste, "padWasteFrac")
+		b.ReportMetric(rep.SustainedQPS/frep.SustainedQPS, "QPSvsFIFO")
+	}
+}

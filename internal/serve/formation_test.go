@@ -1,0 +1,172 @@
+package serve
+
+import (
+	"math"
+	"testing"
+
+	"rago/internal/engine"
+	"rago/internal/sim"
+	"rago/internal/trace"
+)
+
+// formationConfigs are the batch-formation operating points the runtime
+// tests sweep: the FIFO baseline, the two shape-aware policies, and
+// chunked prefill at a 256-token quantum.
+var formationConfigs = []struct {
+	name    string
+	policy  engine.BatchPolicy
+	quantum int
+}{
+	{"fifo", engine.PolicyFIFO, 0},
+	{"bucketed", engine.PolicyBucketed, 0},
+	{"sorted", engine.PolicySorted, 0},
+	{"chunked", engine.PolicyFIFO, 256},
+}
+
+// TestRuntimeBatchPolicyCrossCheck is the acceptance check for the
+// batch-formation refactor: for every policy (and for chunked prefill),
+// the live runtime, the discrete-event simulator, and the policy-aware
+// analytical chain must agree within the established 15% band on the
+// same heavy-tailed Case I trace — and the shape-aware policies must
+// actually cut padding waste versus the FIFO baseline they replace.
+func TestRuntimeBatchPolicyCrossCheck(t *testing.T) {
+	pipe, prof, base := caseISetup(t)
+
+	type outcome struct {
+		qps, padWaste float64
+	}
+	results := make(map[string]outcome, len(formationConfigs))
+
+	for _, cfg := range formationConfigs {
+		cfg := cfg
+		t.Run(cfg.name, func(t *testing.T) {
+			sched := base
+			sched.FormPolicy = cfg.policy
+			sched.ChunkQuantum = cfg.quantum
+			plan, err := engine.Compile(pipe, sched, prof)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			const n = 4000
+			reqs, err := trace.Poisson(n, 1, 42) // rescaled below
+			if err != nil {
+				t.Fatal(err)
+			}
+			reqs = heavyShapes(t, reqs)
+			want := plan.ShapeMetrics(shapesOf(reqs))
+			// Overdrive at 1.5x the policy-aware capacity so the replay
+			// measures formation under saturation, where padding matters.
+			for i := range reqs {
+				reqs[i].Arrival /= 1.5 * want.QPS
+			}
+
+			speedup := (float64(n) / want.QPS) / 3.0
+			rt, err := New(pipe, prof, sched, Options{Speedup: speedup})
+			if err != nil {
+				t.Fatal(err)
+			}
+			rep, err := rt.Serve(reqs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep.Completed != n {
+				t.Fatalf("completed %d of %d", rep.Completed, n)
+			}
+			if rep.BatchPolicy != cfg.policy.String() || rep.ChunkQuantum != cfg.quantum {
+				t.Errorf("report misnames the formation config: %q/%d, want %q/%d",
+					rep.BatchPolicy, rep.ChunkQuantum, cfg.policy.String(), cfg.quantum)
+			}
+			if cfg.quantum > 0 && rep.MeanChunkDepth <= 1 {
+				t.Errorf("chunked run reports mean chunk depth %.2f, want > 1", rep.MeanChunkDepth)
+			}
+
+			des, err := sim.NewServeFromPlan(plan)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := des.Run(reqs, 0.05)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Completed != n {
+				t.Fatalf("sim completed %d of %d", res.Completed, n)
+			}
+
+			within(t, cfg.name+" runtime QPS vs policy-aware analytic", rep.SustainedQPS, want.QPS, 0.15)
+			within(t, cfg.name+" runtime QPS vs event-sim", rep.SustainedQPS, res.QPS, 0.15)
+			within(t, cfg.name+" runtime mean TTFT vs event-sim", rep.TTFT.Mean, res.MeanTTFT, 0.15)
+			if math.Abs(rep.PadWaste-res.PadWaste) > 0.1 {
+				t.Errorf("%s padding waste disagrees: runtime %.3f vs sim %.3f", cfg.name, rep.PadWaste, res.PadWaste)
+			}
+			results[cfg.name] = outcome{qps: rep.SustainedQPS, padWaste: rep.PadWaste}
+		})
+	}
+
+	fifo, ok := results["fifo"]
+	if !ok {
+		t.Fatal("FIFO baseline never ran")
+	}
+	if fifo.padWaste <= 0.3 {
+		t.Fatalf("FIFO baseline pad waste %.3f — the heavy-tailed mix should waste much more", fifo.padWaste)
+	}
+	for _, name := range []string{"bucketed", "sorted", "chunked"} {
+		r, ok := results[name]
+		if !ok {
+			continue // its subtest already failed
+		}
+		if !(r.padWaste < fifo.padWaste) {
+			t.Errorf("%s pad waste %.3f does not improve on FIFO's %.3f", name, r.padWaste, fifo.padWaste)
+		}
+	}
+}
+
+// TestRuntimeFormationInvariants is the policy-invariant property test:
+// whatever the formation policy reorders or the chunk quantum splits,
+// every admitted request is served exactly once — no starvation, no
+// drops, no double-serves — under saturating heavy-tailed load. Sized to
+// stay cheap under -race, which is how CI runs it.
+func TestRuntimeFormationInvariants(t *testing.T) {
+	pipe, prof, base := caseISetup(t)
+	for _, cfg := range formationConfigs {
+		cfg := cfg
+		t.Run(cfg.name, func(t *testing.T) {
+			sched := base
+			sched.FormPolicy = cfg.policy
+			sched.ChunkQuantum = cfg.quantum
+			plan, err := engine.Compile(pipe, sched, prof)
+			if err != nil {
+				t.Fatal(err)
+			}
+			const n = 800
+			reqs, err := trace.Poisson(n, 1, 7)
+			if err != nil {
+				t.Fatal(err)
+			}
+			reqs = heavyShapes(t, reqs)
+			want := plan.ShapeMetrics(shapesOf(reqs))
+			// 2x overdrive: the queue stays deep, so a policy that could
+			// starve an unlucky bucket would starve it here.
+			for i := range reqs {
+				reqs[i].Arrival /= 2 * want.QPS
+			}
+			rt, err := New(pipe, prof, sched, Options{Speedup: (float64(n) / want.QPS) / 1.5})
+			if err != nil {
+				t.Fatal(err)
+			}
+			rep, err := rt.Serve(reqs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep.Completed != n || rep.Rejected != 0 {
+				t.Errorf("%s: completed %d rejected %d of %d — formation lost or duplicated work",
+					cfg.name, rep.Completed, rep.Rejected, n)
+			}
+			// Per-request latency accounting must cover the completions.
+			if rep.Admitted != n || rep.Latency.Mean <= 0 {
+				t.Errorf("%s: admitted %d of %d, mean latency %.4f — accounting hole",
+					cfg.name, rep.Admitted, n, rep.Latency.Mean)
+			}
+		})
+	}
+}

@@ -53,6 +53,10 @@ type collector struct {
 	// stage (shaped prefix batches only) for padding-waste reporting.
 	padTok   []int64
 	padTotal []int64
+	// chunkBatches/chunkSum count chunked-prefill batches and their total
+	// chunk depth, so the report can expose the mean chunks per batch.
+	chunkBatches int
+	chunkSum     int64
 
 	searches      int
 	searchWall    []float64 // wall seconds per real retrieval batch
@@ -112,14 +116,19 @@ func (c *collector) release(stage, n int) {
 
 // batchServed records one dispatched batch. tok and pad are the batch's
 // effective and padded token totals for shaped prefix batches (both 0 when
-// no shape-aware costing applied).
-func (c *collector) batchServed(stage, formed, full, tok, pad int) {
+// no shape-aware costing applied); chunks is the batch's chunk count under
+// chunked prefill (0 for whole-prompt batches).
+func (c *collector) batchServed(stage, formed, full, tok, pad, chunks int) {
 	c.mu.Lock()
 	c.batches[stage]++
 	c.fillNum[stage] += formed
 	c.fillDen[stage] += full
 	c.padTok[stage] += int64(tok)
 	c.padTotal[stage] += int64(pad)
+	if chunks > 0 {
+		c.chunkBatches++
+		c.chunkSum += int64(chunks)
+	}
 	c.depthNow[stage] -= formed
 	if c.depthNow[stage] < 0 {
 		c.depthNow[stage] = 0
@@ -317,6 +326,14 @@ type Report struct {
 	// heterogeneous prompts to their batch maximum (0 when no shaped
 	// batch was served).
 	PadWaste float64 `json:"pad_waste,omitempty"`
+	// BatchPolicy names the prefix batch-formation policy the run served
+	// under ("" on multi-plan runs, where epochs may differ); ChunkQuantum
+	// is the chunked-prefill quantum in tokens (0 = whole-prompt).
+	BatchPolicy  string `json:"batch_policy,omitempty"`
+	ChunkQuantum int    `json:"chunk_quantum,omitempty"`
+	// MeanChunkDepth is the mean chunks per chunked prefix batch (0 when
+	// chunked prefill was off).
+	MeanChunkDepth float64 `json:"mean_chunk_depth,omitempty"`
 
 	// SustainedQPS is completions over the completion span — the
 	// saturation throughput when the trace overdrives the schedule.
@@ -411,6 +428,9 @@ func (c *collector) report(analytic perf.Metrics, hasAnalytic bool, speedup, wal
 	if padTotal > 0 {
 		rep.PadWaste = 1 - float64(padTok)/float64(padTotal)
 	}
+	if c.chunkBatches > 0 {
+		rep.MeanChunkDepth = float64(c.chunkSum) / float64(c.chunkBatches)
+	}
 	return rep
 }
 
@@ -438,6 +458,12 @@ func (r *Report) String() string {
 	}
 	if r.PadWaste > 0 {
 		fmt.Fprintf(&b, "padding waste %.1f%% of prefix-batch tokens (pad-to-max over mixed shapes)\n", 100*r.PadWaste)
+	}
+	if r.BatchPolicy != "" && r.BatchPolicy != "fifo" {
+		fmt.Fprintf(&b, "batch formation: %s\n", r.BatchPolicy)
+	}
+	if r.ChunkQuantum > 0 {
+		fmt.Fprintf(&b, "chunked prefill: quantum %d tokens, mean %.1f chunks/batch\n", r.ChunkQuantum, r.MeanChunkDepth)
 	}
 	if r.Cache != nil {
 		fmt.Fprintf(&b, "%s\n", r.Cache)

@@ -380,6 +380,10 @@ func (s *Server) buildReport() *ServerReport {
 	}
 	base := s.coll.report(analytic, hasAnalytic, s.opts.Speedup,
 		time.Since(s.clock.start).Seconds())
+	if hasAnalytic {
+		base.BatchPolicy = s.epochs[0].plan.Sched.FormPolicy.String()
+		base.ChunkQuantum = s.epochs[0].plan.Sched.ChunkQuantum
+	}
 	if s.opts.Cache != nil {
 		st := s.opts.Cache.Stats()
 		base.Cache = &st

@@ -74,7 +74,10 @@ func (d *decodeTier) run() {
 // generation time, as the shape-weighted analytical model prices it.
 func (d *decodeTier) generate(q *request) {
 	if d.round == nil || len(q.triggers) == 0 {
-		d.finish(q, q.decStart+d.dp.plan.GenTimeFor(q.outTok))
+		// Shape-dependent pacing: a long prompt grows the live KV context
+		// and slows its own decode steps (GenTimeForShape); unshaped
+		// requests hold the precompiled constant bit for bit.
+		d.finish(q, q.decStart+d.dp.plan.GenTimeForShape(q.promptTok, q.outTok))
 		return
 	}
 	outTokens := d.outTokens

@@ -44,28 +44,39 @@ func TestServeSimConstantShapeGolden(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	s, err := NewServeFromPlan(plan)
-	if err != nil {
-		t.Fatal(err)
-	}
-	r, err := s.Run(reqs, 0.05)
-	if err != nil {
-		t.Fatal(err)
-	}
 	want := ServeResult{
 		Completed:   3000,
 		QPS:         205.08542593602056,
 		MeanTTFT:    0.073760364094233991,
 		MeanLatency: 3.2074139114869626,
 	}
-	if r.Completed != want.Completed || r.QPS != want.QPS ||
-		r.MeanTTFT != want.MeanTTFT || r.MeanLatency != want.MeanLatency {
-		t.Errorf("constant-shape Case I drifted from the pre-shape golden:\n got  Completed=%d QPS=%.17g MeanTTFT=%.17g MeanLatency=%.17g\n want Completed=%d QPS=%.17g MeanTTFT=%.17g MeanLatency=%.17g",
-			r.Completed, r.QPS, r.MeanTTFT, r.MeanLatency,
-			want.Completed, want.QPS, want.MeanTTFT, want.MeanLatency)
-	}
-	if r.PadWaste != 0 {
-		t.Errorf("constant-shape trace accrued padding waste %.17g", r.PadWaste)
+	// Every formation policy degenerates to FIFO on constant-shape
+	// traffic (one bucket / all sort keys equal), so the pre-refactor
+	// golden must reproduce bit for bit under each of them.
+	for _, pol := range []engine.BatchPolicy{engine.PolicyFIFO, engine.PolicyBucketed, engine.PolicySorted} {
+		ps := sched
+		ps.FormPolicy = pol
+		plan, err := engine.Compile(pipe, ps, prof)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := NewServeFromPlan(plan)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := s.Run(reqs, 0.05)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Completed != want.Completed || r.QPS != want.QPS ||
+			r.MeanTTFT != want.MeanTTFT || r.MeanLatency != want.MeanLatency {
+			t.Errorf("constant-shape Case I under %v drifted from the pre-shape golden:\n got  Completed=%d QPS=%.17g MeanTTFT=%.17g MeanLatency=%.17g\n want Completed=%d QPS=%.17g MeanTTFT=%.17g MeanLatency=%.17g",
+				pol, r.Completed, r.QPS, r.MeanTTFT, r.MeanLatency,
+				want.Completed, want.QPS, want.MeanTTFT, want.MeanLatency)
+		}
+		if r.PadWaste != 0 {
+			t.Errorf("constant-shape trace under %v accrued padding waste %.17g", pol, r.PadWaste)
+		}
 	}
 }
 
@@ -96,25 +107,33 @@ func TestServeSimIterativeConstantShapeGolden(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	s, err := NewServeFromPlan(plan)
-	if err != nil {
-		t.Fatal(err)
-	}
-	r, err := s.Run(reqs, 0.05)
-	if err != nil {
-		t.Fatal(err)
-	}
 	want := ServeResult{
 		Completed: 1500,
 		QPS:       88.442242484580802,
 		MeanTTFT:  0.36255653386005227,
 		MeanStall: 0.81148571334212116,
 	}
-	if r.Completed != want.Completed || r.QPS != want.QPS ||
-		r.MeanTTFT != want.MeanTTFT || r.MeanStall != want.MeanStall {
-		t.Errorf("constant-shape Case III drifted from the pre-shape golden:\n got  Completed=%d QPS=%.17g MeanTTFT=%.17g MeanStall=%.17g\n want Completed=%d QPS=%.17g MeanTTFT=%.17g MeanStall=%.17g",
-			r.Completed, r.QPS, r.MeanTTFT, r.MeanStall,
-			want.Completed, want.QPS, want.MeanTTFT, want.MeanStall)
+	for _, pol := range []engine.BatchPolicy{engine.PolicyFIFO, engine.PolicyBucketed, engine.PolicySorted} {
+		ps := sched
+		ps.FormPolicy = pol
+		plan, err := engine.Compile(pipe, ps, prof)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := NewServeFromPlan(plan)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := s.Run(reqs, 0.05)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Completed != want.Completed || r.QPS != want.QPS ||
+			r.MeanTTFT != want.MeanTTFT || r.MeanStall != want.MeanStall {
+			t.Errorf("constant-shape Case III under %v drifted from the pre-shape golden:\n got  Completed=%d QPS=%.17g MeanTTFT=%.17g MeanStall=%.17g\n want Completed=%d QPS=%.17g MeanTTFT=%.17g MeanStall=%.17g",
+				pol, r.Completed, r.QPS, r.MeanTTFT, r.MeanStall,
+				want.Completed, want.QPS, want.MeanTTFT, want.MeanStall)
+		}
 	}
 }
 

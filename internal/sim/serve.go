@@ -205,6 +205,46 @@ func (q *stageQueue) popN(n int) []int {
 	return b
 }
 
+// popSel consumes the entries at the given head-relative positions
+// (ascending — the order formation policies return selections in),
+// appending them to out and compacting the survivors in place.
+func (q *stageQueue) popSel(sel []int, out []int) []int {
+	for _, p := range sel {
+		out = append(out, q.buf[q.head+p])
+	}
+	ln := q.len()
+	w := q.head + sel[0]
+	k := 0
+	for p := sel[0]; p < ln; p++ {
+		if k < len(sel) && p == sel[k] {
+			k++
+			continue
+		}
+		q.buf[w] = q.buf[q.head+p]
+		w++
+	}
+	q.buf = q.buf[:w]
+	if q.head == len(q.buf) {
+		q.buf = q.buf[:0]
+		q.head = 0
+	}
+	return out
+}
+
+// simWindow adapts a stage queue onto the executor-neutral view the
+// shared formation policy (engine.Former) decides over — the same code
+// path the live runtime's batcher consults, so both executors form
+// identical batches from identical windows.
+type simWindow struct {
+	q      *stageQueue
+	states []reqState
+	idx    int
+}
+
+func (w simWindow) Len() int                 { return w.q.len() }
+func (w simWindow) EnqueuedAt(i int) float64 { return w.states[w.q.buf[w.q.head+i]].enqAt[w.idx] }
+func (w simWindow) PromptTokens(i int) int   { return w.states[w.q.buf[w.q.head+i]].promptTok }
+
 type reqState struct {
 	arrival float64
 	ttft    float64
@@ -304,6 +344,17 @@ func (s *ServeSim) Run(reqs []trace.Request, flushTimeout float64) (ServeResult,
 	}
 
 	prefixIdx := plan.PrefixIdx
+	// Shared batch formation: a non-FIFO schedule consults the identical
+	// engine.Former state machine the live batcher runs — same candidate
+	// window, same ripeness rule, same tie-breaks — so both executors form
+	// the same batches. Chunked prefill slices each prefix batch into
+	// quantum-sized chunks with per-member completion times.
+	usePolicy := plan.Sched.FormPolicy != engine.PolicyFIFO
+	chunkQ := plan.Sched.ChunkQuantum
+	former := plan.Former()
+	former.Flush = flushTimeout
+	var batchBuf []int
+	var doneAt []float64
 	decFree := plan.Sched.DecodeBatch
 	var decQueue stageQueue
 	// Scratch for per-batch prompt-shape aggregation, reused across every
@@ -362,7 +413,10 @@ func (s *ServeSim) Run(reqs []trace.Request, flushTimeout float64) (ServeResult,
 				Slot: decIdx, Stage: slotName[decIdx], Track: "decode"})
 		}
 		if plan.Round == nil || len(states[r].triggers) == 0 {
-			push(now+plan.GenTimeFor(states[r].outTok), evDecodeDone, r, 0)
+			// Shape-dependent pacing: a long prompt grows the live KV
+			// context and slows its own decode steps (GenTimeForShape);
+			// unshaped requests hold the precompiled constant bit for bit.
+			push(now+plan.GenTimeForShape(states[r].promptTok, states[r].outTok), evDecodeDone, r, 0)
 			return
 		}
 		states[r].tok = 0
@@ -423,12 +477,27 @@ func (s *ServeSim) Run(reqs []trace.Request, flushTimeout float64) (ServeResult,
 		// with the oldest waiting head among dispatchable queues.
 		best := -1
 		bestAge := math.Inf(-1)
+		selN := 0
+		var sel []int
 		for _, idx := range stagesOf[res] {
 			if queues[idx].len() == 0 {
 				continue
 			}
 			head := queues[idx].peek()
 			headAge := now - states[head].enqAt[idx]
+			if usePolicy && idx == prefixIdx {
+				// Policy formation over the whole waiting window — the
+				// same Former.Form call the live batcher makes.
+				pn, _, ps := former.Form(simWindow{&queues[idx], states, idx}, now)
+				if pn == 0 {
+					continue
+				}
+				if headAge > bestAge {
+					bestAge, best = headAge, idx
+				}
+				selN, sel = pn, ps
+				continue
+			}
 			if queues[idx].len() < plan.StepAt(idx).Batch && headAge < flushTimeout {
 				continue
 			}
@@ -439,17 +508,27 @@ func (s *ServeSim) Run(reqs []trace.Request, flushTimeout float64) (ServeResult,
 		if best < 0 {
 			return
 		}
-		n := plan.StepAt(best).Batch
-		if n > queues[best].len() {
-			n = queues[best].len()
+		var n int
+		var batch []int
+		if usePolicy && best == prefixIdx {
+			n = selN
+			batchBuf = queues[best].popSel(sel, batchBuf[:0])
+			batch = batchBuf
+		} else {
+			n = plan.StepAt(best).Batch
+			if n > queues[best].len() {
+				n = queues[best].len()
+			}
+			batch = queues[best].popN(n)
 		}
-		batch := queues[best].popN(n)
 		busy[res] = true
 		// Service time: the profiled latency at the formed batch size —
 		// prefix batches additionally costed at their members' padded
-		// maximum prompt length, with the padding overhead accounted.
+		// maximum prompt length (or their chunked-prefill schedule), with
+		// the padding overhead accounted.
 		lat := plan.StepLatency(best, n)
-		if best == plan.PrefixIdx && (anyShaped || cacheOn) {
+		chunked := chunkQ > 0 && best == prefixIdx
+		if best == prefixIdx && (chunked || anyShaped || cacheOn) {
 			prompts = prompts[:0]
 			for _, r := range batch {
 				pt := states[r].promptTok
@@ -474,22 +553,41 @@ func (s *ServeSim) Run(reqs []trace.Request, flushTimeout float64) (ServeResult,
 				}
 				prompts = append(prompts, pt)
 			}
-			if sh, tok := plan.PrefixBatchShape(prompts); sh != (engine.Shape{}) {
+			if chunked {
+				// Chunked prefill: members pad to the quantum, not the
+				// batch maximum, and each member's first token unblocks at
+				// its own chunk boundary while the resource stays busy
+				// until the last chunk.
+				var total float64
+				var ctok, cpad int
+				doneAt, total, ctok, cpad = plan.ChunkPrefill(prompts, doneAt)
+				lat = total
+				padTok += int64(ctok)
+				padTotal += int64(cpad)
+			} else if sh, tok := plan.PrefixBatchShape(prompts); sh != (engine.Shape{}) {
 				lat = plan.StepLatencyShaped(best, n, sh)
 				padTok += int64(tok)
 				padTotal += int64(n * sh.PromptTokens)
 			}
 		}
 		if bus.Active() {
-			for _, r := range batch {
+			for i, r := range batch {
+				fin, dur := now+lat, lat
+				if chunked {
+					fin, dur = now+doneAt[i], doneAt[i]
+				}
 				bus.Publish(obs.Event{Kind: obs.KindStageStart, T: now, Req: reqs[r].ID,
 					Slot: best, Stage: slotName[best], Track: plan.Resources[res].Name, N: n})
-				bus.Publish(obs.Event{Kind: obs.KindStageFinish, T: now + lat, Req: reqs[r].ID,
-					Slot: best, Stage: slotName[best], Track: plan.Resources[res].Name, N: n, Dur: lat})
+				bus.Publish(obs.Event{Kind: obs.KindStageFinish, T: fin, Req: reqs[r].ID,
+					Slot: best, Stage: slotName[best], Track: plan.Resources[res].Name, N: n, Dur: dur})
 			}
 		}
-		for _, r := range batch {
-			push(now+lat, evStageDone, r, best)
+		for i, r := range batch {
+			if chunked {
+				push(now+doneAt[i], evStageDone, r, best)
+			} else {
+				push(now+lat, evStageDone, r, best)
+			}
 		}
 		push(now+lat, evResourceFree, res, 0)
 	}

@@ -161,19 +161,33 @@ func (p *Profiler) Eval(st pipeline.Stage, chips, batch int) Point {
 
 // ShapedStage returns st with a per-request prompt length applied:
 // promptTokens replaces the sequence length of prefix-type stages; zero
-// (and every other stage kind) is the identity. Decode stages are not
-// reshaped here — executors hold decode slots for a request's own output
-// length at the plan's precompiled per-token pace, and pricing the decode
-// step at a per-request context is a recorded ROADMAP follow-up.
-// Evaluating the returned stage through the profiler memoizes per shape
-// for free — the caches key on the full comparable Stage value — which is
-// what makes per-batch shape-aware costing affordable inside the
-// executors' hot loops.
+// (and every other stage kind) is the identity. Decode stages reshape
+// through ShapedDecodeStage instead — their shape axis is the live KV
+// context, not the prompt. Evaluating the returned stage through the
+// profiler memoizes per shape for free — the caches key on the full
+// comparable Stage value — which is what makes per-batch shape-aware
+// costing affordable inside the executors' hot loops.
 func ShapedStage(st pipeline.Stage, promptTokens int) pipeline.Stage {
 	switch st.Kind {
 	case pipeline.KindRewritePrefix, pipeline.KindPrefix:
 		if promptTokens > 0 {
 			st.SeqLen = promptTokens
+		}
+	}
+	return st
+}
+
+// ShapedDecodeStage returns st with a per-request live KV context
+// applied: ctxLen replaces the average context of decode-type stages, so
+// long prompts price (and pace) their own decode steps instead of riding
+// the schema mean. Zero ctxLen — and every non-decode kind — is the
+// identity, keeping unshaped requests on the precompiled constant path
+// bit for bit. Memoization works exactly as for ShapedStage.
+func ShapedDecodeStage(st pipeline.Stage, ctxLen int) pipeline.Stage {
+	switch st.Kind {
+	case pipeline.KindRewriteDecode, pipeline.KindDecode:
+		if ctxLen > 0 {
+			st.CtxLen = ctxLen
 		}
 	}
 	return st
