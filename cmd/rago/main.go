@@ -36,6 +36,7 @@ import (
 	"rago/internal/hw"
 	"rago/internal/perf"
 	"rago/internal/ragschema"
+	"rago/internal/vectordb"
 )
 
 func main() {
@@ -103,6 +104,9 @@ func runOptimize(args []string) {
 		baseline   = fs.Bool("baseline", false, "also evaluate the LLM-system-extension baseline")
 		maxPoints  = fs.Int("max-points", 20, "frontier points to print (0 = all)")
 		workers    = fs.Int("workers", 0, "parallel search workers (0 = GOMAXPROCS)")
+		shards     = fs.Int("shards", 0, "model the retrieval tier as this many scatter-gather shards, with recall calibrated on a synthetic index (0/1 = single index)")
+		nprobes    = fs.String("nprobes", "", "comma-separated nprobe values the search enumerates as schedule knobs (0 = tier base; empty = base only)")
+		fanouts    = fs.String("fanouts", "", "comma-separated shard-fanout values the search enumerates (0 = all shards; empty = all shards only)")
 		cpuprofile = fs.String("cpuprofile", "", "write a pprof CPU profile of the search to this file")
 		memprofile = fs.String("memprofile", "", "write a pprof heap profile after the search to this file")
 	)
@@ -112,13 +116,47 @@ func runOptimize(args []string) {
 	if err != nil {
 		log.Fatal(err)
 	}
+	npList, err := parseIntList("-nprobes", *nprobes)
+	if err != nil {
+		log.Fatal(err)
+	}
+	foList, err := parseIntList("-fanouts", *fanouts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *shards <= 1 && len(foList) > 0 {
+		log.Fatal("-fanouts needs -shards > 1")
+	}
+
 	opts := core.DefaultOptions(cluster)
 	opts.NormalizeChips = *normalize
 	opts.Workers = *workers
+	opts.NProbes = npList
+	opts.ShardFanouts = foList
 
 	o, err := core.NewOptimizer(schema, opts)
 	if err != nil {
 		log.Fatal(err)
+	}
+	if *shards > 1 {
+		// No real corpus on the optimize path: calibrate the recall
+		// surface on a small synthetic clustered index sharded the same
+		// way, so the frontier carries a measured quality axis.
+		data := vectordb.GenClustered(20000, 64, 64, 0.4, 1)
+		ix, err := vectordb.BuildIVFPQ(data, 128, 32, 1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sh, err := vectordb.NewSharded(ix, *shards, 1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		mod, err := calibratedRecallModel(sh, data, 64, 10, npList, foList, 1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		o.Prof.Shards = *shards
+		o.Prof.RecallMod = mod
 	}
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -202,13 +240,26 @@ func loadSchema(path, preset string, model float64, queries, context, retrievals
 }
 
 func printFrontier(o *core.Optimizer, front []core.SchedulePoint, max int) {
-	fmt.Printf("%12s %12s %12s %12s  schedule\n", "TTFT(s)", "TPOT(s)", "QPS", "QPS/chip")
+	withRecall := false
+	for _, p := range front {
+		withRecall = withRecall || p.Metrics.Recall > 0
+	}
+	if withRecall {
+		fmt.Printf("%12s %12s %12s %12s %10s  schedule\n", "TTFT(s)", "TPOT(s)", "QPS", "QPS/chip", "recall")
+	} else {
+		fmt.Printf("%12s %12s %12s %12s  schedule\n", "TTFT(s)", "TPOT(s)", "QPS", "QPS/chip")
+	}
 	step := 1
 	if max > 0 && len(front) > max {
 		step = len(front) / max
 	}
 	for i := 0; i < len(front); i += step {
 		p := front[i]
+		if withRecall {
+			fmt.Printf("%12.4f %12.4f %12.2f %12.3f %10.3f  %s\n",
+				p.Metrics.TTFT, p.Metrics.TPOT, p.Metrics.QPS, p.Metrics.QPSPerChip, p.Metrics.Recall, p.Item.Describe(o.Pipe))
+			continue
+		}
 		fmt.Printf("%12.4f %12.4f %12.2f %12.3f  %s\n",
 			p.Metrics.TTFT, p.Metrics.TPOT, p.Metrics.QPS, p.Metrics.QPSPerChip, p.Item.Describe(o.Pipe))
 	}

@@ -5,7 +5,9 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"math/rand"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 
@@ -16,6 +18,7 @@ import (
 	"rago/internal/obs"
 	"rago/internal/perf"
 	"rago/internal/pipeline"
+	"rago/internal/retrieval"
 	"rago/internal/serve"
 	"rago/internal/stageperf"
 	"rago/internal/trace"
@@ -293,6 +296,10 @@ func runServe(args []string) {
 		dbDim     = fs.Int("db-dim", 64, "real index dimensionality")
 		k         = fs.Int("k", 10, "neighbors per real query")
 		nprobe    = fs.Int("nprobe", 8, "probed cells per real query")
+		shards    = fs.Int("shards", 0, "shard the real index across this many scatter-gather shards (requires -db; 0/1 = single index)")
+		replicas  = fs.Int("replicas", 1, "replicas per shard in the sharded retrieval tier")
+		nprobes   = fs.String("nprobes", "", "comma-separated nprobe values the schedule search enumerates as knobs (0 = tier base; empty = base only)")
+		fanouts   = fs.String("fanouts", "", "comma-separated shard-fanout values the schedule search enumerates (0 = all shards; empty = all shards only)")
 
 		controller = fs.Bool("controller", false, "run the SLO-aware online controller over a plan library instead of one static schedule")
 		sloTTFT    = fs.Float64("slo-ttft", 1.0, "controller: p99 TTFT objective in virtual seconds")
@@ -301,6 +308,7 @@ func runServe(args []string) {
 		ctrlTick   = fs.Float64("ctrl-interval", 10, "controller: decision interval in virtual seconds")
 		headroom   = fs.Float64("headroom", 1.25, "controller: capacity margin over the observed arrival rate")
 		holddown   = fs.Float64("holddown", 0, "controller: minimum virtual seconds between scale-downs (0 = 3 intervals)")
+		minRecall  = fs.Float64("min-recall", 0, "controller: recall@k floor plan switches respect under overload (0 = no floor)")
 	)
 	fs.Parse(args)
 
@@ -323,31 +331,19 @@ func runServe(args []string) {
 		log.Fatal("-chunk-prefill must be non-negative")
 	}
 
-	o, err := core.NewOptimizer(schema, core.DefaultOptions(cluster))
+	npList, err := parseIntList("-nprobes", *nprobes)
 	if err != nil {
 		log.Fatal(err)
 	}
-	front := o.Optimize()
-	if len(front) == 0 {
-		log.Fatal("no feasible schedule under the given resources")
+	foList, err := parseIntList("-fanouts", *fanouts)
+	if err != nil {
+		log.Fatal(err)
 	}
-	// Stamp the requested formation dimensions onto every frontier point
-	// and re-price it (chunking changes the compiled prefix cost; the
-	// policy re-prices only shaped traffic).
-	if pol != engine.PolicyFIFO || *chunkPrefill > 0 {
-		kept := front[:0]
-		for _, p := range front {
-			p.Item.FormPolicy = pol
-			p.Item.ChunkQuantum = *chunkPrefill
-			if m, ok := o.Asm.Evaluate(p.Item); ok {
-				p.Metrics = m
-				kept = append(kept, p)
-			}
-		}
-		front = kept
-		if len(front) == 0 {
-			log.Fatal("no frontier schedule is feasible under the requested batch formation")
-		}
+	if *shards > 1 && *dbVectors <= 0 {
+		log.Fatal("-shards needs a real index: set -db")
+	}
+	if *dbVectors > 0 && *shards <= 1 && (len(npList) > 0 || len(foList) > 0) {
+		log.Fatal("-nprobes/-fanouts against a real index need -shards > 1 (the single-index path serves at the fixed -nprobe)")
 	}
 
 	fmt.Fprintf(info, "workload: %s\n", schema.Name)
@@ -417,6 +413,10 @@ func runServe(args []string) {
 		fmt.Fprintf(info, "span trace: wrote %s (%d events, %d dropped) — load in https://ui.perfetto.dev\n",
 			*spanTrace, len(tracer.Events()), tracer.Dropped())
 	}
+	var (
+		sharded   *vectordb.Sharded
+		recallMod *retrieval.RecallModel
+	)
 	if *dbVectors > 0 {
 		fmt.Fprintf(info, "building IVF-PQ index: %d vectors, dim %d ...\n", *dbVectors, *dbDim)
 		data := vectordb.GenClustered(*dbVectors, *dbDim, 64, 0.4, *tf.seed)
@@ -424,17 +424,69 @@ func runServe(args []string) {
 		if err != nil {
 			log.Fatal(err)
 		}
-		kk, np := *k, *nprobe
-		opts.Searcher = func(queries [][]float32) ([][]vectordb.Result, error) {
-			return ix.SearchBatch(queries, kk, np)
+		if *shards > 1 {
+			sharded, err = vectordb.NewSharded(ix, *shards, *replicas)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Fprintf(info, "sharding: %d shards x %d replicas; calibrating recall@%d ...\n", *shards, *replicas, *k)
+			recallMod, err = calibratedRecallModel(sharded, data, *dbDim, *k, npList, foList, *tf.seed)
+			if err != nil {
+				log.Fatal(err)
+			}
+			opts.Sharded = sharded
+			opts.SearchK = *k
+		} else {
+			kk, np := *k, *nprobe
+			opts.Searcher = func(queries [][]float32) ([][]vectordb.Result, error) {
+				return ix.SearchBatch(queries, kk, np)
+			}
 		}
 		opts.QueryDim = *dbDim
 		opts.QuerySeed = *tf.seed
 	}
 
+	// The optimizer runs after the substrate wiring so a sharded tier's
+	// measured recall surface and merge costs price the frontier; the knob
+	// lists make nprobe and shard-fanout schedule dimensions of the search.
+	coreOpts := core.DefaultOptions(cluster)
+	coreOpts.NProbes = npList
+	coreOpts.ShardFanouts = foList
+	o, err := core.NewOptimizer(schema, coreOpts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if sharded != nil {
+		o.Prof.Shards = sharded.Shards()
+		o.Prof.RecallMod = recallMod
+	}
+	front := o.Optimize()
+	if len(front) == 0 {
+		log.Fatal("no feasible schedule under the given resources")
+	}
+	// Stamp the requested formation dimensions onto every frontier point
+	// and re-price it (chunking changes the compiled prefix cost; the
+	// policy re-prices only shaped traffic).
+	if pol != engine.PolicyFIFO || *chunkPrefill > 0 {
+		kept := front[:0]
+		for _, p := range front {
+			p.Item.FormPolicy = pol
+			p.Item.ChunkQuantum = *chunkPrefill
+			if m, ok := o.Asm.Evaluate(p.Item); ok {
+				p.Metrics = m
+				kept = append(kept, p)
+			}
+		}
+		front = kept
+		if len(front) == 0 {
+			log.Fatal("no frontier schedule is feasible under the requested batch formation")
+		}
+	}
+
 	if *controller {
 		runControlled(o, front, tf, opts, info, *jsonOut, control.SLO{TTFT: *sloTTFT, TPOT: *sloTPOT},
-			control.Config{Window: *ctrlWindow, Interval: *ctrlTick, Headroom: *headroom, HoldDown: *holddown, CacheGain: *cacheGain},
+			control.Config{Window: *ctrlWindow, Interval: *ctrlTick, Headroom: *headroom, HoldDown: *holddown,
+				CacheGain: *cacheGain, MinRecall: *minRecall},
 			flushTrace, perRequest, cacheCfg)
 		return
 	}
@@ -581,6 +633,73 @@ func traceShapes(reqs []trace.Request) []engine.Shape {
 		return nil
 	}
 	return out
+}
+
+// parseIntList parses a comma-separated knob list ("2,8,32") into ints;
+// an empty spec is an empty list.
+func parseIntList(name, spec string) ([]int, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	var out []int
+	for _, f := range strings.Split(spec, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil {
+			return nil, fmt.Errorf("serve: bad %s entry %q", name, f)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+// knobAxis maps searched knob values to the ascending, deduplicated axis
+// of effective values a recall calibration grids over: non-positive (and,
+// when max > 0, over-max) entries mean the default, which is always on
+// the axis so the base configuration interpolates exactly.
+func knobAxis(vals []int, def, max int) []int {
+	set := map[int]bool{def: true}
+	for _, v := range vals {
+		if v <= 0 || (max > 0 && v > max) {
+			v = def
+		}
+		set[v] = true
+	}
+	axis := make([]int, 0, len(set))
+	for v := range set {
+		axis = append(axis, v)
+	}
+	sort.Ints(axis)
+	return axis
+}
+
+// calibratedRecallModel measures the sharded tier's recall@k against exact
+// ground truth (a flat index over the same vectors) at every effective
+// (nprobe, fanout) the schedule search can visit, and wraps the grid in
+// the interpolating surface the analytic planner prices recall from. The
+// query sample matches the serving path's synthesized query distribution.
+func calibratedRecallModel(sh *vectordb.Sharded, data [][]float32, dim, k int, nprobes, fanouts []int, seed int64) (*retrieval.RecallModel, error) {
+	flat := vectordb.NewFlat(dim)
+	if err := flat.Add(data...); err != nil {
+		return nil, err
+	}
+	// Decorrelate the calibration sample from the arrival stream (same
+	// rationale as applyShapes' xor).
+	rng := rand.New(rand.NewSource(seed ^ 0x726563))
+	queries := make([][]float32, 64)
+	for i := range queries {
+		v := make([]float32, dim)
+		for d := range v {
+			v[d] = rng.Float32() * 10
+		}
+		queries[i] = v
+	}
+	npAxis := knobAxis(nprobes, retrieval.BaseNProbe, 0)
+	foAxis := knobAxis(fanouts, sh.Shards(), sh.Shards())
+	grid, err := sh.CalibrateRecall(flat, queries, k, npAxis, foAxis)
+	if err != nil {
+		return nil, err
+	}
+	return retrieval.NewRecallModel(npAxis, foAxis, grid)
 }
 
 // autoSpeedup compresses the expected makespan into ~10s wall. The run

@@ -281,3 +281,80 @@ func TestReplayCreditsDeterministic(t *testing.T) {
 		}
 	}
 }
+
+// Regression: a chain longer than the token budget must be admitted
+// truncated. The old behavior admitted all links and let eviction drop the
+// shallowest ones, so the surviving deep suffix could never match and the
+// hottest long-context chains earned zero credit forever.
+func TestPartialChainAdmission(t *testing.T) {
+	// Budget of 4 chunks; the hot chain has 6.
+	c := mustNew(t, Config{PrefixTokens: 400, ChunkTokens: 100})
+	over := []int{1, 2, 3, 4, 5, 6}
+	if got := c.Access(over, 2048); got != 0 {
+		t.Fatalf("cold over-budget chain credit = %d, want 0", got)
+	}
+	st := c.Stats()
+	if st.CachedChunks != 4 || st.Evictions != 0 {
+		t.Fatalf("after truncated admission: %d chunks, %d evictions; want 4 chunks, 0 evictions", st.CachedChunks, st.Evictions)
+	}
+	// The identical follow-up must earn the truncated prefix's full credit.
+	if got := c.Access(over, 2048); got != 400 {
+		t.Errorf("over-budget chain repeat credit = %d, want 400", got)
+	}
+	// A request sharing only the prefix earns the same credit.
+	if got := c.Access([]int{1, 2, 3, 4, 9, 10}, 2048); got != 400 {
+		t.Errorf("shared-prefix credit = %d, want 400", got)
+	}
+	if st := c.Stats(); st.CachedTokens > int64(c.Config().PrefixTokens) {
+		t.Errorf("occupancy %d exceeds budget %d", st.CachedTokens, c.Config().PrefixTokens)
+	}
+}
+
+// Regression: a corpus update (Invalidate) must flush answer-tier hits —
+// the stored answers were derived from the old corpus — while prefix
+// chains, keyed by retrieved-chunk identity, keep their credits.
+func TestInvalidateFlushesAnswersKeepsPrefixes(t *testing.T) {
+	c := mustNew(t, Config{PrefixTokens: 10_000, ChunkTokens: 100, AnswerEntries: 8})
+	ids := []int{1, 2, 3}
+	c.Access(ids, 512)
+	c.AnswerStore(ids, 512, 256)
+	if !c.AnswerLookup(ids, 512, 256) {
+		t.Fatal("stored answer missed before invalidation")
+	}
+	if c.Generation() != 0 {
+		t.Fatalf("fresh cache generation = %d, want 0", c.Generation())
+	}
+
+	c.Invalidate()
+
+	if c.Generation() != 1 {
+		t.Fatalf("generation after Invalidate = %d, want 1", c.Generation())
+	}
+	if c.AnswerLookup(ids, 512, 256) {
+		t.Error("stale answer served after corpus invalidation")
+	}
+	if st := c.Stats(); st.AnswerEntries != 0 {
+		t.Errorf("stale answer entry still resident after missed lookup: %d entries", st.AnswerEntries)
+	}
+	// Prefix chains survive: same chain still earns full credit.
+	if got := c.Access(ids, 512); got != 300 {
+		t.Errorf("prefix credit after invalidation = %d, want 300", got)
+	}
+	// Re-stored answers hit again under the new generation.
+	c.AnswerStore(ids, 512, 256)
+	if !c.AnswerLookup(ids, 512, 256) {
+		t.Error("answer re-stored under the new generation missed")
+	}
+	// Re-storing an existing entry restamps it.
+	c.Invalidate()
+	c.AnswerStore(ids, 512, 256) // node exists (stale); store restamps
+	if !c.AnswerLookup(ids, 512, 256) {
+		t.Error("restamped answer entry missed")
+	}
+	// Nil-safety of the new methods.
+	var nilC *Cache
+	nilC.Invalidate()
+	if nilC.Generation() != 0 {
+		t.Error("nil cache generation != 0")
+	}
+}

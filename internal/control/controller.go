@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 
+	"rago/internal/engine"
 	"rago/internal/obs"
 	"rago/internal/serve"
 	"rago/internal/trace"
@@ -39,6 +40,13 @@ type Config struct {
 	// ratio (e.g. BENCH_cache.json); SLO upshifts still override, so an
 	// optimistic gain degrades to a reactive correction, not a violation.
 	CacheGain float64 `json:"cache_gain,omitempty"`
+	// MinRecall is the retrieval-quality floor (recall@k, in [0, 1]): the
+	// controller degrades recall gracefully under overload — stepping to
+	// cheaper low-nprobe/low-fanout entries when the load demands it —
+	// but never onto an entry whose measured recall is below the floor.
+	// 0 (the default) disables the floor; entries with unmeasured recall
+	// always pass, so cache-less capacity-only libraries are unaffected.
+	MinRecall float64 `json:"min_recall,omitempty"`
 }
 
 func (c Config) withDefaults() Config {
@@ -63,6 +71,9 @@ func (c Config) withDefaults() Config {
 func (c Config) validate() error {
 	if c.Window < 0 || c.Interval < 0 || c.Headroom < 0 || c.HoldDown < 0 || c.MinSamples < 0 || c.CacheGain < 0 {
 		return fmt.Errorf("control: negative Config fields")
+	}
+	if c.MinRecall < 0 || c.MinRecall > 1 {
+		return fmt.Errorf("control: MinRecall must be in [0, 1], got %g", c.MinRecall)
 	}
 	if c.Headroom != 0 && c.Headroom < 1 {
 		return fmt.Errorf("control: Headroom must be >= 1 (capacity margin over observed load), got %g", c.Headroom)
@@ -139,7 +150,7 @@ func (c *Controller) decide(cur int, w serve.Window) (want int, reason string) {
 		// assumes (hits prefill only their uncached suffix).
 		target /= 1 + c.Cfg.CacheGain*w.CacheHitRate
 	}
-	want, reason = c.Lib.IndexFor(target), "load"
+	want, reason = c.Lib.IndexForFloor(target, c.Cfg.MinRecall), "load"
 	quantileTrusted := w.Completions >= c.Cfg.MinSamples
 	// Reactive upshift: a windowed p99 TTFT violation means the rate
 	// estimate is lying (queues are building faster than completions
@@ -196,6 +207,7 @@ func (c *Controller) Run(opts serve.Options, reqs []trace.Request) (*Result, err
 
 	cur := start
 	lastSwitch := 0.0
+	lastReweight := 0.0
 	for k := 1; ; k++ {
 		select {
 		case <-done:
@@ -208,6 +220,20 @@ func (c *Controller) Run(opts serve.Options, reqs []trace.Request) (*Result, err
 		case <-srv.AfterVirtual(float64(k) * c.Cfg.Interval):
 			res.Ticks++
 			w := srv.Telemetry(c.Cfg.Window)
+			// Online staircase re-pricing: the library's shape weighting was
+			// priced once at startup, and a trace whose shape mix drifts
+			// (long-prompt afternoon after a short-prompt morning) leaves
+			// every QPS estimate stale — the controller then tracks load
+			// against capacities no plan delivers. Re-weight from the live
+			// window's bucket mix, hold-down gated so a noisy window cannot
+			// thrash the pricing, and in place (Reweight, not WeightByShapes)
+			// so cur and the recorded events keep indexing the same plans.
+			if w.Completions >= c.Cfg.MinSamples && w.Now-lastReweight >= c.Cfg.HoldDown {
+				if shapes := shapesFromWindow(w.Shapes); len(shapes) > 0 {
+					c.Lib.Reweight(shapes)
+					lastReweight = w.Now
+				}
+			}
 			want, reason := c.decide(cur, w)
 			if opts.Bus.Active() {
 				opts.Bus.Publish(obs.Event{Kind: obs.KindDecision, T: w.Now,
@@ -242,6 +268,36 @@ func (c *Controller) Run(opts serve.Options, reqs []trace.Request) (*Result, err
 			}
 		}
 	}
+}
+
+// shapesFromWindow turns a telemetry window's shape-bucket mix into a
+// weighted shape sample for library re-pricing: each bucket contributes
+// its mean observed shape, replicated in proportion to its share of the
+// window's completions (ceil, out of 64, so rare buckets still appear).
+// Buckets without token means (a window predating shape telemetry)
+// contribute nothing; an all-empty result tells the caller to skip.
+func shapesFromWindow(stats []serve.ShapeStat) []engine.Shape {
+	total := 0
+	for _, s := range stats {
+		total += s.Count
+	}
+	if total == 0 {
+		return nil
+	}
+	var shapes []engine.Shape
+	for _, s := range stats {
+		if s.MeanPromptTokens <= 0 || s.MeanOutputTokens <= 0 {
+			continue
+		}
+		n := (64*s.Count + total - 1) / total
+		for i := 0; i < n; i++ {
+			shapes = append(shapes, engine.Shape{
+				PromptTokens: s.MeanPromptTokens,
+				OutputTokens: s.MeanOutputTokens,
+			})
+		}
+	}
+	return shapes
 }
 
 // startEntry sizes the initial plan from the trace's opening window: the

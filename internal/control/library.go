@@ -45,6 +45,12 @@ type Entry struct {
 	TTFT float64 `json:"ttft"`
 	// Chips is the XPU count the plan occupies (its cost).
 	Chips int `json:"chips"`
+	// Recall is the plan's measured retrieval quality (recall@k of its
+	// nprobe/fanout operating point); 0 when unmeasured. Entries that
+	// buy recall instead of throughput stay on the staircase, so the
+	// controller can trade quality for capacity under overload — and
+	// back — without leaving the library.
+	Recall float64 `json:"recall,omitempty"`
 	// PadEff is the plan's expected effective-to-padded prefill token
 	// ratio on the shape sample the library was last weighted by
 	// (WeightByShapes); 0 until weighted, 1 means zero padding waste.
@@ -106,28 +112,41 @@ func NewLibraryFromPlans(plans []*engine.Plan) (*Library, error) {
 			QPS:      p.Metrics.QPS,
 			TTFT:     p.Metrics.TTFT,
 			Chips:    p.Sched.ChipsUsed(),
+			Recall:   p.Metrics.Recall,
 		})
 	}
 	return &Library{Entries: append([]Entry(nil), staircase(entries)...)}, nil
 }
 
 // staircase orders entries cheapest-first (highest capacity among equal
-// costs) and prunes entries whose extra chips buy no extra QPS.
+// costs, higher recall breaking ties) and prunes entries whose extra chips
+// buy neither extra QPS nor extra recall. With every recall unmeasured
+// (all zero) this is exactly the historical capacity-only staircase; with
+// a recall axis, a high-recall/low-QPS entry and a low-recall/high-QPS
+// entry coexist — the menu the controller degrades across under overload.
 func staircase(entries []Entry) []Entry {
 	sort.SliceStable(entries, func(i, j int) bool {
 		if entries[i].Chips != entries[j].Chips {
 			return entries[i].Chips < entries[j].Chips
 		}
-		return entries[i].QPS > entries[j].QPS
+		if entries[i].QPS != entries[j].QPS {
+			return entries[i].QPS > entries[j].QPS
+		}
+		return entries[i].Recall > entries[j].Recall
 	})
 	kept := entries[:0]
-	bestQPS := 0.0
+	bestQPS, bestRecall := 0.0, 0.0
 	for _, e := range entries {
-		if len(kept) > 0 && e.QPS <= bestQPS {
+		if len(kept) > 0 && e.QPS <= bestQPS && e.Recall <= bestRecall {
 			continue
 		}
 		kept = append(kept, e)
-		bestQPS = e.QPS
+		if e.QPS > bestQPS {
+			bestQPS = e.QPS
+		}
+		if e.Recall > bestRecall {
+			bestRecall = e.Recall
+		}
 	}
 	return kept
 }
@@ -146,6 +165,22 @@ func (l *Library) WeightByShapes(shapes []engine.Shape) {
 	if len(shapes) == 0 {
 		return
 	}
+	l.Reweight(shapes)
+	l.Entries = staircase(l.Entries)
+}
+
+// Reweight re-prices every entry for a shape sample IN PLACE: the same
+// per-entry pricing WeightByShapes applies, without the re-sort/re-prune
+// pass. Entry indices stay stable, which is what lets a controller
+// re-weight its library mid-run — its current-plan index, its recorded
+// switch events, and any replay of them keep pointing at the same plans.
+// A startup-priced staircase goes stale the moment the live shape mix
+// drifts from the sample it was priced on; the controller calls this from
+// its tick loop (hold-down gated) with the telemetry window's bucket mix.
+func (l *Library) Reweight(shapes []engine.Shape) {
+	if len(shapes) == 0 {
+		return
+	}
 	for i := range l.Entries {
 		e := &l.Entries[i]
 		m := e.Plan.ShapeMetrics(shapes)
@@ -153,16 +188,39 @@ func (l *Library) WeightByShapes(shapes []engine.Shape) {
 		e.TTFT = m.TTFT
 		e.PadEff = e.Plan.PadEfficiency(shapes)
 	}
-	l.Entries = staircase(l.Entries)
 }
 
 // IndexFor returns the cheapest entry sustaining at least targetQPS, or
 // the most capable entry when none does.
 func (l *Library) IndexFor(targetQPS float64) int {
+	return l.IndexForFloor(targetQPS, 0)
+}
+
+// IndexForFloor is IndexFor restricted to entries whose measured recall is
+// at least minRecall: the cheapest floor-respecting entry sustaining
+// targetQPS, the most capable floor-respecting entry when none does, and
+// the plain IndexFor answer when the floor excludes everything (a floor
+// above the library's best recall must not strand the controller).
+// Unmeasured entries (recall 0) pass any floor — deployments without a
+// calibrated recall surface keep the historical capacity-only behaviour.
+func (l *Library) IndexForFloor(targetQPS, minRecall float64) int {
+	if len(l.Entries) == 0 {
+		return -1
+	}
+	best := -1
 	for i, e := range l.Entries {
+		if minRecall > 0 && e.Recall > 0 && e.Recall < minRecall {
+			continue
+		}
 		if e.QPS >= targetQPS {
 			return i
 		}
+		if best < 0 || e.QPS > l.Entries[best].QPS {
+			best = i
+		}
 	}
-	return len(l.Entries) - 1
+	if best >= 0 {
+		return best
+	}
+	return l.IndexFor(targetQPS)
 }

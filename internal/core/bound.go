@@ -153,13 +153,29 @@ func (o *Optimizer) planBound(plan Plan) (perf.Metrics, bool) {
 	}
 
 	// Retrieval tiers (one per source, each on the plan's server count).
+	// With nprobe/fanout searched, every knob pair's envelope contributes
+	// to the optimistic union — the bound's latency floors and throughput
+	// ceilings hold for whichever stamping the search picks.
+	nprobes, fanouts := o.searchedKnobs()
 	for _, ridx := range pipe.Indices(pipeline.KindRetrieval) {
-		env := o.Prof.Envelope(pipe.Stages[ridx], plan.Servers, o.Opts.MaxRetrievalBatch)
-		if !env.OK {
+		rMinLat, rMaxQPS := math.Inf(1), 0.0
+		any := false
+		for _, np := range nprobes {
+			for _, fo := range fanouts {
+				env := o.Prof.Envelope(pipe.Stages[ridx].Tuned(np, fo), plan.Servers, o.Opts.MaxRetrievalBatch)
+				if !env.OK {
+					continue
+				}
+				any = true
+				rMinLat = math.Min(rMinLat, env.MinLatency)
+				rMaxQPS = math.Max(rMaxQPS, env.MaxQPS)
+			}
+		}
+		if !any {
 			return perf.Metrics{}, false
 		}
-		minLat[ridx] = env.MinLatency + transfer
-		qpsUB = math.Min(qpsUB, env.MaxQPS)
+		minLat[ridx] = rMinLat + transfer
+		qpsUB = math.Min(qpsUB, rMaxQPS)
 	}
 
 	// Decode tier. A shape sample re-prices decode at each request's own
@@ -212,6 +228,10 @@ func (o *Optimizer) planBound(plan Plan) (perf.Metrics, bool) {
 		TPOT:       tpotLB,
 		QPS:        qpsUB,
 		QPSPerChip: qpsUB / float64(norm),
+		// No schedule's measured recall exceeds the calibrated surface's
+		// maximum (bilinear interpolation never leaves the grid's hull),
+		// so MaxRecall is an exact ceiling — admissible without margin.
+		Recall: o.Prof.MaxRecall(),
 	}, true
 }
 
@@ -243,5 +263,9 @@ func relax(m perf.Metrics, eps float64) perf.Metrics {
 		TPOT:       m.TPOT * (1 - eps),
 		QPS:        m.QPS * (1 + eps),
 		QPSPerChip: m.QPSPerChip * (1 + eps),
+		// Recall carries exactly: the plan bound's recall ceiling is not an
+		// accumulated estimate, so it needs no drift margin (and inflating
+		// it could push past Valid's [0, 1] range).
+		Recall: m.Recall,
 	}
 }

@@ -7,6 +7,7 @@ import (
 	"rago/internal/engine"
 	"rago/internal/perf"
 	"rago/internal/pipeline"
+	"rago/internal/retrieval"
 	"rago/internal/roofline"
 	"rago/internal/stageperf"
 )
@@ -73,6 +74,16 @@ type searchCtx struct {
 	quanta     []int
 	formActive bool
 
+	// Retrieval search dimensions (nprobe x shard fanout), whether they
+	// depart from the base-configuration search, and the cheapest searched
+	// knob pair — the pair whose tuned scan is optimistic against every
+	// stamping, used for the partials' proxy retrieval pricing.
+	nprobes    []int
+	fanouts    []int
+	retrActive bool
+	cheapNP    int
+	cheapFO    int
+
 	nodes  []gnode
 	parts  []spart
 	next   []spart
@@ -110,10 +121,68 @@ func (o *Optimizer) newSearchCtx() *searchCtx {
 	ctx.formActive = len(o.Opts.Shapes) > 0 ||
 		len(ctx.policies) != 1 || ctx.policies[0] != engine.PolicyFIFO ||
 		len(ctx.quanta) != 1 || ctx.quanta[0] != 0
+	ctx.nprobes, ctx.fanouts = o.searchedKnobs()
+	ctx.retrActive = len(ctx.nprobes) != 1 || ctx.nprobes[0] != 0 ||
+		len(ctx.fanouts) != 1 || ctx.fanouts[0] != 0
+	ctx.cheapNP, ctx.cheapFO = o.cheapestKnobs(ctx.nprobes, ctx.fanouts)
 	if ev, err := engine.NewEvaluator(o.Pipe, o.Prof); err == nil {
 		ctx.ev = ev
 	}
 	return ctx
+}
+
+// searchedKnobs returns the normalized retrieval knob sets: the configured
+// dimensions, or the single base configuration when unset. A retrieval-free
+// pipeline searches only the base pair regardless — stamping knobs onto its
+// schedules would fail validation without changing any metric.
+func (o *Optimizer) searchedKnobs() (nprobes, fanouts []int) {
+	nprobes, fanouts = o.Opts.NProbes, o.Opts.ShardFanouts
+	if o.Pipe.Index(pipeline.KindRetrieval) < 0 {
+		nprobes, fanouts = nil, nil
+	}
+	if len(nprobes) == 0 {
+		nprobes = []int{0}
+	}
+	if len(fanouts) == 0 {
+		fanouts = []int{0}
+	}
+	return nprobes, fanouts
+}
+
+// cheapestKnobs picks the searched (nprobe, fanout) pair with the smallest
+// tuned scan and gather cost — the pair every other stamping prices at or
+// above, so proxy pricing at it stays optimistic. The two axes minimize
+// independently: scan volume scales with effective nprobe and with effective
+// fanout, gather with effective fanout alone.
+func (o *Optimizer) cheapestKnobs(nprobes, fanouts []int) (np, fo int) {
+	effNP := func(n int) int {
+		if n > 0 {
+			return n
+		}
+		return retrieval.BaseNProbe
+	}
+	shards := o.Prof.Shards
+	effFO := func(f int) int {
+		if shards > 1 && f >= 1 && f <= shards {
+			return f
+		}
+		if shards > 1 {
+			return shards
+		}
+		return 1
+	}
+	np, fo = nprobes[0], fanouts[0]
+	for _, n := range nprobes[1:] {
+		if effNP(n) < effNP(np) {
+			np = n
+		}
+	}
+	for _, f := range fanouts[1:] {
+		if effFO(f) < effFO(fo) {
+			fo = f
+		}
+	}
+	return np, fo
 }
 
 // evaluate assembles end-to-end metrics for one schedule through the
@@ -193,7 +262,7 @@ func (o *Optimizer) planCandidates(ctx *searchCtx, plan Plan, bIter int, inc *pe
 		if !ok || retrIdx < 0 {
 			return nil
 		}
-		rt := o.Prof.Eval(o.Pipe.Stages[retrIdx], plan.Servers, bIter)
+		rt := o.Prof.Eval(o.Pipe.Stages[retrIdx].Tuned(ctx.cheapNP, ctx.cheapFO), plan.Servers, bIter)
 		if !rt.OK {
 			return nil
 		}
@@ -252,12 +321,15 @@ func (o *Optimizer) planCandidates(ctx *searchCtx, plan Plan, bIter int, inc *pe
 		}
 	}
 
-	// Retrieval tier.
+	// Retrieval tier. Partials price the cheapest searched knob pair —
+	// identical to the base stage when the knob dimensions are off, and an
+	// optimistic proxy every stamping re-prices upward when they are on.
 	if retrIdx >= 0 {
 		transfer := o.Prof.RetrievalTransferLatency()
+		rstage := o.Pipe.Stages[retrIdx].Tuned(ctx.cheapNP, ctx.cheapFO)
 		next = next[:0]
 		for _, b := range ctx.retrBatches {
-			rt := o.Prof.Eval(o.Pipe.Stages[retrIdx], plan.Servers, b)
+			rt := o.Prof.Eval(rstage, plan.Servers, b)
 			if !rt.OK {
 				continue
 			}
@@ -355,6 +427,7 @@ func (c *searchCtx) pruneAgainstIncumbent(parts []spart, inc *perf.Incremental, 
 			TPOT:       bound.TPOT,
 			QPS:        q,
 			QPSPerChip: q / normChips,
+			Recall:     bound.Recall,
 		}, boundEps)
 		if !inc.DominatedBy(m) {
 			kept = append(kept, p)
@@ -407,7 +480,7 @@ func (o *Optimizer) groupChoicesFor(ctx *searchCtx, g pipeline.Group, chips, ser
 	}
 	var choices []groupChoice
 	for _, b := range ctx.preBatches {
-		pause, ok := engine.RetrievalPause(o.Pipe, o.Prof, g.Stages, servers, b)
+		pause, ok := engine.RetrievalPause(o.Pipe, o.Prof, g.Stages, servers, b, ctx.cheapNP, ctx.cheapFO)
 		if !ok {
 			continue
 		}

@@ -48,6 +48,16 @@ type Options struct {
 	// ChunkQuanta enumerates chunked-prefill quanta alongside the batch
 	// search (0 = chunking off). Empty searches only 0.
 	ChunkQuanta []int
+	// NProbes enumerates retrieval probe counts (IVF cells scanned per
+	// query) as a schedule search dimension; 0 means the tier's base
+	// configuration. Empty searches only the base — byte-compatible with
+	// the historical search. More probes buy recall (when the profiler
+	// carries a calibrated RecallModel) for proportionally more scan.
+	NProbes []int
+	// ShardFanouts enumerates scatter-gather fanouts (shards consulted
+	// per query) on a sharded retrieval tier; 0 means all shards. Empty
+	// searches only all-shards.
+	ShardFanouts []int
 	// NoPrune disables branch-and-bound pruning and bound-ordered
 	// dispatch, forcing the exhaustive reference search. The frontier is
 	// provably identical either way (the differential test pins it);
@@ -286,14 +296,16 @@ func (o *Optimizer) PlanFrontier(plan Plan) []SchedulePoint {
 // pruning partial extensions against the shared incumbent (inc nil
 // disables; bound is the plan's admissible bound when inc is set).
 func (o *Optimizer) planFrontier(ctx *searchCtx, plan Plan, inc *perf.Incremental, bound perf.Metrics) []SchedulePoint {
-	if ctx.formActive {
-		// Within-plan partial pruning prices the FIFO/unchunked/unshaped
-		// proxy. The batch ladder survives it (TTFT strictly orders batch
-		// sizes, so every batch choice keeps a frontier representative for
-		// formation dimensions to re-price), but a partial's proxy
-		// throughput is not a bound on its shaped completions — so the
-		// mid-plan incumbent cut is disabled and only the admissible
-		// plan-level bound (planBound's formation relaxation) prunes.
+	if ctx.formActive || ctx.retrActive {
+		// Within-plan partial pruning prices the FIFO/unchunked/unshaped/
+		// base-knob proxy. The batch ladder survives it (TTFT strictly
+		// orders batch sizes, so every batch choice keeps a frontier
+		// representative for the stamped dimensions to re-price), but a
+		// partial's proxy metrics are not a bound on its shaped or
+		// knob-tuned completions — so the mid-plan incumbent cut is
+		// disabled and only the admissible plan-level bound (planBound's
+		// formation relaxation and cheapest-knob retrieval envelope)
+		// prunes.
 		inc = nil
 	}
 	var pts []SchedulePoint
@@ -301,11 +313,17 @@ func (o *Optimizer) planFrontier(ctx *searchCtx, plan Plan, inc *perf.Incrementa
 		for _, s := range o.planCandidates(ctx, plan, bIter, inc, bound) {
 			for _, pol := range ctx.policies {
 				for _, q := range ctx.quanta {
-					sc := s
-					sc.FormPolicy = pol
-					sc.ChunkQuantum = q
-					if m, ok := ctx.evaluate(sc); ok {
-						pts = append(pts, SchedulePoint{Metrics: m, Item: sc})
+					for _, np := range ctx.nprobes {
+						for _, fo := range ctx.fanouts {
+							sc := s
+							sc.FormPolicy = pol
+							sc.ChunkQuantum = q
+							sc.NProbe = np
+							sc.ShardFanout = fo
+							if m, ok := ctx.evaluate(sc); ok {
+								pts = append(pts, SchedulePoint{Metrics: m, Item: sc})
+							}
+						}
 					}
 				}
 			}

@@ -303,7 +303,7 @@ func compileInto(p *Plan, pipe pipeline.Pipeline, sched Schedule, prof *stageper
 		// Fig. 14: when a retrieval separates collocated stages, the
 		// group pauses for the retrieval round before resuming the
 		// next inference phase (§7.1's second baseline inefficiency).
-		pause, ok := RetrievalPause(pipe, prof, g.Stages, sched.RetrievalServers, g.Batch)
+		pause, ok := RetrievalPause(pipe, prof, g.Stages, sched.RetrievalServers, g.Batch, sched.NProbe, sched.ShardFanout)
 		if !ok {
 			return fmt.Errorf("engine: retrieval pause infeasible for group %d", gi)
 		}
@@ -325,7 +325,11 @@ func compileInto(p *Plan, pipe pipeline.Pipeline, sched Schedule, prof *stageper
 	// pools). The initial retrieval latency sits on the TTFT path;
 	// iterative retrievals consume tier throughput (TPOT path).
 	for i, ridx := range p.RetrievalIdxs {
-		rt := prof.Eval(pipe.Stages[ridx], sched.RetrievalServers, sched.RetrievalBatch)
+		// The schedule's retrieval knobs tune the stage value itself:
+		// profiler memoization, partial-batch re-pricing (StepLatency),
+		// and both executors then cost the tuned scan automatically.
+		rst := pipe.Stages[ridx].Tuned(sched.NProbe, sched.ShardFanout)
+		rt := prof.Eval(rst, sched.RetrievalServers, sched.RetrievalBatch)
 		if !rt.OK {
 			return fmt.Errorf("engine: retrieval infeasible on %d servers at batch %d", sched.RetrievalServers, sched.RetrievalBatch)
 		}
@@ -334,7 +338,7 @@ func compileInto(p *Plan, pipe pipeline.Pipeline, sched Schedule, prof *stageper
 			name = retrievalName(i)
 		}
 		p.Steps[ridx] = Step{
-			Stage:    pipe.Stages[ridx],
+			Stage:    rst,
 			Resource: len(p.Resources),
 			Chips:    sched.RetrievalServers,
 			Batch:    sched.RetrievalBatch,
@@ -386,6 +390,11 @@ func compileInto(p *Plan, pipe pipeline.Pipeline, sched Schedule, prof *stageper
 		TPOT:       p.GenTime / outTokens,
 		QPS:        qps,
 		QPSPerChip: qps / float64(sched.ChipsUsed()),
+	}
+	if len(p.RetrievalIdxs) > 0 {
+		// The quality axis: measured recall of the schedule's retrieval
+		// operating point (0 when no recall surface is calibrated).
+		p.Metrics.Recall = prof.StageRecall(p.Steps[p.RetrievalIdxs[0]].Stage)
 	}
 	if !p.Metrics.Valid() {
 		return fmt.Errorf("engine: schedule assembles to unphysical metrics %v", p.Metrics)
@@ -534,6 +543,21 @@ func (p *Plan) TrackNames() []string {
 	return names
 }
 
+// Shards returns the retrieval shard count of the profiler the plan was
+// compiled against (0 or 1 means an unsharded tier). Executors use it to
+// decide whether retrieval batches run — and trace — as a scatter-gather.
+func (p *Plan) Shards() int { return p.prof.Shards }
+
+// EffectiveFanout normalizes the schedule's fanout knob against the shard
+// count: values outside [1, Shards] mean consult every shard.
+func (p *Plan) EffectiveFanout() int {
+	n := p.Shards()
+	if fo := p.Sched.ShardFanout; fo >= 1 && fo <= n {
+		return fo
+	}
+	return n
+}
+
 // StepAt returns the step at a real or virtual stage index: pipeline
 // steps below len(Steps), the iterative round's steps above.
 func (p *Plan) StepAt(idx int) Step {
@@ -577,11 +601,14 @@ func (p *Plan) StepLatency(idx, n int) float64 {
 // between its phases, batch latency amortized over the batch. Spanned
 // retrievals that run in parallel (fan-out sources on independent tiers)
 // overlap, so the pause is the longest chain over the spanned-retrieval
-// DAG, not the sum. The boolean is false when the retrieval tier is
+// DAG, not the sum. nprobe and fanout tune the spanned scans (0 means the
+// tier's base configuration); the optimizer's pre-schedule pricing passes
+// the cheapest knob values it searches so the pause stays an optimistic
+// (admissible) estimate. The boolean is false when the retrieval tier is
 // infeasible at this batch. Exposed for the optimizer's incremental
 // per-plan search, which prices group choices before full schedules
 // exist.
-func RetrievalPause(pipe pipeline.Pipeline, prof *stageperf.Profiler, stages []int, servers, batch int) (float64, bool) {
+func RetrievalPause(pipe pipeline.Pipeline, prof *stageperf.Profiler, stages []int, servers, batch, nprobe, fanout int) (float64, bool) {
 	var spanned []int
 	for _, ridx := range pipe.Indices(pipeline.KindRetrieval) {
 		before, after := false, false
@@ -600,7 +627,7 @@ func RetrievalPause(pipe pipeline.Pipeline, prof *stageperf.Profiler, stages []i
 	var pause float64
 	chain := make(map[int]float64, len(spanned))
 	for i, ridx := range spanned { // ascending index == topological order
-		rt := prof.Eval(pipe.Stages[ridx], servers, batch)
+		rt := prof.Eval(pipe.Stages[ridx].Tuned(nprobe, fanout), servers, batch)
 		if !rt.OK {
 			return 0, false
 		}

@@ -274,7 +274,7 @@ func TestRetrievalPauseParallelSources(t *testing.T) {
 	// spanning both retrieval sources.
 	spanning := pipe.PreDecodeXPUStages()
 	const servers, batch = 8, 4
-	pause, ok := RetrievalPause(pipe, prof, spanning, servers, batch)
+	pause, ok := RetrievalPause(pipe, prof, spanning, servers, batch, 0, 0)
 	if !ok {
 		t.Fatal("pause infeasible")
 	}
@@ -285,7 +285,7 @@ func TestRetrievalPauseParallelSources(t *testing.T) {
 	}
 	// A group strictly downstream of the fan-out pauses not at all.
 	post := []int{pipe.Index(pipeline.KindRerank), pipe.Index(pipeline.KindPrefix)}
-	if pause, ok := RetrievalPause(pipe, prof, post, servers, batch); !ok || pause != 0 {
+	if pause, ok := RetrievalPause(pipe, prof, post, servers, batch, 0, 0); !ok || pause != 0 {
 		t.Errorf("downstream group pause = %v, want 0", pause)
 	}
 }

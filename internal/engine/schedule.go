@@ -59,6 +59,14 @@ type Schedule struct {
 	// quantum instead of the batch maximum) and each member's first token
 	// unblocks at its own chunk boundary. 0 means whole-prompt prefill.
 	ChunkQuantum int
+	// NProbe is the retrieval tier's probe count (IVF cells scanned per
+	// query): more probes buy recall with proportionally more scan bytes.
+	// 0 means the tier's base configuration (retrieval.BaseNProbe).
+	NProbe int
+	// ShardFanout is how many index shards the scatter-gather consults
+	// per query on a sharded retrieval tier. 0 means all shards; values
+	// below the shard count trade recall for scan volume and gather cost.
+	ShardFanout int
 }
 
 // DecodeReplicasOrOne normalizes the zero value.
@@ -113,6 +121,12 @@ func (s Schedule) Describe(p pipeline.Pipeline) string {
 	if s.ChunkQuantum > 0 {
 		fmt.Fprintf(&b, " [chunk=%d]", s.ChunkQuantum)
 	}
+	if s.NProbe > 0 {
+		fmt.Fprintf(&b, " [nprobe=%d]", s.NProbe)
+	}
+	if s.ShardFanout > 0 {
+		fmt.Fprintf(&b, " [fanout=%d]", s.ShardFanout)
+	}
 	return b.String()
 }
 
@@ -161,6 +175,15 @@ func (s Schedule) Validate(p pipeline.Pipeline) error {
 	}
 	if s.ChunkQuantum < 0 {
 		return fmt.Errorf("engine: negative chunk quantum %d", s.ChunkQuantum)
+	}
+	if s.NProbe < 0 {
+		return fmt.Errorf("engine: negative nprobe %d", s.NProbe)
+	}
+	if s.ShardFanout < 0 {
+		return fmt.Errorf("engine: negative shard fanout %d", s.ShardFanout)
+	}
+	if !hasRetrieval && (s.NProbe != 0 || s.ShardFanout != 0) {
+		return fmt.Errorf("engine: retrieval knobs set for retrieval-free pipeline")
 	}
 	return nil
 }

@@ -241,6 +241,7 @@ func (p *Plan) ShapeMetricsWithPolicy(shapes []Shape, pol BatchPolicy) perf.Metr
 		TPOT:       meanGen / (sumOut / n),
 		QPS:        qps,
 		QPSPerChip: qps / float64(p.Sched.ChipsUsed()),
+		Recall:     p.Metrics.Recall, // shape-independent: the scan's quality axis
 	}
 }
 

@@ -76,6 +76,14 @@ const (
 	// KindCacheAnswerHit records an exact-match answer-cache hit
 	// short-circuiting the whole pipeline at admission (T is the arrival).
 	KindCacheAnswerHit
+	// KindShardScatter / KindShardGather bracket one retrieval batch's
+	// scatter-gather across index shards (N carries the fanout — the
+	// shard count consulted per query); KindShardFallback records the
+	// batch skipping unhealthy replicas (N is the fallback pick count)
+	// or, with a shard's replicas all down, merging without the shard.
+	KindShardScatter
+	KindShardGather
+	KindShardFallback
 )
 
 var kindNames = [...]string{
@@ -96,6 +104,9 @@ var kindNames = [...]string{
 	KindCacheHit:       "cache-hit",
 	KindCacheMiss:      "cache-miss",
 	KindCacheAnswerHit: "cache-answer-hit",
+	KindShardScatter:   "shard-scatter",
+	KindShardGather:    "shard-gather",
+	KindShardFallback:  "shard-fallback",
 }
 
 func (k Kind) String() string {

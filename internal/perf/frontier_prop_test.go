@@ -30,12 +30,12 @@ func frontierRef(pts []Point[int]) []Point[int] {
 		if dominated {
 			continue
 		}
-		// Duplicates collapse on the three objectives; raw QPS is not
+		// Duplicates collapse on the four objectives; raw QPS is not
 		// one (the paper normalizes throughput by chip count).
 		dup := false
 		for _, q := range valid[:i] {
 			if q.Metrics.TTFT == p.Metrics.TTFT && q.Metrics.TPOT == p.Metrics.TPOT &&
-				q.Metrics.QPSPerChip == p.Metrics.QPSPerChip {
+				q.Metrics.QPSPerChip == p.Metrics.QPSPerChip && q.Metrics.Recall == p.Metrics.Recall {
 				dup = true
 				break
 			}
@@ -49,26 +49,39 @@ func frontierRef(pts []Point[int]) []Point[int] {
 		if a.TTFT != b.TTFT {
 			return a.TTFT < b.TTFT
 		}
-		return a.QPSPerChip > b.QPSPerChip
+		if a.QPSPerChip != b.QPSPerChip {
+			return a.QPSPerChip > b.QPSPerChip
+		}
+		if a.TPOT != b.TPOT {
+			return a.TPOT < b.TPOT
+		}
+		return a.Recall > b.Recall
 	})
 	return kept
 }
 
 // gridMetrics draws metrics from a coarse grid (forcing ties and exact
-// duplicates) with occasional NaN/Inf/negative pollution.
+// duplicates) with occasional NaN/Inf/negative pollution. Recall draws
+// from the same grid (a valid [0, 0.4] range) with zero common — the
+// unmeasured quality axis must coexist with measured points.
 func gridMetrics(rng *rand.Rand) Metrics {
 	grid := func() float64 { return float64(rng.Intn(5)) * 0.1 }
-	m := Metrics{TTFT: grid(), TPOT: grid(), QPS: grid() * 100, QPSPerChip: grid() * 10}
+	m := Metrics{TTFT: grid(), TPOT: grid(), QPS: grid() * 100, QPSPerChip: grid() * 10, Recall: grid()}
 	if rng.Intn(10) == 0 {
 		bad := []float64{math.NaN(), math.Inf(1), math.Inf(-1), -1}
 		f := bad[rng.Intn(len(bad))]
-		switch rng.Intn(4) {
+		switch rng.Intn(5) {
 		case 0:
 			m.TTFT = f
 		case 1:
 			m.TPOT = f
 		case 2:
 			m.QPS = f
+		case 3:
+			m.Recall = bad[rng.Intn(2)] // NaN or out-of-range high
+			if m.Recall > 1 {
+				m.Recall = 1.5
+			}
 		default:
 			m.QPSPerChip = f
 		}

@@ -26,32 +26,44 @@ type Metrics struct {
 	TPOT       float64
 	QPS        float64
 	QPSPerChip float64
+	// Recall is the schedule's measured retrieval quality (recall@k of its
+	// nprobe/fanout operating point), higher better. 0 means unmeasured —
+	// deployments without a calibrated recall surface — in which case the
+	// quality axis is inert and every frontier computation reduces exactly
+	// to the original three objectives.
+	Recall float64
 }
 
 // Valid reports whether the metrics are physically meaningful: latencies
-// non-negative and finite, throughputs non-negative and finite.
+// non-negative and finite, throughputs non-negative and finite, recall
+// inside [0, 1].
 func (m Metrics) Valid() bool {
 	for _, v := range []float64{m.TTFT, m.TPOT, m.QPS, m.QPSPerChip} {
 		if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
 			return false
 		}
 	}
-	return true
+	return !math.IsNaN(m.Recall) && m.Recall >= 0 && m.Recall <= 1
 }
 
 // Dominates reports whether m is at least as good as other on every
 // objective and strictly better on at least one. Lower TTFT and TPOT are
-// better; higher QPSPerChip is better. Absolute QPS is intentionally not an
-// objective: the paper normalizes throughput by chip count.
+// better; higher QPSPerChip and Recall are better. Absolute QPS is
+// intentionally not an objective: the paper normalizes throughput by chip
+// count.
 func (m Metrics) Dominates(other Metrics) bool {
-	if m.TTFT > other.TTFT || m.TPOT > other.TPOT || m.QPSPerChip < other.QPSPerChip {
+	if m.TTFT > other.TTFT || m.TPOT > other.TPOT || m.QPSPerChip < other.QPSPerChip || m.Recall < other.Recall {
 		return false
 	}
-	return m.TTFT < other.TTFT || m.TPOT < other.TPOT || m.QPSPerChip > other.QPSPerChip
+	return m.TTFT < other.TTFT || m.TPOT < other.TPOT || m.QPSPerChip > other.QPSPerChip || m.Recall > other.Recall
 }
 
 func (m Metrics) String() string {
-	return fmt.Sprintf("TTFT=%.4fs TPOT=%.4fs QPS=%.2f QPS/chip=%.3f", m.TTFT, m.TPOT, m.QPS, m.QPSPerChip)
+	s := fmt.Sprintf("TTFT=%.4fs TPOT=%.4fs QPS=%.2f QPS/chip=%.3f", m.TTFT, m.TPOT, m.QPS, m.QPSPerChip)
+	if m.Recall > 0 {
+		s += fmt.Sprintf(" recall=%.3f", m.Recall)
+	}
+	return s
 }
 
 // Point couples metrics with an arbitrary payload (typically a schedule
@@ -66,11 +78,15 @@ type Point[T any] struct {
 // descending QPS/chip). Points with exactly equal metrics are collapsed to
 // the first occurrence. The input slice is not modified.
 //
-// The implementation sorts by (TTFT asc, TPOT asc, QPS/chip desc) and
-// sweeps with a staircase over (TPOT, QPS/chip): a candidate is dominated
-// iff some already-kept point (necessarily with TTFT <= its own) has
-// TPOT <= and QPS/chip >= its values. Complexity O(n log n); the schedule
-// search merges hundreds of thousands of points through here.
+// The implementation sorts by (TTFT asc, TPOT asc, QPS/chip desc, Recall
+// desc) and sweeps with a staircase over (TPOT, QPS/chip) per distinct
+// recall level: a candidate is dominated iff some already-kept point
+// (necessarily with TTFT <= its own, by sort order) at a recall level >=
+// its own has TPOT <= and QPS/chip >= its values. Recall takes few
+// distinct values in practice (one per calibrated nprobe/fanout operating
+// point) so complexity is O(n log n · levels); with the quality axis
+// unmeasured there is a single level and the sweep is the original
+// three-objective staircase, point for point.
 func Frontier[T any](pts []Point[T]) []Point[T] {
 	valid := make([]Point[T], 0, len(pts))
 	for _, p := range pts {
@@ -86,37 +102,74 @@ func Frontier[T any](pts []Point[T]) []Point[T] {
 		if a.TPOT != b.TPOT {
 			return a.TPOT < b.TPOT
 		}
-		return a.QPSPerChip > b.QPSPerChip
+		if a.QPSPerChip != b.QPSPerChip {
+			return a.QPSPerChip > b.QPSPerChip
+		}
+		return a.Recall > b.Recall
 	})
 
-	// stairs holds kept (tpot, qps) corners with tpot strictly
+	// Each recall level holds kept (tpot, qps) corners with tpot strictly
 	// increasing and qps strictly increasing: bestQPSAtOrBelow(tpot) is
-	// the qps of the last corner with tpot' <= tpot.
+	// the qps of the last corner with tpot' <= tpot. levels is sorted by
+	// descending recall so a candidate checks the levels that can
+	// dominate it (recall >= its own) as a prefix.
 	type corner struct{ tpot, qps float64 }
-	var stairs []corner
+	type level struct {
+		recall float64
+		stairs []corner
+	}
+	var levels []level
 	var front []Point[T]
 	for _, p := range valid {
 		m := p.Metrics
-		// Find the rightmost corner with tpot <= m.TPOT.
-		i := sort.Search(len(stairs), func(k int) bool { return stairs[k].tpot > m.TPOT }) - 1
-		if i >= 0 && stairs[i].qps >= m.QPSPerChip {
-			continue // dominated (or an exact duplicate)
+		dominated := false
+		for li := range levels {
+			if levels[li].recall < m.Recall {
+				break
+			}
+			stairs := levels[li].stairs
+			// Find the rightmost corner with tpot <= m.TPOT.
+			i := sort.Search(len(stairs), func(k int) bool { return stairs[k].tpot > m.TPOT }) - 1
+			if i >= 0 && stairs[i].qps >= m.QPSPerChip {
+				dominated = true // dominated (or an exact duplicate)
+				break
+			}
+		}
+		if dominated {
+			continue
 		}
 		front = append(front, p)
-		// Insert the new corner and drop now-redundant successors.
+		// Insert the new corner into its own recall level (created on
+		// first use) and drop now-redundant successors.
+		li := sort.Search(len(levels), func(k int) bool { return levels[k].recall <= m.Recall })
+		if li == len(levels) || levels[li].recall != m.Recall {
+			levels = append(levels, level{})
+			copy(levels[li+1:], levels[li:])
+			levels[li] = level{recall: m.Recall}
+		}
+		stairs := levels[li].stairs
+		i := sort.Search(len(stairs), func(k int) bool { return stairs[k].tpot > m.TPOT }) - 1
 		ins := i + 1
 		end := ins
 		for end < len(stairs) && stairs[end].qps <= m.QPSPerChip {
 			end++
 		}
-		stairs = append(stairs[:ins], append([]corner{{m.TPOT, m.QPSPerChip}}, stairs[end:]...)...)
+		levels[li].stairs = append(stairs[:ins], append([]corner{{m.TPOT, m.QPSPerChip}}, stairs[end:]...)...)
 	}
 	sort.SliceStable(front, func(i, j int) bool {
 		a, b := front[i].Metrics, front[j].Metrics
 		if a.TTFT != b.TTFT {
 			return a.TTFT < b.TTFT
 		}
-		return a.QPSPerChip > b.QPSPerChip
+		if a.QPSPerChip != b.QPSPerChip {
+			return a.QPSPerChip > b.QPSPerChip
+		}
+		// With the recall axis, points can tie on (TTFT, QPS/chip)
+		// without dominance; order them deterministically.
+		if a.TPOT != b.TPOT {
+			return a.TPOT < b.TPOT
+		}
+		return a.Recall > b.Recall
 	})
 	return front
 }
@@ -156,7 +209,7 @@ func (inc *Incremental) DominatedBy(m Metrics) bool {
 
 // Insert adds m to the incumbent set, evicting members it dominates. It
 // returns false — leaving the set unchanged — when m is invalid, dominated
-// by a member, or a duplicate on the three objectives (raw QPS is not an
+// by a member, or a duplicate on the four objectives (raw QPS is not an
 // objective, matching Frontier's duplicate collapse).
 func (inc *Incremental) Insert(m Metrics) bool {
 	if !m.Valid() {
@@ -165,7 +218,7 @@ func (inc *Incremental) Insert(m Metrics) bool {
 	inc.mu.Lock()
 	defer inc.mu.Unlock()
 	for _, p := range inc.pts {
-		if (p.TTFT == m.TTFT && p.TPOT == m.TPOT && p.QPSPerChip == m.QPSPerChip) || p.Dominates(m) {
+		if (p.TTFT == m.TTFT && p.TPOT == m.TPOT && p.QPSPerChip == m.QPSPerChip && p.Recall == m.Recall) || p.Dominates(m) {
 			return false
 		}
 	}

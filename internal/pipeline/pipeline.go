@@ -67,6 +67,25 @@ type Stage struct {
 	// generated auto-regressively with an average live context CtxLen.
 	OutTokens int
 	CtxLen    int
+
+	// NProbe and ShardFanout tune retrieval-type work: IVF cells probed
+	// per query and shards consulted by the scatter-gather (0 means the
+	// tier's base configuration). They live on the stage value — not the
+	// schedule alone — so profiler memoization and plan costing key on
+	// them like any other workload shape.
+	NProbe      int
+	ShardFanout int
+}
+
+// Tuned returns the stage with retrieval knobs applied; non-retrieval
+// stages are returned unchanged (the knobs are meaningless there).
+func (st Stage) Tuned(nprobe, fanout int) Stage {
+	if st.Kind != KindRetrieval {
+		return st
+	}
+	st.NProbe = nprobe
+	st.ShardFanout = fanout
+	return st
 }
 
 // TokensPerRequest is the total tokens the stage touches per request.

@@ -343,15 +343,29 @@ func (r *resource) exec(si, n int, formV float64, sel []int) {
 		return
 	}
 
-	var search chan error
-	if r.dp.plan.StepAt(idx).Stage.Kind == pipeline.KindRetrieval && r.dp.opts.Searcher != nil {
-		search = make(chan error, 1)
+	var search chan searchResult
+	sharded := r.dp.opts.Sharded
+	if r.dp.plan.StepAt(idx).Stage.Kind == pipeline.KindRetrieval && r.dp.opts.searchOn() {
+		search = make(chan searchResult, 1)
 		go r.dp.runSearch(batch, search)
+		if sharded != nil && r.dp.bus.Active() {
+			r.dp.bus.Publish(obs.Event{Kind: obs.KindShardScatter, T: start, Req: batch[0].id,
+				Slot: idx, Stage: r.dp.slotName[idx], Track: r.name, N: sharded.EffectiveFanout(r.dp.plan.Sched.ShardFanout)})
+		}
 	}
 	r.dp.clock.sleepUntil(done)
 	if search != nil {
-		if err := <-search; err != nil {
-			r.dp.onSearchErr(err)
+		res := <-search
+		if res.err != nil {
+			r.dp.onSearchErr(res.err)
+		}
+		if sharded != nil && r.dp.bus.Active() {
+			if res.fellBack > 0 || res.lost > 0 {
+				r.dp.bus.Publish(obs.Event{Kind: obs.KindShardFallback, T: done, Req: batch[0].id,
+					Slot: idx, Stage: r.dp.slotName[idx], Track: r.name, N: res.fellBack + res.lost})
+			}
+			r.dp.bus.Publish(obs.Event{Kind: obs.KindShardGather, T: done, Req: batch[0].id,
+				Slot: idx, Stage: r.dp.slotName[idx], Track: r.name, N: sharded.EffectiveFanout(r.dp.plan.Sched.ShardFanout), Dur: lat})
 		}
 	}
 	r.dp.coll.batchServed(idx, n, r.dp.plan.StepAt(idx).Batch, tok, pad, 0)

@@ -61,6 +61,10 @@ type collector struct {
 	searches      int
 	searchWall    []float64 // wall seconds per real retrieval batch
 	searchQueries int
+	// Sharded scatter-gather degradation: replica picks that skipped a
+	// down replica, and consulted shards dropped from a merge outright.
+	shardFellBack int
+	shardLost     int
 }
 
 // init sizes the per-stage accounting for a plan's slot layout: one entry
@@ -141,6 +145,13 @@ func (c *collector) searchServed(queries int, wall float64) {
 	c.searches++
 	c.searchQueries += queries
 	c.searchWall = append(c.searchWall, wall)
+	c.mu.Unlock()
+}
+
+func (c *collector) shardDegraded(fellBack, lost int) {
+	c.mu.Lock()
+	c.shardFellBack += fellBack
+	c.shardLost += lost
 	c.mu.Unlock()
 }
 
@@ -237,6 +248,12 @@ type ShapeStat struct {
 	Bucket string `json:"bucket"`
 	// Count is how many completions fell in the bucket.
 	Count int `json:"count"`
+	// MeanPromptTokens and MeanOutputTokens are the bucket's observed
+	// mean lengths (0 for the "schema" bucket — schema constants), the
+	// representative shape an online re-weighting of a plan library's
+	// capacity staircase prices the bucket at.
+	MeanPromptTokens int `json:"mean_prompt_tokens,omitempty"`
+	MeanOutputTokens int `json:"mean_output_tokens,omitempty"`
 	// TTFT and TPOT are quantiles over the bucket's completions.
 	TTFT Quantiles `json:"ttft"`
 	TPOT Quantiles `json:"tpot"`
@@ -266,6 +283,7 @@ func shapeStats(ttft, tpot []float64, shapeP, shapeO []int) []ShapeStat {
 		label      string
 		key        uint64
 		ttft, tpot []float64
+		sumP, sumO int
 	}
 	byBucket := map[string]*agg{}
 	for i := range ttft {
@@ -277,6 +295,8 @@ func shapeStats(ttft, tpot []float64, shapeP, shapeO []int) []ShapeStat {
 		}
 		a.ttft = append(a.ttft, ttft[i])
 		a.tpot = append(a.tpot, tpot[i])
+		a.sumP += shapeP[i]
+		a.sumO += shapeO[i]
 	}
 	aggs := make([]*agg, 0, len(byBucket))
 	for _, a := range byBucket {
@@ -291,10 +311,12 @@ func shapeStats(ttft, tpot []float64, shapeP, shapeO []int) []ShapeStat {
 	out := make([]ShapeStat, len(aggs))
 	for i, a := range aggs {
 		out[i] = ShapeStat{
-			Bucket: a.label,
-			Count:  len(a.ttft),
-			TTFT:   quantilesOf(a.ttft),
-			TPOT:   quantilesOf(a.tpot),
+			Bucket:           a.label,
+			Count:            len(a.ttft),
+			MeanPromptTokens: a.sumP / len(a.ttft),
+			MeanOutputTokens: a.sumO / len(a.ttft),
+			TTFT:             quantilesOf(a.ttft),
+			TPOT:             quantilesOf(a.tpot),
 		}
 	}
 	return out
@@ -361,10 +383,15 @@ type Report struct {
 	// Queues reports per-stage batching and backlog, decode included.
 	Queues []QueueStat `json:"queues,omitempty"`
 
-	// Real-retrieval substrate stats (zero unless a Searcher was set).
-	Searches      int       `json:"searches,omitempty"`
-	SearchQueries int       `json:"search_queries,omitempty"`
-	SearchWall    Quantiles `json:"search_wall"`
+	// Real-retrieval substrate stats (zero unless a Searcher or Sharded
+	// index was set). ShardFallbacks counts replica picks that skipped a
+	// down replica; ShardLost counts consulted shards a scatter-gather
+	// had to merge without (every replica down — graceful degradation).
+	Searches       int       `json:"searches,omitempty"`
+	SearchQueries  int       `json:"search_queries,omitempty"`
+	SearchWall     Quantiles `json:"search_wall"`
+	ShardFallbacks int       `json:"shard_fallbacks,omitempty"`
+	ShardLost      int       `json:"shard_lost,omitempty"`
 
 	// Speedup and WallSeconds record the time compression of the run.
 	Speedup     float64 `json:"speedup"`
@@ -386,9 +413,11 @@ func (c *collector) report(analytic perf.Metrics, hasAnalytic bool, speedup, wal
 		Stall:         quantilesOf(c.stall),
 		Analytic:      analytic,
 		HasAnalytic:   hasAnalytic,
-		Searches:      c.searches,
-		SearchQueries: c.searchQueries,
-		SearchWall:    quantilesOf(c.searchWall),
+		Searches:       c.searches,
+		SearchQueries:  c.searchQueries,
+		SearchWall:     quantilesOf(c.searchWall),
+		ShardFallbacks: c.shardFellBack,
+		ShardLost:      c.shardLost,
 		Speedup:       speedup,
 		WallSeconds:   wall,
 	}

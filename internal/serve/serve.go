@@ -56,6 +56,7 @@ import (
 	"rago/internal/obs"
 	"rago/internal/perf"
 	"rago/internal/pipeline"
+	"rago/internal/retrieval"
 	"rago/internal/stageperf"
 	"rago/internal/trace"
 	"rago/internal/vectordb"
@@ -107,11 +108,25 @@ type Options struct {
 	Cache *cache.Cache
 	// Searcher, when set, runs real vector search per retrieval batch.
 	Searcher SearchFunc
+	// Sharded, when set, runs each retrieval batch through the real
+	// sharded scatter-gather instead of a flat Searcher: per-shard top-k
+	// on a healthy replica of every consulted shard (round-robin with
+	// failure fallback), merged exactly. The compiled schedule's NProbe
+	// and ShardFanout knobs drive the probe count and fanout, and the
+	// batch emits shard-scatter/gather/fallback events on Bus. Mutually
+	// exclusive with Searcher; requires QueryDim.
+	Sharded *vectordb.Sharded
+	// SearchK is the per-query neighbor count for Sharded (0 means 10,
+	// the recall@10 evaluation point).
+	SearchK int
 	// QueryDim is the dimensionality of synthesized queries for Searcher.
 	QueryDim int
 	// QuerySeed makes synthesized query batches deterministic.
 	QuerySeed int64
 }
+
+// searchOn reports whether a real retrieval substrate is configured.
+func (o Options) searchOn() bool { return o.Searcher != nil || o.Sharded != nil }
 
 // validate rejects nonsensical options with a descriptive error instead of
 // silently mapping them to defaults.
@@ -128,8 +143,14 @@ func (o Options) validate() error {
 	if o.WindowEvery > 0 && o.Bus == nil {
 		return fmt.Errorf("serve: WindowEvery without a Bus has nowhere to stream")
 	}
-	if o.Searcher != nil && o.QueryDim < 1 {
+	if o.searchOn() && o.QueryDim < 1 {
 		return fmt.Errorf("serve: Searcher requires a positive QueryDim")
+	}
+	if o.Searcher != nil && o.Sharded != nil {
+		return fmt.Errorf("serve: Searcher and Sharded are mutually exclusive")
+	}
+	if o.SearchK < 0 {
+		return fmt.Errorf("serve: SearchK must be non-negative (0 means 10), got %d", o.SearchK)
 	}
 	return nil
 }
@@ -447,9 +468,19 @@ func (dp *dataplane) complete(q *request, done float64) {
 	dp.onComplete(q, done)
 }
 
+// searchResult is one retrieval batch's real-substrate outcome: the error
+// (if any) plus the sharded scatter-gather's fallback bookkeeping — how
+// many replica picks skipped unhealthy replicas, and how many consulted
+// shards had to be dropped from the merge with every replica down.
+type searchResult struct {
+	err      error
+	fellBack int
+	lost     int
+}
+
 // runSearch synthesizes the batch's query vectors and executes them against
 // the real retrieval substrate, concurrently with the modeled pacing.
-func (dp *dataplane) runSearch(batch []*request, done chan<- error) {
+func (dp *dataplane) runSearch(batch []*request, done chan<- searchResult) {
 	qpr := dp.plan.Pipe.Schema.QueriesPerRetrieval
 	if qpr < 1 {
 		qpr = 1
@@ -466,9 +497,35 @@ func (dp *dataplane) runSearch(batch []*request, done chan<- error) {
 		}
 	}
 	start := time.Now()
-	_, err := dp.opts.Searcher(queries)
+	var res searchResult
+	if sh := dp.opts.Sharded; sh != nil {
+		k := dp.opts.SearchK
+		if k == 0 {
+			k = 10
+		}
+		np := dp.plan.Sched.NProbe
+		if np <= 0 {
+			// Knob off means the tier's base configuration, same as the
+			// analytic cost model's DB.Tuned.
+			np = retrieval.BaseNProbe
+		}
+		infos := make([]vectordb.ShardQuery, len(queries))
+		_, err := sh.SearchBatch(queries, k, np, dp.plan.Sched.ShardFanout, infos)
+		res.err = err
+		for _, info := range infos {
+			if info.FellBack {
+				res.fellBack++
+			}
+			res.lost += info.Lost
+		}
+	} else {
+		_, res.err = dp.opts.Searcher(queries)
+	}
 	dp.coll.searchServed(len(queries), time.Since(start).Seconds())
-	done <- err
+	if res.fellBack > 0 || res.lost > 0 {
+		dp.coll.shardDegraded(res.fellBack, res.lost)
+	}
+	done <- res
 }
 
 // Runtime is a live serving engine for one compiled plan: the

@@ -571,6 +571,17 @@ func (s *ServeSim) Run(reqs []trace.Request, flushTimeout float64) (ServeResult,
 			}
 		}
 		if bus.Active() {
+			// Mirror the live runtime's scatter-gather bracket on sharded
+			// retrieval batches: one scatter at dispatch, one gather at the
+			// modeled finish, N = the shards consulted. The simulator's
+			// replicas are always healthy, so it never emits a fallback —
+			// matching a live run with no replicas down.
+			if plan.Shards() > 1 && plan.StepAt(best).Stage.Kind == pipeline.KindRetrieval {
+				bus.Publish(obs.Event{Kind: obs.KindShardScatter, T: now, Req: reqs[batch[0]].ID,
+					Slot: best, Stage: slotName[best], Track: plan.Resources[res].Name, N: plan.EffectiveFanout()})
+				bus.Publish(obs.Event{Kind: obs.KindShardGather, T: now + lat, Req: reqs[batch[0]].ID,
+					Slot: best, Stage: slotName[best], Track: plan.Resources[res].Name, N: plan.EffectiveFanout(), Dur: lat})
+			}
 			for i, r := range batch {
 				fin, dur := now+lat, lat
 				if chunked {

@@ -60,6 +60,16 @@ type Profiler struct {
 	// false everywhere else.
 	NoMemo bool
 
+	// Shards is the retrieval tier's shard count (0 or 1 means an
+	// unsharded index): it scales fanout-restricted scan volume and adds
+	// the scatter-gather merge cost. RecallMod, when set, is the
+	// calibrated recall@k surface over (nprobe, fanout) — nil keeps
+	// Recall at 0 everywhere (the pre-quality-axis behavior). Both are
+	// configuration, set before the first evaluation: the memo caches key
+	// on stage values only.
+	Shards    int
+	RecallMod *retrieval.RecallModel
+
 	retrDB retrieval.DB
 	mu     sync.Mutex
 	cache  map[cacheKey]Point
@@ -375,7 +385,7 @@ func (p *Profiler) evalCached(st pipeline.Stage, chips, batch int) Point {
 func (p *Profiler) eval(st pipeline.Stage, chips, batch int) Point {
 	switch st.Kind {
 	case pipeline.KindRetrieval:
-		return p.evalRetrieval(chips, batch)
+		return p.evalRetrieval(st, chips, batch)
 	case pipeline.KindEncode:
 		return p.evalEncode(st, chips, batch)
 	case pipeline.KindRewritePrefix, pipeline.KindPrefix:
@@ -407,10 +417,14 @@ func (p *Profiler) eval(st pipeline.Stage, chips, batch int) Point {
 	}
 }
 
-// evalRetrieval treats chips as server count.
-func (p *Profiler) evalRetrieval(servers, batch int) Point {
+// evalRetrieval treats chips as server count. The stage's NProbe and
+// ShardFanout tune the scan: probe count scales leaf bytes linearly,
+// fanout restriction drops the probed cells on unconsulted shards, and a
+// sharded deployment pays a per-consulted-shard gather cost on top of the
+// parallel scan.
+func (p *Profiler) evalRetrieval(st pipeline.Stage, servers, batch int) Point {
 	sys := retrieval.System{
-		DB:                  p.retrDB,
+		DB:                  p.retrDB.Tuned(st.NProbe, st.ShardFanout, p.Shards),
 		Host:                p.Host,
 		Servers:             servers,
 		QueriesPerRetrieval: p.Schema.QueriesPerRetrieval,
@@ -419,8 +433,31 @@ func (p *Profiler) evalRetrieval(servers, batch int) Point {
 	if err != nil {
 		return Point{}
 	}
-	return Point{Latency: r.Latency, QPS: r.QPS, OK: true}
+	lat := r.Latency
+	if p.Shards > 1 {
+		fo := st.ShardFanout
+		if fo <= 0 || fo > p.Shards {
+			fo = p.Shards
+		}
+		lat += retrieval.GatherLatency(fo)
+	}
+	return Point{Latency: lat, QPS: float64(batch) / lat, OK: true}
 }
+
+// StageRecall returns the calibrated recall@k of a retrieval stage's
+// (nprobe, fanout) operating point; 0 for non-retrieval stages or when no
+// recall model is attached.
+func (p *Profiler) StageRecall(st pipeline.Stage) float64 {
+	if st.Kind != pipeline.KindRetrieval {
+		return 0
+	}
+	return p.RecallMod.Recall(st.NProbe, st.ShardFanout)
+}
+
+// MaxRecall returns the attached recall surface's best value — the
+// admissible upper bound the schedule search prunes recall with; 0 when no
+// model is attached.
+func (p *Profiler) MaxRecall() float64 { return p.RecallMod.MaxRecall() }
 
 // evalEncode processes batch requests of st.Items chunks each at a fixed
 // internal chunk batch; chunk supply is abundant so throughput is the

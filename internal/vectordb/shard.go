@@ -1,0 +1,284 @@
+package vectordb
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// Sharded partitions a trained IVF-PQ index across N shards, each served by
+// R replicas, and answers queries by scatter-gather: the coarse quantizer
+// ranks cells globally, the probed cells map onto their owning shards, each
+// consulted shard scans its lists into a partial top-k, and the partials
+// merge exactly (same total order as a single-index scan).
+//
+// Sharding is by whole inverted list: cell c lives on shard c mod N. Because
+// the cell ranking stays global, probing the globally-top-nprobe cells
+// touches exactly the vectors a single-index Search with the same nprobe
+// touches — so at full fanout the sharded result is bit-identical and recall
+// parity holds by construction. Restricting fanout to fewer shards drops the
+// probed cells on excluded shards: that is the quality/latency knob the
+// optimizer searches over (fewer shards consulted, fewer bytes scanned,
+// lower recall).
+//
+// Replicas model the serving tier's redundancy: all R replicas of a shard
+// hold the same read-only lists, a query picks one round-robin among the
+// healthy ones, and a replica marked down is skipped (a fallback, counted
+// and reportable) without changing results. Only a whole shard down — every
+// replica unhealthy — degrades answers, by merging the surviving shards.
+type Sharded struct {
+	ix       *IVFPQ
+	shards   int
+	replicas int
+
+	// down[s*replicas+r] marks replica r of shard s unhealthy. Atomic so
+	// health toggles race-free against concurrent searches.
+	down []atomic.Bool
+	// rr is the per-shard round-robin cursor for replica selection.
+	rr []atomic.Uint64
+	// fallbacks counts replica selections that skipped a down replica.
+	fallbacks atomic.Int64
+}
+
+// NewSharded shards a trained index across shards×replicas. The underlying
+// index is shared read-only; building is O(1).
+func NewSharded(ix *IVFPQ, shards, replicas int) (*Sharded, error) {
+	if ix == nil {
+		return nil, fmt.Errorf("vectordb: NewSharded on nil index")
+	}
+	if shards < 1 {
+		return nil, fmt.Errorf("vectordb: shards = %d < 1", shards)
+	}
+	if replicas < 1 {
+		return nil, fmt.Errorf("vectordb: replicas = %d < 1", replicas)
+	}
+	if shards > ix.NList() {
+		return nil, fmt.Errorf("vectordb: %d shards exceed %d coarse cells (a shard would be empty)", shards, ix.NList())
+	}
+	return &Sharded{
+		ix:       ix,
+		shards:   shards,
+		replicas: replicas,
+		down:     make([]atomic.Bool, shards*replicas),
+		rr:       make([]atomic.Uint64, shards),
+	}, nil
+}
+
+// Shards returns the shard count N.
+func (s *Sharded) Shards() int { return s.shards }
+
+// Replicas returns the per-shard replica count R.
+func (s *Sharded) Replicas() int { return s.replicas }
+
+// Len returns the number of indexed vectors across all shards.
+func (s *Sharded) Len() int { return s.ix.Len() }
+
+// ShardOfCell returns the shard owning coarse cell c.
+func (s *Sharded) ShardOfCell(c int) int { return c % s.shards }
+
+// SetReplicaHealth marks replica r of shard sh up or down. Searches never
+// block on an unhealthy replica: they fall back to the next healthy one.
+func (s *Sharded) SetReplicaHealth(sh, r int, up bool) error {
+	if sh < 0 || sh >= s.shards || r < 0 || r >= s.replicas {
+		return fmt.Errorf("vectordb: replica (%d,%d) out of range %dx%d", sh, r, s.shards, s.replicas)
+	}
+	s.down[sh*s.replicas+r].Store(!up)
+	return nil
+}
+
+// Fallbacks returns how many replica selections skipped a down replica.
+func (s *Sharded) Fallbacks() int64 { return s.fallbacks.Load() }
+
+// EffectiveFanout normalizes a fanout knob against the shard count: values
+// outside [1, N] mean consult every shard.
+func (s *Sharded) EffectiveFanout(fanout int) int {
+	if fanout >= 1 && fanout <= s.shards {
+		return fanout
+	}
+	return s.shards
+}
+
+// pickReplica selects a healthy replica of shard sh round-robin, reporting
+// whether the pick had to fall back past a down replica. ok=false means the
+// whole shard is down.
+func (s *Sharded) pickReplica(sh int) (replica int, fellBack, ok bool) {
+	start := int(s.rr[sh].Add(1)-1) % s.replicas
+	for i := 0; i < s.replicas; i++ {
+		r := (start + i) % s.replicas
+		if !s.down[sh*s.replicas+r].Load() {
+			if i > 0 {
+				s.fallbacks.Add(1)
+			}
+			return r, i > 0, true
+		}
+	}
+	return -1, true, false
+}
+
+// ShardQuery describes the scatter plan for one query: which shards are
+// consulted (after fanout restriction and health filtering), which were
+// probed but excluded by the fanout budget, and whether any replica
+// selection fell back or any whole shard was lost.
+type ShardQuery struct {
+	// Consulted lists shard IDs actually scanned, each with the replica
+	// that served it.
+	Consulted []ShardPick
+	// Excluded counts probed shards dropped by the fanout budget.
+	Excluded int
+	// Lost counts probed shards with every replica down (degraded answer).
+	Lost int
+	// FellBack reports whether any consulted shard skipped a down replica.
+	FellBack bool
+}
+
+// ShardPick is one (shard, replica) scan assignment.
+type ShardPick struct{ Shard, Replica int }
+
+// Search answers one query over the sharded index: probe the globally
+// nearest nprobe cells, consult at most fanout shards (0 or >= Shards()
+// means all), and merge per-shard partial top-k exactly. The optional info
+// out-parameter receives the scatter plan (pass nil to skip).
+func (s *Sharded) Search(q []float32, k, nprobe, fanout int, info *ShardQuery) ([]Result, error) {
+	if len(q) != s.ix.dim {
+		return nil, fmt.Errorf("vectordb: query dim %d != %d", len(q), s.ix.dim)
+	}
+	if k < 1 {
+		return nil, fmt.Errorf("vectordb: k = %d < 1", k)
+	}
+	if nprobe < 1 {
+		return nil, fmt.Errorf("vectordb: nprobe = %d < 1", nprobe)
+	}
+	if nprobe > len(s.ix.centroids) {
+		nprobe = len(s.ix.centroids)
+	}
+	if fanout <= 0 || fanout > s.shards {
+		fanout = s.shards
+	}
+
+	// Global cell ranking — identical to the single-index probe set.
+	cells := s.ix.nearestCells(q, nprobe)
+
+	// Scatter: group probed cells by owning shard, preserving rank order
+	// so a shard's first cell is its best (closest) one.
+	cellsOf := make(map[int][]int, s.shards)
+	order := make([]int, 0, s.shards) // shards by best-cell rank
+	for _, c := range cells {
+		sh := s.ShardOfCell(c)
+		if _, seen := cellsOf[sh]; !seen {
+			order = append(order, sh)
+		}
+		cellsOf[sh] = append(cellsOf[sh], c)
+	}
+	// Fanout budget: keep the fanout shards holding the best-ranked cells.
+	consulted := order
+	excluded := 0
+	if len(order) > fanout {
+		consulted = order[:fanout]
+		excluded = len(order) - fanout
+	}
+
+	table, err := s.ix.pq.DistTable(q)
+	if err != nil {
+		return nil, err
+	}
+	t := newTopK(k)
+	lost := 0
+	fellBack := false
+	var picks []ShardPick
+	if info != nil {
+		picks = make([]ShardPick, 0, len(consulted))
+	}
+	for _, sh := range consulted {
+		r, fb, ok := s.pickReplica(sh)
+		if !ok {
+			lost++
+			continue
+		}
+		fellBack = fellBack || fb
+		if info != nil {
+			picks = append(picks, ShardPick{Shard: sh, Replica: r})
+		}
+		// Per-shard scan into the shared accumulator. topK's total order
+		// on (dist, ID) makes the merge exact: the k survivors are the
+		// same set a single sequential scan of these cells keeps.
+		for _, c := range cellsOf[sh] {
+			ids := s.ix.listIDs[c]
+			codes := s.ix.listCodes[c]
+			for i, id := range ids {
+				t.offer(id, s.ix.pq.ADC(table, codes[i]))
+			}
+		}
+	}
+	if info != nil {
+		*info = ShardQuery{Consulted: picks, Excluded: excluded, Lost: lost, FellBack: fellBack}
+	}
+	return t.results(), nil
+}
+
+// SearchBatch answers a batch of queries with the scatter-gather plan of
+// Search, fanning queries across a striped worker pool. infos, when
+// non-nil, must have len(queries) slots and receives each query's scatter
+// plan positionally.
+func (s *Sharded) SearchBatch(queries [][]float32, k, nprobe, fanout int, infos []ShardQuery) ([][]Result, error) {
+	if infos != nil && len(infos) != len(queries) {
+		return nil, fmt.Errorf("vectordb: infos len %d != queries len %d", len(infos), len(queries))
+	}
+	return searchBatch(len(queries), func(i int) ([]Result, error) {
+		var info *ShardQuery
+		if infos != nil {
+			info = &infos[i]
+		}
+		return s.Search(queries[i], k, nprobe, fanout, info)
+	})
+}
+
+// VectorsScanned estimates the database vectors one query touches at the
+// given nprobe and fanout: the single-index scan volume scaled by the
+// expected fraction of probed cells that land on consulted shards
+// (fanout/N for a balanced round-robin cell assignment).
+func (s *Sharded) VectorsScanned(nprobe, fanout int) float64 {
+	if fanout <= 0 || fanout > s.shards {
+		fanout = s.shards
+	}
+	return s.ix.VectorsScanned(nprobe) * float64(fanout) / float64(s.shards)
+}
+
+// BytesScanned prices the PQ-code bytes of VectorsScanned, the quantity the
+// analytical retrieval model's roofline charges.
+func (s *Sharded) BytesScanned(nprobe, fanout int) float64 {
+	if fanout <= 0 || fanout > s.shards {
+		fanout = s.shards
+	}
+	return s.ix.BytesScanned(nprobe) * float64(fanout) / float64(s.shards)
+}
+
+// CalibrateRecall measures recall@k of the sharded index against exact
+// ground truth over a query sample, for every (nprobe, fanout) pair of the
+// given grids. The returned grid is indexed [nprobe-index][fanout-index].
+// This is the measured-recall surface the analytic retrieval model
+// interpolates (retrieval.RecallModel) so the optimizer can put quality on
+// the Pareto frontier.
+func (s *Sharded) CalibrateRecall(flat *FlatIndex, queries [][]float32, k int, nprobes, fanouts []int) ([][]float64, error) {
+	if len(queries) == 0 {
+		return nil, fmt.Errorf("vectordb: CalibrateRecall with no queries")
+	}
+	truths, err := flat.SearchBatch(queries, k)
+	if err != nil {
+		return nil, err
+	}
+	grid := make([][]float64, len(nprobes))
+	for pi, np := range nprobes {
+		grid[pi] = make([]float64, len(fanouts))
+		for fi, fo := range fanouts {
+			got, err := s.SearchBatch(queries, k, np, fo, nil)
+			if err != nil {
+				return nil, err
+			}
+			sum := 0.0
+			for i := range queries {
+				sum += Recall(truths[i], got[i], k)
+			}
+			grid[pi][fi] = sum / float64(len(queries))
+		}
+	}
+	return grid, nil
+}

@@ -1,0 +1,328 @@
+package vectordb
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func buildShardedFixture(t *testing.T, shards, replicas int) (*Sharded, *IVFPQ, *FlatIndex, [][]float32) {
+	t.Helper()
+	data := GenClustered(3000, 32, 32, 0.4, 23)
+	ix, err := BuildIVFPQ(data, 32, 16, 23)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh, err := NewSharded(ix, shards, replicas)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flat := NewFlat(32)
+	if err := flat.Add(data...); err != nil {
+		t.Fatal(err)
+	}
+	queries := GenClustered(25, 32, 32, 0.4, 29)
+	return sh, ix, flat, queries
+}
+
+// At full fanout the sharded scatter-gather must return bit-identical
+// results to the single-index scan: the probed cell set is the same and
+// topK's total order on (dist, ID) makes the merge order-independent.
+func TestShardedFullFanoutBitParity(t *testing.T) {
+	sh, ix, _, queries := buildShardedFixture(t, 4, 1)
+	for _, nprobe := range []int{1, 4, 8, 32} {
+		for _, q := range queries {
+			want, err := ix.Search(q, 10, nprobe)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := sh.Search(q, 10, nprobe, 0, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("nprobe=%d: %d results, want %d", nprobe, len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("nprobe=%d rank %d: sharded %+v != single %+v", nprobe, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// Property (acceptance criterion): equal total nprobe at full fanout gives
+// exactly the single-index recall on the golden dataset, for any shard
+// count dividing into the cell set.
+func TestShardedRecallParityProperty(t *testing.T) {
+	data := GenClustered(3000, 32, 32, 0.4, 23)
+	ix, err := BuildIVFPQ(data, 32, 16, 23)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flat := NewFlat(32)
+	if err := flat.Add(data...); err != nil {
+		t.Fatal(err)
+	}
+	queries := GenClustered(15, 32, 32, 0.4, 29)
+	truths, err := flat.SearchBatch(queries, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(rawShards, rawProbe uint8) bool {
+		shards := int(rawShards)%8 + 1
+		nprobe := int(rawProbe)%32 + 1
+		sh, err := NewSharded(ix, shards, 1)
+		if err != nil {
+			return false
+		}
+		for i, q := range queries {
+			single, err := ix.Search(q, 10, nprobe)
+			if err != nil {
+				return false
+			}
+			sharded, err := sh.Search(q, 10, nprobe, shards, nil)
+			if err != nil {
+				return false
+			}
+			if Recall(truths[i], sharded, 10) != Recall(truths[i], single, 10) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// One replica down must not change results: the pick falls back to a
+// healthy replica of the same shard (same data), the fallback is counted,
+// and every query is answered.
+func TestShardedReplicaFailure(t *testing.T) {
+	sh, _, _, queries := buildShardedFixture(t, 4, 2)
+	healthy, err := sh.SearchBatch(queries, 10, 8, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sh.SetReplicaHealth(1, 0, false); err != nil {
+		t.Fatal(err)
+	}
+	infos := make([]ShardQuery, len(queries))
+	degraded, err := sh.SearchBatch(queries, 10, 8, 0, infos)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(degraded) != len(queries) {
+		t.Fatalf("lost requests: %d answers for %d queries", len(degraded), len(queries))
+	}
+	for i := range queries {
+		if len(degraded[i]) != len(healthy[i]) {
+			t.Fatalf("query %d: %d results with replica down, want %d", i, len(degraded[i]), len(healthy[i]))
+		}
+		for j := range degraded[i] {
+			if degraded[i][j] != healthy[i][j] {
+				t.Fatalf("query %d rank %d: result changed with one replica down", i, j)
+			}
+		}
+		if infos[i].Lost != 0 {
+			t.Fatalf("query %d: shard reported lost with a healthy replica remaining", i)
+		}
+	}
+	if sh.Fallbacks() == 0 {
+		t.Errorf("no fallbacks counted despite a down replica on a consulted shard")
+	}
+	// Consulted picks must never name the down replica.
+	for i, info := range infos {
+		for _, p := range info.Consulted {
+			if p.Shard == 1 && p.Replica == 0 {
+				t.Fatalf("query %d consulted the down replica", i)
+			}
+		}
+	}
+	// Recovery: back up, fallback counter stops advancing.
+	if err := sh.SetReplicaHealth(1, 0, true); err != nil {
+		t.Fatal(err)
+	}
+	before := sh.Fallbacks()
+	if _, err := sh.SearchBatch(queries, 10, 8, 0, nil); err != nil {
+		t.Fatal(err)
+	}
+	if sh.Fallbacks() != before {
+		t.Errorf("fallbacks advanced after recovery")
+	}
+}
+
+// A whole shard down degrades gracefully: remaining shards answer, the loss
+// is reported, and recall at full health is at least the degraded recall.
+func TestShardedWholeShardDownDegrades(t *testing.T) {
+	sh, _, flat, queries := buildShardedFixture(t, 4, 1)
+	truths, err := flat.SearchBatch(queries, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := sh.SearchBatch(queries, 10, 16, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sh.SetReplicaHealth(2, 0, false); err != nil {
+		t.Fatal(err)
+	}
+	infos := make([]ShardQuery, len(queries))
+	degraded, err := sh.SearchBatch(queries, 10, 16, 0, infos)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lostSeen := false
+	var fullR, degR float64
+	for i := range queries {
+		fullR += Recall(truths[i], full[i], 10)
+		degR += Recall(truths[i], degraded[i], 10)
+		if infos[i].Lost > 0 {
+			lostSeen = true
+		}
+	}
+	if !lostSeen {
+		t.Errorf("no query reported the lost shard at nprobe=16 over 4 shards")
+	}
+	if degR > fullR {
+		t.Errorf("degraded recall %v above healthy recall %v", degR, fullR)
+	}
+}
+
+// Restricting fanout trades recall for scan volume, monotonically.
+func TestShardedFanoutMonotoneRecall(t *testing.T) {
+	sh, _, flat, queries := buildShardedFixture(t, 8, 1)
+	truths, err := flat.SearchBatch(queries, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recallAt := func(fanout int) float64 {
+		got, err := sh.SearchBatch(queries, 10, 16, fanout, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sum float64
+		for i := range queries {
+			sum += Recall(truths[i], got[i], 10)
+		}
+		return sum / float64(len(queries))
+	}
+	r1, r4, r8 := recallAt(1), recallAt(4), recallAt(8)
+	if !(r8 >= r4 && r4 >= r1) {
+		t.Errorf("recall not monotone in fanout: %v %v %v", r1, r4, r8)
+	}
+	if sh.VectorsScanned(16, 4) >= sh.VectorsScanned(16, 8) {
+		t.Errorf("scan volume not reduced by fanout restriction")
+	}
+	if sh.BytesScanned(16, 8) != sh.BytesScanned(16, 0) {
+		t.Errorf("fanout 0 should price as full fanout")
+	}
+}
+
+func TestShardedCalibrateRecall(t *testing.T) {
+	sh, _, flat, queries := buildShardedFixture(t, 4, 1)
+	nprobes := []int{2, 8, 32}
+	fanouts := []int{1, 2, 4}
+	grid, err := sh.CalibrateRecall(flat, queries, 10, nprobes, fanouts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(grid) != len(nprobes) || len(grid[0]) != len(fanouts) {
+		t.Fatalf("grid shape %dx%d, want %dx%d", len(grid), len(grid[0]), len(nprobes), len(fanouts))
+	}
+	// Recall must be monotone along both axes and in [0,1].
+	for pi := range grid {
+		for fi := range grid[pi] {
+			r := grid[pi][fi]
+			if r < 0 || r > 1 {
+				t.Fatalf("recall out of range: %v", r)
+			}
+			if pi > 0 && grid[pi][fi]+1e-9 < grid[pi-1][fi] {
+				t.Errorf("recall not monotone in nprobe at grid[%d][%d]", pi, fi)
+			}
+			if fi > 0 && grid[pi][fi]+1e-9 < grid[pi][fi-1] {
+				t.Errorf("recall not monotone in fanout at grid[%d][%d]", pi, fi)
+			}
+		}
+	}
+	if grid[2][2] < 0.70 {
+		t.Errorf("full-probe full-fanout recall %v, want >= 0.70", grid[2][2])
+	}
+}
+
+// Health toggles racing concurrent searches must be safe (run under -race)
+// and every query must still be answered.
+func TestShardedConcurrentHealthToggles(t *testing.T) {
+	sh, _, _, queries := buildShardedFixture(t, 4, 2)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			sh.SetReplicaHealth(i%4, i%2, i%3 == 0)
+		}
+	}()
+	for iter := 0; iter < 20; iter++ {
+		out, err := sh.SearchBatch(queries, 10, 8, 0, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(out) != len(queries) {
+			t.Fatalf("lost queries under concurrent health toggles")
+		}
+	}
+	close(stop)
+	wg.Wait()
+	for s := 0; s < 4; s++ {
+		for r := 0; r < 2; r++ {
+			sh.SetReplicaHealth(s, r, true)
+		}
+	}
+}
+
+func TestShardedErrors(t *testing.T) {
+	data := GenUniform(200, 8, 1)
+	ix, err := BuildIVFPQ(data, 4, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewSharded(nil, 2, 1); err == nil {
+		t.Errorf("nil index should error")
+	}
+	if _, err := NewSharded(ix, 0, 1); err == nil {
+		t.Errorf("shards=0 should error")
+	}
+	if _, err := NewSharded(ix, 2, 0); err == nil {
+		t.Errorf("replicas=0 should error")
+	}
+	if _, err := NewSharded(ix, 8, 1); err == nil {
+		t.Errorf("more shards than cells should error")
+	}
+	sh, err := NewSharded(ix, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sh.SetReplicaHealth(5, 0, false); err == nil {
+		t.Errorf("out-of-range shard should error")
+	}
+	if _, err := sh.Search(make([]float32, 3), 5, 1, 0, nil); err == nil {
+		t.Errorf("bad query dim should error")
+	}
+	if _, err := sh.Search(make([]float32, 8), 0, 1, 0, nil); err == nil {
+		t.Errorf("k=0 should error")
+	}
+	if _, err := sh.Search(make([]float32, 8), 5, 0, 0, nil); err == nil {
+		t.Errorf("nprobe=0 should error")
+	}
+	if _, err := sh.SearchBatch(make([][]float32, 2), 5, 1, 0, make([]ShardQuery, 1)); err == nil {
+		t.Errorf("mismatched infos length should error")
+	}
+}

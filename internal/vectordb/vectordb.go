@@ -34,12 +34,15 @@ func SquaredL2(a, b []float32) float32 {
 	return s
 }
 
-// resultHeap is a max-heap on distance so the worst candidate sits on top
-// and can be evicted in O(log k).
+// resultHeap is a max-heap on (distance, ID) so the worst candidate sits on
+// top and can be evicted in O(log k). Ordering by the full (Dist, ID) key —
+// not distance alone — makes top-k selection a total order: the k kept
+// candidates are independent of offer order, which is what lets the sharded
+// scatter-gather merge return bit-identical results to a single-index scan.
 type resultHeap []Result
 
 func (h resultHeap) Len() int            { return len(h) }
-func (h resultHeap) Less(i, j int) bool  { return h[i].Dist > h[j].Dist }
+func (h resultHeap) Less(i, j int) bool  { return less(h[j], h[i]) }
 func (h resultHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
 func (h *resultHeap) Push(x interface{}) { *h = append(*h, x.(Result)) }
 func (h *resultHeap) Pop() interface{} {
@@ -63,7 +66,7 @@ func (t *topK) offer(id int, dist float32) {
 		heap.Push(&t.h, Result{ID: id, Dist: dist})
 		return
 	}
-	if dist < t.h[0].Dist {
+	if less(Result{ID: id, Dist: dist}, t.h[0]) {
 		t.h[0] = Result{ID: id, Dist: dist}
 		heap.Fix(&t.h, 0)
 	}
